@@ -1,0 +1,91 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 4 for the index), plus
+   solver micro-benchmarks.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig9 table3  -- selected experiments
+     RANKS=32 ITERS=20 dune exec bench/main.exe -- paper-scale run *)
+
+let ppf = Fmt.stdout
+
+let config () =
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> (try int_of_string s with _ -> default)
+    | None -> default
+  in
+  {
+    Experiments.Common.default_config with
+    Experiments.Common.nranks = getenv_int "RANKS" 16;
+    iterations = getenv_int "ITERS" 10;
+    seed = getenv_int "SEED" 42;
+  }
+
+(* The sweep behind figures 9-11/13-15 is computed once and shared. *)
+let sweep_cache : Experiments.Sweeps.t option ref = ref None
+
+let sweep config =
+  match !sweep_cache with
+  | Some s -> s
+  | None ->
+      Fmt.pf ppf "(running the Static/Conductor/LP power sweep...)@.";
+      let s = Experiments.Sweeps.compute ~config () in
+      sweep_cache := Some s;
+      s
+
+let experiments =
+  [
+    ("fig1", fun config -> Experiments.Fig1_table1.run ~config ppf);
+    ("fig8", fun config -> Experiments.Fig8.run ~config ppf);
+    ("fig9", fun config -> Experiments.Sweeps.fig9 (sweep config) ppf);
+    ("fig10", fun config -> Experiments.Sweeps.fig10 (sweep config) ppf);
+    ( "fig11",
+      fun config ->
+        Experiments.Sweeps.per_benchmark (sweep config) Workloads.Apps.CoMD ppf
+    );
+    ("fig12", fun config -> Experiments.Fig12.run ~config ppf);
+    ( "fig13",
+      fun config ->
+        Experiments.Sweeps.per_benchmark (sweep config) Workloads.Apps.BT ppf );
+    ( "fig14",
+      fun config ->
+        Experiments.Sweeps.per_benchmark (sweep config) Workloads.Apps.SP ppf );
+    ( "fig15",
+      fun config ->
+        Experiments.Sweeps.per_benchmark (sweep config) Workloads.Apps.LULESH
+          ppf );
+    ("table3", fun config -> Experiments.Table3.run ~config ppf);
+    ("overheads", fun config -> Experiments.Overheads.run ~config ppf);
+    ("summary", fun config -> Experiments.Sweeps.summary (sweep config) ppf);
+    ("ablations", fun config -> Experiments.Ablations.run ~config ppf);
+    ("extensions", fun config -> Experiments.Extensions.run ~config ppf);
+    ("scaling", fun config -> Experiments.Scaling.run ~config ppf);
+    ("micro", fun config -> Experiments.Micro.run ~config ppf);
+  ]
+
+let () =
+  let config = config () in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> [ "all" ]
+  in
+  let names =
+    if List.mem "all" requested then List.map fst experiments
+    else begin
+      List.iter
+        (fun n ->
+          if n <> "table1" && not (List.mem_assoc n experiments) then begin
+            Fmt.epr "unknown experiment %S; available: table1 %s@." n
+              (String.concat " " (List.map fst experiments));
+            exit 2
+          end)
+        requested;
+      (* table1 is printed together with fig1 *)
+      List.map (fun n -> if n = "table1" then "fig1" else n) requested
+    end
+  in
+  Fmt.pf ppf "powerlim benchmark harness: %d ranks, %d iterations, seed %d@."
+    config.Experiments.Common.nranks config.Experiments.Common.iterations
+    config.Experiments.Common.seed;
+  List.iter (fun n -> (List.assoc n experiments) config) names

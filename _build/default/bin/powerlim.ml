@@ -1,0 +1,321 @@
+(* powerlim: command-line driver for the power-constrained performance
+   toolkit.
+
+     powerlim bound  --app bt --cap 30            LP upper bound + validation
+     powerlim compare --app lulesh --cap 50       Static / Conductor / LP
+     powerlim sweep --ranks 32 --iters 20         the full figure sweep
+     powerlim frontier --app comd                 task Pareto frontier
+     powerlim flow --cap 60                       flow ILP vs fixed-order LP *)
+
+open Cmdliner
+
+let ranks_t =
+  Arg.(value & opt int 16 & info [ "ranks" ] ~docv:"N" ~doc:"Number of MPI ranks (= sockets).")
+
+let iters_t =
+  Arg.(value & opt int 10 & info [ "iters" ] ~docv:"N" ~doc:"Application iterations.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Workload random seed.")
+
+let app_conv =
+  Arg.conv
+    ( (fun s ->
+        try Ok (Workloads.Apps.app_of_name s)
+        with Invalid_argument m -> Error (`Msg m)),
+      fun ppf a -> Fmt.string ppf (Workloads.Apps.app_name a) )
+
+let app_t =
+  Arg.(value & opt app_conv Workloads.Apps.CoMD & info [ "app" ] ~docv:"APP"
+         ~doc:"Benchmark: comd, lulesh, sp or bt.")
+
+let cap_t =
+  Arg.(value & opt float 40.0 & info [ "cap" ] ~docv:"W"
+         ~doc:"Average power cap per processor socket, watts.")
+
+let discrete_t =
+  Arg.(value & flag & info [ "discrete" ]
+         ~doc:"Round the LP schedule to single discrete configurations.")
+
+let setup app ranks iters seed =
+  let params =
+    { Workloads.Apps.nranks = ranks; iterations = iters; seed; scale = 1.0 }
+  in
+  let g = Workloads.Apps.generate app params in
+  (g, Core.Scenario.make g)
+
+let bound_cmd =
+  let run app ranks iters seed cap discrete =
+    let g, sc = setup app ranks iters seed in
+    let job_cap = cap *. Float.of_int ranks in
+    Fmt.pr "%a@." Dag.Graph.pp_stats g;
+    Fmt.pr "job power cap: %.0f W (%.0f W x %d sockets); minimum feasible: %.0f W@."
+      job_cap cap ranks (Core.Scenario.min_job_power sc);
+    let mode =
+      if discrete then Core.Event_lp.Discrete_rounded else Core.Event_lp.Continuous
+    in
+    match Core.Event_lp.solve ~mode sc ~power_cap:job_cap with
+    | Core.Event_lp.Schedule s ->
+        Fmt.pr "LP bound: %.4f s (LP: %d rows, %d cols, %d simplex iterations)@."
+          s.Core.Event_lp.objective s.Core.Event_lp.stats.Core.Event_lp.rows
+          s.Core.Event_lp.stats.Core.Event_lp.cols
+          s.Core.Event_lp.stats.Core.Event_lp.iterations;
+        let v = Core.Replay.validate sc s ~power_cap:job_cap in
+        Fmt.pr
+          "replay: %.4f s (gap %.2f%%), max sustained power %.1f W, within \
+           cap: %b@."
+          v.Core.Replay.replay_makespan v.Core.Replay.gap_pct
+          v.Core.Replay.max_power v.Core.Replay.within_cap;
+        if not v.Core.Replay.within_cap then exit 1
+    | Core.Event_lp.Infeasible ->
+        Fmt.pr "infeasible: the cap cannot accommodate every task@."
+    | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m
+  in
+  Cmd.v (Cmd.info "bound" ~doc:"Compute the LP performance bound and validate it by replay.")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ discrete_t)
+
+let compare_cmd =
+  let run app ranks iters seed cap =
+    let g, sc = setup app ranks iters seed in
+    ignore g;
+    let job_cap = cap *. Float.of_int ranks in
+    let st = Runtime.Static.run sc ~job_cap in
+    let co = Runtime.Conductor.run sc ~job_cap in
+    Fmt.pr "%-10s %10s %12s@." "method" "time (s)" "max power (W)";
+    Fmt.pr "%-10s %10.4f %12.1f@." "static" st.Simulate.Engine.makespan
+      st.Simulate.Engine.max_power;
+    Fmt.pr "%-10s %10.4f %12.1f@." "conductor" co.Simulate.Engine.makespan
+      co.Simulate.Engine.max_power;
+    match Core.Event_lp.solve sc ~power_cap:job_cap with
+    | Core.Event_lp.Schedule s ->
+        let v = Core.Replay.validate sc s ~power_cap:job_cap in
+        Fmt.pr "%-10s %10.4f %12.1f@." "lp-replay"
+          v.Core.Replay.replay_makespan v.Core.Replay.max_power;
+        Fmt.pr "LP improvement vs static: %.1f%%; vs conductor: %.1f%%@."
+          (Simulate.Stats.improvement_pct ~base:st.Simulate.Engine.makespan
+             ~t:v.Core.Replay.replay_makespan)
+          (Simulate.Stats.improvement_pct ~base:co.Simulate.Engine.makespan
+             ~t:v.Core.Replay.replay_makespan)
+    | Core.Event_lp.Infeasible -> Fmt.pr "lp: infeasible@."
+    | Core.Event_lp.Solver_failure m -> Fmt.pr "lp: %s@." m
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare Static, Conductor and the LP bound at one power cap.")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t)
+
+let sweep_cmd =
+  let run ranks iters seed =
+    let config =
+      {
+        Experiments.Common.default_config with
+        Experiments.Common.nranks = ranks;
+        iterations = iters;
+        seed;
+      }
+    in
+    let sweep = Experiments.Sweeps.compute ~config () in
+    Experiments.Sweeps.fig9 sweep Fmt.stdout;
+    Experiments.Sweeps.fig10 sweep Fmt.stdout;
+    Experiments.Sweeps.summary sweep Fmt.stdout
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Run the full Static/Conductor/LP power sweep (figures 9-10).")
+    Term.(const run $ ranks_t $ iters_t $ seed_t)
+
+let frontier_cmd =
+  let run app seed =
+    let params = { Workloads.Apps.default_params with Workloads.Apps.seed } in
+    let g = Workloads.Apps.generate app params in
+    let sc = Core.Scenario.make g in
+    (* largest task of rank 0 *)
+    let best = ref None in
+    Array.iteri
+      (fun tid (t : Dag.Graph.task) ->
+        if t.rank = 0 && Array.length sc.Core.Scenario.frontiers.(tid) > 0
+        then
+          match !best with
+          | Some (_, w) when w >= t.profile.Machine.Profile.work -> ()
+          | _ -> best := Some (tid, t.profile.Machine.Profile.work))
+      g.Dag.Graph.tasks;
+    match !best with
+    | None -> Fmt.pr "no computation tasks@."
+    | Some (tid, _) ->
+        Fmt.pr "convex Pareto frontier of %s task %d (rank 0):@.%a@."
+          (Workloads.Apps.app_name app) tid Pareto.Frontier.pp
+          sc.Core.Scenario.frontiers.(tid)
+  in
+  Cmd.v (Cmd.info "frontier" ~doc:"Print the convex Pareto frontier of a representative task.")
+    Term.(const run $ app_t $ seed_t)
+
+let flow_cmd =
+  let run cap =
+    let g = Workloads.Apps.exchange ~rounds:2 () in
+    let sc = Core.Scenario.make g in
+    (match Core.Event_lp.solve sc ~power_cap:cap with
+    | Core.Event_lp.Schedule s ->
+        Fmt.pr "fixed-vertex-order LP : %.4f s@." s.Core.Event_lp.objective
+    | _ -> Fmt.pr "fixed-vertex-order LP : infeasible@.");
+    match Core.Flow_ilp.solve sc ~power_cap:cap with
+    | Core.Flow_ilp.Schedule s ->
+        Fmt.pr "flow ILP              : %.4f s (%d binaries, %d nodes)@."
+          s.Core.Flow_ilp.objective s.Core.Flow_ilp.stats.Core.Flow_ilp.binaries
+          s.Core.Flow_ilp.stats.Core.Flow_ilp.nodes
+    | Core.Flow_ilp.Infeasible -> Fmt.pr "flow ILP: infeasible@."
+    | Core.Flow_ilp.Too_large n -> Fmt.pr "flow ILP: too large (%d tasks)@." n
+    | Core.Flow_ilp.Solver_failure m -> Fmt.pr "flow ILP: %s@." m
+  in
+  let cap_t =
+    Arg.(value & opt float 60.0 & info [ "cap" ] ~docv:"W"
+           ~doc:"Total job power cap, watts.")
+  in
+  Cmd.v (Cmd.info "flow" ~doc:"Compare the flow ILP and the fixed-order LP on the 2-rank exchange.")
+    Term.(const run $ cap_t)
+
+let trace_cmd =
+  let run app ranks iters seed out dot =
+    let params =
+      { Workloads.Apps.nranks = ranks; iterations = iters; seed; scale = 1.0 }
+    in
+    let g = Workloads.Apps.generate app params in
+    (match out with
+    | Some path ->
+        Dag.Trace_io.to_file path g;
+        Fmt.pr "wrote %a to %s@." Dag.Graph.pp_stats g path
+    | None -> Dag.Trace_io.output stdout g);
+    match dot with
+    | Some path ->
+        let ts = Dag.Schedule.unconstrained g in
+        Dag.Dot.to_file ~times:ts path g;
+        Fmt.pr "wrote Graphviz rendering to %s@." path
+    | None -> ()
+  in
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the trace to FILE (default: stdout).")
+  in
+  let dot_t =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Also write a Graphviz (DOT) rendering to FILE.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Generate a workload trace (and optionally a DOT rendering).")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ out_t $ dot_t)
+
+let solve_trace_cmd =
+  let run path cap =
+    let g = Dag.Trace_io.of_file path in
+    let sc = Core.Scenario.make g in
+    let job_cap = cap *. Float.of_int g.Dag.Graph.nranks in
+    Fmt.pr "%a@." Dag.Graph.pp_stats g;
+    match Core.Event_lp.solve sc ~power_cap:job_cap with
+    | Core.Event_lp.Schedule s ->
+        let v = Core.Replay.validate sc s ~power_cap:job_cap in
+        Fmt.pr "LP bound %.4f s; replay %.4f s; max power %.1f / %.0f W; \
+                within cap: %b@."
+          s.Core.Event_lp.objective v.Core.Replay.replay_makespan
+          v.Core.Replay.max_power job_cap v.Core.Replay.within_cap
+    | Core.Event_lp.Infeasible -> Fmt.pr "infeasible@."
+    | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m
+  in
+  let path_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"Trace file produced by the trace subcommand.")
+  in
+  Cmd.v
+    (Cmd.info "solve-trace"
+       ~doc:"Load a saved trace and compute its LP bound under a power cap.")
+    Term.(const run $ path_t $ cap_t)
+
+let export_cmd =
+  let run app ranks iters seed cap mps_out trace_csv records_csv =
+    let g, sc = setup app ranks iters seed in
+    let job_cap = cap *. Float.of_int ranks in
+    (match mps_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Core.Event_lp.to_mps sc ~power_cap:job_cap);
+        close_out oc;
+        Fmt.pr "wrote event LP (MPS) to %s@." path
+    | None -> ());
+    match (trace_csv, records_csv) with
+    | None, None -> ()
+    | _ -> (
+        match Core.Event_lp.solve sc ~power_cap:job_cap with
+        | Core.Event_lp.Schedule s ->
+            let v = Core.Replay.validate sc s ~power_cap:job_cap in
+            Option.iter
+              (fun path ->
+                Simulate.Csv.trace_to_file path v.Core.Replay.result;
+                Fmt.pr "wrote job-power trace to %s@." path)
+              trace_csv;
+            Option.iter
+              (fun path ->
+                Simulate.Csv.records_to_file path g v.Core.Replay.result;
+                Fmt.pr "wrote task records to %s@." path)
+              records_csv
+        | Core.Event_lp.Infeasible -> Fmt.pr "infeasible; no CSVs written@."
+        | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m)
+  in
+  let mps_t =
+    Arg.(value & opt (some string) None & info [ "mps" ] ~docv:"FILE"
+           ~doc:"Write the event LP in MPS format to FILE.")
+  in
+  let trace_t =
+    Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE"
+           ~doc:"Write the validated schedule's job-power trace as CSV.")
+  in
+  let records_t =
+    Arg.(value & opt (some string) None & info [ "records-csv" ] ~docv:"FILE"
+           ~doc:"Write the validated schedule's per-task records as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export the event LP (MPS) and/or schedule data (CSV) for external tools.")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ mps_t
+          $ trace_t $ records_t)
+
+let gantt_cmd =
+  let run app ranks iters seed cap method_ width =
+    let g, sc = setup app ranks iters seed in
+    let job_cap = cap *. Float.of_int ranks in
+    let result =
+      match method_ with
+      | "static" -> Some (Runtime.Static.run sc ~job_cap)
+      | "conductor" -> Some (Runtime.Conductor.run sc ~job_cap)
+      | "balancer" -> Some (Runtime.Balancer.run sc ~job_cap)
+      | "adagio" -> Some (Runtime.Adagio.run sc)
+      | "lp" -> (
+          match Core.Event_lp.solve sc ~power_cap:job_cap with
+          | Core.Event_lp.Schedule s ->
+              Some (Core.Replay.validate sc s ~power_cap:job_cap).Core.Replay.result
+          | _ ->
+              Fmt.pr "lp: infeasible at this cap@.";
+              None)
+      | m ->
+          Fmt.epr "unknown method %S (static|conductor|balancer|adagio|lp)@." m;
+          exit 2
+    in
+    match result with
+    | Some r ->
+        Fmt.pr "%s under %s at %.0f W/socket:@." (Workloads.Apps.app_name app)
+          method_ cap;
+        Simulate.Gantt.print ~width g r
+    | None -> ()
+  in
+  let method_t =
+    Arg.(value & opt string "lp" & info [ "method" ] ~docv:"M"
+           ~doc:"Policy to render: static, conductor, balancer, adagio or lp.")
+  in
+  let width_t =
+    Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS"
+           ~doc:"Chart width in characters.")
+  in
+  Cmd.v (Cmd.info "gantt" ~doc:"Render a policy's schedule as an ASCII Gantt chart.")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ method_t $ width_t)
+
+let () =
+  let doc = "Finding the limits of power-constrained application performance" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "powerlim" ~version:"1.0.0" ~doc)
+          [
+            bound_cmd; compare_cmd; sweep_cmd; frontier_cmd; flow_cmd;
+            trace_cmd; solve_trace_cmd; export_cmd; gantt_cmd;
+          ]))

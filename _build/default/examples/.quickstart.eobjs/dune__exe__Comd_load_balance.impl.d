@@ -1,0 +1,1 @@
+examples/comd_load_balance.ml: Array Core Dag Float Fmt Machine Pareto Runtime Simulate String Workloads

@@ -1,0 +1,1 @@
+examples/comd_load_balance.mli:

@@ -1,0 +1,1 @@
+examples/flow_vs_fixed.ml: Array Core Dag Fmt List Workloads

@@ -1,0 +1,1 @@
+examples/lulesh_thread_tuning.ml: Fmt List Machine Pareto Simulate

@@ -1,0 +1,1 @@
+examples/power_bottlenecks.ml: Array Core Dag Float Fmt List Workloads

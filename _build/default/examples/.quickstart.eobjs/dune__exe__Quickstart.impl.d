@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Dag Float Fmt Machine Pareto Runtime Simulate

@@ -1,0 +1,48 @@
+(* Power bottleneck analysis: the LP's dual variables on the power rows
+   (equation (11)) are shadow prices — seconds of makespan bought per
+   extra watt of budget at each moment of the run.  They answer the
+   operator question "if I could give this job a few more watts, when
+   would they matter?".
+
+     dune exec examples/power_bottlenecks.exe *)
+
+let () =
+  let nranks = 8 in
+  let g =
+    Workloads.Apps.bt
+      { Workloads.Apps.default_params with nranks; iterations = 5 }
+  in
+  let sc = Core.Scenario.make g in
+  List.iter
+    (fun cap ->
+      let job_cap = cap *. Float.of_int nranks in
+      match Core.Event_lp.solve sc ~power_cap:job_cap with
+      | Core.Event_lp.Schedule s ->
+          let binding =
+            Array.to_list s.Core.Event_lp.power_duals
+            |> List.filter (fun (_, d) -> d > 1e-9)
+          in
+          let total =
+            List.fold_left (fun acc (_, d) -> acc +. d) 0.0 binding
+          in
+          Fmt.pr
+            "@.BT at %.0f W/socket: makespan bound %.3f s; %d of %d power \
+             events binding@."
+            cap s.Core.Event_lp.objective (List.length binding)
+            (Array.length s.Core.Event_lp.power_duals);
+          Fmt.pr
+            "  one more watt of job budget buys %.4f s (%.2f%% of the run)@."
+            total
+            (100.0 *. total /. s.Core.Event_lp.objective);
+          List.iter
+            (fun (vtx, d) ->
+              Fmt.pr "  t=%7.3f s  %a: %.4f s/W@."
+                s.Core.Event_lp.vertex_time.(vtx)
+                Dag.Graph.pp_vkind
+                g.Dag.Graph.vertices.(vtx).Dag.Graph.kind d)
+            (List.filteri (fun i _ -> i < 6)
+               (List.sort (fun (_, a) (_, b) -> compare b a) binding))
+      | Core.Event_lp.Infeasible ->
+          Fmt.pr "@.BT at %.0f W/socket: infeasible@." cap
+      | Core.Event_lp.Solver_failure m -> Fmt.pr "@.%s@." m)
+    [ 30.0; 45.0; 70.0 ]

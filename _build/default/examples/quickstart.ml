@@ -1,0 +1,65 @@
+(* Quickstart: build a tiny MPI+OpenMP application graph by hand, ask the
+   LP for the best achievable time under a job power cap, and validate
+   the schedule by replaying it on the simulated cluster.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 4-rank application: each rank computes, everyone reduces, each
+     rank computes again, everyone reduces again. *)
+  let nranks = 4 in
+  let b = Dag.Graph.Builder.create ~nranks in
+  for iteration = 0 to 1 do
+    for rank = 0 to nranks - 1 do
+      (* rank 3 has 30% more work: a load imbalance the LP can attack *)
+      let work = if rank = 3 then 2.6 else 2.0 in
+      Dag.Graph.Builder.compute b ~rank ~iteration ~label:"solve"
+        (Machine.Profile.v ~serial_frac:0.05 ~contention:0.01 ~mem_bound:0.2
+           work)
+    done;
+    ignore (Dag.Graph.Builder.collective b ~name:"allreduce" ~pcontrol:true ())
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  let g = Dag.Graph.Builder.build b in
+  Fmt.pr "application: %a@." Dag.Graph.pp_stats g;
+
+  (* Attach simulated sockets and per-task configuration frontiers. *)
+  let sc = Core.Scenario.make g in
+  Fmt.pr "minimum feasible job power: %.0f W@." (Core.Scenario.min_job_power sc);
+
+  (* Uniform static allocation at 35 W per socket... *)
+  let job_cap = 35.0 *. Float.of_int nranks in
+  let static = Runtime.Static.run sc ~job_cap in
+  Fmt.pr "Static (uniform %g W/socket): %.3f s@." (job_cap /. 4.0)
+    static.Simulate.Engine.makespan;
+
+  (* ...versus the LP's theoretical optimum under the same job cap. *)
+  match Core.Event_lp.solve sc ~power_cap:job_cap with
+  | Core.Event_lp.Schedule s ->
+      Fmt.pr "LP bound: %.3f s (%.1f%% faster than Static is possible)@."
+        s.Core.Event_lp.objective
+        (Simulate.Stats.improvement_pct
+           ~base:static.Simulate.Engine.makespan
+           ~t:s.Core.Event_lp.objective);
+      (* The schedule tells each task which configuration to run. *)
+      Array.iteri
+        (fun tid blend ->
+          match blend with
+          | (pt, _) :: _ when g.Dag.Graph.tasks.(tid).Dag.Graph.iteration = 0
+            ->
+              Fmt.pr "  task %d (rank %d): %a  avg %.1f W@." tid
+                g.Dag.Graph.tasks.(tid).Dag.Graph.rank Pareto.Point.pp pt
+                (Pareto.Frontier.blend_power blend)
+          | _ -> ())
+        s.Core.Event_lp.blends;
+      (* Validate: replay the schedule and check the power trace. *)
+      let v = Core.Replay.validate sc s ~power_cap:job_cap in
+      Fmt.pr
+        "replayed: %.3f s, max sustained power %.1f W of %.0f W cap, within \
+         cap: %b@."
+        v.Core.Replay.replay_makespan v.Core.Replay.max_power job_cap
+        v.Core.Replay.within_cap;
+      Fmt.pr "@.LP schedule as a Gantt chart:@.";
+      Simulate.Gantt.print ~width:64 g v.Core.Replay.result
+  | Core.Event_lp.Infeasible -> Fmt.pr "infeasible at this cap@."
+  | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m

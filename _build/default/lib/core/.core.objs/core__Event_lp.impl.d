@@ -1,0 +1,1 @@
+lib/core/event_lp.ml: Array Dag Float Hashtbl List Lp Machine Pareto Printf Scenario

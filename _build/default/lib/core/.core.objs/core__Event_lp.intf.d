@@ -1,0 +1,1 @@
+lib/core/event_lp.mli: Dag Pareto Scenario

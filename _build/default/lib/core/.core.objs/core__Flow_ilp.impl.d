@@ -1,0 +1,1 @@
+lib/core/flow_ilp.ml: Array Dag List Lp Machine Pareto Printf Scenario

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Array Dag Event_lp List Machine Pareto Scenario Simulate

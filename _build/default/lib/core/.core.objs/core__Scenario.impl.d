@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Dag Machine Pareto

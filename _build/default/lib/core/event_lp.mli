@@ -1,0 +1,73 @@
+(** The paper's primary contribution: the fixed-vertex-order, event-based
+    LP formulation of power-constrained performance optimization
+    (Sections 3.1-3.3, equations (1)-(13)).
+
+    Variables: a time per DAG vertex and a convex-combination weight per
+    (task, frontier configuration).  Power is constrained at events
+    (vertices of an initial power-unconstrained schedule): at each event
+    the summed power of active tasks must fit the job cap, and events
+    keep their initial time order — which keeps the program purely linear
+    and polynomially solvable. *)
+
+type mode =
+  | Continuous
+      (** blends of adjacent frontier points, realized by mid-task
+          switching *)
+  | Discrete_rounded
+      (** the blend's average power rounded to the nearest single real
+          configuration (the paper's discrete rounding) *)
+
+type stats = { rows : int; cols : int; iterations : int; power_rows : int }
+
+type schedule = {
+  objective : float;  (** LP makespan: the performance upper bound *)
+  vertex_time : float array;
+  blends : Pareto.Frontier.blend array;  (** per tid; [] for zero tasks *)
+  power_duals : (int * float) array;
+      (** per power row: (representative vertex, seconds of makespan
+          saved per extra watt of budget at that event) — the shadow
+          prices of equation (11), nonzero exactly where power binds *)
+  mode : mode;
+  stats : stats;
+}
+
+type outcome =
+  | Schedule of schedule
+  | Infeasible  (** the power cap cannot accommodate every task *)
+  | Solver_failure of string
+
+val initial_times : ?reduce_slack:bool -> Scenario.t -> Dag.Schedule.times
+(** The power-unconstrained schedule whose vertex order defines the
+    events.  [reduce_slack] (default true) applies the paper's
+    Section 3.3 modification: off-critical tasks are slowed as much as
+    possible without extending the makespan. *)
+
+val to_mps : ?reduce_slack:bool -> Scenario.t -> power_cap:float -> string
+(** The compiled LP in MPS format (see {!Lp.Mps}), for cross-checking
+    against external solvers. *)
+
+val solve :
+  ?mode:mode ->
+  ?max_iter:int ->
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
+  ?init:Dag.Schedule.times ->
+  Scenario.t ->
+  power_cap:float ->
+  outcome
+(** [solve sc ~power_cap] builds and solves the LP.  [reduce_slack]
+    selects the initial schedule (see {!initial_times}); [init]
+    overrides it entirely (the event order is taken from these times);
+    [presolve] (default true) runs {!Lp.Presolve} before the simplex. *)
+
+val solve_refined :
+  ?rounds:int ->
+  ?mode:mode ->
+  ?max_iter:int ->
+  Scenario.t ->
+  power_cap:float ->
+  outcome
+(** Extension beyond the paper: fixed-point refinement of the event
+    order.  Each round re-derives the events from the previous round's
+    solved schedule and re-solves; every round is a sound, realizable
+    bound, and the best is returned. *)

@@ -1,0 +1,319 @@
+(** The flow-based mixed ILP formulation (paper appendix, equations
+    (14)-(29)).
+
+    Power is conserved as a flow through a second DAG: a source edge
+    injects exactly the job power cap at time zero, every computation
+    task must receive its power from tasks that finished before it
+    started (sequencing binaries [x_ij], chosen by the solver rather than
+    fixed as in {!Event_lp}), and a sink collects all power at the end.
+    The big-M disjunctive constraint (23) is linearized in the standard
+    indicator form [s_j >= s_i + d_i - M (1 - x_ij)] so it stays linear
+    in the variable task durations.
+
+    As in the paper, the formulation is only tractable for small
+    instances (tens of task edges); [solve] refuses anything larger. *)
+
+type stats = {
+  binaries : int;
+  rows : int;
+  cols : int;
+  nodes : int;
+  relaxation : float;
+}
+
+type schedule = {
+  objective : float;
+  blends : Pareto.Frontier.blend array;  (** per tid of the full graph *)
+  stats : stats;
+}
+
+type outcome =
+  | Schedule of schedule
+  | Infeasible
+  | Too_large of int  (** number of task edges *)
+  | Solver_failure of string
+
+(* Symbolic value of a sequencing variable after constant folding. *)
+type xval = Fixed of float | Free of Lp.Model.var
+
+let solve ?(max_tasks = 30) ?(max_nodes = 20_000) ?(integer_configs = false)
+    (sc : Scenario.t) ~power_cap : outcome =
+  let g = sc.Scenario.graph in
+  let tids =
+    Array.to_list g.Dag.Graph.tasks
+    |> List.filter (fun (t : Dag.Graph.task) ->
+           t.profile.Machine.Profile.work > 0.0)
+    |> List.map (fun (t : Dag.Graph.task) -> t.tid)
+    |> Array.of_list
+  in
+  let n_a = Array.length tids in
+  if n_a > max_tasks then Too_large n_a
+  else begin
+    let nv = Dag.Graph.n_vertices g in
+    (* Vertex reachability (TE' and, via task endpoints, TE). *)
+    let reach = Array.make_matrix nv nv false in
+    let order = Dag.Graph.topo_order g in
+    for i = 0 to nv - 1 do
+      reach.(i).(i) <- true
+    done;
+    for k = nv - 1 downto 0 do
+      let vsrc = order.(k) in
+      List.iter
+        (fun e ->
+          let w = Dag.Graph.edge_dst g e in
+          for j = 0 to nv - 1 do
+            if reach.(w).(j) then reach.(vsrc).(j) <- true
+          done)
+        g.Dag.Graph.out_edges.(vsrc)
+    done;
+    let task tid = g.Dag.Graph.tasks.(tid) in
+    (* A' indices: 0..n_a-1 tasks, n_a = source, n_a+1 = sink. *)
+    let source = n_a and sink = n_a + 1 in
+    let n' = n_a + 2 in
+    let src_v a = (task tids.(a)).Dag.Graph.t_src in
+    let dst_v a = (task tids.(a)).Dag.Graph.t_dst in
+    (* Horizon: every task sequentially at its slowest configuration. *)
+    let horizon =
+      Array.fold_left
+        (fun acc tid ->
+          acc
+          +. (Pareto.Frontier.slowest sc.Scenario.frontiers.(tid))
+               .Pareto.Point.duration)
+        1.0 tids
+    in
+    let m = Lp.Model.create () in
+    let v =
+      Array.init nv (fun j ->
+          if j = g.Dag.Graph.init_v then
+            Lp.Model.add_var m ~lb:0.0 ~ub:0.0 (Printf.sprintf "v%d" j)
+          else Lp.Model.add_var m (Printf.sprintf "v%d" j))
+    in
+    let c =
+      Array.map
+        (fun tid ->
+          let f = sc.Scenario.frontiers.(tid) in
+          Array.init (Array.length f) (fun k ->
+              Lp.Model.add_var m ~lb:0.0 ~ub:1.0 ~integer:integer_configs
+                (Printf.sprintf "c%d_%d" tid k)))
+        tids
+    in
+    Array.iteri
+      (fun a vars ->
+        ignore a;
+        Lp.Model.add_constr m
+          (Array.to_list (Array.map (fun x -> (1.0, x)) vars))
+          Lp.Model.Eq 1.0)
+      c;
+    (* duration / power linear terms of task [a] *)
+    let dur_terms a coeff =
+      Array.to_list
+        (Array.mapi
+           (fun k (p : Pareto.Point.t) ->
+             (coeff *. p.Pareto.Point.duration, c.(a).(k)))
+           sc.Scenario.frontiers.(tids.(a)))
+    in
+    let pow_terms a coeff =
+      Array.to_list
+        (Array.mapi
+           (fun k (p : Pareto.Point.t) ->
+             (coeff *. p.Pareto.Point.power, c.(a).(k)))
+           sc.Scenario.frontiers.(tids.(a)))
+    in
+    let pmax a =
+      if a = source || a = sink then power_cap
+      else Pareto.Frontier.max_power sc.Scenario.frontiers.(tids.(a))
+    in
+    (* DAG precedence on vertex times (equation (3)), incl. messages. *)
+    Array.iteri
+      (fun tid (t : Dag.Graph.task) ->
+        let f = sc.Scenario.frontiers.(tid) in
+        let terms =
+          if Array.length f = 0 then []
+          else begin
+            let a = ref (-1) in
+            Array.iteri (fun i x -> if x = tid then a := i) tids;
+            dur_terms !a (-1.0)
+          end
+        in
+        Lp.Model.add_constr m
+          ((1.0, v.(t.t_dst)) :: (-1.0, v.(t.t_src)) :: terms)
+          Lp.Model.Ge
+          g.Dag.Graph.vertices.(t.t_dst).Dag.Graph.delay)
+      g.Dag.Graph.tasks;
+    Array.iter
+      (fun (msg : Dag.Graph.message) ->
+        Lp.Model.add_constr m
+          [ (1.0, v.(msg.m_dst)); (-1.0, v.(msg.m_src)) ]
+          Lp.Model.Ge
+          (Machine.Network.transfer_time msg.bytes
+          +. g.Dag.Graph.vertices.(msg.m_dst).Dag.Graph.delay))
+      g.Dag.Graph.messages;
+    (* Sequencing variables with constant folding (equations (14)-(22)). *)
+    let nbin = ref 0 in
+    let x : xval array array =
+      Array.init n' (fun a ->
+          Array.init n' (fun b ->
+              if a = b then Fixed 0.0 (* (18) *)
+              else if a = sink || b = source then Fixed 0.0
+              else if a = source || b = sink then Fixed 1.0
+              else begin
+                let prec i j = reach.(dst_v i).(src_v j) in
+                if prec a b then Fixed 1.0 (* (15) *)
+                else if prec b a then Fixed 0.0
+                else if src_v a = src_v b then Fixed 0.0 (* (21) *)
+                else if dst_v a = dst_v b then Fixed 0.0 (* (22) *)
+                else if src_v b <> src_v a && reach.(src_v b).(src_v a) then
+                  Fixed 0.0 (* (19) *)
+                else if dst_v b <> dst_v a && reach.(dst_v b).(dst_v a) then
+                  Fixed 0.0 (* (20) *)
+                else begin
+                  incr nbin;
+                  Free
+                    (Lp.Model.add_var m ~lb:0.0 ~ub:1.0 ~integer:true
+                       (Printf.sprintf "x_%d_%d" a b))
+                end
+              end))
+    in
+    (* (16): x_ab + x_ba <= 1 where both free. *)
+    for a = 0 to n_a - 1 do
+      for b = a + 1 to n_a - 1 do
+        match (x.(a).(b), x.(b).(a)) with
+        | Free xa, Free xb ->
+            Lp.Model.add_constr m [ (1.0, xa); (1.0, xb) ] Lp.Model.Le 1.0
+        | _ -> ()
+      done
+    done;
+    (* (17): transitivity x_ac >= x_ab + x_bc - 1, constant-folded. *)
+    for a = 0 to n_a - 1 do
+      for b = 0 to n_a - 1 do
+        for cc = 0 to n_a - 1 do
+          if a <> b && b <> cc && a <> cc then begin
+            let terms = ref [] and rhs = ref (-1.0) in
+            let add coeff = function
+              | Fixed f -> rhs := !rhs -. (coeff *. f)
+              | Free var -> terms := (coeff, var) :: !terms
+            in
+            add 1.0 x.(a).(cc);
+            add (-1.0) x.(a).(b);
+            add (-1.0) x.(b).(cc);
+            if !terms <> [] && !rhs > -1.0 +. 1e-9 then
+              Lp.Model.add_constr m !terms Lp.Model.Ge !rhs
+            else if !terms = [] && !rhs > 1e-9 then
+              failwith "Flow_ilp: inconsistent fixed sequencing"
+          end
+        done
+      done
+    done;
+    (* (23): s_b >= s_a + d_a - M (1 - x_ab) for free pairs. *)
+    for a = 0 to n_a - 1 do
+      for b = 0 to n_a - 1 do
+        if a <> b then
+          match x.(a).(b) with
+          | Free xv ->
+              Lp.Model.add_constr m
+                ((1.0, v.(src_v b))
+                :: (-1.0, v.(src_v a))
+                :: (-.horizon, xv)
+                :: dur_terms a (-1.0))
+                Lp.Model.Ge (-.horizon)
+          | Fixed _ -> ()
+      done
+    done;
+    (* Flow variables for pairs that can carry power. *)
+    let f : Lp.Model.var option array array =
+      Array.init n' (fun a ->
+          Array.init n' (fun b ->
+              if a = sink || b = source || a = b then None
+              else
+                match x.(a).(b) with
+                | Fixed 0.0 -> None
+                | Fixed _ | Free _ ->
+                    Some
+                      (Lp.Model.add_var m ~lb:0.0
+                         ~ub:(min (pmax a) (pmax b))
+                         (Printf.sprintf "f_%d_%d" a b))))
+    in
+    (* (27): f_ab <= min(p_a, p_b) x_ab, linearized. *)
+    for a = 0 to n' - 1 do
+      for b = 0 to n' - 1 do
+        match f.(a).(b) with
+        | None -> ()
+        | Some fv ->
+            (match x.(a).(b) with
+            | Free xv ->
+                Lp.Model.add_constr m
+                  [ (1.0, fv); (-.min (pmax a) (pmax b), xv) ]
+                  Lp.Model.Le 0.0
+            | Fixed _ -> ());
+            if a < n_a then
+              Lp.Model.add_constr m ((1.0, fv) :: pow_terms a (-1.0))
+                Lp.Model.Le 0.0;
+            if b < n_a then
+              Lp.Model.add_constr m ((1.0, fv) :: pow_terms b (-1.0))
+                Lp.Model.Le 0.0
+      done
+    done;
+    (* (28)-(29): flow conservation. *)
+    for a = 0 to n' - 1 do
+      if a <> sink then begin
+        let outs = ref [] in
+        for b = 0 to n' - 1 do
+          match f.(a).(b) with Some fv -> outs := (1.0, fv) :: !outs | None -> ()
+        done;
+        if a = source then Lp.Model.add_constr m !outs Lp.Model.Eq power_cap
+        else
+          Lp.Model.add_constr m (!outs @ pow_terms a (-1.0)) Lp.Model.Eq 0.0
+      end
+    done;
+    for b = 0 to n' - 1 do
+      if b <> source then begin
+        let ins = ref [] in
+        for a = 0 to n' - 1 do
+          match f.(a).(b) with Some fv -> ins := (1.0, fv) :: !ins | None -> ()
+        done;
+        if b = sink then Lp.Model.add_constr m !ins Lp.Model.Eq power_cap
+        else Lp.Model.add_constr m (!ins @ pow_terms b (-1.0)) Lp.Model.Eq 0.0
+      end
+    done;
+    Lp.Model.set_obj m v.(g.Dag.Graph.finalize_v) 1.0;
+    let p = Lp.Model.compile m in
+    let r = Lp.Milp.solve ~max_nodes p in
+    match r.Lp.Milp.status with
+    | Lp.Milp.Infeasible -> Infeasible
+    | Lp.Milp.Unbounded -> Solver_failure "unbounded (formulation bug)"
+    | Lp.Milp.Node_limit -> Solver_failure "node limit"
+    | Lp.Milp.Optimal ->
+        let xsol = r.Lp.Milp.x in
+        let blends =
+          Array.map
+            (fun (t : Dag.Graph.task) ->
+              let fr = sc.Scenario.frontiers.(t.tid) in
+              if Array.length fr = 0 then []
+              else begin
+                let a = ref (-1) in
+                Array.iteri (fun i tid -> if tid = t.tid then a := i) tids;
+                let raw =
+                  Array.to_list
+                    (Array.mapi (fun k pt -> (pt, xsol.(c.(!a).(k)))) fr)
+                  |> List.filter (fun (_, w) -> w > 1e-9)
+                in
+                let total = List.fold_left (fun s (_, w) -> s +. w) 0.0 raw in
+                if total <= 0.0 then [ (Pareto.Frontier.slowest fr, 1.0) ]
+                else List.map (fun (pt, w) -> (pt, w /. total)) raw
+              end)
+            g.Dag.Graph.tasks
+        in
+        Schedule
+          {
+            objective = r.Lp.Milp.objective;
+            blends;
+            stats =
+              {
+                binaries = !nbin;
+                rows = p.Lp.Model.nr;
+                cols = p.Lp.Model.nv;
+                nodes = r.Lp.Milp.nodes;
+                relaxation = r.Lp.Milp.relaxation;
+              };
+          }
+  end

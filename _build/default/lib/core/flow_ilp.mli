@@ -1,0 +1,36 @@
+(** The flow-based mixed ILP formulation (paper appendix, equations
+    (14)-(29)): power is conserved as a flow from a source edge through
+    sequenced tasks to a sink, with solver-chosen sequencing binaries.
+    Only tractable for small instances (tens of task edges), exactly as
+    the paper reports. *)
+
+type stats = {
+  binaries : int;
+  rows : int;
+  cols : int;
+  nodes : int;
+  relaxation : float;
+}
+
+type schedule = {
+  objective : float;
+  blends : Pareto.Frontier.blend array;  (** per tid of the full graph *)
+  stats : stats;
+}
+
+type outcome =
+  | Schedule of schedule
+  | Infeasible
+  | Too_large of int  (** number of task edges *)
+  | Solver_failure of string
+
+val solve :
+  ?max_tasks:int ->
+  ?max_nodes:int ->
+  ?integer_configs:bool ->
+  Scenario.t ->
+  power_cap:float ->
+  outcome
+(** [integer_configs] additionally restricts every task to a single
+    discrete configuration (equation (5), the paper's discrete case)
+    instead of a continuous blend (equation (6)). *)

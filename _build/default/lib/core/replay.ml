@@ -1,0 +1,94 @@
+(** Replay of an LP/ILP-derived schedule on the simulated cluster
+    (Section 6.1): each task runs the configuration blend the schedule
+    prescribes; configuration changes cost a DVFS transition and are
+    skipped for tasks shorter than the 1 ms threshold. *)
+
+type validation = {
+  result : Simulate.Engine.result;
+  lp_makespan : float;
+  replay_makespan : float;
+  max_power : float;
+  power_cap : float;
+  within_cap : bool;
+  gap_pct : float;  (** replay vs LP makespan, percent *)
+}
+
+let same_point (a : Pareto.Point.t) (b : Pareto.Point.t) =
+  a.Pareto.Point.freq = b.Pareto.Point.freq
+  && a.Pareto.Point.threads = b.Pareto.Point.threads
+
+(** Simulation policy executing [schedule]. *)
+let policy (sc : Scenario.t) (schedule : Event_lp.schedule) : Simulate.Policy.t
+    =
+  let decide (ctx : Simulate.Policy.decide_ctx) =
+    let tid = ctx.Simulate.Policy.task.Dag.Graph.tid in
+    let blend = schedule.Event_lp.blends.(tid) in
+    match blend with
+    | [] ->
+        (* zero-work MPI transition *)
+        let f = sc.Scenario.frontiers.(tid) in
+        let pt =
+          if Array.length f > 0 then Pareto.Frontier.slowest f
+          else
+            {
+              Pareto.Point.freq = Machine.Dvfs.f_min;
+              threads = 1;
+              duration = 0.0;
+              power = 0.0;
+            }
+        in
+        { Simulate.Policy.blend = [ (pt, 1.0) ]; overhead = 0.0 }
+    | (first, _) :: _ ->
+        let expected = Pareto.Frontier.blend_duration blend in
+        let switch_needed =
+          match ctx.Simulate.Policy.prev with
+          | Some prev -> not (same_point prev first)
+          | None -> false
+        in
+        let overhead =
+          if switch_needed && expected >= Machine.Overheads.replay_min_task
+          then Machine.Overheads.dvfs_transition
+          else 0.0
+        in
+        (* a two-segment blend is one more mid-task switch *)
+        let overhead =
+          if List.length blend > 1 && expected >= Machine.Overheads.replay_min_task
+          then overhead +. Machine.Overheads.dvfs_transition
+          else overhead
+        in
+        { Simulate.Policy.blend; overhead }
+  in
+  {
+    Simulate.Policy.name = "lp-replay";
+    decide;
+    observe = ignore;
+    pcontrol_overhead = 0.0;
+  }
+
+(** Replay [schedule] and verify it is realizable and within its power
+    cap (transients shorter than 1 ms are ignored, as a real RAPL window
+    would average them away). *)
+let validate ?(tol = 0.02) (sc : Scenario.t) (schedule : Event_lp.schedule)
+    ~power_cap : validation =
+  (* The LP's vertex times are part of the schedule: its power argument
+     (fixed event order, equations (12)-(13)) only holds if events fire
+     no earlier than the LP placed them. *)
+  let release v = schedule.Event_lp.vertex_time.(v) in
+  let result =
+    Simulate.Engine.run ~slack_model:`Task_power ~release sc.Scenario.graph
+      (policy sc schedule)
+  in
+  let max_power =
+    Simulate.Engine.sustained_max_power ~ignore_below:1e-3 result
+  in
+  {
+    result;
+    lp_makespan = schedule.Event_lp.objective;
+    replay_makespan = result.Simulate.Engine.makespan;
+    max_power;
+    power_cap;
+    within_cap = max_power <= power_cap *. (1.0 +. tol) +. 1e-6;
+    gap_pct =
+      ((result.Simulate.Engine.makespan /. schedule.Event_lp.objective) -. 1.0)
+      *. 100.0;
+  }

@@ -1,0 +1,19 @@
+(** Replay of an LP/ILP-derived schedule on the simulated cluster
+    (paper Section 6.1): each task runs its prescribed configuration
+    blend; configuration changes cost a DVFS transition and are skipped
+    for tasks under the 1 ms threshold. *)
+
+type validation = {
+  result : Simulate.Engine.result;
+  lp_makespan : float;
+  replay_makespan : float;
+  max_power : float;  (** sustained (1 ms window) *)
+  power_cap : float;
+  within_cap : bool;
+  gap_pct : float;  (** replay vs LP makespan, percent *)
+}
+
+val policy : Scenario.t -> Event_lp.schedule -> Simulate.Policy.t
+
+val validate :
+  ?tol:float -> Scenario.t -> Event_lp.schedule -> power_cap:float -> validation

@@ -1,0 +1,47 @@
+(** A scenario bundles everything the formulations and runtimes consume:
+    the application DAG, the socket running each rank (one multithreaded
+    process per socket, per the paper's Section 2.2 assumptions), and the
+    convex Pareto frontier of every task on its socket. *)
+
+type t = {
+  graph : Dag.Graph.t;
+  sockets : Machine.Socket.t array;  (** indexed by rank *)
+  frontiers : Pareto.Frontier.t array;
+      (** indexed by tid; empty array for zero-work MPI transitions *)
+}
+
+let make ?(socket_seed = 7) ?(variability = 0.04) (graph : Dag.Graph.t) : t =
+  let sockets =
+    Machine.Socket.fleet ~variability ~seed:socket_seed graph.Dag.Graph.nranks
+  in
+  let frontiers =
+    Array.map
+      (fun (t : Dag.Graph.task) ->
+        if t.profile.Machine.Profile.work <= 0.0 then [||]
+        else Pareto.Frontier.convex sockets.(t.rank) t.profile)
+      graph.Dag.Graph.tasks
+  in
+  { graph; sockets; frontiers }
+
+(** Smallest job power at which every task can run at all: the sum over
+    ranks of the most frugal frontier point of the rank's hungriest task
+    — below this the LP is infeasible ("not able to be scheduled" in
+    Figures 9-10). *)
+let min_job_power t =
+  let per_rank = Array.make t.graph.Dag.Graph.nranks 0.0 in
+  Array.iteri
+    (fun tid f ->
+      if Array.length f > 0 then begin
+        let r = t.graph.Dag.Graph.tasks.(tid).Dag.Graph.rank in
+        let p = Pareto.Frontier.min_power f in
+        if p > per_rank.(r) then per_rank.(r) <- p
+      end)
+    t.frontiers;
+  Array.fold_left ( +. ) 0.0 per_rank
+
+(** Duration of a task at its fastest configuration (used for the
+    power-unconstrained initial schedule). *)
+let fastest_duration t tid =
+  let f = t.frontiers.(tid) in
+  if Array.length f = 0 then 0.0
+  else (Pareto.Frontier.fastest f).Pareto.Point.duration

@@ -1,0 +1,20 @@
+(** A scenario bundles everything the formulations and runtimes consume:
+    the application DAG, the socket running each rank (one multithreaded
+    process per socket, paper Section 2.2), and the convex Pareto
+    frontier of every task on its socket. *)
+
+type t = {
+  graph : Dag.Graph.t;
+  sockets : Machine.Socket.t array;  (** indexed by rank *)
+  frontiers : Pareto.Frontier.t array;
+      (** indexed by tid; empty for zero-work MPI transitions *)
+}
+
+val make : ?socket_seed:int -> ?variability:float -> Dag.Graph.t -> t
+
+val min_job_power : t -> float
+(** Smallest job power at which every task can run at all; below it the
+    LP is infeasible ("not able to be scheduled" in Figures 9-10). *)
+
+val fastest_duration : t -> int -> float
+(** Duration of task [tid] at its fastest configuration. *)

@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Array Fun Graph List Machine Printf Schedule String

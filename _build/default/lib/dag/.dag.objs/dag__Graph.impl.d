@@ -1,0 +1,1 @@
+lib/dag/graph.ml: Array Fmt Fun List Machine Queue Seq

@@ -1,0 +1,1 @@
+lib/dag/schedule.ml: Array Float Fun Graph List Machine

@@ -1,0 +1,1 @@
+lib/dag/schedule.mli: Graph

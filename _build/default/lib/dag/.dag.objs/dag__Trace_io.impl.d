@@ -1,0 +1,1 @@
+lib/dag/trace_io.ml: Array Buffer Char Fmt Fun Graph List Machine Printf Seq String

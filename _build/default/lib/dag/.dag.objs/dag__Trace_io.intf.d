@@ -1,0 +1,1 @@
+lib/dag/trace_io.mli: Graph Seq

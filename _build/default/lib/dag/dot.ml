@@ -1,0 +1,67 @@
+(** Graphviz (DOT) export of application DAGs, in the style of the
+    paper's Figure 2: round nodes for MPI events, solid edges for
+    computation tasks (labelled with their work), dashed edges for
+    messages. *)
+
+let escape s =
+  String.concat "" (List.map (fun c ->
+      match c with
+      | '"' -> "\\\""
+      | '\\' -> "\\\\"
+      | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let vertex_label (v : Graph.vertex) =
+  match v.kind with
+  | Graph.Init -> "Init"
+  | Graph.Finalize -> "Finalize"
+  | Graph.Collective s -> Printf.sprintf "%s" s
+  | Graph.Send -> "Send"
+  | Graph.Recv -> "Recv"
+  | Graph.Isend -> "Isend"
+  | Graph.Wait -> "Wait"
+  | Graph.Pcontrol -> "Pcontrol"
+
+(** Write the graph in DOT syntax.  [times] (if given) annotates every
+    vertex with its schedule time. *)
+let output ?times oc (g : Graph.t) =
+  Printf.fprintf oc "digraph application {\n  rankdir=LR;\n";
+  Printf.fprintf oc "  node [shape=ellipse, fontsize=10];\n";
+  Array.iter
+    (fun (v : Graph.vertex) ->
+      let time_suffix =
+        match times with
+        | Some (ts : Schedule.times) ->
+            Printf.sprintf "\\n%.3fs" ts.Schedule.vertex_time.(v.vid)
+        | None -> ""
+      in
+      let style =
+        match v.kind with
+        | Graph.Init | Graph.Finalize -> ", style=bold"
+        | Graph.Collective _ -> ", shape=box"
+        | _ -> ""
+      in
+      Printf.fprintf oc "  v%d [label=\"%s%s\"%s];\n" v.vid
+        (escape (vertex_label v))
+        time_suffix style)
+    g.Graph.vertices;
+  Array.iter
+    (fun (t : Graph.task) ->
+      if t.profile.Machine.Profile.work > 0.0 then
+        Printf.fprintf oc "  v%d -> v%d [label=\"r%d %s (%.2gs)\"];\n" t.t_src
+          t.t_dst t.rank (escape t.label) t.profile.Machine.Profile.work
+      else
+        Printf.fprintf oc "  v%d -> v%d [color=gray, label=\"r%d\"];\n"
+          t.t_src t.t_dst t.rank)
+    g.Graph.tasks;
+  Array.iter
+    (fun (msg : Graph.message) ->
+      Printf.fprintf oc
+        "  v%d -> v%d [style=dashed, label=\"%dB\"];\n" msg.m_src msg.m_dst
+        msg.bytes)
+    g.Graph.messages;
+  Printf.fprintf oc "}\n"
+
+let to_file ?times path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output ?times oc g)

@@ -1,0 +1,5 @@
+(** Graphviz (DOT) export of application DAGs, in the style of the
+    paper's Figure 2. *)
+
+val output : ?times:Schedule.times -> out_channel -> Graph.t -> unit
+val to_file : ?times:Schedule.times -> string -> Graph.t -> unit

@@ -1,0 +1,342 @@
+(** Application task graph.
+
+    Vertices are MPI events (calls); edges are either computation tasks
+    (the work between two consecutive MPI calls on one rank) or messages
+    between ranks — the representation of Section 3.1 / Figure 2 of the
+    paper.  Collective operations are single vertices shared by all
+    participating ranks, which encodes equation (4): all tasks leaving a
+    common vertex start simultaneously.
+
+    Graphs are constructed through {!Builder}, which maintains the
+    per-rank invariant that consecutive MPI vertices on a rank are linked
+    by exactly one task edge (possibly of zero work). *)
+
+type vkind =
+  | Init
+  | Finalize
+  | Collective of string
+  | Send
+  | Recv
+  | Isend
+  | Wait
+  | Pcontrol
+
+let pp_vkind ppf = function
+  | Init -> Fmt.string ppf "Init"
+  | Finalize -> Fmt.string ppf "Finalize"
+  | Collective s -> Fmt.pf ppf "Coll(%s)" s
+  | Send -> Fmt.string ppf "Send"
+  | Recv -> Fmt.string ppf "Recv"
+  | Isend -> Fmt.string ppf "Isend"
+  | Wait -> Fmt.string ppf "Wait"
+  | Pcontrol -> Fmt.string ppf "Pcontrol"
+
+type vertex = {
+  vid : int;
+  kind : vkind;
+  ranks : int list;  (** participating ranks (singleton unless collective) *)
+  delay : float;  (** communication time added before the vertex fires *)
+  pcontrol : bool;  (** iteration boundary visible to runtime systems *)
+}
+
+type task = {
+  tid : int;
+  rank : int;
+  t_src : int;  (** source vertex *)
+  t_dst : int;  (** destination vertex *)
+  profile : Machine.Profile.t;
+  iteration : int;  (** application iteration; -1 when not applicable *)
+  label : string;
+}
+
+type message = {
+  mid : int;
+  m_src : int;
+  m_dst : int;
+  src_rank : int;
+  dst_rank : int;
+  bytes : int;
+}
+
+type edge = T of int | M of int  (** edge reference: task id or message id *)
+
+type t = {
+  nranks : int;
+  vertices : vertex array;
+  tasks : task array;
+  messages : message array;
+  out_edges : edge list array;  (** per source vertex *)
+  in_edges : edge list array;  (** per destination vertex *)
+  rank_tasks : int array array;  (** per rank, tids in program order *)
+  init_v : int;
+  finalize_v : int;
+}
+
+let n_vertices g = Array.length g.vertices
+let n_tasks g = Array.length g.tasks
+let n_messages g = Array.length g.messages
+
+let edge_src g = function
+  | T tid -> g.tasks.(tid).t_src
+  | M mid -> g.messages.(mid).m_src
+
+let edge_dst g = function
+  | T tid -> g.tasks.(tid).t_dst
+  | M mid -> g.messages.(mid).m_dst
+
+(** Next task of the same rank after [tid] in program order, if any. *)
+let next_task_on_rank g tid =
+  let t = g.tasks.(tid) in
+  let seq = g.rank_tasks.(t.rank) in
+  let pos = ref (-1) in
+  Array.iteri (fun i x -> if x = tid then pos := i) seq;
+  if !pos >= 0 && !pos + 1 < Array.length seq then Some seq.(!pos + 1) else None
+
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type b = {
+    nranks : int;
+    mutable b_vertices : vertex list;  (* reversed *)
+    mutable nv : int;
+    mutable b_tasks : task list;  (* reversed *)
+    mutable nt : int;
+    mutable b_messages : message list;  (* reversed *)
+    mutable nm : int;
+    cur : int array;  (* current vertex per rank *)
+    pending : Machine.Profile.t option array;  (* compute queued per rank *)
+    pending_iter : int array;
+    pending_label : string array;
+    mutable finalized : int option;
+  }
+
+  let zero_profile = Machine.Profile.v 0.0
+
+  let create ~nranks =
+    if nranks < 1 then invalid_arg "Builder.create: nranks < 1";
+    let init =
+      {
+        vid = 0;
+        kind = Init;
+        ranks = List.init nranks Fun.id;
+        delay = 0.0;
+        pcontrol = false;
+      }
+    in
+    {
+      nranks;
+      b_vertices = [ init ];
+      nv = 1;
+      b_tasks = [];
+      nt = 0;
+      b_messages = [];
+      nm = 0;
+      cur = Array.make nranks 0;
+      pending = Array.make nranks None;
+      pending_iter = Array.make nranks (-1);
+      pending_label = Array.make nranks "";
+      finalized = None;
+    }
+
+  let check_open b =
+    if b.finalized <> None then invalid_arg "Builder: graph already finalized"
+
+  let check_rank b rank =
+    if rank < 0 || rank >= b.nranks then invalid_arg "Builder: bad rank"
+
+  (** Queue computation on [rank]; it becomes the task edge leading to
+      that rank's next MPI vertex. *)
+  let compute b ~rank ?(iteration = -1) ?(label = "") profile =
+    check_open b;
+    check_rank b rank;
+    if b.pending.(rank) <> None then
+      invalid_arg "Builder.compute: two computations without an MPI call";
+    b.pending.(rank) <- Some profile;
+    b.pending_iter.(rank) <- iteration;
+    b.pending_label.(rank) <- label
+
+  let fresh_vertex b kind ranks delay pcontrol =
+    let v = { vid = b.nv; kind; ranks; delay; pcontrol } in
+    b.b_vertices <- v :: b.b_vertices;
+    b.nv <- b.nv + 1;
+    v.vid
+
+  let add_task b ~rank ~dst =
+    let profile =
+      match b.pending.(rank) with Some p -> p | None -> zero_profile
+    in
+    let t =
+      {
+        tid = b.nt;
+        rank;
+        t_src = b.cur.(rank);
+        t_dst = dst;
+        profile;
+        iteration = b.pending_iter.(rank);
+        label = b.pending_label.(rank);
+      }
+    in
+    b.b_tasks <- t :: b.b_tasks;
+    b.nt <- b.nt + 1;
+    b.pending.(rank) <- None;
+    b.pending_iter.(rank) <- -1;
+    b.pending_label.(rank) <- "";
+    b.cur.(rank) <- dst
+
+  (** An MPI vertex on a single rank; consumes that rank's pending
+      computation.  Returns the new vertex id. *)
+  let mpi_vertex b ~rank kind =
+    check_open b;
+    check_rank b rank;
+    let vid = fresh_vertex b kind [ rank ] 0.0 false in
+    add_task b ~rank ~dst:vid;
+    vid
+
+  (** A collective over all ranks: one shared vertex that every rank's
+      pending computation flows into.  [delay] defaults to a log-tree
+      cost over [bytes]. *)
+  let collective b ?(name = "allreduce") ?(bytes = 8) ?(pcontrol = false) () =
+    check_open b;
+    let delay = Machine.Network.collective_time ~ranks:b.nranks bytes in
+    let ranks = List.init b.nranks Fun.id in
+    let vid = fresh_vertex b (Collective name) ranks delay pcontrol in
+    for rank = 0 to b.nranks - 1 do
+      add_task b ~rank ~dst:vid
+    done;
+    vid
+
+  (** Message edge between two existing MPI vertices. *)
+  let message b ~src_v ~dst_v ~src_rank ~dst_rank ~bytes =
+    check_open b;
+    if src_v < 0 || src_v >= b.nv || dst_v < 0 || dst_v >= b.nv then
+      invalid_arg "Builder.message: unknown vertex";
+    let m = { mid = b.nm; m_src = src_v; m_dst = dst_v; src_rank; dst_rank; bytes } in
+    b.b_messages <- m :: b.b_messages;
+    b.nm <- b.nm + 1
+
+  (** Point-to-point exchange: Isend vertex on [src], Recv vertex on
+      [dst], message edge between them. Returns [(send_v, recv_v)]. *)
+  let p2p b ~src ~dst ~bytes =
+    check_open b;
+    check_rank b src;
+    check_rank b dst;
+    if src = dst then invalid_arg "Builder.p2p: src = dst";
+    let sv = mpi_vertex b ~rank:src Isend in
+    let rv = mpi_vertex b ~rank:dst Recv in
+    message b ~src_v:sv ~dst_v:rv ~src_rank:src ~dst_rank:dst ~bytes;
+    (sv, rv)
+
+  (** Close the graph with a Finalize vertex joining all ranks. *)
+  let finalize b =
+    check_open b;
+    let ranks = List.init b.nranks Fun.id in
+    let vid = fresh_vertex b Finalize ranks 0.0 false in
+    for rank = 0 to b.nranks - 1 do
+      add_task b ~rank ~dst:vid
+    done;
+    b.finalized <- Some vid;
+    vid
+
+  let build b : t =
+    let finalize_v =
+      match b.finalized with
+      | Some v -> v
+      | None -> invalid_arg "Builder.build: not finalized"
+    in
+    let vertices = Array.of_list (List.rev b.b_vertices) in
+    let tasks = Array.of_list (List.rev b.b_tasks) in
+    let messages = Array.of_list (List.rev b.b_messages) in
+    let nv = Array.length vertices in
+    let out_edges = Array.make nv [] and in_edges = Array.make nv [] in
+    Array.iter
+      (fun t ->
+        out_edges.(t.t_src) <- T t.tid :: out_edges.(t.t_src);
+        in_edges.(t.t_dst) <- T t.tid :: in_edges.(t.t_dst))
+      tasks;
+    Array.iter
+      (fun m ->
+        out_edges.(m.m_src) <- M m.mid :: out_edges.(m.m_src);
+        in_edges.(m.m_dst) <- M m.mid :: in_edges.(m.m_dst))
+      messages;
+    let rank_tasks =
+      Array.init b.nranks (fun r ->
+          tasks
+          |> Array.to_seq
+          |> Seq.filter (fun t -> t.rank = r)
+          |> Seq.map (fun t -> t.tid)
+          |> Array.of_seq)
+    in
+    {
+      nranks = b.nranks;
+      vertices;
+      tasks;
+      messages;
+      out_edges;
+      in_edges;
+      rank_tasks;
+      init_v = 0;
+      finalize_v;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+(** Vertex ids in a topological order.  Raises [Failure] on a cycle
+    (which would indicate a builder bug). *)
+let topo_order g =
+  let nv = n_vertices g in
+  let indeg = Array.make nv 0 in
+  Array.iteri (fun v es -> indeg.(v) <- List.length es) g.in_edges;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = Array.make nv 0 in
+  let n = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!n) <- v;
+    incr n;
+    List.iter
+      (fun e ->
+        let w = edge_dst g e in
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      g.out_edges.(v)
+  done;
+  if !n <> nv then failwith "Graph.topo_order: cycle detected";
+  order
+
+(** Structural validation: single entry/exit, acyclicity, per-rank task
+    chains.  Returns an error description rather than raising, so tests
+    can assert on it. *)
+let validate g =
+  let problems = ref [] in
+  let err fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  if g.vertices.(g.init_v).kind <> Init then err "vertex 0 is not Init";
+  if g.vertices.(g.finalize_v).kind <> Finalize then err "finalize vertex wrong";
+  (match topo_order g with
+  | exception Failure _ -> err "graph has a cycle"
+  | _ -> ());
+  if g.in_edges.(g.init_v) <> [] then err "Init has predecessors";
+  if g.out_edges.(g.finalize_v) <> [] then err "Finalize has successors";
+  (* every rank's tasks chain: dst of task k = src of task k+1 *)
+  Array.iteri
+    (fun r seq ->
+      Array.iteri
+        (fun i tid ->
+          let t = g.tasks.(tid) in
+          if t.rank <> r then err "task in wrong rank sequence";
+          if i = 0 && t.t_src <> g.init_v then err "rank %d does not start at Init" r;
+          if i > 0 then begin
+            let prev = g.tasks.(seq.(i - 1)) in
+            if prev.t_dst <> t.t_src then
+              err "rank %d tasks %d->%d do not chain" r prev.tid t.tid
+          end;
+          if i = Array.length seq - 1 && t.t_dst <> g.finalize_v then
+            err "rank %d does not end at Finalize" r)
+        seq)
+    g.rank_tasks;
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let pp_stats ppf g =
+  Fmt.pf ppf "graph: %d ranks, %d vertices, %d tasks, %d messages" g.nranks
+    (n_vertices g) (n_tasks g) (n_messages g)

@@ -1,0 +1,115 @@
+(** Application task graph: vertices are MPI events, edges are
+    computation tasks (between consecutive MPI calls on one rank) or
+    messages between ranks — the representation of paper Section 3.1 /
+    Figure 2.  Collectives are single vertices shared by all participants,
+    which encodes equation (4): tasks leaving a common vertex start
+    simultaneously. *)
+
+type vkind =
+  | Init
+  | Finalize
+  | Collective of string
+  | Send
+  | Recv
+  | Isend
+  | Wait
+  | Pcontrol
+
+val pp_vkind : Format.formatter -> vkind -> unit
+
+type vertex = {
+  vid : int;
+  kind : vkind;
+  ranks : int list;  (** participating ranks (singleton unless collective) *)
+  delay : float;  (** communication time added before the vertex fires *)
+  pcontrol : bool;  (** iteration boundary visible to runtime systems *)
+}
+
+type task = {
+  tid : int;
+  rank : int;
+  t_src : int;
+  t_dst : int;
+  profile : Machine.Profile.t;
+  iteration : int;  (** application iteration; -1 when not applicable *)
+  label : string;
+}
+
+type message = {
+  mid : int;
+  m_src : int;
+  m_dst : int;
+  src_rank : int;
+  dst_rank : int;
+  bytes : int;
+}
+
+type edge = T of int | M of int  (** task id or message id *)
+
+type t = {
+  nranks : int;
+  vertices : vertex array;
+  tasks : task array;
+  messages : message array;
+  out_edges : edge list array;
+  in_edges : edge list array;
+  rank_tasks : int array array;  (** per rank, tids in program order *)
+  init_v : int;
+  finalize_v : int;
+}
+
+val n_vertices : t -> int
+val n_tasks : t -> int
+val n_messages : t -> int
+val edge_src : t -> edge -> int
+val edge_dst : t -> edge -> int
+
+val next_task_on_rank : t -> int -> int option
+(** Next task of the same rank after [tid] in program order. *)
+
+module Builder : sig
+  (** Imperative graph construction maintaining the invariant that
+      consecutive MPI vertices on a rank are linked by exactly one task
+      edge (a zero-work edge when no computation was queued). *)
+
+  type b
+
+  val create : nranks:int -> b
+
+  val compute :
+    b -> rank:int -> ?iteration:int -> ?label:string -> Machine.Profile.t -> unit
+  (** Queue computation on [rank]; it becomes the task edge into that
+      rank's next MPI vertex.  Raises [Invalid_argument] if a computation
+      is already queued. *)
+
+  val mpi_vertex : b -> rank:int -> vkind -> int
+  (** Single-rank MPI vertex; consumes the rank's pending computation.
+      Returns the vertex id. *)
+
+  val collective :
+    b -> ?name:string -> ?bytes:int -> ?pcontrol:bool -> unit -> int
+  (** One shared vertex over all ranks, with a log-tree delay. *)
+
+  val message :
+    b -> src_v:int -> dst_v:int -> src_rank:int -> dst_rank:int -> bytes:int -> unit
+  (** Message edge between two existing vertices. *)
+
+  val p2p : b -> src:int -> dst:int -> bytes:int -> int * int
+  (** Isend vertex on [src], Recv vertex on [dst], message between them.
+      Returns [(send_v, recv_v)]. *)
+
+  val finalize : b -> int
+  (** Close the graph with a Finalize vertex joining all ranks. *)
+
+  val build : b -> t
+  (** Freeze.  Raises [Invalid_argument] when not finalized. *)
+end
+
+val topo_order : t -> int array
+(** Vertex ids in topological order; raises [Failure] on a cycle. *)
+
+val validate : t -> (unit, string list) result
+(** Structural validation: single entry/exit, acyclicity, per-rank task
+    chains. *)
+
+val pp_stats : Format.formatter -> t -> unit

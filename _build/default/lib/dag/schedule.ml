@@ -1,0 +1,161 @@
+(** Static schedules over a task graph: longest-path vertex times for a
+    given assignment of task durations, critical path, per-task slack,
+    and the event structure (time-ordered vertices with their active task
+    sets) that the fixed-vertex-order LP is built on. *)
+
+type times = {
+  vertex_time : float array;  (** firing time per vertex *)
+  makespan : float;
+}
+
+(** Longest-path schedule: every vertex fires when all its in-edges have
+    completed (plus the vertex's own communication delay).  [dur] gives
+    each task's duration; [msg] each message's transfer time. *)
+let compute g ~dur ~msg : times =
+  let order = Graph.topo_order g in
+  let nv = Graph.n_vertices g in
+  let time = Array.make nv 0.0 in
+  Array.iter
+    (fun v ->
+      let ready = ref 0.0 in
+      List.iter
+        (fun e ->
+          let src = Graph.edge_src g e in
+          let w =
+            match e with
+            | Graph.T tid -> dur g.Graph.tasks.(tid)
+            | Graph.M mid -> msg g.Graph.messages.(mid)
+          in
+          let t = time.(src) +. w in
+          if t > !ready then ready := t)
+        g.Graph.in_edges.(v);
+      time.(v) <- !ready +. g.Graph.vertices.(v).Graph.delay)
+    order;
+  { vertex_time = time; makespan = time.(g.Graph.finalize_v) }
+
+let default_msg m = Machine.Network.transfer_time m.Graph.bytes
+
+(** Schedule with every task at its fastest configuration (max frequency,
+    all cores): the power-unconstrained reference of Section 3.3. *)
+let unconstrained ?(max_threads = 8) g : times =
+  let dur t =
+    Machine.Profile.duration t.Graph.profile ~freq:Machine.Dvfs.f_max
+      ~threads:max_threads
+  in
+  compute g ~dur ~msg:default_msg
+
+(** As-late-as-possible vertex times: the latest each vertex can fire
+    without extending the makespan.  This is the paper's Section 3.3
+    "initial schedule modified to reduce slack time": it slows tasks off
+    the critical path as much as possible (their activity windows shift
+    to where the LP will actually run them) without changing the time to
+    solution. *)
+let latest_times g (ts : times) ~dur ~msg : times =
+  let order = Graph.topo_order g in
+  let nv = Graph.n_vertices g in
+  let latest = Array.make nv ts.makespan in
+  for k = nv - 1 downto 0 do
+    let v = order.(k) in
+    List.iter
+      (fun e ->
+        let dst = Graph.edge_dst g e in
+        let w =
+          match e with
+          | Graph.T tid -> dur g.Graph.tasks.(tid)
+          | Graph.M mid -> msg g.Graph.messages.(mid)
+        in
+        let bound = latest.(dst) -. g.Graph.vertices.(dst).Graph.delay -. w in
+        if bound < latest.(v) then latest.(v) <- bound)
+      g.Graph.out_edges.(v)
+  done;
+  { vertex_time = latest; makespan = ts.makespan }
+
+(** Per-task slack: how much a task could be stretched without moving any
+    vertex, i.e. [t(dst) - t(src) - duration].  Tasks with positive slack
+    are off the critical path and can be slowed nearly for free — the
+    property Adagio and the LP both exploit. *)
+let task_slack g (ts : times) ~dur =
+  Array.map
+    (fun t ->
+      ts.vertex_time.(t.Graph.t_dst)
+      -. g.Graph.vertices.(t.Graph.t_dst).Graph.delay
+      -. ts.vertex_time.(t.Graph.t_src)
+      -. dur t)
+    g.Graph.tasks
+
+(** One critical path from Init to Finalize as a list of edges, found by
+    walking backwards along tight in-edges. *)
+let critical_path g (ts : times) ~dur ~msg =
+  let eps = 1e-9 in
+  let rec walk v acc =
+    if v = g.Graph.init_v then acc
+    else begin
+      let slack_in = ts.vertex_time.(v) -. g.Graph.vertices.(v).Graph.delay in
+      let tight =
+        List.find_opt
+          (fun e ->
+            let src = Graph.edge_src g e in
+            let w =
+              match e with
+              | Graph.T tid -> dur g.Graph.tasks.(tid)
+              | Graph.M mid -> msg g.Graph.messages.(mid)
+            in
+            Float.abs (ts.vertex_time.(src) +. w -. slack_in) < eps)
+          g.Graph.in_edges.(v)
+      in
+      match tight with
+      | None ->
+          (* numerical tie-break: take the latest-finishing in-edge *)
+          let best = ref None and bt = ref Float.neg_infinity in
+          List.iter
+            (fun e ->
+              let src = Graph.edge_src g e in
+              if ts.vertex_time.(src) > !bt then begin
+                bt := ts.vertex_time.(src);
+                best := Some e
+              end)
+            g.Graph.in_edges.(v);
+          (match !best with
+          | None -> acc
+          | Some e -> walk (Graph.edge_src g e) (e :: acc))
+      | Some e -> walk (Graph.edge_src g e) (e :: acc)
+    end
+  in
+  walk g.Graph.finalize_v []
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type events = {
+  order : int array;  (** vertex ids sorted by initial-schedule time *)
+  active : int array array;
+      (** [active.(k)]: tids active at event [k] (start at or running);
+          a task's activity window runs from its source vertex to its
+          destination vertex, so slack between a task and the next MPI
+          call is charged at the task's own power — the paper's
+          slack-power assumption. *)
+}
+
+(** Event structure from an initial schedule: one event per vertex, in
+    time order.  Duplicate power rows (identical active sets) are left to
+    the LP builder to coalesce. *)
+let events g (ts : times) : events =
+  let nv = Graph.n_vertices g in
+  let order = Array.init nv Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare ts.vertex_time.(a) ts.vertex_time.(b) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let active_at tj =
+    let acc = ref [] in
+    Array.iter
+      (fun (t : Graph.task) ->
+        let s = ts.vertex_time.(t.t_src) and e = ts.vertex_time.(t.t_dst) in
+        if (s <= tj && tj < e) || s = tj then acc := t.tid :: !acc)
+      g.Graph.tasks;
+    Array.of_list (List.rev !acc)
+  in
+  { order; active = Array.map (fun v -> active_at ts.vertex_time.(v)) order }

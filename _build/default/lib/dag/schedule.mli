@@ -1,0 +1,51 @@
+(** Static schedules over a task graph: longest-path vertex times for a
+    given duration assignment, critical path, per-task slack, and the
+    event structure the fixed-vertex-order LP is built on. *)
+
+type times = { vertex_time : float array; makespan : float }
+
+val compute :
+  Graph.t ->
+  dur:(Graph.task -> float) ->
+  msg:(Graph.message -> float) ->
+  times
+(** Longest-path schedule: a vertex fires when all in-edges complete,
+    plus its collective delay. *)
+
+val default_msg : Graph.message -> float
+(** {!Machine.Network.transfer_time} of the message payload. *)
+
+val unconstrained : ?max_threads:int -> Graph.t -> times
+(** Every task at its fastest configuration: the power-unconstrained
+    reference schedule of paper Section 3.3. *)
+
+val latest_times :
+  Graph.t ->
+  times ->
+  dur:(Graph.task -> float) ->
+  msg:(Graph.message -> float) ->
+  times
+(** As-late-as-possible vertex times with the same makespan: the paper's
+    "modified to reduce slack time" initial schedule (Section 3.3). *)
+
+val task_slack : Graph.t -> times -> dur:(Graph.task -> float) -> float array
+(** Per task: how much it could stretch without moving any vertex. *)
+
+val critical_path :
+  Graph.t ->
+  times ->
+  dur:(Graph.task -> float) ->
+  msg:(Graph.message -> float) ->
+  Graph.edge list
+(** One tight Init→Finalize path. *)
+
+type events = {
+  order : int array;  (** vertex ids sorted by initial-schedule time *)
+  active : int array array;
+      (** per event, the tids active there (start at or running); a
+          task's activity window spans source to destination vertex, so
+          slack is charged at the task's own power — the paper's
+          slack-power assumption *)
+}
+
+val events : Graph.t -> times -> events

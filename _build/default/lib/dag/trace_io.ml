@@ -1,0 +1,267 @@
+(** Textual trace format for application DAGs.
+
+    The paper obtains its DAGs from an MPI tracing library and feeds them
+    to the LP offline; this module is the equivalent persistence layer:
+    graphs serialize to a line-oriented text format and parse back,
+    so traces can be generated once and reanalyzed under many power
+    constraints.
+
+    Format (one record per line, [#] comments ignored):
+    {v
+    powerlim-trace 1
+    ranks <n>
+    vertex <vid> <kind> <delay> <pcontrol> <rank>[,<rank>...]
+    task <tid> <rank> <src> <dst> <work> <serial> <contention> <mem> <iteration> <label>
+    message <mid> <src> <dst> <src_rank> <dst_rank> <bytes>
+    v}
+
+    Labels are percent-encoded so they may contain whitespace. *)
+
+let magic = "powerlim-trace 1"
+
+let string_of_vkind = function
+  | Graph.Init -> "init"
+  | Graph.Finalize -> "finalize"
+  | Graph.Collective s -> "collective:" ^ s
+  | Graph.Send -> "send"
+  | Graph.Recv -> "recv"
+  | Graph.Isend -> "isend"
+  | Graph.Wait -> "wait"
+  | Graph.Pcontrol -> "pcontrol"
+
+let vkind_of_string s =
+  match s with
+  | "init" -> Graph.Init
+  | "finalize" -> Graph.Finalize
+  | "send" -> Graph.Send
+  | "recv" -> Graph.Recv
+  | "isend" -> Graph.Isend
+  | "wait" -> Graph.Wait
+  | "pcontrol" -> Graph.Pcontrol
+  | _ ->
+      if String.length s > 11 && String.sub s 0 11 = "collective:" then
+        Graph.Collective (String.sub s 11 (String.length s - 11))
+      else failwith (Printf.sprintf "Trace_io: unknown vertex kind %S" s)
+
+let encode_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\t' | '\n' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  if Buffer.length buf = 0 then "%" else Buffer.contents buf
+
+let decode_label s =
+  if s = "%" then ""
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      if s.[!i] = '%' && !i + 2 < n then begin
+        Buffer.add_char buf
+          (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+        i := !i + 3
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+(* Emit every record through [put : string -> unit]. *)
+let write put (g : Graph.t) =
+  put (magic ^ "\n");
+  put
+    (Printf.sprintf "# %d vertices, %d tasks, %d messages\n"
+       (Graph.n_vertices g) (Graph.n_tasks g) (Graph.n_messages g));
+  put (Printf.sprintf "ranks %d\n" g.Graph.nranks);
+  Array.iter
+    (fun (v : Graph.vertex) ->
+      put
+        (Printf.sprintf "vertex %d %s %.17g %b %s\n" v.vid
+           (string_of_vkind v.kind) v.delay v.pcontrol
+           (String.concat "," (List.map string_of_int v.ranks))))
+    g.Graph.vertices;
+  Array.iter
+    (fun (t : Graph.task) ->
+      put
+        (Printf.sprintf "task %d %d %d %d %.17g %.17g %.17g %.17g %d %s\n"
+           t.tid t.rank t.t_src t.t_dst t.profile.Machine.Profile.work
+           t.profile.Machine.Profile.serial_frac
+           t.profile.Machine.Profile.contention
+           t.profile.Machine.Profile.mem_bound t.iteration
+           (encode_label t.label)))
+    g.Graph.tasks;
+  Array.iter
+    (fun (msg : Graph.message) ->
+      put
+        (Printf.sprintf "message %d %d %d %d %d %d\n" msg.mid msg.m_src
+           msg.m_dst msg.src_rank msg.dst_rank msg.bytes))
+    g.Graph.messages
+
+let output oc g = write (output_string oc) g
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc g)
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  write (Buffer.add_string buf) g;
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let parse_error line fmt = Fmt.kstr (fun s -> raise (Parse_error (line, s))) fmt
+
+(** Parse a trace from a line sequence.  Raises {!Parse_error}. *)
+let of_lines (lines : string Seq.t) : Graph.t =
+  let nranks = ref 0 in
+  let vertices = ref [] and tasks = ref [] and messages = ref [] in
+  let lineno = ref 0 in
+  let seen_magic = ref false in
+  Seq.iter
+    (fun raw ->
+      incr lineno;
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else if not !seen_magic then
+        if line = magic then seen_magic := true
+        else parse_error !lineno "bad magic %S" line
+      else begin
+        match String.split_on_char ' ' line with
+        | [ "ranks"; n ] -> nranks := int_of_string n
+        | "vertex" :: vid :: kind :: delay :: pcontrol :: ranks :: [] ->
+            vertices :=
+              {
+                Graph.vid = int_of_string vid;
+                kind = vkind_of_string kind;
+                delay = float_of_string delay;
+                pcontrol = bool_of_string pcontrol;
+                ranks =
+                  String.split_on_char ',' ranks |> List.map int_of_string;
+              }
+              :: !vertices
+        | "task" :: tid :: rank :: src :: dst :: work :: serial :: cont
+          :: mem :: iteration :: label :: [] ->
+            tasks :=
+              {
+                Graph.tid = int_of_string tid;
+                rank = int_of_string rank;
+                t_src = int_of_string src;
+                t_dst = int_of_string dst;
+                profile =
+                  Machine.Profile.v
+                    ~serial_frac:(float_of_string serial)
+                    ~contention:(float_of_string cont)
+                    ~mem_bound:(float_of_string mem)
+                    (float_of_string work);
+                iteration = int_of_string iteration;
+                label = decode_label label;
+              }
+              :: !tasks
+        | "message" :: mid :: src :: dst :: src_rank :: dst_rank :: bytes :: []
+          ->
+            messages :=
+              {
+                Graph.mid = int_of_string mid;
+                m_src = int_of_string src;
+                m_dst = int_of_string dst;
+                src_rank = int_of_string src_rank;
+                dst_rank = int_of_string dst_rank;
+                bytes = int_of_string bytes;
+              }
+              :: !messages
+        | kw :: _ -> parse_error !lineno "unknown record %S" kw
+        | [] -> ()
+      end)
+    lines;
+  if not !seen_magic then parse_error 0 "missing magic header";
+  let vertices =
+    Array.of_list (List.sort (fun a b -> compare a.Graph.vid b.Graph.vid) !vertices)
+  in
+  let tasks =
+    Array.of_list (List.sort (fun a b -> compare a.Graph.tid b.Graph.tid) !tasks)
+  in
+  let messages =
+    Array.of_list (List.sort (fun a b -> compare a.Graph.mid b.Graph.mid) !messages)
+  in
+  Array.iteri
+    (fun i (v : Graph.vertex) ->
+      if v.vid <> i then parse_error 0 "vertex ids not dense at %d" i)
+    vertices;
+  Array.iteri
+    (fun i (t : Graph.task) ->
+      if t.tid <> i then parse_error 0 "task ids not dense at %d" i)
+    tasks;
+  let nv = Array.length vertices in
+  let out_edges = Array.make nv [] and in_edges = Array.make nv [] in
+  let bad v = v < 0 || v >= nv in
+  Array.iter
+    (fun (t : Graph.task) ->
+      if bad t.t_src || bad t.t_dst then
+        parse_error 0 "task %d references unknown vertex" t.tid;
+      out_edges.(t.t_src) <- Graph.T t.tid :: out_edges.(t.t_src);
+      in_edges.(t.t_dst) <- Graph.T t.tid :: in_edges.(t.t_dst))
+    tasks;
+  Array.iter
+    (fun (msg : Graph.message) ->
+      if bad msg.m_src || bad msg.m_dst then
+        parse_error 0 "message %d references unknown vertex" msg.mid;
+      out_edges.(msg.m_src) <- Graph.M msg.mid :: out_edges.(msg.m_src);
+      in_edges.(msg.m_dst) <- Graph.M msg.mid :: in_edges.(msg.m_dst))
+    messages;
+  let rank_tasks =
+    Array.init !nranks (fun r ->
+        tasks
+        |> Array.to_seq
+        |> Seq.filter (fun (t : Graph.task) -> t.rank = r)
+        |> Seq.map (fun (t : Graph.task) -> t.tid)
+        |> Array.of_seq)
+  in
+  let finalize_v =
+    let fv = ref (-1) in
+    Array.iter
+      (fun (v : Graph.vertex) -> if v.kind = Graph.Finalize then fv := v.vid)
+      vertices;
+    if !fv < 0 then parse_error 0 "no Finalize vertex";
+    !fv
+  in
+  let g =
+    {
+      Graph.nranks = !nranks;
+      vertices;
+      tasks;
+      messages;
+      out_edges;
+      in_edges;
+      rank_tasks;
+      init_v = 0;
+      finalize_v;
+    }
+  in
+  (match Graph.validate g with
+  | Ok () -> ()
+  | Error es -> parse_error 0 "invalid graph: %s" (String.concat "; " es));
+  g
+
+let of_string s =
+  of_lines (List.to_seq (String.split_on_char '\n' s))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines (List.to_seq (List.rev !lines)))

@@ -1,0 +1,17 @@
+(** Textual trace format for application DAGs — the persistence layer
+    standing in for the paper's MPI tracing library, so traces are
+    generated once and reanalyzed under many power constraints.  See the
+    implementation header for the line format. *)
+
+exception Parse_error of int * string
+(** Line number (0 when structural) and description. *)
+
+val output : out_channel -> Graph.t -> unit
+val to_file : string -> Graph.t -> unit
+val to_string : Graph.t -> string
+
+val of_lines : string Seq.t -> Graph.t
+(** Parses and structurally validates; raises {!Parse_error}. *)
+
+val of_string : string -> Graph.t
+val of_file : string -> Graph.t

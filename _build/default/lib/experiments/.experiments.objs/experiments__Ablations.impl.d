@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Common Core Float Fmt List Runtime Simulate Workloads

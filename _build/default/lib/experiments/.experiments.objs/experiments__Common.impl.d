@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Core Dag Float Fmt List Runtime Simulate Workloads

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Common Core Float Fmt List Runtime Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Common Core Float Fmt List Runtime Simulate Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig1_table1.ml: Array Common Fmt Machine Pareto

@@ -1,0 +1,1 @@
+lib/experiments/fig1_table1.mli: Common Format

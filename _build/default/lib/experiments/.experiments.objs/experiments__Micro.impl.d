@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Analyze Array Bechamel Benchmark Common Core Float Fmt Hashtbl Instance List Lp Machine Measure Pareto Random Runtime Simulate Staged Test Time Toolkit Workloads

@@ -1,0 +1,1 @@
+lib/experiments/overheads.ml: Array Common Core Dag Float Fmt Machine Runtime Simulate Workloads

@@ -1,0 +1,1 @@
+lib/experiments/overheads.mli: Common Format

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Common Core Dag Float Fmt List Unix Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sweeps.ml: Common Float Fmt List String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Array Common Core Float Fmt List Machine Pareto Printf Runtime Simulate Workloads

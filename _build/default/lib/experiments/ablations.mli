@@ -1,0 +1,3 @@
+(** Ablation studies of the design choices DESIGN.md calls out (rounding, slack reduction, presolve, socket variability, Conductor gain, energy-vs-time). *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -1,0 +1,139 @@
+(** Shared machinery for the paper-reproduction experiments: scenario
+    construction, the three-method comparison (Static / Conductor /
+    LP-replay), and the power-cap sweep that Figures 9-11 and 13-15 are
+    all views of. *)
+
+type config = {
+  nranks : int;
+  iterations : int;
+  seed : int;
+  socket_seed : int;
+  skip : int;  (** iterations discarded (Conductor's exploration phase) *)
+  caps : float list;  (** average watts per processor socket *)
+}
+
+let default_config =
+  {
+    nranks = 16;
+    iterations = 10;
+    seed = 42;
+    socket_seed = 7;
+    skip = 3;
+    caps = [ 30.0; 35.0; 40.0; 50.0; 60.0; 70.0; 80.0 ];
+  }
+
+type setup = {
+  app : Workloads.Apps.app;
+  graph : Dag.Graph.t;
+  sc : Core.Scenario.t;
+  config : config;
+}
+
+let make_setup config app =
+  let params =
+    {
+      Workloads.Apps.nranks = config.nranks;
+      iterations = config.iterations;
+      seed = config.seed;
+      scale = 1.0;
+    }
+  in
+  let graph = Workloads.Apps.generate app params in
+  { app; graph; sc = Core.Scenario.make ~socket_seed:config.socket_seed graph; config }
+
+(** Wall time of iterations [>= skip] (the paper discards the first three
+    iterations as Conductor's configuration-exploration phase). *)
+let span_after_skip (s : setup) (r : Simulate.Engine.result) =
+  let skip = s.config.skip in
+  let t0 = ref Float.infinity in
+  Array.iter
+    (fun (rc : Simulate.Engine.task_record) ->
+      if
+        s.graph.Dag.Graph.tasks.(rc.tid).Dag.Graph.iteration >= skip
+        && rc.start < !t0
+      then t0 := rc.start)
+    r.Simulate.Engine.records;
+  if !t0 = Float.infinity then r.Simulate.Engine.makespan
+  else r.Simulate.Engine.makespan -. !t0
+
+type point = {
+  cap : float;  (** watts per socket *)
+  schedulable : bool;
+  static_span : float;
+  conductor_span : float;
+  lp_span : float;  (** validated LP-replay span *)
+  lp_objective : float;
+  lp_vs_static : float;  (** percent improvement, equations of Sec. 6 *)
+  lp_vs_conductor : float;
+  conductor_vs_static : float;
+  lp_max_power : float;
+  job_cap : float;
+}
+
+type sweep = { setup : setup; points : point list }
+
+let run_point (s : setup) ~cap : point =
+  let job_cap = cap *. Float.of_int s.config.nranks in
+  match Core.Event_lp.solve s.sc ~power_cap:job_cap with
+  | Core.Event_lp.Infeasible | Core.Event_lp.Solver_failure _ ->
+      {
+        cap;
+        schedulable = false;
+        static_span = Float.nan;
+        conductor_span = Float.nan;
+        lp_span = Float.nan;
+        lp_objective = Float.nan;
+        lp_vs_static = Float.nan;
+        lp_vs_conductor = Float.nan;
+        conductor_vs_static = Float.nan;
+        lp_max_power = Float.nan;
+        job_cap;
+      }
+  | Core.Event_lp.Schedule sched ->
+      let v = Core.Replay.validate s.sc sched ~power_cap:job_cap in
+      let st = Runtime.Static.run s.sc ~job_cap in
+      let co = Runtime.Conductor.run s.sc ~job_cap in
+      let lp_span = span_after_skip s v.Core.Replay.result in
+      let static_span = span_after_skip s st in
+      let conductor_span = span_after_skip s co in
+      {
+        cap;
+        schedulable = true;
+        static_span;
+        conductor_span;
+        lp_span;
+        lp_objective = sched.Core.Event_lp.objective;
+        lp_vs_static =
+          Simulate.Stats.improvement_pct ~base:static_span ~t:lp_span;
+        lp_vs_conductor =
+          Simulate.Stats.improvement_pct ~base:conductor_span ~t:lp_span;
+        conductor_vs_static =
+          Simulate.Stats.improvement_pct ~base:static_span ~t:conductor_span;
+        lp_max_power = v.Core.Replay.max_power;
+        job_cap;
+      }
+
+let run_sweep (s : setup) : sweep =
+  { setup = s; points = List.map (fun cap -> run_point s ~cap) s.config.caps }
+
+(** The power range each per-benchmark figure shows (x-axes of the
+    paper's Figures 11 and 13-15). *)
+let figure_caps = function
+  | Workloads.Apps.CoMD -> (30.0, 80.0)
+  | Workloads.Apps.BT -> (30.0, 70.0)
+  | Workloads.Apps.SP -> (40.0, 80.0)
+  | Workloads.Apps.LULESH -> (40.0, 80.0)
+
+let in_figure_range app p =
+  let lo, hi = figure_caps app in
+  p.cap >= lo -. 1e-9 && p.cap <= hi +. 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* printing helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header ppf title =
+  Fmt.pf ppf "@.=== %s ===@." title
+
+let pp_pct ppf v =
+  if Float.is_nan v then Fmt.string ppf "     -" else Fmt.pf ppf "%+6.1f" v

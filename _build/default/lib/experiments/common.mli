@@ -1,0 +1,55 @@
+(** Shared machinery for the paper-reproduction experiments: scenario
+    construction, the three-method comparison (Static / Conductor /
+    LP-replay) and the power-cap sweep the per-benchmark figures are
+    views of. *)
+
+type config = {
+  nranks : int;
+  iterations : int;
+  seed : int;
+  socket_seed : int;
+  skip : int;  (** iterations discarded (Conductor's exploration phase) *)
+  caps : float list;  (** average watts per processor socket *)
+}
+
+val default_config : config
+
+type setup = {
+  app : Workloads.Apps.app;
+  graph : Dag.Graph.t;
+  sc : Core.Scenario.t;
+  config : config;
+}
+
+val make_setup : config -> Workloads.Apps.app -> setup
+
+val span_after_skip : setup -> Simulate.Engine.result -> float
+(** Wall time of iterations [>= skip] (the paper discards the first three
+    iterations as Conductor's configuration-exploration phase). *)
+
+type point = {
+  cap : float;  (** watts per socket *)
+  schedulable : bool;
+  static_span : float;
+  conductor_span : float;
+  lp_span : float;  (** validated LP-replay span *)
+  lp_objective : float;
+  lp_vs_static : float;  (** percent improvement (Section 6 metric) *)
+  lp_vs_conductor : float;
+  conductor_vs_static : float;
+  lp_max_power : float;
+  job_cap : float;
+}
+
+type sweep = { setup : setup; points : point list }
+
+val run_point : setup -> cap:float -> point
+val run_sweep : setup -> sweep
+
+val figure_caps : Workloads.Apps.app -> float * float
+(** The power range each per-benchmark figure shows (the x-axes of the
+    paper's Figures 11 and 13-15). *)
+
+val in_figure_range : Workloads.Apps.app -> point -> bool
+val header : Format.formatter -> string -> unit
+val pp_pct : Format.formatter -> float -> unit

@@ -1,0 +1,53 @@
+(** Beyond-the-paper extensions, compared on the paper's own workloads:
+
+    - the GEOPM-style load-proportional {!Runtime.Balancer} as a third
+      online policy between Static and Conductor;
+    - {!Core.Event_lp.solve_refined}, the fixed-point refinement of the
+      event order (the paper fixes it once from the unconstrained
+      schedule). *)
+
+let run ?(config = Common.default_config) ppf =
+  Common.header ppf
+    "Extensions: GEOPM-style balancer and event-order refinement";
+  Fmt.pf ppf
+    "# app cap_W static_s balancer_s conductor_s lp_s lp_refined_s@.";
+  List.iter
+    (fun app ->
+      let setup = Common.make_setup config app in
+      List.iter
+        (fun cap ->
+          let job_cap = cap *. Float.of_int config.Common.nranks in
+          let span r = Common.span_after_skip setup r in
+          let st = span (Runtime.Static.run setup.Common.sc ~job_cap) in
+          let ba = span (Runtime.Balancer.run setup.Common.sc ~job_cap) in
+          let co = span (Runtime.Conductor.run setup.Common.sc ~job_cap) in
+          let lp_span solve_fn =
+            match solve_fn () with
+            | Core.Event_lp.Schedule s ->
+                let v =
+                  Core.Replay.validate setup.Common.sc s ~power_cap:job_cap
+                in
+                Some (span v.Core.Replay.result)
+            | _ -> None
+          in
+          let lp =
+            lp_span (fun () ->
+                Core.Event_lp.solve setup.Common.sc ~power_cap:job_cap)
+          in
+          let lpr =
+            lp_span (fun () ->
+                Core.Event_lp.solve_refined ~rounds:3 setup.Common.sc
+                  ~power_cap:job_cap)
+          in
+          let pp_opt ppf = function
+            | Some v -> Fmt.pf ppf "%8.3f" v
+            | None -> Fmt.string ppf "       -"
+          in
+          Fmt.pf ppf "%-7s %4.0f %8.3f %8.3f %8.3f %a %a@."
+            (Workloads.Apps.app_name app)
+            cap st ba co pp_opt lp pp_opt lpr)
+        [ 30.0; 40.0; 60.0 ])
+    [ Workloads.Apps.BT; Workloads.Apps.LULESH; Workloads.Apps.SP ];
+  Fmt.pf ppf
+    "# balancer: proportional-to-load caps; no critical-path estimate, no \
+     Adagio step@."

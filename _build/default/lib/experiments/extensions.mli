@@ -1,0 +1,3 @@
+(** Beyond-the-paper extensions: GEOPM-style balancer and event-order fixed-point refinement. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -1,0 +1,62 @@
+(** Figure 12: task duration vs. power for long-running (> 0.5 s) CoMD
+    tasks under an average per-socket constraint of 30 W, comparing the
+    LP's nonuniform allocation against Static's uniform caps.  The shape
+    to reproduce: LP tasks cluster at shorter durations with many using
+    more than 30 W; Static tasks sit at exactly the cap with longer, more
+    spread-out durations. *)
+
+let run ?(config = Common.default_config) ppf =
+  let config = { config with Common.iterations = max config.Common.iterations 10 } in
+  let setup = Common.make_setup config Workloads.Apps.CoMD in
+  let cap = 30.0 in
+  let job_cap = cap *. Float.of_int config.Common.nranks in
+  Common.header ppf
+    "Figure 12: CoMD long-task duration vs. power at 30 W/socket average";
+  Fmt.pf ppf "# method power_W duration_s@.";
+  let long r = Simulate.Stats.long_records r ~min_duration:0.5 in
+  let dump name recs =
+    List.iter
+      (fun (rc : Simulate.Engine.task_record) ->
+        Fmt.pf ppf "%s %7.2f %7.3f@." name rc.power rc.duration)
+      recs
+  in
+  let stats name recs =
+    if recs <> [] then begin
+      let durs =
+        Array.of_list
+          (List.map (fun (rc : Simulate.Engine.task_record) -> rc.duration) recs)
+      in
+      let pows =
+        Array.of_list
+          (List.map (fun (rc : Simulate.Engine.task_record) -> rc.power) recs)
+      in
+      let over30 =
+        List.length
+          (List.filter
+             (fun (rc : Simulate.Engine.task_record) -> rc.power > cap)
+             recs)
+      in
+      Fmt.pf ppf
+        "# %s: %d tasks, duration max %.3f s median %.3f s; power max %.1f W; \
+         %d tasks above %.0f W@."
+        name (List.length recs)
+        (Array.fold_left max 0.0 durs)
+        (Simulate.Stats.median durs)
+        (Array.fold_left max 0.0 pows)
+        over30 cap
+    end
+  in
+  let lp_recs =
+    match Core.Event_lp.solve setup.Common.sc ~power_cap:job_cap with
+    | Core.Event_lp.Schedule s ->
+        let v = Core.Replay.validate setup.Common.sc s ~power_cap:job_cap in
+        Some (long v.Core.Replay.result)
+    | _ -> None
+  in
+  let st_recs = long (Runtime.Static.run setup.Common.sc ~job_cap) in
+  (match lp_recs with
+  | Some recs -> dump "LP" recs
+  | None -> Fmt.pf ppf "# LP not schedulable@.");
+  dump "Static" st_recs;
+  (match lp_recs with Some recs -> stats "LP" recs | None -> ());
+  stats "Static" st_recs

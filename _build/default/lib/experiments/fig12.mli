@@ -1,0 +1,3 @@
+(** Figure 12: long-task duration vs power for CoMD at an average 30 W per socket, LP vs Static. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

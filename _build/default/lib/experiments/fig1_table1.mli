@@ -1,0 +1,3 @@
+(** Figure 1 and Table 1: the configuration space of one CoMD task and its convex Pareto frontier. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

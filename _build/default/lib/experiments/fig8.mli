@@ -1,0 +1,3 @@
+(** Figure 8: flow ILP vs fixed-vertex-order LP on the two-process asynchronous message exchange. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

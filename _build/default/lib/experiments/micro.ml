@@ -1,0 +1,77 @@
+(** Bechamel micro-benchmarks of the main computational kernels:
+    sparse LU factorization, the revised simplex on an event-LP instance,
+    Pareto-frontier construction, and a full simulated replay.  Not a
+    paper artifact — engineering data for the solver substrate. *)
+
+open Bechamel
+open Toolkit
+
+let small_scenario () =
+  let g =
+    Workloads.Apps.comd
+      { Workloads.Apps.default_params with nranks = 8; iterations = 4 }
+  in
+  Core.Scenario.make g
+
+let lu_input m seed =
+  let st = Random.State.make [| seed |] in
+  let cols =
+    Array.init m (fun k ->
+        let entries = ref [ (k, 3.0 +. Random.State.float st 2.0) ] in
+        for _ = 1 to 6 do
+          let i = Random.State.int st m in
+          if i <> k then
+            entries := (i, Random.State.float st 2.0 -. 1.0) :: !entries
+        done;
+        !entries)
+  in
+  fun k f -> List.iter (fun (i, v) -> f i v) cols.(k)
+
+let tests () =
+  let sc = small_scenario () in
+  let cap = 35.0 *. 8.0 in
+  let col_iter = lu_input 300 17 in
+  let static_policy = Runtime.Static.policy sc ~job_cap:cap in
+  Test.make_grouped ~name:"powerlim"
+    [
+      Test.make ~name:"lu-factor-300"
+        (Staged.stage (fun () -> ignore (Lp.Lu.factor ~m:300 col_iter)));
+      Test.make ~name:"pareto-frontier"
+        (Staged.stage (fun () ->
+             ignore
+               (Pareto.Frontier.convex
+                  (Machine.Socket.nominal 0)
+                  (Machine.Profile.v 1.0))));
+      Test.make ~name:"event-lp-comd8x4"
+        (Staged.stage (fun () ->
+             ignore (Core.Event_lp.solve sc ~power_cap:cap)));
+      Test.make ~name:"simulate-static-comd8x4"
+        (Staged.stage (fun () ->
+             ignore (Simulate.Engine.run sc.Core.Scenario.graph static_policy)));
+    ]
+
+let run ?(config = Common.default_config) ppf =
+  ignore config;
+  Common.header ppf "Micro-benchmarks (Bechamel, ns per run)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) ->
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> Float.nan
+          in
+          Fmt.pf ppf "%-28s %12.0f ns/run (r^2 %.3f)@." name est r2
+      | _ -> Fmt.pf ppf "%-28s (no estimate)@." name)
+    (List.sort compare rows)

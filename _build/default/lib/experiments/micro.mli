@@ -1,0 +1,3 @@
+(** Bechamel micro-benchmarks of the computational kernels (LU, simplex, frontier, replay). *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

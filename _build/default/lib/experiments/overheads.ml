@@ -1,0 +1,66 @@
+(** Section 6.2: overhead accounting.  The mechanism costs are model
+    constants taken from the paper's measurements; this experiment
+    verifies they enter the simulation with the same relative magnitudes
+    the paper reports (profiling < 0.05% of application time, DVFS
+    transitions per replayed task, 566 us per reallocation step). *)
+
+let count_switches (r : Simulate.Engine.result) =
+  Array.fold_left
+    (fun acc (rc : Simulate.Engine.task_record) ->
+      if rc.overhead > 0.0 then acc + 1 else acc)
+    0 r.Simulate.Engine.records
+
+let run ?(config = Common.default_config) ppf =
+  let setup = Common.make_setup config Workloads.Apps.LULESH in
+  let job_cap = 50.0 *. Float.of_int config.Common.nranks in
+  Common.header ppf "Section 6.2: overheads";
+  Fmt.pf ppf
+    "constants: profiling %.0f us/MPI call, DVFS transition %.0f us, \
+     conductor selection %.0f us/task, reallocation %.0f us/step, replay \
+     threshold %.1f ms@."
+    (1e6 *. Machine.Overheads.profiling_per_mpi_call)
+    (1e6 *. Machine.Overheads.dvfs_transition)
+    (1e6 *. Machine.Overheads.conductor_per_task)
+    (1e6 *. Machine.Overheads.reallocation_per_step)
+    (1e3 *. Machine.Overheads.replay_min_task);
+  (* profiling overhead relative to application time *)
+  let st = Runtime.Static.run setup.Common.sc ~job_cap in
+  let n_mpi = Dag.Graph.n_vertices setup.Common.graph in
+  let prof_total =
+    Float.of_int n_mpi *. Machine.Overheads.profiling_per_mpi_call
+  in
+  Fmt.pf ppf
+    "profiling: %d instrumented MPI events -> %.3f ms total = %.4f%% of the \
+     run (paper: < 0.05%%)@."
+    n_mpi (1e3 *. prof_total)
+    (100.0 *. prof_total /. st.Simulate.Engine.makespan);
+  (* replay DVFS transitions *)
+  (match Core.Event_lp.solve setup.Common.sc ~power_cap:job_cap with
+  | Core.Event_lp.Schedule s ->
+      let v = Core.Replay.validate setup.Common.sc s ~power_cap:job_cap in
+      let switches = count_switches v.Core.Replay.result in
+      Fmt.pf ppf
+        "LP replay: %d configuration changes x %.0f us = %.3f ms (%.4f%% of \
+         replay time)@."
+        switches
+        (1e6 *. Machine.Overheads.dvfs_transition)
+        (1e3 *. Float.of_int switches *. Machine.Overheads.dvfs_transition)
+        (100.0
+        *. Float.of_int switches
+        *. Machine.Overheads.dvfs_transition
+        /. v.Core.Replay.replay_makespan)
+  | _ -> Fmt.pf ppf "LP replay: not schedulable@.");
+  (* conductor: reallocation steps and per-task switches *)
+  let co = Runtime.Conductor.run setup.Common.sc ~job_cap in
+  let realloc_total =
+    Float.of_int config.Common.iterations
+    *. Machine.Overheads.reallocation_per_step
+  in
+  Fmt.pf ppf
+    "Conductor: %d reallocation steps x %.0f us = %.3f ms; %d config \
+     switches x %.0f us@."
+    config.Common.iterations
+    (1e6 *. Machine.Overheads.reallocation_per_step)
+    (1e3 *. realloc_total)
+    (count_switches co)
+    (1e6 *. Machine.Overheads.conductor_per_task)

@@ -1,0 +1,3 @@
+(** Section 6.2: mechanism-overhead accounting (profiling, DVFS transitions, reallocation steps). *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -1,0 +1,49 @@
+(** Solver scaling study: LP size, simplex iterations and wall time as
+    the trace grows.  The paper argues the fixed-order LP "could be
+    applied to thousands of processes and hundreds of edges per process"
+    — this experiment measures how our from-scratch sparse simplex
+    behaves as ranks and iterations grow. *)
+
+let time_solve sc job_cap =
+  let t0 = Unix.gettimeofday () in
+  match Core.Event_lp.solve sc ~power_cap:job_cap with
+  | Core.Event_lp.Schedule s ->
+      Some (s.Core.Event_lp.stats, Unix.gettimeofday () -. t0)
+  | _ -> None
+
+let run ?(config = Common.default_config) ppf =
+  ignore config;
+  Common.header ppf "Scaling: event-LP size and solve time (CoMD traces)";
+  Fmt.pf ppf "# ranks iterations tasks rows cols simplex_iters solve_s@.";
+  List.iter
+    (fun (nranks, iterations) ->
+      let g =
+        Workloads.Apps.comd
+          { Workloads.Apps.default_params with nranks; iterations }
+      in
+      let sc = Core.Scenario.make g in
+      let job_cap = 40.0 *. Float.of_int nranks in
+      match time_solve sc job_cap with
+      | Some (stats, dt) ->
+          Fmt.pf ppf "%5d %5d %6d %6d %6d %8d %8.3f@." nranks iterations
+            (Dag.Graph.n_tasks g) stats.Core.Event_lp.rows
+            stats.Core.Event_lp.cols stats.Core.Event_lp.iterations dt
+      | None -> Fmt.pf ppf "%5d %5d (infeasible)@." nranks iterations)
+    [ (8, 5); (16, 10); (32, 10); (32, 20); (64, 10) ];
+  Common.header ppf "Scaling: LULESH (point-to-point heavy) traces";
+  Fmt.pf ppf "# ranks iterations tasks rows cols simplex_iters solve_s@.";
+  List.iter
+    (fun (nranks, iterations) ->
+      let g =
+        Workloads.Apps.lulesh
+          { Workloads.Apps.default_params with nranks; iterations }
+      in
+      let sc = Core.Scenario.make g in
+      let job_cap = 45.0 *. Float.of_int nranks in
+      match time_solve sc job_cap with
+      | Some (stats, dt) ->
+          Fmt.pf ppf "%5d %5d %6d %6d %6d %8d %8.3f@." nranks iterations
+            (Dag.Graph.n_tasks g) stats.Core.Event_lp.rows
+            stats.Core.Event_lp.cols stats.Core.Event_lp.iterations dt
+      | None -> Fmt.pf ppf "%5d %5d (infeasible)@." nranks iterations)
+    [ (8, 5); (16, 10); (32, 10) ]

@@ -1,0 +1,3 @@
+(** Solver scaling study: event-LP size, simplex iterations and wall time as traces grow. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -1,0 +1,13 @@
+(** The all-benchmark power sweep behind Figures 9-11 and 13-15, plus the
+    Section 6 summary.  [compute] runs Static, Conductor and validated
+    LP-replay at every cap for every application once; the figure
+    printers are views of that data. *)
+
+type t = (Workloads.Apps.app * Common.sweep) list
+
+val compute : ?config:Common.config -> unit -> t
+val fig9 : t -> Format.formatter -> unit
+val fig10 : t -> Format.formatter -> unit
+val figure_number : Workloads.Apps.app -> int
+val per_benchmark : t -> Workloads.Apps.app -> Format.formatter -> unit
+val summary : t -> Format.formatter -> unit

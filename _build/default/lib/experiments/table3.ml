@@ -1,0 +1,59 @@
+(** Table 3: task characteristics for a single iteration of LULESH at an
+    average of 50 W per socket, long (>= 1 s) tasks only: median task
+    time, the standard deviation of per-task power across ranks, the
+    thread count(s) used, and the median frequency relative to the
+    maximum non-boosted clock. *)
+
+let row_of_records ppf name recs =
+  match recs with
+  | [] -> Fmt.pf ppf "%-10s (no long tasks)@." name
+  | recs ->
+      let arr f = Array.of_list (List.map f recs) in
+      let durs = arr (fun (rc : Simulate.Engine.task_record) -> rc.duration) in
+      let pows = arr (fun (rc : Simulate.Engine.task_record) -> rc.power) in
+      let freqs =
+        arr (fun (rc : Simulate.Engine.task_record) ->
+            rc.point.Pareto.Point.freq /. Machine.Dvfs.f_max)
+      in
+      let threads =
+        List.map
+          (fun (rc : Simulate.Engine.task_record) -> rc.point.Pareto.Point.threads)
+          recs
+      in
+      let tmin = List.fold_left min 99 threads
+      and tmax = List.fold_left max 0 threads in
+      let threads_s =
+        if tmin = tmax then string_of_int tmin
+        else Printf.sprintf "%d-%d" tmin tmax
+      in
+      Fmt.pf ppf "%-10s %-12.3f %-10.3f %-8s %-9.4f@." name
+        (Simulate.Stats.median durs)
+        (Simulate.Stats.stddev pows)
+        threads_s
+        (Simulate.Stats.median freqs)
+
+let run ?(config = Common.default_config) ppf =
+  let setup = Common.make_setup config Workloads.Apps.LULESH in
+  let cap = 50.0 in
+  let job_cap = cap *. Float.of_int config.Common.nranks in
+  let iteration = config.Common.iterations - 2 in
+  Common.header ppf
+    (Fmt.str
+       "Table 3: LULESH single-iteration task characteristics at %.0f W \
+        job cap (avg %.0f W/socket), tasks >= 1 s, iteration %d"
+       job_cap cap iteration);
+  Fmt.pf ppf "%-10s %-12s %-10s %-8s %-9s@." "Method" "MedianTime" "StdDevPow"
+    "Threads" "MedFreq";
+  let long_in_iter (r : Simulate.Engine.result) =
+    Simulate.Stats.iteration_records setup.Common.graph r ~iteration
+    |> List.filter (fun (rc : Simulate.Engine.task_record) -> rc.duration >= 1.0)
+  in
+  row_of_records ppf "Static"
+    (long_in_iter (Runtime.Static.run setup.Common.sc ~job_cap));
+  row_of_records ppf "Conductor"
+    (long_in_iter (Runtime.Conductor.run setup.Common.sc ~job_cap));
+  match Core.Event_lp.solve setup.Common.sc ~power_cap:job_cap with
+  | Core.Event_lp.Schedule s ->
+      let v = Core.Replay.validate setup.Common.sc s ~power_cap:job_cap in
+      row_of_records ppf "LP" (long_in_iter v.Core.Replay.result)
+  | _ -> Fmt.pf ppf "LP         (not schedulable)@."

@@ -1,0 +1,3 @@
+(** Table 3: LULESH single-iteration task characteristics at an average 50 W per socket. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

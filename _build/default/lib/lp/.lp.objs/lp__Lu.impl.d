@@ -1,0 +1,1 @@
+lib/lp/lu.ml: Array Float Fun List

@@ -1,0 +1,1 @@
+lib/lp/mps.ml: Array Buffer Float Fmt Fun Hashtbl List Model Printf Seq Sparse String

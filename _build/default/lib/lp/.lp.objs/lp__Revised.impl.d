@@ -1,0 +1,1 @@
+lib/lp/revised.ml: Array Float Fmt List Lu Model Printf Sparse Sys

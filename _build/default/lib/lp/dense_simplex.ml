@@ -1,0 +1,274 @@
+(** Dense two-phase tableau simplex.
+
+    A deliberately simple reference implementation used as a differential
+    oracle for {!Revised} and for tiny models.  General bounds are removed
+    by preprocessing: finite lower bounds are shifted away, finite upper
+    bounds become explicit rows, and free variables are split into
+    positive and negative parts.  Pivoting uses Bland's rule, so the
+    method terminates on every input at the price of speed. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : float;  (** meaningful only when [status = Optimal] *)
+  x : float array;  (** values of the original structural variables *)
+}
+
+(* Preprocessed standard form: min cx, Ax sense b, x >= 0. *)
+type std = {
+  ncols : int;
+  rows : (float array * Model.sense * float) list;
+  cost : float array;
+  (* recover.(j) describes original var j: (column of positive part,
+     column of negative part or -1, shift); x_j = shift + x+ - x-. *)
+  recover : (int * int * float) array;
+}
+
+let to_std (p : Model.problem) : std =
+  let col = ref 0 in
+  let recover =
+    Array.init p.nv (fun j ->
+        let lb = p.lb.(j) in
+        if Float.is_finite lb then begin
+          (* [lb, ub]: x = lb + x', x' >= 0 (ub handled by an extra row) *)
+          let c = !col in
+          incr col;
+          (c, -1, lb)
+        end
+        else if Float.is_finite p.ub.(j) then begin
+          (* (-inf, ub]: x = ub - x', x' >= 0 *)
+          let c = !col in
+          incr col;
+          (-1, c, p.ub.(j))
+        end
+        else begin
+          (* free: x = x+ - x- *)
+          let cp = !col in
+          let cn = !col + 1 in
+          col := !col + 2;
+          (cp, cn, 0.0)
+        end)
+  in
+  let ncols = !col in
+  let cost = Array.make ncols 0.0 in
+  for j = 0 to p.nv - 1 do
+    let cp, cn, _shift = recover.(j) in
+    if cp >= 0 then cost.(cp) <- cost.(cp) +. p.obj.(j);
+    if cn >= 0 then cost.(cn) <- cost.(cn) -. p.obj.(j)
+  done;
+  let rows = ref [] in
+  for i = p.nr - 1 downto 0 do
+    let coeffs = Array.make ncols 0.0 in
+    let shift_sum = ref 0.0 in
+    for j = 0 to p.nv - 1 do
+      let a = ref 0.0 in
+      Sparse.Csc.iter_col p.a j (fun r v -> if r = i then a := !a +. v);
+      if !a <> 0.0 then begin
+        let cp, cn, shift = recover.(j) in
+        shift_sum := !shift_sum +. (!a *. shift);
+        if cp >= 0 then coeffs.(cp) <- coeffs.(cp) +. !a;
+        if cn >= 0 then coeffs.(cn) <- coeffs.(cn) -. !a
+      end
+    done;
+    rows := (coeffs, p.row_sense.(i), p.row_rhs.(i) -. !shift_sum) :: !rows
+  done;
+  for j = 0 to p.nv - 1 do
+    let cp, cn, shift = recover.(j) in
+    if Float.is_finite p.ub.(j) && Float.is_finite p.lb.(j) then begin
+      let coeffs = Array.make ncols 0.0 in
+      if cp >= 0 then coeffs.(cp) <- 1.0;
+      if cn >= 0 then coeffs.(cn) <- -1.0;
+      rows := (coeffs, Model.Le, p.ub.(j) -. shift) :: !rows
+    end
+  done;
+  { ncols; rows = !rows; cost; recover }
+
+(* Tableau phase: minimize the cost row installed in [t.(m)].  Bland's
+   rule; returns [false] when the phase detects an unbounded ray. *)
+let run_phase (t : float array array) ~m ~n ~basis =
+  let eps = 1e-9 in
+  let rec loop iter =
+    if iter > 200_000 then failwith "Dense_simplex: iteration limit";
+    let enter = ref (-1) in
+    (let j = ref 0 in
+     while !enter < 0 && !j < n do
+       if t.(m).(!j) < -.eps then enter := !j;
+       incr j
+     done);
+    if !enter < 0 then true
+    else begin
+      let e = !enter in
+      let leave = ref (-1) and best = ref Float.infinity in
+      for i = 0 to m - 1 do
+        if t.(i).(e) > eps then begin
+          let r = t.(i).(n) /. t.(i).(e) in
+          if
+            r < !best -. eps
+            || (r < !best +. eps && !leave >= 0 && basis.(i) < basis.(!leave))
+          then begin
+            best := r;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then false
+      else begin
+        let l = !leave in
+        let piv = t.(l).(e) in
+        for j = 0 to n do
+          t.(l).(j) <- t.(l).(j) /. piv
+        done;
+        for i = 0 to m do
+          if i <> l && t.(i).(e) <> 0.0 then begin
+            let f = t.(i).(e) in
+            for j = 0 to n do
+              t.(i).(j) <- t.(i).(j) -. (f *. t.(l).(j))
+            done
+          end
+        done;
+        basis.(l) <- e;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve_phase2 std (p : Model.problem) t ~m ~n ~basis : result =
+  (* Install phase-2 costs, priced out against the current basis. *)
+  for j = 0 to n do
+    t.(m).(j) <- 0.0
+  done;
+  Array.blit std.cost 0 t.(m) 0 std.ncols;
+  for i = 0 to m - 1 do
+    let cb = if basis.(i) < std.ncols then std.cost.(basis.(i)) else 0.0 in
+    if cb <> 0.0 then
+      for j = 0 to n do
+        t.(m).(j) <- t.(m).(j) -. (cb *. t.(i).(j))
+      done
+  done;
+  if not (run_phase t ~m ~n ~basis) then
+    {
+      status = Unbounded;
+      objective = Float.neg_infinity;
+      x = Array.make p.nv 0.0;
+    }
+  else begin
+    let xstd = Array.make std.ncols 0.0 in
+    for i = 0 to m - 1 do
+      if basis.(i) < std.ncols then xstd.(basis.(i)) <- t.(i).(n)
+    done;
+    let x =
+      Array.init p.nv (fun j ->
+          let cp, cn, shift = std.recover.(j) in
+          if cp >= 0 && cn >= 0 then xstd.(cp) -. xstd.(cn)
+          else if cp >= 0 then shift +. xstd.(cp)
+          else shift -. xstd.(cn))
+    in
+    { status = Optimal; objective = Model.objective_value p x; x }
+  end
+
+let solve (p : Model.problem) : result =
+  let std = to_std p in
+  let rows = Array.of_list std.rows in
+  let m = Array.length rows in
+  (* Normalize rhs >= 0. *)
+  let rows =
+    Array.map
+      (fun (co, s, b) ->
+        if b < 0.0 then
+          ( Array.map (fun v -> -.v) co,
+            (match s with Model.Le -> Model.Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (co, s, b))
+      rows
+  in
+  let nslack =
+    Array.fold_left
+      (fun acc (_, s, _) -> match s with Model.Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let nart =
+    Array.fold_left
+      (fun acc (_, s, _) -> match s with Model.Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let n = std.ncols + nslack + nart in
+  let t = Array.make_matrix (m + 1) (n + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let art_of_row = Array.make m (-1) in
+  let sl = ref std.ncols and ar = ref (std.ncols + nslack) in
+  Array.iteri
+    (fun i (co, s, b) ->
+      Array.blit co 0 t.(i) 0 std.ncols;
+      t.(i).(n) <- b;
+      match s with
+      | Model.Le ->
+          t.(i).(!sl) <- 1.0;
+          basis.(i) <- !sl;
+          incr sl
+      | Model.Ge ->
+          t.(i).(!sl) <- -1.0;
+          incr sl;
+          t.(i).(!ar) <- 1.0;
+          basis.(i) <- !ar;
+          art_of_row.(i) <- !ar;
+          incr ar
+      | Model.Eq ->
+          t.(i).(!ar) <- 1.0;
+          basis.(i) <- !ar;
+          art_of_row.(i) <- !ar;
+          incr ar)
+    rows;
+  if nart > 0 then begin
+    (* Phase-1 cost row: reduced costs of (min sum of artificials). *)
+    for i = 0 to m - 1 do
+      if art_of_row.(i) >= 0 then
+        for j = 0 to n do
+          t.(m).(j) <- t.(m).(j) -. t.(i).(j)
+        done
+    done;
+    for i = 0 to m - 1 do
+      if art_of_row.(i) >= 0 then t.(m).(art_of_row.(i)) <- 0.0
+    done;
+    let _never_unbounded = run_phase t ~m ~n ~basis in
+    if -.t.(m).(n) > 1e-6 then
+      { status = Infeasible; objective = 0.0; x = Array.make p.nv 0.0 }
+    else begin
+      (* Remove artificials: zero their columns and pivot any still-basic
+         artificial out of the basis (or verify its row is redundant). *)
+      for i = 0 to m do
+        for j = std.ncols + nslack to n - 1 do
+          t.(i).(j) <- 0.0
+        done
+      done;
+      for i = 0 to m - 1 do
+        if basis.(i) >= std.ncols + nslack then begin
+          let piv = ref (-1) in
+          (let j = ref 0 in
+           while !piv < 0 && !j < std.ncols + nslack do
+             if Float.abs t.(i).(!j) > 1e-9 then piv := !j;
+             incr j
+           done);
+          match !piv with
+          | -1 -> () (* redundant all-zero row; harmless *)
+          | e ->
+              let d = t.(i).(e) in
+              for j = 0 to n do
+                t.(i).(j) <- t.(i).(j) /. d
+              done;
+              for r = 0 to m do
+                if r <> i && t.(r).(e) <> 0.0 then begin
+                  let f = t.(r).(e) in
+                  for j = 0 to n do
+                    t.(r).(j) <- t.(r).(j) -. (f *. t.(i).(j))
+                  done
+                end
+              done;
+              basis.(i) <- e
+        end
+      done;
+      solve_phase2 std p t ~m ~n ~basis
+    end
+  end
+  else solve_phase2 std p t ~m ~n ~basis

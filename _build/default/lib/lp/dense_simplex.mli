@@ -1,0 +1,14 @@
+(** Dense two-phase tableau simplex: a simple reference implementation
+    used as a differential-testing oracle for {!Revised} and for tiny
+    models.  Bland's rule guarantees termination; expect it to be slow on
+    anything beyond a few dozen variables. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : float;  (** meaningful only when [status = Optimal] *)
+  x : float array;  (** values of the original structural variables *)
+}
+
+val solve : Model.problem -> result

@@ -1,0 +1,263 @@
+(** Sparse LU factorization of a simplex basis.
+
+    Left-looking column factorization in the style of Gilbert–Peierls.
+    The factorization of the row/column-permuted basis satisfies
+    [P (B Pi_c) = L U] where [P] is the pivoting row permutation, [Pi_c]
+    a sparsest-first column pre-ordering, [L] unit lower triangular and
+    [U] upper triangular.  Row indices of the stored factors are in
+    {e pivot order}, which makes the triangular solves straightforward;
+    the column permutation is applied inside [solve]/[solve_t] so callers
+    never see it.
+
+    When the basis is (numerically) singular the offending columns are
+    replaced by unit columns of uncovered rows so that a usable
+    factorization is always produced; the caller inspects [replaced] and
+    repairs its basis. *)
+
+type t = {
+  m : int;
+  p : int array;  (** [p.(k)] = original row chosen as pivot at step [k] *)
+  pos : int array;  (** inverse of [p] *)
+  cperm : int array;
+      (** [cperm.(k)] = input column factored at step [k]; columns are
+          pre-ordered sparsest-first to limit fill *)
+  lrows : int array array;  (** column [k] of [L] below diagonal, pivot-order rows *)
+  lvals : float array array;
+  urows : int array array;  (** column [k] of [U] above diagonal, pivot-order rows *)
+  uvals : float array array;
+  udiag : float array;
+  replaced : (int * int) list;
+      (** [(col, row)]: basis column [col] was singular and stands replaced
+          by the unit column of original row [row]. *)
+}
+
+let nnz t =
+  let s = ref t.m in
+  Array.iter (fun a -> s := !s + Array.length a) t.lrows;
+  Array.iter (fun a -> s := !s + Array.length a) t.urows;
+  !s
+
+(** Relative magnitude threshold for sparsity-driven pivoting: any row
+    within this factor of the largest eligible magnitude may be chosen,
+    and among those the sparsest row wins.  This is classic threshold
+    partial pivoting; with pure magnitude pivoting, LP bases (which are
+    nearly triangular but arbitrarily ordered) fill catastrophically. *)
+let pivot_threshold = 0.1
+
+(** [factor ~m col_iter] factorizes the [m]×[m] matrix whose [k]-th column
+    is enumerated by [col_iter k f] (calling [f row value] for each
+    entry). *)
+let factor ~m col_iter0 =
+  let pos = Array.make m (-1) in
+  let p = Array.make m (-1) in
+  (* static nonzero count per row and column of the input *)
+  let rowcount = Array.make m 0 in
+  let colcount = Array.make m 0 in
+  for k = 0 to m - 1 do
+    col_iter0 k (fun i v ->
+        if v <> 0.0 then begin
+          rowcount.(i) <- rowcount.(i) + 1;
+          colcount.(k) <- colcount.(k) + 1
+        end)
+  done;
+  (* factor sparsest columns first: a cheap fill-reducing ordering *)
+  let cperm = Array.init m Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare colcount.(a) colcount.(b) with
+      | 0 -> compare a b
+      | c -> c)
+    cperm;
+  let col_iter k f = col_iter0 cperm.(k) f in
+  let lrows = Array.make m [||] and lvals = Array.make m [||] in
+  let urows = Array.make m [||] and uvals = Array.make m [||] in
+  let udiag = Array.make m 0.0 in
+  (* Dense workspace over original row indices.  [inwork] is the
+     membership mark for [touched]: testing [work.(i) = 0.0] instead
+     would re-register rows whose value cancelled exactly and later
+     became nonzero again, duplicating factor entries. *)
+  let work = Array.make m 0.0 in
+  let inwork = Array.make m false in
+  let touched = Array.make m 0 in
+  let replaced = ref [] in
+  (* L columns are built with original row indices first, then remapped to
+     pivot order once all pivots are known. *)
+  for k = 0 to m - 1 do
+    let ntouch = ref 0 in
+    let touch i =
+      if not inwork.(i) then begin
+        inwork.(i) <- true;
+        touched.(!ntouch) <- i;
+        incr ntouch
+      end
+    in
+    let scatter i v =
+      if v <> 0.0 then begin
+        touch i;
+        work.(i) <- work.(i) +. v
+      end
+    in
+    col_iter k scatter;
+    (* Eliminate with all previously factored columns, in pivot order. *)
+    for j = 0 to k - 1 do
+      let xj = work.(p.(j)) in
+      if xj <> 0.0 then begin
+        let rs = lrows.(j) and vs = lvals.(j) in
+        for e = 0 to Array.length rs - 1 do
+          let i = rs.(e) in
+          touch i;
+          work.(i) <- work.(i) -. (xj *. vs.(e))
+        done
+      end
+    done;
+    (* Threshold pivoting: among not-yet-pivoted rows within
+       [pivot_threshold] of the max magnitude, take the sparsest. *)
+    let pmag = ref 0.0 in
+    for e = 0 to !ntouch - 1 do
+      let i = touched.(e) in
+      if pos.(i) < 0 then begin
+        let a = Float.abs work.(i) in
+        if a > !pmag then pmag := a
+      end
+    done;
+    let piv = ref (-1) and pcount = ref max_int in
+    if !pmag > 0.0 then begin
+      let cutoff = pivot_threshold *. !pmag in
+      for e = 0 to !ntouch - 1 do
+        let i = touched.(e) in
+        if pos.(i) < 0 && Float.abs work.(i) >= cutoff then
+          if
+            rowcount.(i) < !pcount
+            || (rowcount.(i) = !pcount
+               && !piv >= 0
+               && Float.abs work.(i) > Float.abs work.(!piv))
+          then begin
+            piv := i;
+            pcount := rowcount.(i)
+          end
+      done
+    end;
+    if !piv < 0 || !pmag < 1e-12 then begin
+      (* Singular column: substitute the unit column of the first
+         uncovered row.  Recorded so the caller can repair its basis. *)
+      let r = ref 0 in
+      while !r < m && pos.(!r) >= 0 do incr r done;
+      assert (!r < m);
+      p.(k) <- !r;
+      pos.(!r) <- k;
+      udiag.(k) <- 1.0;
+      (* U column: entries of the original column at already-pivoted rows
+         are dropped with the column itself. *)
+      urows.(k) <- [||];
+      uvals.(k) <- [||];
+      lrows.(k) <- [||];
+      lvals.(k) <- [||];
+      replaced := (k, !r) :: !replaced
+    end
+    else begin
+      let r = !piv in
+      p.(k) <- r;
+      pos.(r) <- k;
+      let d = work.(r) in
+      udiag.(k) <- d;
+      (* Split workspace into U (pivoted rows) and L (unpivoted rows). *)
+      let nu = ref 0 and nl = ref 0 in
+      for e = 0 to !ntouch - 1 do
+        let i = touched.(e) in
+        if i <> r && work.(i) <> 0.0 then
+          if pos.(i) >= 0 && pos.(i) < k then incr nu else incr nl
+      done;
+      let ur = Array.make !nu 0 and uv = Array.make !nu 0.0 in
+      let lr = Array.make !nl 0 and lv = Array.make !nl 0.0 in
+      let iu = ref 0 and il = ref 0 in
+      for e = 0 to !ntouch - 1 do
+        let i = touched.(e) in
+        if i <> r && work.(i) <> 0.0 then
+          if pos.(i) >= 0 && pos.(i) < k then begin
+            ur.(!iu) <- pos.(i);
+            uv.(!iu) <- work.(i);
+            incr iu
+          end
+          else begin
+            (* original row index for now; remapped below *)
+            lr.(!il) <- i;
+            lv.(!il) <- work.(i) /. d;
+            incr il
+          end
+      done;
+      urows.(k) <- ur;
+      uvals.(k) <- uv;
+      lrows.(k) <- lr;
+      lvals.(k) <- lv
+    end;
+    (* Clear workspace. *)
+    for e = 0 to !ntouch - 1 do
+      work.(touched.(e)) <- 0.0;
+      inwork.(touched.(e)) <- false
+    done
+  done;
+  (* Remap L row indices from original rows to pivot order. *)
+  for k = 0 to m - 1 do
+    let rs = lrows.(k) in
+    for e = 0 to Array.length rs - 1 do
+      rs.(e) <- pos.(rs.(e))
+    done
+  done;
+  (* [replaced] reports input-column indices *)
+  let replaced = List.map (fun (k, r) -> (cperm.(k), r)) !replaced in
+  { m; p; pos; cperm; lrows; lvals; urows; uvals; udiag; replaced }
+
+(** [solve t b x] solves [B x = b].  [b] is indexed by original rows,
+    [x] by basis position.  Both arrays have length [m]; [b] is not
+    modified, [x] is overwritten.  A scratch array [scratch] of length [m]
+    must be provided. *)
+let solve t ~(b : float array) ~(x : float array) ~(scratch : float array) =
+  let m = t.m in
+  (* z = L^{-1} P b, computed in pivot order. *)
+  for k = 0 to m - 1 do scratch.(k) <- b.(t.p.(k)) done;
+  for k = 0 to m - 1 do
+    let zk = scratch.(k) in
+    if zk <> 0.0 then begin
+      let rs = t.lrows.(k) and vs = t.lvals.(k) in
+      for e = 0 to Array.length rs - 1 do
+        scratch.(rs.(e)) <- scratch.(rs.(e)) -. (vs.(e) *. zk)
+      done
+    end
+  done;
+  (* Back substitution with column-stored U; results map back through
+     the column pre-ordering. *)
+  for k = m - 1 downto 0 do
+    let xk = scratch.(k) /. t.udiag.(k) in
+    x.(t.cperm.(k)) <- xk;
+    if xk <> 0.0 then begin
+      let rs = t.urows.(k) and vs = t.uvals.(k) in
+      for e = 0 to Array.length rs - 1 do
+        scratch.(rs.(e)) <- scratch.(rs.(e)) -. (vs.(e) *. xk)
+      done
+    end
+  done
+
+(** [solve_t t c y] solves [B^T y = c].  [c] is indexed by basis position,
+    [y] by original rows. *)
+let solve_t t ~(c : float array) ~(y : float array) ~(scratch : float array) =
+  let m = t.m in
+  (* U^T w = c: forward, gather form; the right-hand side maps through
+     the column pre-ordering. *)
+  for k = 0 to m - 1 do
+    let acc = ref c.(t.cperm.(k)) in
+    let rs = t.urows.(k) and vs = t.uvals.(k) in
+    for e = 0 to Array.length rs - 1 do
+      acc := !acc -. (vs.(e) *. scratch.(rs.(e)))
+    done;
+    scratch.(k) <- !acc /. t.udiag.(k)
+  done;
+  (* L^T v = w: backward, gather form (unit diagonal). *)
+  for k = m - 1 downto 0 do
+    let acc = ref scratch.(k) in
+    let rs = t.lrows.(k) and vs = t.lvals.(k) in
+    for e = 0 to Array.length rs - 1 do
+      acc := !acc -. (vs.(e) *. scratch.(rs.(e)))
+    done;
+    scratch.(k) <- !acc
+  done;
+  for k = 0 to m - 1 do y.(t.p.(k)) <- scratch.(k) done

@@ -1,0 +1,42 @@
+(** Sparse LU factorization of a simplex basis.
+
+    Left-looking column factorization in the style of Gilbert–Peierls,
+    with two fill-control measures that matter enormously on LP bases:
+    columns are pre-ordered sparsest-first, and pivots use threshold
+    partial pivoting (sparsest row within 10x of the max magnitude).
+    Singular columns are replaced by unit columns of uncovered rows so a
+    usable factorization is always produced; callers repair their basis
+    from [replaced]. *)
+
+type t = {
+  m : int;
+  p : int array;  (** [p.(k)] = original row pivoted at step [k] *)
+  pos : int array;  (** inverse of [p] *)
+  cperm : int array;
+      (** [cperm.(k)] = input column factored at step [k]; columns are
+          pre-ordered sparsest-first to limit fill *)
+  lrows : int array array;  (** strictly-lower entries per column, pivot order *)
+  lvals : float array array;
+  urows : int array array;  (** strictly-upper entries per column, pivot order *)
+  uvals : float array array;
+  udiag : float array;
+  replaced : (int * int) list;
+      (** [(col, row)]: basis column [col] was singular and stands
+          replaced by the unit column of original row [row] *)
+}
+
+val nnz : t -> int
+(** Stored entries in both factors (including unit diagonals). *)
+
+val factor : m:int -> (int -> (int -> float -> unit) -> unit) -> t
+(** [factor ~m col_iter] factorizes the [m]×[m] matrix whose [k]-th
+    column is enumerated by [col_iter k f]. *)
+
+val solve : t -> b:float array -> x:float array -> scratch:float array -> unit
+(** Solve [B x = b].  [b] is indexed by original rows, [x] by basis
+    position; [scratch] is caller-provided workspace.  All length [m]. *)
+
+val solve_t :
+  t -> c:float array -> y:float array -> scratch:float array -> unit
+(** Solve [B^T y = c].  [c] is indexed by basis position, [y] by original
+    rows. *)

@@ -1,0 +1,28 @@
+(** Mixed-integer linear programming by LP-based branch and bound:
+    best-bound node selection, branching on the most fractional integer
+    variable, each node re-solved from scratch with {!Revised}.  Sized
+    for the paper's flow-ILP instances (tens of binaries). *)
+
+type status = Optimal | Infeasible | Unbounded | Node_limit
+
+type result = {
+  status : status;
+  objective : float;
+  x : float array;
+  nodes : int;  (** branch-and-bound nodes solved *)
+  relaxation : float;  (** objective of the root LP relaxation *)
+}
+
+val most_fractional : Model.problem -> ?int_tol:float -> float array -> int
+(** Index of the integer variable farthest from integrality, or [-1] when
+    the point is integral. *)
+
+val integral : Model.problem -> ?int_tol:float -> float array -> bool
+
+val solve :
+  ?max_nodes:int ->
+  ?int_tol:float ->
+  ?gap:float ->
+  ?lp_max_iter:int ->
+  Model.problem ->
+  result

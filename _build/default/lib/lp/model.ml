@@ -1,0 +1,140 @@
+(** LP / MILP model builder.
+
+    A model is a set of bounded variables, linear constraints and a linear
+    objective (always {e minimized}; negate coefficients to maximize).
+    [compile] freezes the model into the array form consumed by the
+    solvers. *)
+
+type sense = Le | Ge | Eq
+
+let pp_sense ppf = function
+  | Le -> Fmt.string ppf "<="
+  | Ge -> Fmt.string ppf ">="
+  | Eq -> Fmt.string ppf "="
+
+type var = int
+
+type constr = {
+  c_name : string;
+  terms : (float * var) list;
+  c_sense : sense;
+  rhs : float;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable v_names : string list;  (* reversed *)
+  mutable v_lb : float list;
+  mutable v_ub : float list;
+  mutable v_obj : float list;
+  mutable v_int : bool list;
+  mutable constrs : constr list;  (* reversed *)
+  mutable nconstrs : int;
+}
+
+type problem = {
+  nv : int;  (** structural variables *)
+  nr : int;  (** rows *)
+  a : Sparse.Csc.t;  (** [nr] × [nv] constraint matrix *)
+  lb : float array;
+  ub : float array;
+  obj : float array;
+  row_sense : sense array;
+  row_rhs : float array;
+  integer : bool array;
+  var_names : string array;
+  row_names : string array;
+}
+
+let create () =
+  {
+    nvars = 0;
+    v_names = [];
+    v_lb = [];
+    v_ub = [];
+    v_obj = [];
+    v_int = [];
+    constrs = [];
+    nconstrs = 0;
+  }
+
+let add_var t ?(lb = 0.0) ?(ub = Float.infinity) ?(obj = 0.0) ?(integer = false)
+    name =
+  if lb > ub then
+    invalid_arg (Printf.sprintf "Model.add_var %s: lb %g > ub %g" name lb ub);
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  t.v_names <- name :: t.v_names;
+  t.v_lb <- lb :: t.v_lb;
+  t.v_ub <- ub :: t.v_ub;
+  t.v_obj <- obj :: t.v_obj;
+  t.v_int <- integer :: t.v_int;
+  v
+
+let add_constr t ?name terms sense rhs =
+  let c_name =
+    match name with Some n -> n | None -> Printf.sprintf "r%d" t.nconstrs
+  in
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Model.add_constr: unknown var")
+    terms;
+  t.constrs <- { c_name; terms; c_sense = sense; rhs } :: t.constrs;
+  t.nconstrs <- t.nconstrs + 1
+
+let set_obj t v coeff =
+  (* The objective lists are reversed: variable [v] lives at position
+     [nvars - 1 - v]. *)
+  let idx = t.nvars - 1 - v in
+  t.v_obj <- List.mapi (fun i c -> if i = idx then coeff else c) t.v_obj
+
+let nvars t = t.nvars
+let nconstrs t = t.nconstrs
+
+let compile t : problem =
+  let nv = t.nvars and nr = t.nconstrs in
+  let rev_arr of_list = Array.of_list (List.rev of_list) in
+  let lb = rev_arr t.v_lb and ub = rev_arr t.v_ub in
+  let obj = rev_arr t.v_obj in
+  let integer = Array.of_list (List.rev t.v_int) in
+  let var_names = Array.of_list (List.rev t.v_names) in
+  let constrs = Array.of_list (List.rev t.constrs) in
+  let coo = Sparse.Coo.create ~capacity:(4 * max 1 nr) () in
+  let row_sense = Array.make nr Le and row_rhs = Array.make nr 0.0 in
+  let row_names = Array.make nr "" in
+  Array.iteri
+    (fun i c ->
+      row_sense.(i) <- c.c_sense;
+      row_rhs.(i) <- c.rhs;
+      row_names.(i) <- c.c_name;
+      List.iter (fun (coef, v) -> Sparse.Coo.add coo i v coef) c.terms)
+    constrs;
+  let a = Sparse.Csc.of_coo ~nrows:nr ~ncols:nv coo in
+  { nv; nr; a; lb; ub; obj; row_sense; row_rhs; integer; var_names; row_names }
+
+(** Primal feasibility check of a candidate point against the original
+    model (used by tests and by MILP incumbent screening). *)
+let feasible ?(tol = 1e-6) (p : problem) (x : float array) =
+  if Array.length x <> p.nv then false
+  else begin
+    let ok = ref true in
+    for j = 0 to p.nv - 1 do
+      if x.(j) < p.lb.(j) -. tol || x.(j) > p.ub.(j) +. tol then ok := false
+    done;
+    let act = Array.make p.nr 0.0 in
+    Sparse.Csc.mult p.a x act;
+    for i = 0 to p.nr - 1 do
+      (match p.row_sense.(i) with
+      | Le -> if act.(i) > p.row_rhs.(i) +. tol then ok := false
+      | Ge -> if act.(i) < p.row_rhs.(i) -. tol then ok := false
+      | Eq -> if Float.abs (act.(i) -. p.row_rhs.(i)) > tol then ok := false)
+    done;
+    !ok
+  end
+
+let objective_value (p : problem) (x : float array) =
+  let s = ref 0.0 in
+  for j = 0 to p.nv - 1 do
+    s := !s +. (p.obj.(j) *. x.(j))
+  done;
+  !s

@@ -1,0 +1,54 @@
+(** LP / MILP model builder.
+
+    A model is a set of bounded variables, linear constraints and a
+    linear objective (always {e minimized}; negate coefficients to
+    maximize).  [compile] freezes it into the array form consumed by the
+    solvers. *)
+
+type sense = Le | Ge | Eq
+
+val pp_sense : Format.formatter -> sense -> unit
+
+type var = int
+(** Variable handle, densely numbered from 0 in creation order. *)
+
+type t
+
+type problem = {
+  nv : int;  (** structural variables *)
+  nr : int;  (** rows *)
+  a : Sparse.Csc.t;  (** [nr] × [nv] constraint matrix *)
+  lb : float array;
+  ub : float array;
+  obj : float array;
+  row_sense : sense array;
+  row_rhs : float array;
+  integer : bool array;
+  var_names : string array;
+  row_names : string array;
+}
+
+val create : unit -> t
+
+val add_var :
+  t -> ?lb:float -> ?ub:float -> ?obj:float -> ?integer:bool -> string -> var
+(** New variable with bounds [lb, ub] (default [0, +inf)), objective
+    coefficient [obj] (default 0) and integrality flag. *)
+
+val add_constr : t -> ?name:string -> (float * var) list -> sense -> float -> unit
+(** [add_constr t terms sense rhs] adds the row
+    [sum terms (sense) rhs].  Duplicate variables in [terms] are summed at
+    compile time. *)
+
+val set_obj : t -> var -> float -> unit
+(** Overwrite one variable's objective coefficient. *)
+
+val nvars : t -> int
+val nconstrs : t -> int
+val compile : t -> problem
+
+val feasible : ?tol:float -> problem -> float array -> bool
+(** Primal feasibility of a candidate point (bounds and rows, within
+    [tol]). *)
+
+val objective_value : problem -> float array -> float

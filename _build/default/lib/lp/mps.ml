@@ -1,0 +1,277 @@
+(** Free-format MPS reader/writer.
+
+    MPS is the lingua franca of LP/MIP solvers; supporting it makes the
+    solver independently usable and lets any instance this repository
+    produces be cross-checked against an external solver.  The supported
+    subset: [NAME], [ROWS] (N/L/G/E), [COLUMNS] (with
+    [MARKER]/[INTORG]/[INTEND] integrality markers), [RHS], [BOUNDS]
+    (UP LO FX FR MI PL BV UI LI) and [ENDATA].  [RANGES] sections are
+    rejected.  Only the first [N] row is used as the objective. *)
+
+exception Parse_error of int * string
+
+let parse_error line fmt = Fmt.kstr (fun s -> raise (Parse_error (line, s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write put (p : Model.problem) ~name =
+  put (Printf.sprintf "NAME          %s\n" name);
+  put "ROWS\n";
+  put " N  OBJ\n";
+  Array.iteri
+    (fun i sense ->
+      let s =
+        match sense with Model.Le -> "L" | Model.Ge -> "G" | Model.Eq -> "E"
+      in
+      put (Printf.sprintf " %s  R%d\n" s i))
+    p.Model.row_sense;
+  put "COLUMNS\n";
+  let in_int = ref false in
+  let marker k =
+    (* called just after toggling [in_int]: entering an integer block
+       emits INTORG, leaving it emits INTEND *)
+    put
+      (Printf.sprintf "    MARKER%d  'MARKER'  '%s'\n" k
+         (if !in_int then "INTORG" else "INTEND"))
+  in
+  let mk = ref 0 in
+  for j = 0 to p.Model.nv - 1 do
+    if p.Model.integer.(j) <> !in_int then begin
+      in_int := not !in_int;
+      marker !mk;
+      incr mk
+    end;
+    if p.Model.obj.(j) <> 0.0 then
+      put (Printf.sprintf "    C%-8d  OBJ  %.17g\n" j p.Model.obj.(j));
+    Sparse.Csc.iter_col p.Model.a j (fun i v ->
+        put (Printf.sprintf "    C%-8d  R%d  %.17g\n" j i v))
+  done;
+  if !in_int then begin
+    in_int := false;
+    marker !mk
+  end;
+  put "RHS\n";
+  Array.iteri
+    (fun i b ->
+      if b <> 0.0 then put (Printf.sprintf "    RHS  R%d  %.17g\n" i b))
+    p.Model.row_rhs;
+  put "BOUNDS\n";
+  for j = 0 to p.Model.nv - 1 do
+    let lb = p.Model.lb.(j) and ub = p.Model.ub.(j) in
+    (* default MPS bounds are [0, +inf) *)
+    if Float.is_finite lb && Float.is_finite ub && lb = ub then
+      put (Printf.sprintf " FX BND  C%d  %.17g\n" j lb)
+    else begin
+      (match (Float.is_finite lb, lb = 0.0) with
+      | true, true -> ()
+      | true, false -> put (Printf.sprintf " LO BND  C%d  %.17g\n" j lb)
+      | false, _ -> put (Printf.sprintf " MI BND  C%d\n" j));
+      if Float.is_finite ub then
+        put (Printf.sprintf " UP BND  C%d  %.17g\n" j ub)
+    end
+  done;
+  put "ENDATA\n"
+
+let to_string ?(name = "powerlim") (p : Model.problem) =
+  let buf = Buffer.create 4096 in
+  write (Buffer.add_string buf) p ~name;
+  Buffer.contents buf
+
+let to_file ?(name = "powerlim") path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write (output_string oc) p ~name)
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type row_info = { sense : Model.sense option (* None = objective *) }
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let of_lines (lines : string Seq.t) : Model.problem =
+  let section = ref `Preamble in
+  let lineno = ref 0 in
+  (* rows in declaration order *)
+  let row_order : string list ref = ref [] in
+  let row_info : (string, row_info) Hashtbl.t = Hashtbl.create 64 in
+  let objective_row = ref None in
+  (* per column: terms, integer flag, declaration order *)
+  let col_order : string list ref = ref [] in
+  let col_terms : (string, (string * float) list) Hashtbl.t = Hashtbl.create 64 in
+  let col_int : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let rhs : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let bounds : (string, float * float) Hashtbl.t = Hashtbl.create 64 in
+  let in_int = ref false in
+  let ended = ref false in
+  Seq.iter
+    (fun raw ->
+      incr lineno;
+      let line =
+        match String.index_opt raw '*' with
+        | Some 0 -> "" (* comment line *)
+        | _ -> raw
+      in
+      if (not !ended) && String.trim line <> "" then begin
+        let is_section = line.[0] <> ' ' && line.[0] <> '\t' in
+        if is_section then begin
+          match tokens line with
+          | "NAME" :: _ -> ()
+          | [ "ROWS" ] -> section := `Rows
+          | [ "COLUMNS" ] -> section := `Columns
+          | [ "RHS" ] -> section := `Rhs
+          | [ "BOUNDS" ] -> section := `Bounds
+          | [ "RANGES" ] -> parse_error !lineno "RANGES not supported"
+          | [ "ENDATA" ] -> ended := true
+          | t :: _ -> parse_error !lineno "unknown section %S" t
+          | [] -> ()
+        end
+        else begin
+          match (!section, tokens line) with
+          | `Rows, [ s; name ] ->
+              let sense =
+                match s with
+                | "N" -> None
+                | "L" -> Some Model.Le
+                | "G" -> Some Model.Ge
+                | "E" -> Some Model.Eq
+                | _ -> parse_error !lineno "bad row sense %S" s
+              in
+              (match sense with
+              | None -> if !objective_row = None then objective_row := Some name
+              | Some _ -> row_order := name :: !row_order);
+              Hashtbl.replace row_info name { sense }
+          | `Columns, [ _; "'MARKER'"; "'INTORG'" ] -> in_int := true
+          | `Columns, [ _; "'MARKER'"; "'INTEND'" ] -> in_int := false
+          | `Columns, col :: rest ->
+              if not (Hashtbl.mem col_terms col) then begin
+                col_order := col :: !col_order;
+                Hashtbl.replace col_terms col [];
+                Hashtbl.replace col_int col !in_int
+              end;
+              let rec pairs = function
+                | row :: v :: rest ->
+                    let v =
+                      try float_of_string v
+                      with Failure _ -> parse_error !lineno "bad value %S" v
+                    in
+                    Hashtbl.replace col_terms col
+                      ((row, v) :: Hashtbl.find col_terms col);
+                    pairs rest
+                | [] -> ()
+                | [ _ ] -> parse_error !lineno "odd column record"
+              in
+              pairs rest
+          | `Rhs, _ :: rest ->
+              let rec pairs = function
+                | row :: v :: rest ->
+                    Hashtbl.replace rhs row (float_of_string v);
+                    pairs rest
+                | [] -> ()
+                | [ _ ] -> parse_error !lineno "odd RHS record"
+              in
+              pairs rest
+          | `Bounds, kind :: _bnd :: col :: rest -> begin
+              let cur =
+                match Hashtbl.find_opt bounds col with
+                | Some b -> b
+                | None -> (0.0, Float.infinity)
+              in
+              let value () =
+                match rest with
+                | v :: _ -> float_of_string v
+                | [] -> parse_error !lineno "missing bound value"
+              in
+              let b =
+                match kind with
+                | "UP" | "UI" -> (fst cur, value ())
+                | "LO" | "LI" -> (value (), snd cur)
+                | "FX" ->
+                    let v = value () in
+                    (v, v)
+                | "FR" -> (Float.neg_infinity, Float.infinity)
+                | "MI" -> (Float.neg_infinity, snd cur)
+                | "PL" -> (fst cur, Float.infinity)
+                | "BV" ->
+                    Hashtbl.replace col_int col true;
+                    (0.0, 1.0)
+                | k -> parse_error !lineno "bad bound kind %S" k
+              in
+              Hashtbl.replace bounds col b
+            end
+          | `Preamble, _ -> parse_error !lineno "data before any section"
+          | _, [] -> ()
+          | _, t :: _ -> parse_error !lineno "cannot parse record %S" t
+        end
+      end)
+    lines;
+  if not !ended then parse_error !lineno "missing ENDATA";
+  let obj_row = !objective_row in
+  let m = Model.create () in
+  let rows = List.rev !row_order in
+  let cols = List.rev !col_order in
+  let vars = Hashtbl.create 64 in
+  List.iter
+    (fun col ->
+      let lb, ub =
+        match Hashtbl.find_opt bounds col with
+        | Some b -> b
+        | None -> (0.0, Float.infinity)
+      in
+      let obj =
+        match obj_row with
+        | None -> 0.0
+        | Some orow ->
+            List.fold_left
+              (fun acc (r, v) -> if r = orow then acc +. v else acc)
+              0.0 (Hashtbl.find col_terms col)
+      in
+      let v =
+        Model.add_var m ~lb ~ub ~obj
+          ~integer:(Hashtbl.find col_int col)
+          col
+      in
+      Hashtbl.replace vars col v)
+    cols;
+  List.iter
+    (fun row ->
+      let sense =
+        match (Hashtbl.find row_info row).sense with
+        | Some s -> s
+        | None -> assert false
+      in
+      let terms =
+        List.concat_map
+          (fun col ->
+            List.filter_map
+              (fun (r, v) ->
+                if r = row then Some (v, Hashtbl.find vars col) else None)
+              (Hashtbl.find col_terms col))
+          cols
+      in
+      let b = match Hashtbl.find_opt rhs row with Some v -> v | None -> 0.0 in
+      Model.add_constr m ~name:row terms sense b)
+    rows;
+  Model.compile m
+
+let of_string s = of_lines (List.to_seq (String.split_on_char '\n' s))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines (List.to_seq (List.rev !lines)))

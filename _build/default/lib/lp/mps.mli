@@ -1,0 +1,16 @@
+(** Free-format MPS reader/writer: the solver-interchange format, so
+    instances produced here can be cross-checked against external
+    solvers.  Supported subset: NAME, ROWS (N/L/G/E), COLUMNS (with
+    INTORG/INTEND markers), RHS, BOUNDS (UP LO FX FR MI PL BV UI LI),
+    ENDATA.  RANGES is rejected. *)
+
+exception Parse_error of int * string
+
+val to_string : ?name:string -> Model.problem -> string
+val to_file : ?name:string -> string -> Model.problem -> unit
+
+val of_lines : string Seq.t -> Model.problem
+(** Raises {!Parse_error} on malformed input. *)
+
+val of_string : string -> Model.problem
+val of_file : string -> Model.problem

@@ -1,0 +1,308 @@
+(** LP presolve: standard reductions applied before the simplex.
+
+    Implemented reductions (applied to fixpoint):
+    - {b fixed variables} ([lb = ub]): substituted into every row;
+    - {b empty rows}: checked for trivial consistency and dropped;
+    - {b singleton rows} (one structural variable): converted into a
+      bound tightening and dropped;
+    - {b doubleton equality rows} ([a x + b y = c]): [x] is eliminated by
+      the substitution [x = (c - b y) / a], with its bounds transferred
+      onto [y] — this is the reduction that collapses the event LP's
+      equality-tied vertex pairs (equation (13) rows);
+    - {b empty columns}: moved to their best bound by objective sign.
+
+    The reduced problem is solved with {!Revised} and the solution mapped
+    back to the original variable space. *)
+
+(* Per-variable disposition after presolve. *)
+type vstate =
+  | Kept
+  | Fixed of float
+  | Subst of { of_var : int; scale : float; offset : float }
+      (** var = offset + scale * of_var *)
+
+type reduction = {
+  problem : Model.problem;  (** the reduced problem *)
+  keep_vars : int array;  (** reduced column -> original column *)
+  state : vstate array;  (** per original column *)
+  kept_rows : int array;  (** reduced row -> original row *)
+  dropped_rows : int;
+  dropped_cols : int;
+  subst_order : int list;
+      (** substituted variables, oldest first; restore applies them
+          newest-first *)
+}
+
+type outcome = Reduced of reduction | Proven_infeasible
+
+let tol = 1e-9
+
+(* Tighten [lo, hi] with a new bound pair; returns None on conflict. *)
+let tighten (lo, hi) lo' hi' =
+  let lo = max lo lo' and hi = min hi hi' in
+  if lo > hi +. 1e-7 then None else Some (lo, min hi (max lo hi))
+
+let reduce (p : Model.problem) : outcome =
+  let nv = p.Model.nv and nr = p.Model.nr in
+  let lo = Array.copy p.Model.lb and hi = Array.copy p.Model.ub in
+  let obj = Array.copy p.Model.obj in
+  let row_alive = Array.make nr true in
+  let infeasible = ref false in
+  (* Row-oriented working copy of the matrix. *)
+  let rows : (int * float) list array = Array.make nr [] in
+  let col_rows : int list array = Array.make nv [] in
+  for j = 0 to nv - 1 do
+    Sparse.Csc.iter_col p.Model.a j (fun i v ->
+        rows.(i) <- (j, v) :: rows.(i);
+        col_rows.(j) <- i :: col_rows.(j))
+  done;
+  let rhs = Array.copy p.Model.row_rhs in
+  let state = Array.make nv Kept in
+  let subst_order = ref [] in
+  let gone j = state.(j) <> Kept in
+  (* Remove variable [j] from row [i], returning its (merged) coefficient. *)
+  let take_out i j =
+    let coeff = ref 0.0 in
+    rows.(i) <-
+      List.filter
+        (fun (j', c) ->
+          if j' = j then begin
+            coeff := !coeff +. c;
+            false
+          end
+          else true)
+        rows.(i);
+    !coeff
+  in
+  let merge_term i j c =
+    if c <> 0.0 then begin
+      let existing = take_out i j in
+      let c = c +. existing in
+      if Float.abs c > 1e-13 then begin
+        rows.(i) <- (j, c) :: rows.(i);
+        if not (List.mem i col_rows.(j)) then col_rows.(j) <- i :: col_rows.(j)
+      end
+    end
+  in
+  let fix j v =
+    if not (gone j) then begin
+      state.(j) <- Fixed v;
+      List.iter
+        (fun i ->
+          if row_alive.(i) then begin
+            let coeff = take_out i j in
+            rhs.(i) <- rhs.(i) -. (coeff *. v)
+          end)
+        col_rows.(j)
+    end
+  in
+  (* Eliminate [x] via [x = offset + scale * y]. *)
+  let substitute x ~y ~scale ~offset =
+    state.(x) <- Subst { of_var = y; scale; offset };
+    subst_order := x :: !subst_order;
+    (* transfer x's bounds onto y *)
+    let bl, bh =
+      if scale > 0.0 then
+        ((lo.(x) -. offset) /. scale, (hi.(x) -. offset) /. scale)
+      else ((hi.(x) -. offset) /. scale, (lo.(x) -. offset) /. scale)
+    in
+    (match tighten (lo.(y), hi.(y)) bl bh with
+    | None -> infeasible := true
+    | Some (l, h) ->
+        lo.(y) <- l;
+        hi.(y) <- h);
+    (* rewrite every row containing x *)
+    List.iter
+      (fun i ->
+        if row_alive.(i) then begin
+          let coeff = take_out i x in
+          if coeff <> 0.0 then begin
+            rhs.(i) <- rhs.(i) -. (coeff *. offset);
+            merge_term i y (coeff *. scale)
+          end
+        end)
+      col_rows.(x);
+    (* objective: obj_x * x = obj_x * offset (constant) + obj_x*scale * y *)
+    obj.(y) <- obj.(y) +. (obj.(x) *. scale);
+    obj.(x) <- 0.0
+  in
+  let changed = ref true in
+  while !changed && not !infeasible do
+    changed := false;
+    (* fixed variables *)
+    for j = 0 to nv - 1 do
+      if (not (gone j)) && hi.(j) -. lo.(j) <= tol then begin
+        fix j lo.(j);
+        changed := true
+      end
+    done;
+    (* empty / singleton / doubleton-equality rows *)
+    for i = 0 to nr - 1 do
+      if row_alive.(i) && not !infeasible then begin
+        match rows.(i) with
+        | [] ->
+            let ok =
+              match p.Model.row_sense.(i) with
+              | Model.Le -> rhs.(i) >= -.1e-7
+              | Model.Ge -> rhs.(i) <= 1e-7
+              | Model.Eq -> Float.abs rhs.(i) <= 1e-7
+            in
+            if not ok then infeasible := true;
+            row_alive.(i) <- false;
+            changed := true
+        | [ (j, c) ] when not (gone j) ->
+            let b = rhs.(i) /. c in
+            let bounds =
+              match (p.Model.row_sense.(i), c > 0.0) with
+              | Model.Le, true | Model.Ge, false -> (Float.neg_infinity, b)
+              | Model.Ge, true | Model.Le, false -> (b, Float.infinity)
+              | Model.Eq, _ -> (b, b)
+            in
+            (match tighten (lo.(j), hi.(j)) (fst bounds) (snd bounds) with
+            | None -> infeasible := true
+            | Some (l, h) ->
+                lo.(j) <- l;
+                hi.(j) <- h);
+            row_alive.(i) <- false;
+            changed := true
+        | [ (x, a); (y, b) ]
+          when p.Model.row_sense.(i) = Model.Eq
+               && (not (gone x))
+               && (not (gone y))
+               && (not p.Model.integer.(x))
+               && not p.Model.integer.(y) ->
+            (* a x + b y = c: eliminate the larger-coefficient variable *)
+            let x, a, y, b =
+              if Float.abs a >= Float.abs b then (x, a, y, b) else (y, b, x, a)
+            in
+            if Float.abs a > 1e-9 then begin
+              row_alive.(i) <- false;
+              substitute x ~y ~scale:(-.b /. a) ~offset:(rhs.(i) /. a);
+              changed := true
+            end
+        | _ -> ()
+      end
+    done;
+    (* empty columns *)
+    for j = 0 to nv - 1 do
+      if (not (gone j)) && not p.Model.integer.(j) then begin
+        let still_present =
+          List.exists
+            (fun i ->
+              row_alive.(i) && List.exists (fun (j', _) -> j' = j) rows.(i))
+            col_rows.(j)
+        in
+        if not still_present then begin
+          let c = obj.(j) in
+          let v =
+            if c > 0.0 then lo.(j)
+            else if c < 0.0 then hi.(j)
+            else if Float.is_finite lo.(j) then lo.(j)
+            else min hi.(j) 0.0
+          in
+          if Float.is_finite v then begin
+            fix j v;
+            changed := true
+          end
+          (* otherwise: unbounded direction; left for the simplex *)
+        end
+      end
+    done
+  done;
+  if !infeasible then Proven_infeasible
+  else begin
+    let keep_vars =
+      Array.of_list
+        (List.filter (fun j -> state.(j) = Kept) (List.init nv Fun.id))
+    in
+    let new_index = Array.make nv (-1) in
+    Array.iteri (fun k j -> new_index.(j) <- k) keep_vars;
+    let kept_rows =
+      Array.of_list (List.filter (fun i -> row_alive.(i)) (List.init nr Fun.id))
+    in
+    let m = Model.create () in
+    Array.iter
+      (fun j ->
+        ignore
+          (Model.add_var m ~lb:lo.(j) ~ub:hi.(j) ~obj:obj.(j)
+             ~integer:p.Model.integer.(j) p.Model.var_names.(j)))
+      keep_vars;
+    Array.iter
+      (fun i ->
+        let terms = List.map (fun (j, c) -> (c, new_index.(j))) rows.(i) in
+        Model.add_constr m ~name:p.Model.row_names.(i) terms
+          p.Model.row_sense.(i) rhs.(i))
+      kept_rows;
+    Reduced
+      {
+        problem = Model.compile m;
+        keep_vars;
+        state;
+        kept_rows;
+        dropped_rows = nr - Array.length kept_rows;
+        dropped_cols = nv - Array.length keep_vars;
+        subst_order = List.rev !subst_order;
+      }
+  end
+
+(** Map a reduced-space solution back to the original variables. *)
+let restore (r : reduction) (x : float array) : float array =
+  let nv = Array.length r.state in
+  let out = Array.make nv Float.nan in
+  Array.iteri (fun k j -> out.(j) <- x.(k)) r.keep_vars;
+  Array.iteri
+    (fun j st -> match st with Fixed v -> out.(j) <- v | _ -> ())
+    r.state;
+  (* Substitutions resolve newest-first: a variable's target was
+     eliminated no later than itself, so its value is already known. *)
+  List.iter
+    (fun j ->
+      match r.state.(j) with
+      | Subst { of_var; scale; offset } ->
+          out.(j) <- offset +. (scale *. out.(of_var))
+      | Kept | Fixed _ -> assert false)
+    (List.rev r.subst_order);
+  out
+
+(** Objective contribution of the variables presolve eliminated. *)
+let fixed_objective (p : Model.problem) (r : reduction) =
+  let s = ref 0.0 in
+  Array.iteri
+    (fun j st ->
+      match st with
+      | Fixed v -> s := !s +. (p.Model.obj.(j) *. v)
+      | Kept | Subst _ -> ())
+    r.state;
+  !s
+
+(** Presolve, solve with {!Revised}, and restore: a drop-in replacement
+    for {!Revised.solve} on models without integer variables. *)
+let solve ?max_iter ?feas_tol ?opt_tol (p : Model.problem) : Revised.result =
+  match reduce p with
+  | Proven_infeasible ->
+      {
+        Revised.status = Revised.Infeasible;
+        objective = 0.0;
+        x = Array.make p.Model.nv 0.0;
+        y = Array.make p.Model.nr 0.0;
+        dj = Array.copy p.Model.obj;
+        iterations = 0;
+      }
+  | Reduced r ->
+      let res = Revised.solve ?max_iter ?feas_tol ?opt_tol r.problem in
+      let x =
+        match res.Revised.status with
+        | Revised.Optimal -> restore r res.Revised.x
+        | _ -> Array.make p.Model.nv 0.0
+      in
+      let y = Array.make p.Model.nr 0.0 in
+      Array.iteri (fun k i -> y.(i) <- res.Revised.y.(k)) r.kept_rows;
+      {
+        res with
+        Revised.x;
+        y;
+        objective =
+          (match res.Revised.status with
+          | Revised.Optimal -> Model.objective_value p x
+          | _ -> res.Revised.objective);
+      }

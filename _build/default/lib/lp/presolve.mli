@@ -1,0 +1,36 @@
+(** LP presolve: fixed-variable substitution, empty/singleton-row
+    elimination, doubleton-equality substitution and empty-column fixing,
+    applied to fixpoint before the simplex.  See the implementation
+    header for the reduction list. *)
+
+type vstate =
+  | Kept
+  | Fixed of float
+  | Subst of { of_var : int; scale : float; offset : float }
+      (** var = offset + scale * of_var *)
+
+type reduction = {
+  problem : Model.problem;  (** the reduced problem *)
+  keep_vars : int array;  (** reduced column -> original column *)
+  state : vstate array;  (** per original column *)
+  kept_rows : int array;  (** reduced row -> original row *)
+  dropped_rows : int;
+  dropped_cols : int;
+  subst_order : int list;  (** substituted variables, oldest first *)
+}
+
+type outcome = Reduced of reduction | Proven_infeasible
+
+val reduce : Model.problem -> outcome
+
+val restore : reduction -> float array -> float array
+(** Map a reduced-space solution back to the original variables. *)
+
+val fixed_objective : Model.problem -> reduction -> float
+(** Objective contribution of the variables presolve fixed outright. *)
+
+val solve :
+  ?max_iter:int -> ?feas_tol:float -> ?opt_tol:float -> Model.problem ->
+  Revised.result
+(** Presolve, solve the reduction with {!Revised}, restore.  A drop-in
+    replacement for {!Revised.solve} on continuous models. *)

@@ -1,0 +1,538 @@
+(** Bounded-variable revised simplex with sparse basis factorization.
+
+    Standard computational form: every row gets a slack variable
+    ([a.x + s = b] with slack bounds encoding the row sense), so the
+    constraint matrix is [[A | I]].  When the all-slack starting point is
+    out of bounds, artificial variables restore feasibility and a phase-1
+    objective (minimize the sum of artificials) is solved first.
+
+    The basis is factorized with {!Lu} and updated between
+    refactorizations with product-form (eta) updates.  Pricing is
+    Dantzig's rule with an automatic switch to Bland's rule after a run of
+    degenerate pivots; the ratio test is a two-pass Harris test. *)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+let pp_status ppf = function
+  | Optimal -> Fmt.string ppf "optimal"
+  | Infeasible -> Fmt.string ppf "infeasible"
+  | Unbounded -> Fmt.string ppf "unbounded"
+  | Iter_limit -> Fmt.string ppf "iteration-limit"
+
+type result = {
+  status : status;
+  objective : float;
+  x : float array;  (** structural primal values, length [nv] *)
+  y : float array;  (** row duals, length [nr] *)
+  dj : float array;  (** structural reduced costs, length [nv] *)
+  iterations : int;
+}
+
+type eta = { er : int; eidx : int array; evals : float array; edia : float }
+
+let neg_inf = Float.neg_infinity
+let inf = Float.infinity
+
+(* Trivial path for models without constraints. *)
+let solve_unconstrained (p : Model.problem) lo hi =
+  let x = Array.make p.nv 0.0 in
+  let status = ref Optimal in
+  for j = 0 to p.nv - 1 do
+    let c = p.obj.(j) in
+    if c > 0.0 then
+      if Float.is_finite lo.(j) then x.(j) <- lo.(j) else status := Unbounded
+    else if c < 0.0 then
+      if Float.is_finite hi.(j) then x.(j) <- hi.(j) else status := Unbounded
+    else x.(j) <- (if Float.is_finite lo.(j) then lo.(j) else min hi.(j) 0.0)
+  done;
+  {
+    status = !status;
+    objective = Model.objective_value p x;
+    x;
+    y = [||];
+    dj = Array.copy p.obj;
+    iterations = 0;
+  }
+
+let solve ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
+    (p : Model.problem) : result =
+  let nv = p.nv and m = p.nr in
+  let lb_s = match lb with Some a -> a | None -> p.lb in
+  let ub_s = match ub with Some a -> a | None -> p.ub in
+  let max_iter = if max_iter > 0 then max_iter else 20_000 + (60 * m) in
+  (* Column layout: 0..nv-1 structural, nv..nv+m-1 slacks, then
+     artificials.  [ntot] grows as artificials are added. *)
+  let cap = nv + m + m in
+  let lo = Array.make cap 0.0 and hi = Array.make cap 0.0 in
+  Array.blit lb_s 0 lo 0 nv;
+  Array.blit ub_s 0 hi 0 nv;
+  for i = 0 to m - 1 do
+    let j = nv + i in
+    match p.row_sense.(i) with
+    | Model.Le ->
+        lo.(j) <- 0.0;
+        hi.(j) <- inf
+    | Model.Ge ->
+        lo.(j) <- neg_inf;
+        hi.(j) <- 0.0
+    | Model.Eq ->
+        lo.(j) <- 0.0;
+        hi.(j) <- 0.0
+  done;
+  if m = 0 then solve_unconstrained p lo hi
+  else begin
+    let nart = ref 0 in
+    let art_row = Array.make m (-1) and art_sig = Array.make m 1.0 in
+    let ntot () = nv + m + !nart in
+    let col_iter j f =
+      if j < nv then Sparse.Csc.iter_col p.a j f
+      else if j < nv + m then f (j - nv) 1.0
+      else f art_row.(j - nv - m) art_sig.(j - nv - m)
+    in
+    let col_dot j (y : float array) =
+      if j < nv then Sparse.Csc.dot_col p.a j y
+      else if j < nv + m then y.(j - nv)
+      else art_sig.(j - nv - m) *. y.(art_row.(j - nv - m))
+    in
+    let where = Array.make cap (-1) in
+    let nb_at = Array.make cap 'l' in
+    let basis = Array.make m 0 in
+    let x_basic = Array.make m 0.0 in
+    let nbval j =
+      match nb_at.(j) with
+      | 'l' -> lo.(j)
+      | 'u' -> hi.(j)
+      | _ -> 0.0
+    in
+    (* Initial nonbasic statuses for structural columns. *)
+    for j = 0 to nv - 1 do
+      nb_at.(j) <-
+        (if Float.is_finite lo.(j) then 'l'
+         else if Float.is_finite hi.(j) then 'u'
+         else 'f')
+    done;
+    (* Row activities of the nonbasic structural point. *)
+    let act = Array.make m 0.0 in
+    let x0 = Array.init nv nbval in
+    Sparse.Csc.mult p.a x0 act;
+    for i = 0 to m - 1 do
+      let sj = nv + i in
+      let sval = p.row_rhs.(i) -. act.(i) in
+      if sval >= lo.(sj) -. feas_tol && sval <= hi.(sj) +. feas_tol then begin
+        basis.(i) <- sj;
+        where.(sj) <- i;
+        x_basic.(i) <- sval
+      end
+      else begin
+        let bound = if sval < lo.(sj) then lo.(sj) else hi.(sj) in
+        nb_at.(sj) <- (if sval < lo.(sj) then 'l' else 'u');
+        let r = sval -. bound in
+        let k = !nart in
+        incr nart;
+        art_row.(k) <- i;
+        art_sig.(k) <- (if r >= 0.0 then 1.0 else -1.0);
+        let aj = nv + m + k in
+        lo.(aj) <- 0.0;
+        hi.(aj) <- inf;
+        basis.(i) <- aj;
+        where.(aj) <- i;
+        x_basic.(i) <- Float.abs r
+      end
+    done;
+    (* --- basis factorization machinery ------------------------------- *)
+    let stats_on = Sys.getenv_opt "LP_STATS" <> None in
+    let t_factor = ref 0.0
+    and t_ftran = ref 0.0
+    and t_btran = ref 0.0
+    and t_price = ref 0.0
+    and t_ratio = ref 0.0
+    and lu_nnz_total = ref 0
+    and n_factor = ref 0 in
+    let clock () = if stats_on then Sys.time () else 0.0 in
+    let lu = ref (Lu.factor ~m (fun k f -> col_iter basis.(k) f)) in
+    let etas = ref [] (* newest first *) in
+    let n_etas = ref 0 in
+    let scratch = Array.make m 0.0 in
+    let bwork = Array.make m 0.0 in
+    let recompute_x_basic () =
+      Array.blit p.row_rhs 0 bwork 0 m;
+      for j = 0 to ntot () - 1 do
+        if where.(j) < 0 then begin
+          let v = nbval j in
+          if v <> 0.0 then col_iter j (fun i a -> bwork.(i) <- bwork.(i) -. (a *. v))
+        end
+      done;
+      Lu.solve !lu ~b:bwork ~x:x_basic ~scratch
+    in
+    let rec refactorize depth =
+      if depth > 4 then failwith "Revised: unable to repair singular basis";
+      let t0 = clock () in
+      let f = Lu.factor ~m (fun k f -> col_iter basis.(k) f) in
+      t_factor := !t_factor +. clock () -. t0;
+      incr n_factor;
+      lu_nnz_total := !lu_nnz_total + Lu.nnz f;
+      etas := [];
+      n_etas := 0;
+      match f.Lu.replaced with
+      | [] ->
+          lu := f;
+          recompute_x_basic ()
+      | reps ->
+          List.iter
+            (fun (kpos, row) ->
+              let old = basis.(kpos) in
+              where.(old) <- -1;
+              nb_at.(old) <-
+                (if Float.is_finite lo.(old) then 'l'
+                 else if Float.is_finite hi.(old) then 'u'
+                 else 'f');
+              let slack = nv + row in
+              if where.(slack) >= 0 then
+                failwith "Revised: basis repair failed (slack already basic)";
+              basis.(kpos) <- slack;
+              where.(slack) <- kpos)
+            reps;
+          refactorize (depth + 1)
+    in
+    refactorize 0;
+    recompute_x_basic ();
+    let ftran j (w : float array) =
+      let t0 = clock () in
+      Array.fill bwork 0 m 0.0;
+      col_iter j (fun i v -> bwork.(i) <- bwork.(i) +. v);
+      Lu.solve !lu ~b:bwork ~x:w ~scratch;
+      List.iter
+        (fun e ->
+          let t = w.(e.er) in
+          if t <> 0.0 then begin
+            w.(e.er) <- e.edia *. t;
+            for k = 0 to Array.length e.eidx - 1 do
+              w.(e.eidx.(k)) <- w.(e.eidx.(k)) +. (e.evals.(k) *. t)
+            done
+          end)
+        (List.rev !etas);
+      t_ftran := !t_ftran +. clock () -. t0
+    in
+    let btran (cb : float array) (y : float array) =
+      let t0 = clock () in
+      (* Apply eta transposes newest-first, then the base factorization. *)
+      List.iter
+        (fun e ->
+          let s = ref (e.edia *. cb.(e.er)) in
+          for k = 0 to Array.length e.eidx - 1 do
+            s := !s +. (e.evals.(k) *. cb.(e.eidx.(k)))
+          done;
+          cb.(e.er) <- !s)
+        !etas;
+      Lu.solve_t !lu ~c:cb ~y ~scratch;
+      t_btran := !t_btran +. clock () -. t0
+    in
+    let push_eta (w : float array) r =
+      let wr = w.(r) in
+      let cnt = ref 0 in
+      for k = 0 to m - 1 do
+        if k <> r && Float.abs w.(k) > 1e-12 then incr cnt
+      done;
+      let eidx = Array.make !cnt 0 and evals = Array.make !cnt 0.0 in
+      let at = ref 0 in
+      for k = 0 to m - 1 do
+        if k <> r && Float.abs w.(k) > 1e-12 then begin
+          eidx.(!at) <- k;
+          evals.(!at) <- -.w.(k) /. wr;
+          incr at
+        end
+      done;
+      etas := { er = r; eidx; evals; edia = 1.0 /. wr } :: !etas;
+      incr n_etas
+    in
+    (* --- simplex iterations ------------------------------------------ *)
+    let cost = Array.make cap 0.0 in
+    let cb = Array.make m 0.0 in
+    let y = Array.make m 0.0 in
+    let w = Array.make m 0.0 in
+    let iters = ref 0 in
+    let bland = ref false in
+    let degen = ref 0 in
+    let price_cursor = ref 0 in
+    (* Expensive per-pivot invariant check, enabled via LP_PARANOID. *)
+    let paranoid = Sys.getenv_opt "LP_PARANOID" <> None in
+    let check_invariants () =
+      if paranoid then begin
+        let saved = Array.copy x_basic in
+        let saved_etas = !etas and saved_n = !n_etas and saved_lu = !lu in
+        lu := Lu.factor ~m (fun k f -> col_iter basis.(k) f);
+        etas := [];
+        n_etas := 0;
+        recompute_x_basic ();
+        let drift = ref 0.0 in
+        for k = 0 to m - 1 do
+          let d = Float.abs (x_basic.(k) -. saved.(k)) in
+          if d > !drift then drift := d
+        done;
+        if !drift > 1e-6 then begin
+          (* residual of the incrementally maintained point: b - A x *)
+          let res = Array.copy p.row_rhs in
+          let sub j xv =
+            if xv <> 0.0 then col_iter j (fun i a -> res.(i) <- res.(i) -. (a *. xv))
+          in
+          for j = 0 to ntot () - 1 do
+            if where.(j) < 0 then sub j (nbval j)
+          done;
+          for k = 0 to m - 1 do
+            sub basis.(k) saved.(k)
+          done;
+          let rmax = Array.fold_left (fun a v -> max a (Float.abs v)) 0.0 res in
+          Printf.eprintf
+            "LP_PARANOID: iter %d drift %g incremental-residual %g replaced %d\n%!"
+            !iters !drift rmax
+            (List.length !lu.Lu.replaced);
+          (match Sys.getenv_opt "LP_DUMP_BASIS" with
+          | Some path when not (Sys.file_exists path) ->
+              let oc = open_out path in
+              Printf.fprintf oc "%d\n" m;
+              for k = 0 to m - 1 do
+                col_iter basis.(k) (fun i v -> Printf.fprintf oc "%d %d %.17g\n" i k v)
+              done;
+              close_out oc
+          | _ -> ())
+        end;
+        Array.blit saved 0 x_basic 0 m;
+        etas := saved_etas;
+        n_etas := saved_n;
+        lu := saved_lu
+      end
+    in
+    let run_phase () =
+      let outcome = ref `Run in
+      while !outcome = `Run do
+        if !iters >= max_iter then outcome := `Iter_limit
+        else begin
+          incr iters;
+          if !n_etas >= 64 then refactorize 0;
+          for k = 0 to m - 1 do
+            cb.(k) <- cost.(basis.(k))
+          done;
+          btran cb y;
+          (* pricing *)
+          let best_j = ref (-1) and best_mag = ref 0.0 and best_dir = ref 1.0 in
+          let consider j d dir =
+            let mag = Float.abs d in
+            if !bland then begin
+              if !best_j < 0 then begin
+                best_j := j;
+                best_mag := mag;
+                best_dir := dir
+              end
+            end
+            else if mag > !best_mag then begin
+              best_j := j;
+              best_mag := mag;
+              best_dir := dir
+            end
+          in
+          let tprice0 = clock () in
+          let total = ntot () in
+          (* Partial pricing: scan from a rotating cursor and stop once a
+             window's worth of columns has been examined with at least
+             one candidate in hand.  Optimality is still exact: the phase
+             only ends after a full wrap finds no candidate.  Bland mode
+             scans deterministically from column 0. *)
+          let window = max 512 (total / 8) in
+          if !bland then begin
+            let j = ref 0 in
+            while !j < total && !best_j < 0 do
+              let jj = !j in
+              if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
+                let d = cost.(jj) -. col_dot jj y in
+                let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
+                match nb_at.(jj) with
+                | 'l' -> if d < -.tol then consider jj d 1.0
+                | 'u' -> if d > tol then consider jj d (-1.0)
+                | _ ->
+                    if d < -.tol then consider jj d 1.0
+                    else if d > tol then consider jj d (-1.0)
+              end;
+              incr j
+            done
+          end
+          else begin
+            let scanned = ref 0 in
+            while
+              !scanned < total && not (!best_j >= 0 && !scanned >= window)
+            do
+              let jj = (!price_cursor + !scanned) mod total in
+              if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
+                let d = cost.(jj) -. col_dot jj y in
+                let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
+                match nb_at.(jj) with
+                | 'l' -> if d < -.tol then consider jj d 1.0
+                | 'u' -> if d > tol then consider jj d (-1.0)
+                | _ ->
+                    if d < -.tol then consider jj d 1.0
+                    else if d > tol then consider jj d (-1.0)
+              end;
+              incr scanned
+            done;
+            if !best_j >= 0 then price_cursor := (!best_j + 1) mod total
+          end;
+          t_price := !t_price +. clock () -. tprice0;
+          if !best_j < 0 then outcome := `Phase_done
+          else begin
+            let je = !best_j and s = !best_dir in
+            ftran je w;
+            let tratio0 = clock () in
+            (* Two-pass Harris ratio test. *)
+            let theta_max = ref inf in
+            let t_flip =
+              if Float.is_finite lo.(je) && Float.is_finite hi.(je) then
+                hi.(je) -. lo.(je)
+              else inf
+            in
+            for k = 0 to m - 1 do
+              let delta = s *. w.(k) in
+              if Float.abs delta > 1e-9 then begin
+                let b = basis.(k) in
+                if delta > 0.0 && Float.is_finite lo.(b) then begin
+                  let slack = max 0.0 (x_basic.(k) -. lo.(b)) in
+                  let r = (slack +. feas_tol) /. delta in
+                  if r < !theta_max then theta_max := r
+                end
+                else if delta < 0.0 && Float.is_finite hi.(b) then begin
+                  let slack = max 0.0 (hi.(b) -. x_basic.(k)) in
+                  let r = (slack +. feas_tol) /. -.delta in
+                  if r < !theta_max then theta_max := r
+                end
+              end
+            done;
+            if !theta_max = inf && t_flip = inf then outcome := `Unbounded
+            else begin
+              (* pass 2: among blocking candidates within theta_max pick
+                 the largest pivot magnitude *)
+              let leave = ref (-1) and lmag = ref 0.0 and lt = ref inf in
+              for k = 0 to m - 1 do
+                let delta = s *. w.(k) in
+                if Float.abs delta > 1e-9 then begin
+                  let b = basis.(k) in
+                  let slack =
+                    if delta > 0.0 && Float.is_finite lo.(b) then
+                      Some (max 0.0 (x_basic.(k) -. lo.(b)))
+                    else if delta < 0.0 && Float.is_finite hi.(b) then
+                      Some (max 0.0 (hi.(b) -. x_basic.(k)))
+                    else None
+                  in
+                  match slack with
+                  | Some sl ->
+                      let r = sl /. Float.abs delta in
+                      if r <= !theta_max && Float.abs delta > !lmag then begin
+                        leave := k;
+                        lmag := Float.abs delta;
+                        lt := r
+                      end
+                  | None -> ()
+                end
+              done;
+              let t_leave = if !leave >= 0 then !lt else inf in
+              if t_flip < t_leave then begin
+                (* bound flip: no basis change *)
+                for k = 0 to m - 1 do
+                  x_basic.(k) <- x_basic.(k) -. (s *. t_flip *. w.(k))
+                done;
+                nb_at.(je) <- (if nb_at.(je) = 'l' then 'u' else 'l');
+                if paranoid then
+                  Printf.eprintf "LP_PARANOID: iter %d flip j=%d t=%g\n%!"
+                    !iters je t_flip;
+                check_invariants ();
+                if t_flip <= 1e-10 then incr degen else degen := 0
+              end
+              else if !leave < 0 then outcome := `Unbounded
+              else begin
+                let r = !leave in
+                let t = t_leave in
+                for k = 0 to m - 1 do
+                  x_basic.(k) <- x_basic.(k) -. (s *. t *. w.(k))
+                done;
+                let entering_val = nbval je +. (s *. t) in
+                let leaving = basis.(r) in
+                where.(leaving) <- -1;
+                nb_at.(leaving) <- (if s *. w.(r) > 0.0 then 'l' else 'u');
+                basis.(r) <- je;
+                where.(je) <- r;
+                x_basic.(r) <- entering_val;
+                push_eta w r;
+                check_invariants ();
+                if t <= 1e-10 then incr degen else degen := 0
+              end;
+              if !degen > 200 + m then bland := true
+              else if !degen = 0 then bland := false;
+              t_ratio := !t_ratio +. clock () -. tratio0
+            end
+          end
+        end
+      done;
+      !outcome
+    in
+    (* --- phase 1 ------------------------------------------------------ *)
+    let status = ref Optimal in
+    if !nart > 0 then begin
+      for k = 0 to !nart - 1 do
+        cost.(nv + m + k) <- 1.0
+      done;
+      (match run_phase () with
+      | `Phase_done ->
+          let infeas = ref 0.0 in
+          for k = 0 to m - 1 do
+            if basis.(k) >= nv + m then infeas := !infeas +. x_basic.(k)
+          done;
+          for k = 0 to !nart - 1 do
+            let aj = nv + m + k in
+            if where.(aj) < 0 then infeas := !infeas +. nbval aj
+          done;
+          if !infeas > 1e-6 then status := Infeasible
+      | `Unbounded -> failwith "Revised: phase 1 unbounded (internal error)"
+      | `Iter_limit -> status := Iter_limit
+      | `Run -> assert false);
+      (* Fix artificials at zero for phase 2. *)
+      for k = 0 to !nart - 1 do
+        let aj = nv + m + k in
+        cost.(aj) <- 0.0;
+        hi.(aj) <- 0.0;
+        if where.(aj) < 0 then nb_at.(aj) <- 'l'
+      done
+    end;
+    (* --- phase 2 ------------------------------------------------------ *)
+    if !status = Optimal then begin
+      Array.blit p.obj 0 cost 0 nv;
+      bland := false;
+      degen := 0;
+      (match run_phase () with
+      | `Phase_done -> ()
+      | `Unbounded -> status := Unbounded
+      | `Iter_limit -> status := Iter_limit
+      | `Run -> assert false)
+    end;
+    (* --- extraction --------------------------------------------------- *)
+    if stats_on then
+      Printf.eprintf
+        "LP_STATS: iters=%d factor=%.2fs (%d, avg nnz %d) ftran=%.2fs \
+         btran=%.2fs price=%.2fs ratio+update=%.2fs etas_max=%d\n%!"
+        !iters !t_factor !n_factor
+        (if !n_factor > 0 then !lu_nnz_total / !n_factor else 0)
+        !t_ftran !t_btran !t_price !t_ratio 64;
+    let x = Array.make nv 0.0 in
+    for j = 0 to nv - 1 do
+      if where.(j) >= 0 then x.(j) <- x_basic.(where.(j)) else x.(j) <- nbval j
+    done;
+    for k = 0 to m - 1 do
+      cb.(k) <- cost.(basis.(k))
+    done;
+    btran cb y;
+    let dj = Array.init nv (fun j -> p.obj.(j) -. col_dot j y) in
+    {
+      status = !status;
+      objective = Model.objective_value p x;
+      x;
+      y = Array.copy y;
+      dj;
+      iterations = !iters;
+    }
+  end

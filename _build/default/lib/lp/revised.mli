@@ -1,0 +1,38 @@
+(** Bounded-variable revised simplex with sparse basis factorization
+    ({!Lu}) and product-form (eta) updates.
+
+    Pricing is Dantzig's rule over a rotating partial-pricing window,
+    with an automatic switch to (full-scan) Bland's rule after a run of
+    degenerate pivots; the ratio test is a two-pass Harris test.
+    Infeasible starting points are repaired by a phase-1 objective over
+    artificial variables.
+
+    Environment knobs: [LP_PARANOID] enables expensive per-pivot
+    invariant checks (each pivot verified against a fresh factorization);
+    [LP_DUMP_BASIS=<path>] dumps the first offending basis;
+    [LP_STATS] prints a per-solve phase-time breakdown to stderr. *)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+val pp_status : Format.formatter -> status -> unit
+
+type result = {
+  status : status;
+  objective : float;
+  x : float array;  (** structural primal values, length [nv] *)
+  y : float array;  (** row duals, length [nr] *)
+  dj : float array;  (** structural reduced costs, length [nv] *)
+  iterations : int;
+}
+
+val solve :
+  ?max_iter:int ->
+  ?feas_tol:float ->
+  ?opt_tol:float ->
+  ?lb:float array ->
+  ?ub:float array ->
+  Model.problem ->
+  result
+(** [solve p] minimizes [p].  [lb]/[ub] override the structural bounds
+    without rebuilding the problem (used by branch and bound).
+    [max_iter <= 0] selects a size-dependent default. *)

@@ -1,0 +1,1 @@
+lib/machine/dvfs.ml: Array Float Printf

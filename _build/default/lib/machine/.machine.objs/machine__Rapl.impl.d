@@ -1,0 +1,1 @@
+lib/machine/rapl.ml: Array Dvfs Profile Socket

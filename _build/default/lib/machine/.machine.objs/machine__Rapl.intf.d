@@ -1,0 +1,1 @@
+lib/machine/rapl.mli: Profile Socket

@@ -1,0 +1,1 @@
+lib/machine/socket.ml: Array Dvfs Float Fmt Random

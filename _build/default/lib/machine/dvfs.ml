@@ -1,0 +1,46 @@
+(** DVFS frequency ladder of the simulated processor.
+
+    Modeled on the Xeon E5-2670 sockets of the paper's Cab system: 15
+    P-states from 1.2 GHz to 2.6 GHz in 0.1 GHz steps, selected at socket
+    granularity. *)
+
+let f_min = 1.2
+let f_max = 2.6
+let step = 0.1
+
+(** All frequencies, ascending. *)
+let ladder : float array =
+  Array.init 15 (fun i -> f_min +. (step *. Float.of_int i))
+
+let n_states = Array.length ladder
+
+(** Highest ladder frequency [<= f], or [f_min] when [f] is below the
+    ladder. *)
+let floor_freq f =
+  if f <= f_min then f_min
+  else begin
+    let best = ref f_min in
+    Array.iter (fun g -> if g <= f +. 1e-9 && g > !best then best := g) ladder;
+    !best
+  end
+
+(** Ladder frequency closest to [f]. *)
+let nearest f =
+  let best = ref ladder.(0) and d = ref Float.infinity in
+  Array.iter
+    (fun g ->
+      let dd = Float.abs (g -. f) in
+      if dd < !d then begin
+        d := dd;
+        best := g
+      end)
+    ladder;
+  !best
+
+let index_of f =
+  let idx = ref (-1) in
+  Array.iteri (fun i g -> if Float.abs (g -. f) < 1e-9 then idx := i) ladder;
+  if !idx < 0 then invalid_arg (Printf.sprintf "Dvfs.index_of: %g not a P-state" f)
+  else !idx
+
+let is_state f = Array.exists (fun g -> Float.abs (g -. f) < 1e-9) ladder

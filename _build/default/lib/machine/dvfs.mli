@@ -1,0 +1,24 @@
+(** DVFS frequency ladder of the simulated processor: 15 P-states from
+    1.2 GHz to 2.6 GHz in 0.1 GHz steps, selected at socket granularity
+    (modeled on the Xeon E5-2670 sockets of the paper's Cab system). *)
+
+val f_min : float
+val f_max : float
+val step : float
+
+val ladder : float array
+(** All frequencies, ascending. *)
+
+val n_states : int
+
+val floor_freq : float -> float
+(** Highest ladder frequency [<= f], or [f_min] below the ladder. *)
+
+val nearest : float -> float
+(** Ladder frequency closest to [f]. *)
+
+val index_of : float -> int
+(** Position of an exact P-state in {!ladder}; raises [Invalid_argument]
+    for off-ladder values. *)
+
+val is_state : float -> bool

@@ -1,0 +1,18 @@
+(** Latency/bandwidth model of the interconnect (InfiniBand QDR-class).
+    Message cost is the usual linear [alpha + bytes * beta] model the
+    paper uses for its DAG message-edge weights. *)
+
+type t = { alpha : float; (** latency, seconds *) beta : float (** s/byte *) }
+
+let default = { alpha = 2.0e-6; beta = 1.0 /. 3.2e9 }
+
+let transfer_time ?(net = default) bytes =
+  if bytes < 0 then invalid_arg "Network.transfer_time: negative size";
+  net.alpha +. (Float.of_int bytes *. net.beta)
+
+(** Cost of a collective over [ranks] participants moving [bytes] per
+    rank: log-tree latency term plus the serialized payload term. *)
+let collective_time ?(net = default) ~ranks bytes =
+  if ranks < 1 then invalid_arg "Network.collective_time: ranks < 1";
+  let stages = Float.of_int (max 1 (int_of_float (ceil (Float.log2 (Float.of_int ranks))))) in
+  (stages *. net.alpha) +. (Float.of_int bytes *. net.beta *. stages)

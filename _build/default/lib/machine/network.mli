@@ -1,0 +1,12 @@
+(** Latency/bandwidth model of the interconnect (InfiniBand QDR-class),
+    the linear message-cost model of the paper's DAG message edges. *)
+
+type t = { alpha : float;  (** latency, s *) beta : float  (** s/byte *) }
+
+val default : t
+
+val transfer_time : ?net:t -> int -> float
+(** Point-to-point cost of a message of the given size in bytes. *)
+
+val collective_time : ?net:t -> ranks:int -> int -> float
+(** Log-tree collective cost over [ranks] participants. *)

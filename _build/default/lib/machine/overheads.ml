@@ -1,0 +1,21 @@
+(** Measured mechanism overheads from Section 6.2 of the paper, used as
+    constants by the simulator so that runtime-system costs enter our
+    results the same way they entered the paper's. *)
+
+(** Profiler cost added to every instrumented MPI call (median). *)
+let profiling_per_mpi_call = 34e-6
+
+(** DVFS transition + logic when replaying an LP schedule (median,
+    per configuration change). *)
+let dvfs_transition = 145e-6
+
+(** Conductor's per-task configuration-selection overhead (average). *)
+let conductor_per_task = 17e-6
+
+(** Synchronous power-reallocation step at an [MPI_Pcontrol] boundary
+    (average, per invocation). *)
+let reallocation_per_step = 566e-6
+
+(** Replay skips a configuration change when the upcoming task is shorter
+    than this threshold (Section 6.1). *)
+let replay_min_task = 1e-3

@@ -1,0 +1,66 @@
+(** Intrinsic performance profile of a computation task.
+
+    A task's execution time and socket power under a configuration
+    (frequency × thread count) are derived from four parameters that
+    capture the application properties the paper identifies as decisive:
+
+    - [work]: single-thread execution time at the maximum frequency;
+    - [serial_frac]: Amdahl serial fraction, limiting thread scaling;
+    - [contention]: per-extra-thread slowdown factor modeling shared-cache
+      contention (what makes 4-5 threads optimal for LULESH-like tasks);
+    - [mem_bound]: fraction of execution time insensitive to core
+      frequency (memory-bound stalls). *)
+
+type t = {
+  work : float;  (** seconds at 1 thread, max frequency *)
+  serial_frac : float;  (** in [0, 1] *)
+  contention : float;  (** >= 0; per-thread multiplicative overhead *)
+  mem_bound : float;  (** in [0, 1) *)
+}
+
+let v ?(serial_frac = 0.05) ?(contention = 0.0) ?(mem_bound = 0.2) work =
+  if work < 0.0 then invalid_arg "Profile.v: negative work";
+  if serial_frac < 0.0 || serial_frac > 1.0 then
+    invalid_arg "Profile.v: serial_frac out of [0,1]";
+  if contention < 0.0 then invalid_arg "Profile.v: negative contention";
+  if mem_bound < 0.0 || mem_bound >= 1.0 then
+    invalid_arg "Profile.v: mem_bound out of [0,1)";
+  { work; serial_frac; contention; mem_bound }
+
+(** Thread-scaling factor: relative time at [threads] threads versus one
+    thread, at a fixed frequency.  Amdahl scaling plus an additive
+    per-extra-thread contention term; the optimum thread count is about
+    [sqrt ((1 - serial_frac) / contention)]. *)
+let thread_factor t ~threads =
+  if threads < 1 then invalid_arg "Profile.thread_factor: threads < 1";
+  let n = Float.of_int threads in
+  t.serial_frac
+  +. ((1.0 -. t.serial_frac) /. n)
+  +. (t.contention *. (n -. 1.0))
+
+(** Frequency-scaling factor: relative time at frequency [freq] versus
+    the maximum frequency. *)
+let freq_factor t ~freq =
+  if freq <= 0.0 then invalid_arg "Profile.freq_factor: freq <= 0";
+  t.mem_bound +. ((1.0 -. t.mem_bound) *. (Dvfs.f_max /. freq))
+
+(** Task duration in seconds at the given configuration. *)
+let duration t ~freq ~threads =
+  t.work *. thread_factor t ~threads *. freq_factor t ~freq
+
+(** Thread count in 1..max_threads minimizing duration (frequency held
+    fixed; the optimum is frequency-independent in this model). *)
+let best_threads t ~max_threads =
+  let best = ref 1 and bt = ref (thread_factor t ~threads:1) in
+  for n = 2 to max_threads do
+    let f = thread_factor t ~threads:n in
+    if f < !bt then begin
+      bt := f;
+      best := n
+    end
+  done;
+  !best
+
+let pp ppf t =
+  Fmt.pf ppf "{work=%.4gs; serial=%.3g; contention=%.3g; mem=%.3g}" t.work
+    t.serial_frac t.contention t.mem_bound

@@ -1,0 +1,34 @@
+(** Intrinsic performance profile of a computation task: the four
+    parameters from which duration and power under any (frequency ×
+    threads) configuration are derived. *)
+
+type t = {
+  work : float;  (** seconds at 1 thread, max frequency *)
+  serial_frac : float;  (** Amdahl serial fraction, in [0, 1] *)
+  contention : float;
+      (** additive per-extra-thread slowdown (shared-cache contention);
+          the optimal thread count is about
+          [sqrt ((1 - serial_frac) / contention)] *)
+  mem_bound : float;
+      (** fraction of execution time insensitive to core frequency,
+          in [0, 1) *)
+}
+
+val v :
+  ?serial_frac:float -> ?contention:float -> ?mem_bound:float -> float -> t
+(** [v work] builds a profile, validating every field. *)
+
+val thread_factor : t -> threads:int -> float
+(** Relative time at [threads] threads versus one thread (fixed
+    frequency). *)
+
+val freq_factor : t -> freq:float -> float
+(** Relative time at [freq] versus the maximum frequency. *)
+
+val duration : t -> freq:float -> threads:int -> float
+(** Task duration in seconds at the given configuration. *)
+
+val best_threads : t -> max_threads:int -> int
+(** Thread count in [1..max_threads] minimizing duration. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(** Model of RAPL-style firmware power capping.
+
+    Given a socket power cap, the firmware selects the highest DVFS state
+    whose predicted power fits under the cap.  Crucially — and this is the
+    limitation the paper's Static baseline inherits — RAPL can only scale
+    frequency (and, below the lowest P-state, duty-cycle clock
+    modulation); it can never change the number of active threads.
+
+    Clock modulation: when even the lowest P-state exceeds the cap, the
+    core clock is duty-cycled.  The effective frequency is
+    [f_min * duty] and the whole task (including its memory-bound
+    portion) slows by [1 / duty]. *)
+
+type effective = {
+  freq : float;  (** DVFS state selected (a ladder state) *)
+  duty : float;  (** clock-modulation duty cycle in (0, 1]; 1 = none *)
+  power : float;  (** predicted socket power under the cap *)
+}
+
+let min_duty = 0.125 (* hardware modulation floor: 1/8 duty *)
+
+(** Effective operating point for a socket asked to run [threads] cores
+    on a task with memory-boundedness [mem_bound] under [cap] watts. *)
+let operating_point ?(params = Socket.default_params) socket ~cap ~threads
+    ~mem_bound =
+  (* Highest ladder state fitting the cap. *)
+  let chosen = ref None in
+  Array.iter
+    (fun f ->
+      let p = Socket.power ~params socket ~freq:f ~threads ~mem_bound in
+      if p <= cap +. 1e-9 then chosen := Some (f, p))
+    Dvfs.ladder;
+  match !chosen with
+  | Some (freq, power) -> { freq; duty = 1.0; power }
+  | None ->
+      (* Duty-cycle at the lowest P-state.  Power above idle scales with
+         the duty cycle. *)
+      let f = Dvfs.f_min in
+      let p_full = Socket.power ~params socket ~freq:f ~threads ~mem_bound in
+      let dynamic = p_full -. params.Socket.idle_w in
+      let duty =
+        if dynamic <= 0.0 then 1.0
+        else max min_duty (min 1.0 ((cap -. params.Socket.idle_w) /. dynamic))
+      in
+      {
+        freq = f;
+        duty;
+        power = params.Socket.idle_w +. (duty *. dynamic);
+      }
+
+(** Duration of a task run under a RAPL operating point. *)
+let duration profile eff_point ~threads =
+  Profile.duration profile ~freq:eff_point.freq ~threads /. eff_point.duty
+
+(** Effective clock as a fraction of the maximum frequency (the paper
+    reports Static dropping to 22% of max clock under tight caps). *)
+let relative_clock eff_point = eff_point.freq *. eff_point.duty /. Dvfs.f_max

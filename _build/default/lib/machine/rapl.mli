@@ -1,0 +1,28 @@
+(** Model of RAPL-style firmware power capping: selects the highest DVFS
+    state fitting the cap, duty-cycling the clock below the lowest
+    P-state.  Crucially (the limitation the paper's Static baseline
+    inherits) it can never change the number of active threads. *)
+
+type effective = {
+  freq : float;  (** DVFS state selected (a ladder state) *)
+  duty : float;  (** clock-modulation duty cycle in (0, 1]; 1 = none *)
+  power : float;  (** predicted socket power under the cap *)
+}
+
+val min_duty : float
+(** Hardware modulation floor (1/8 duty). *)
+
+val operating_point :
+  ?params:Socket.params ->
+  Socket.t ->
+  cap:float ->
+  threads:int ->
+  mem_bound:float ->
+  effective
+
+val duration : Profile.t -> effective -> threads:int -> float
+(** Task duration under an operating point (modulation slows the whole
+    task by [1 / duty]). *)
+
+val relative_clock : effective -> float
+(** Effective clock as a fraction of the maximum frequency. *)

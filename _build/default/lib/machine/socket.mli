@@ -1,0 +1,33 @@
+(** Simulated processor socket: power model and per-part manufacturing
+    variability.  See the implementation header for the calibration
+    rationale (Table 1 frontier shape; 30 W cap cliff). *)
+
+type t = {
+  id : int;
+  eff : float;  (** dynamic-power multiplier; 1.0 = nominal part *)
+}
+
+type params = {
+  cores : int;
+  idle_w : float;
+  leak_w : float;  (** static per-core power when the core is active *)
+  dyn_w : float;  (** dynamic per-core power at max frequency *)
+  mem_damp : float;  (** dynamic-power reduction per unit of mem_bound *)
+}
+
+val default_params : params
+
+val nominal : int -> t
+(** A socket with no variability. *)
+
+val fleet : ?variability:float -> seed:int -> int -> t array
+(** [fleet ~seed n]: [n] sockets with bell-shaped efficiency variability,
+    deterministic in [seed]. *)
+
+val power :
+  ?params:params -> t -> freq:float -> threads:int -> mem_bound:float -> float
+(** Socket power (watts) with [threads] active cores at [freq] running a
+    task of the given memory-boundedness. *)
+
+val idle_power : ?params:params -> t -> float
+val pp : Format.formatter -> t -> unit

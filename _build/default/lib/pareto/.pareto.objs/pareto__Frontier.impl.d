@@ -1,0 +1,1 @@
+lib/pareto/frontier.ml: Array Float Fmt List Machine Point

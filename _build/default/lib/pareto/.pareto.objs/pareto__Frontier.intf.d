@@ -1,0 +1,1 @@
+lib/pareto/frontier.mli: Format Machine Point

@@ -1,0 +1,1 @@
+lib/pareto/point.ml: Fmt Machine

@@ -1,0 +1,25 @@
+(** One configuration of a task: a DVFS state and a thread count, with
+    the (duration, power) it induces on a given socket. *)
+
+type t = { freq : float; threads : int; duration : float; power : float }
+
+let make ?(params = Machine.Socket.default_params) socket profile ~freq
+    ~threads =
+  {
+    freq;
+    threads;
+    duration = Machine.Profile.duration profile ~freq ~threads;
+    power =
+      Machine.Socket.power ~params socket ~freq ~threads
+        ~mem_bound:profile.Machine.Profile.mem_bound;
+  }
+
+(** [dominates a b]: [a] is at least as good as [b] in both time and
+    power, and strictly better in one. *)
+let dominates a b =
+  a.duration <= b.duration && a.power <= b.power
+  && (a.duration < b.duration || a.power < b.power)
+
+let pp ppf t =
+  Fmt.pf ppf "%.1fGHz/%dthr: %.4gs at %.4gW" t.freq t.threads t.duration
+    t.power

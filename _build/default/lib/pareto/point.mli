@@ -1,0 +1,18 @@
+(** One configuration of a task: a DVFS state and thread count, with the
+    (duration, power) it induces on a given socket. *)
+
+type t = { freq : float; threads : int; duration : float; power : float }
+
+val make :
+  ?params:Machine.Socket.params ->
+  Machine.Socket.t ->
+  Machine.Profile.t ->
+  freq:float ->
+  threads:int ->
+  t
+
+val dominates : t -> t -> bool
+(** [dominates a b]: [a] is at least as good in both time and power, and
+    strictly better in one. *)
+
+val pp : Format.formatter -> t -> unit

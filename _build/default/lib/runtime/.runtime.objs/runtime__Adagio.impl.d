@@ -1,0 +1,1 @@
+lib/runtime/adagio.ml: Array Core Dag Hashtbl Machine Pareto Simulate Static

@@ -1,0 +1,1 @@
+lib/runtime/adagio.mli: Core Simulate

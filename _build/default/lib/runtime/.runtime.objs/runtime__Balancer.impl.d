@@ -1,0 +1,1 @@
+lib/runtime/balancer.ml: Array Core Dag Float Machine Pareto Simulate Static

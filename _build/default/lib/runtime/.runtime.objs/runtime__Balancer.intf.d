@@ -1,0 +1,1 @@
+lib/runtime/balancer.mli: Core Simulate

@@ -1,0 +1,1 @@
+lib/runtime/conductor.ml: Array Core Dag Float Machine Pareto Random Simulate Static

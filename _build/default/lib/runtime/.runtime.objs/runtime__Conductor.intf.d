@@ -1,0 +1,1 @@
+lib/runtime/conductor.mli: Core Simulate

@@ -1,0 +1,1 @@
+lib/runtime/static.ml: Array Core Dag Float Machine Pareto Simulate

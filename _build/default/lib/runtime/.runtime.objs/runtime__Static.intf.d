@@ -1,0 +1,1 @@
+lib/runtime/static.mli: Core Dag Pareto Simulate

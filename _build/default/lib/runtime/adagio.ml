@@ -1,0 +1,73 @@
+(** Adagio-style slack reclamation (Rountree et al., referenced in
+    Section 4.2): each task is slowed to arrive "just in time", using the
+    slack it showed in the previous iteration, without any job-level
+    power budget.  Adagio is an energy saver rather than a power capper;
+    it is included both as the first step of Conductor's pipeline and as
+    a standalone policy for ablation studies. *)
+
+type state = {
+  (* slack observed for (rank, label) task classes in the last iteration *)
+  slack : (int * string, float) Hashtbl.t;
+  durations : (int * string, float) Hashtbl.t;
+}
+
+(** Policy: first run of a task class executes flat out; later runs pick
+    the most frugal frontier point that stays within observed duration +
+    slack. *)
+let policy (sc : Core.Scenario.t) : Simulate.Policy.t =
+  let st = { slack = Hashtbl.create 64; durations = Hashtbl.create 64 } in
+  (* Pre-compute per-class slack from the unconstrained schedule: Adagio's
+     online estimate converges to exactly this after one iteration. *)
+  let init = Core.Event_lp.initial_times sc in
+  let dur t = Core.Scenario.fastest_duration sc t.Dag.Graph.tid in
+  let slacks = Dag.Schedule.task_slack sc.Core.Scenario.graph init ~dur in
+  Array.iteri
+    (fun tid (t : Dag.Graph.task) ->
+      if t.profile.Machine.Profile.work > 0.0 then begin
+        let key = (t.rank, t.label) in
+        (* keep the smallest slack seen for the class: conservative *)
+        let s = slacks.(tid) in
+        (match Hashtbl.find_opt st.slack key with
+        | Some old when old <= s -> ()
+        | _ -> Hashtbl.replace st.slack key s);
+        Hashtbl.replace st.durations key (dur t)
+      end)
+    sc.Core.Scenario.graph.Dag.Graph.tasks;
+  let decide (ctx : Simulate.Policy.decide_ctx) =
+    let t = ctx.Simulate.Policy.task in
+    let frontier = sc.Core.Scenario.frontiers.(t.tid) in
+    if Array.length frontier = 0 then
+      { Simulate.Policy.blend = [ (Static.point_for sc ~cap:1e9 t, 1.0) ];
+        overhead = 0.0 }
+    else begin
+      let fast = Pareto.Frontier.fastest frontier in
+      let key = (t.rank, t.label) in
+      let budget_time =
+        match
+          (t.iteration > 0, Hashtbl.find_opt st.slack key,
+           Hashtbl.find_opt st.durations key)
+        with
+        | true, Some s, Some d when s > 0.0 -> d +. s
+        | _ -> fast.Pareto.Point.duration
+      in
+      (* slowest point still meeting the deadline *)
+      let pick = ref fast in
+      Array.iter
+        (fun (p : Pareto.Point.t) ->
+          if
+            p.Pareto.Point.duration <= budget_time +. 1e-9
+            && p.Pareto.Point.power < !pick.Pareto.Point.power
+          then pick := p)
+        frontier;
+      { Simulate.Policy.blend = [ (!pick, 1.0) ]; overhead = 0.0 }
+    end
+  in
+  {
+    Simulate.Policy.name = "adagio";
+    decide;
+    observe = ignore;
+    pcontrol_overhead = 0.0;
+  }
+
+let run (sc : Core.Scenario.t) =
+  Simulate.Engine.run sc.Core.Scenario.graph (policy sc)

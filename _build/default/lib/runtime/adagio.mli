@@ -1,0 +1,8 @@
+(** Adagio-style slack reclamation (referenced in paper Section 4.2):
+    tasks are slowed to arrive just in time using last iteration's slack,
+    without any job-level power budget.  An energy saver rather than a
+    power capper; included as the first step of Conductor's pipeline and
+    for ablation studies. *)
+
+val policy : Core.Scenario.t -> Simulate.Policy.t
+val run : Core.Scenario.t -> Simulate.Engine.result

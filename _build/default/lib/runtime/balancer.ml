@@ -1,0 +1,93 @@
+(** A GEOPM-style load-proportional power balancer — an extension beyond
+    the paper, included because it is the approach mainstream open-source
+    runtimes take and it makes an instructive third comparison point.
+
+    Unlike Conductor, which estimates the critical path and moves watts
+    toward it through an Adagio step, the balancer simply re-divides the
+    job budget in proportion to each rank's observed compute time
+    (heavier ranks get more watts), smoothed by [gain].  Configuration
+    selection is the same frontier lookup Conductor uses, without
+    selection noise.  It captures most of Conductor's win on imbalanced
+    applications while being far simpler — and, like Conductor, it cannot
+    beat the LP bound. *)
+
+type knobs = {
+  explore_iters : int;
+  gain : float;  (** smoothing of the proportional update, in (0, 1] *)
+  seed : int;
+}
+
+let default_knobs = { explore_iters = 3; gain = 0.7; seed = 9 }
+
+type state = { caps : float array }
+
+let cap_floor = 19.0
+
+let decide (sc : Core.Scenario.t) (st : state) knobs
+    (ctx : Simulate.Policy.decide_ctx) : Simulate.Policy.decision =
+  let t = ctx.Simulate.Policy.task in
+  let cap = st.caps.(t.rank) in
+  let frontier = sc.Core.Scenario.frontiers.(t.tid) in
+  let blend =
+    if
+      Array.length frontier = 0
+      || (t.iteration >= 0 && t.iteration < knobs.explore_iters)
+    then [ (Static.point_for sc ~cap t, 1.0) ]
+    else
+      match Pareto.Frontier.best_under_power frontier ~budget:cap with
+      | Some p -> [ (p, 1.0) ]
+      | None -> [ (Static.point_for sc ~cap t, 1.0) ]
+  in
+  let switch =
+    match (ctx.Simulate.Policy.prev, blend) with
+    | Some prev, (p, _) :: _ ->
+        prev.Pareto.Point.freq <> p.Pareto.Point.freq
+        || prev.Pareto.Point.threads <> p.Pareto.Point.threads
+    | _ -> false
+  in
+  {
+    Simulate.Policy.blend;
+    overhead = (if switch then Machine.Overheads.conductor_per_task else 0.0);
+  }
+
+let observe (st : state) knobs ~job_cap (obs : Simulate.Policy.observation) =
+  if obs.Simulate.Policy.iteration >= knobs.explore_iters - 1 then begin
+    let n = Array.length st.caps in
+    let total_busy = Array.fold_left ( +. ) 0.0 obs.Simulate.Policy.rank_busy in
+    if total_busy > 0.0 then begin
+      (* proportional target, floored, then renormalized to the budget *)
+      let target =
+        Array.map
+          (fun b -> max cap_floor (job_cap *. b /. total_busy))
+          obs.Simulate.Policy.rank_busy
+      in
+      let tsum = Array.fold_left ( +. ) 0.0 target in
+      let scale = job_cap /. tsum in
+      for r = 0 to n - 1 do
+        let t = max cap_floor (target.(r) *. scale) in
+        st.caps.(r) <- st.caps.(r) +. (knobs.gain *. (t -. st.caps.(r)))
+      done;
+      (* keep the invariant sum(caps) <= job_cap despite the floor *)
+      let s = Array.fold_left ( +. ) 0.0 st.caps in
+      if s > job_cap then begin
+        let shrink = job_cap /. s in
+        for r = 0 to n - 1 do
+          st.caps.(r) <- st.caps.(r) *. shrink
+        done
+      end
+    end
+  end
+
+let policy ?(knobs = default_knobs) (sc : Core.Scenario.t) ~job_cap :
+    Simulate.Policy.t =
+  let n = sc.Core.Scenario.graph.Dag.Graph.nranks in
+  let st = { caps = Array.make n (job_cap /. Float.of_int n) } in
+  {
+    Simulate.Policy.name = "balancer";
+    decide = decide sc st knobs;
+    observe = observe st knobs ~job_cap;
+    pcontrol_overhead = Machine.Overheads.reallocation_per_step;
+  }
+
+let run ?knobs (sc : Core.Scenario.t) ~job_cap =
+  Simulate.Engine.run sc.Core.Scenario.graph (policy ?knobs sc ~job_cap)

@@ -1,0 +1,14 @@
+(** GEOPM-style load-proportional power balancer (extension beyond the
+    paper): re-divides the job budget in proportion to observed per-rank
+    compute time at every pcontrol boundary.  A simpler third comparison
+    point between Static and Conductor. *)
+
+type knobs = {
+  explore_iters : int;
+  gain : float;  (** smoothing of the proportional update, in (0, 1] *)
+  seed : int;
+}
+
+val default_knobs : knobs
+val policy : ?knobs:knobs -> Core.Scenario.t -> job_cap:float -> Simulate.Policy.t
+val run : ?knobs:knobs -> Core.Scenario.t -> job_cap:float -> Simulate.Engine.result

@@ -1,0 +1,233 @@
+(** Conductor: adaptive configuration selection and power reallocation
+    (Section 4.2 of the paper, after Marathe et al.).
+
+    Two mechanisms run on top of per-rank power budgets:
+
+    - {b Configuration selection}: each task runs the fastest
+      Pareto-frontier configuration that fits its rank's current budget.
+      During the initial exploration iterations the runtime behaves like
+      Static (it is still measuring configurations); selection afterwards
+      is imperfect — with probability [select_noise] a neighbouring,
+      slower frontier point is chosen, modeling profile estimation error.
+    - {b Power reallocation} (with an Adagio-style slack-reclamation
+      step): at every [MPI_Pcontrol] boundary, the runtime estimates the
+      critical rank from (noisy) busy-time measurements, shrinks the
+      budgets of ranks with slack down to their observed use plus a
+      headroom, and grants the freed watts to the estimated critical
+      rank.
+
+    The estimation noise is what separates the benchmarks in Section 6.4:
+    with real imbalance (BT, LULESH) the signal dominates and Conductor
+    tracks the LP; on balanced SP the noise dominates, budgets thrash,
+    and Conductor lands {e below} Static.  Overheads are charged exactly
+    as measured in Section 6.2 (17 us per configuration change, 566 us
+    per reallocation). *)
+
+type knobs = {
+  explore_iters : int;  (** iterations spent profiling, Static-like *)
+  gain : float;  (** fraction of donor headroom moved per step *)
+  slack_close : float;
+      (** fraction of its observed slack a donor is stretched into;
+          1.0 = full just-in-time (aggressive, thrashes), lower values
+          are conservative *)
+  est_noise : float;  (** relative error on busy-time estimates *)
+  select_noise : float;  (** probability of off-by-one config choice *)
+  headroom_w : float;  (** watts a donor keeps above its observed use *)
+  seed : int;
+}
+
+let default_knobs =
+  {
+    explore_iters = 3;
+    gain = 0.5;
+    slack_close = 0.6;
+    est_noise = 0.012;
+    select_noise = 0.05;
+    headroom_w = 0.5;
+    seed = 5;
+  }
+
+type state = {
+  caps : float array;  (** current per-rank power budget *)
+  rank_frontier : Pareto.Frontier.t array;
+      (** representative (heaviest-task) frontier per rank, used to
+          translate "finish this much later" into watts *)
+  rng : Random.State.t;
+  mutable steps : int;
+}
+
+let cap_floor = 19.0 (* below this no configuration fits; never starve *)
+
+let decide (sc : Core.Scenario.t) (st : state) knobs
+    (ctx : Simulate.Policy.decide_ctx) : Simulate.Policy.decision =
+  let t = ctx.Simulate.Policy.task in
+  let cap = st.caps.(t.rank) in
+  let frontier = sc.Core.Scenario.frontiers.(t.tid) in
+  let fallback () =
+    (* budget below the frontier: RAPL throttles all eight cores *)
+    [ (Static.point_for sc ~cap t, 1.0) ]
+  in
+  let blend =
+    if Array.length frontier = 0 then fallback ()
+    else if t.iteration >= 0 && t.iteration < knobs.explore_iters then
+      (* exploration phase: still measuring, run the Static choice *)
+      [ (Static.point_for sc ~cap t, 1.0) ]
+    else begin
+      match Pareto.Frontier.best_under_power frontier ~budget:cap with
+      | None -> fallback ()
+      | Some best ->
+          (* imperfect profiles: occasionally pick the next-slower point *)
+          let pick =
+            if Random.State.float st.rng 1.0 < knobs.select_noise then begin
+              let idx = ref 0 in
+              Array.iteri
+                (fun k (p : Pareto.Point.t) ->
+                  if
+                    p.Pareto.Point.freq = best.Pareto.Point.freq
+                    && p.Pareto.Point.threads = best.Pareto.Point.threads
+                  then idx := k)
+                frontier;
+              frontier.(max 0 (!idx - 1))
+            end
+            else best
+          in
+          [ (pick, 1.0) ]
+    end
+  in
+  let switch =
+    match (ctx.Simulate.Policy.prev, blend) with
+    | Some prev, (p, _) :: _ ->
+        prev.Pareto.Point.freq <> p.Pareto.Point.freq
+        || prev.Pareto.Point.threads <> p.Pareto.Point.threads
+    | _ -> false
+  in
+  {
+    Simulate.Policy.blend;
+    overhead = (if switch then Machine.Overheads.conductor_per_task else 0.0);
+  }
+
+(* Highest power any task of [rank] could usefully consume. *)
+let rank_cap_max (sc : Core.Scenario.t) rank =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun tid f ->
+      if
+        Array.length f > 0
+        && sc.Core.Scenario.graph.Dag.Graph.tasks.(tid).Dag.Graph.rank = rank
+      then worst := max !worst (Pareto.Frontier.max_power f))
+    sc.Core.Scenario.frontiers;
+  !worst
+
+let observe (sc : Core.Scenario.t) (st : state) knobs ~job_cap
+    (obs : Simulate.Policy.observation) =
+  ignore job_cap;
+  st.steps <- st.steps + 1;
+  if obs.Simulate.Policy.iteration >= knobs.explore_iters - 1 then begin
+    let n = Array.length st.caps in
+    let window = obs.Simulate.Policy.window in
+    if window > 0.0 then begin
+      (* noisy busy-time estimates drive critical-path identification *)
+      let est =
+        Array.map
+          (fun b ->
+            b
+            *. (1.0
+               +. (knobs.est_noise *. (Random.State.float st.rng 2.0 -. 1.0))))
+          obs.Simulate.Policy.rank_busy
+      in
+      let mean = Array.fold_left ( +. ) 0.0 est /. Float.of_int n in
+      (* Adagio step: ranks finishing early are stretched toward the
+         mean busy time (aiming at the old window instead would
+         overshoot: the critical rank speeds up at the same moment, and
+         yesterday's donors become tomorrow's stragglers).  Power above
+         the stretched operating point is freed. *)
+      let freed = ref 0.0 in
+      for r = 0 to n - 1 do
+        let slack_frac = 1.0 -. (est.(r) /. window) in
+        if slack_frac > 0.02 && est.(r) < mean then begin
+          let used = obs.Simulate.Policy.rank_power.(r) in
+          let target =
+            let f = st.rank_frontier.(r) in
+            if Array.length f = 0 then used
+            else begin
+              (* slide along the rank's profiled frontier: find the power
+                 at which the rank would finish just in time *)
+              let d_now = Pareto.Frontier.duration_at_power f ~power:used in
+              let stretch =
+                1.0 +. (knobs.slack_close *. ((mean /. est.(r)) -. 1.0))
+              in
+              let d_allowed = d_now *. stretch in
+              Pareto.Frontier.power_for_duration f ~duration:d_allowed
+              +. knobs.headroom_w
+            end
+          in
+          let target = max cap_floor target in
+          if st.caps.(r) > target then begin
+            let give = knobs.gain *. (st.caps.(r) -. target) in
+            st.caps.(r) <- st.caps.(r) -. give;
+            freed := !freed +. give
+          end
+        end
+      done;
+      (* grant freed watts to ranks above the mean, weighted by their
+         estimated excess, bounded by what each can absorb *)
+      let excess = Array.map (fun e -> max 0.0 (e -. mean)) est in
+      let total_excess = Array.fold_left ( +. ) 0.0 excess in
+      let leftover = ref 0.0 in
+      if total_excess > 0.0 && !freed > 0.0 then
+        for r = 0 to n - 1 do
+          if excess.(r) > 0.0 then begin
+            let want = !freed *. excess.(r) /. total_excess in
+            let cap_max = rank_cap_max sc r in
+            let cap_max = if cap_max > 0.0 then cap_max else st.caps.(r) in
+            let grant = min want (max 0.0 (cap_max -. st.caps.(r))) in
+            st.caps.(r) <- st.caps.(r) +. grant;
+            leftover := !leftover +. (want -. grant)
+          end
+        done
+      else leftover := !freed;
+      (* watts nobody could absorb return uniformly *)
+      if !leftover > 1e-9 then begin
+        let share = !leftover /. Float.of_int n in
+        for r = 0 to n - 1 do
+          st.caps.(r) <- st.caps.(r) +. share
+        done
+      end
+    end
+  end
+
+(** Conductor policy under [job_cap] watts for the whole job. *)
+let policy ?(knobs = default_knobs) (sc : Core.Scenario.t) ~job_cap :
+    Simulate.Policy.t =
+  let n = sc.Core.Scenario.graph.Dag.Graph.nranks in
+  let rank_frontier =
+    let best_work = Array.make n 0.0 in
+    let fr = Array.make n [||] in
+    Array.iteri
+      (fun tid (t : Dag.Graph.task) ->
+        let w = t.profile.Machine.Profile.work in
+        if w > best_work.(t.rank) then begin
+          best_work.(t.rank) <- w;
+          fr.(t.rank) <- sc.Core.Scenario.frontiers.(tid)
+        end)
+      sc.Core.Scenario.graph.Dag.Graph.tasks;
+    fr
+  in
+  let st =
+    {
+      caps = Array.make n (job_cap /. Float.of_int n);
+      rank_frontier;
+      rng = Random.State.make [| knobs.seed; 0xc0d |];
+      steps = 0;
+    }
+  in
+  {
+    Simulate.Policy.name = "conductor";
+    decide = decide sc st knobs;
+    observe = observe sc st knobs ~job_cap;
+    pcontrol_overhead = Machine.Overheads.reallocation_per_step;
+  }
+
+(** Run an application under Conductor. *)
+let run ?knobs (sc : Core.Scenario.t) ~job_cap =
+  Simulate.Engine.run sc.Core.Scenario.graph (policy ?knobs sc ~job_cap)

@@ -1,0 +1,23 @@
+(** Conductor: adaptive configuration selection and power reallocation
+    (paper Section 4.2).  Per-rank power budgets are adjusted at every
+    [MPI_Pcontrol] boundary: ranks with slack are stretched toward the
+    mean busy time (an Adagio-style step) and the freed watts go to the
+    ranks estimated critical.  Estimation noise makes the difference
+    between tracking the LP (imbalanced applications) and thrashing below
+    Static (balanced SP), as in paper Section 6.4. *)
+
+type knobs = {
+  explore_iters : int;  (** iterations spent profiling, Static-like *)
+  gain : float;  (** fraction of donor headroom moved per step *)
+  slack_close : float;
+      (** fraction of observed slack a donor is stretched into; 1.0 =
+          aggressive just-in-time *)
+  est_noise : float;  (** relative error on busy-time estimates *)
+  select_noise : float;  (** probability of off-by-one config choice *)
+  headroom_w : float;  (** watts a donor keeps above its stretched need *)
+  seed : int;
+}
+
+val default_knobs : knobs
+val policy : ?knobs:knobs -> Core.Scenario.t -> job_cap:float -> Simulate.Policy.t
+val run : ?knobs:knobs -> Core.Scenario.t -> job_cap:float -> Simulate.Engine.result

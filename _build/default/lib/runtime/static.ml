@@ -1,0 +1,31 @@
+(** Static: fixed, uniform power allocation (Section 4.1).
+
+    The job-level budget is split evenly across sockets and enforced by
+    the RAPL model.  Because RAPL lives in firmware it can only scale
+    frequency (and duty-cycle below the lowest P-state); thread count
+    stays pinned at all eight cores — the paper's de-facto-standard
+    baseline. *)
+
+let point_for (sc : Core.Scenario.t) ~cap (t : Dag.Graph.task) :
+    Pareto.Point.t =
+  let threads = Machine.Socket.default_params.Machine.Socket.cores in
+  let socket = sc.Core.Scenario.sockets.(t.rank) in
+  let mem_bound = t.profile.Machine.Profile.mem_bound in
+  let op = Machine.Rapl.operating_point socket ~cap ~threads ~mem_bound in
+  {
+    Pareto.Point.freq = op.Machine.Rapl.freq *. op.Machine.Rapl.duty;
+    threads;
+    duration = Machine.Rapl.duration t.profile op ~threads;
+    power = op.Machine.Rapl.power;
+  }
+
+(** Static policy under [job_cap] watts for the whole job. *)
+let policy (sc : Core.Scenario.t) ~job_cap : Simulate.Policy.t =
+  let cap = job_cap /. Float.of_int sc.Core.Scenario.graph.Dag.Graph.nranks in
+  Simulate.Policy.of_point_fn "static"
+    (fun (ctx : Simulate.Policy.decide_ctx) ->
+      point_for sc ~cap ctx.Simulate.Policy.task)
+
+(** Run an application under Static and return the simulation result. *)
+let run (sc : Core.Scenario.t) ~job_cap =
+  Simulate.Engine.run sc.Core.Scenario.graph (policy sc ~job_cap)

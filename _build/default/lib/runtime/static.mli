@@ -1,0 +1,10 @@
+(** Static: fixed, uniform power allocation (paper Section 4.1).  The
+    job budget splits evenly across sockets and is enforced by the RAPL
+    model, which can only scale frequency — threads stay pinned at all
+    eight cores. *)
+
+val point_for : Core.Scenario.t -> cap:float -> Dag.Graph.task -> Pareto.Point.t
+(** RAPL operating point for one task under a per-socket cap. *)
+
+val policy : Core.Scenario.t -> job_cap:float -> Simulate.Policy.t
+val run : Core.Scenario.t -> job_cap:float -> Simulate.Engine.result

@@ -1,0 +1,1 @@
+lib/simulate/csv.ml: Array Buffer Dag Engine Fun Machine Pareto Printf String

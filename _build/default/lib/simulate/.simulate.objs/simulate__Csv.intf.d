@@ -1,0 +1,1 @@
+lib/simulate/csv.mli: Dag Engine

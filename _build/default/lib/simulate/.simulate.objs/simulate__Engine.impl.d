@@ -1,0 +1,1 @@
+lib/simulate/engine.ml: Array Dag List Machine Pareto Policy Putil

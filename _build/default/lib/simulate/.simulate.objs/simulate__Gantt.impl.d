@@ -1,0 +1,1 @@
+lib/simulate/gantt.ml: Array Buffer Bytes Char Dag Engine Float Pareto Printf

@@ -1,0 +1,1 @@
+lib/simulate/gantt.mli: Dag Engine

@@ -1,0 +1,1 @@
+lib/simulate/policy.ml: Dag Pareto

@@ -1,0 +1,1 @@
+lib/simulate/stats.ml: Array Dag Engine Float List Machine

@@ -1,0 +1,64 @@
+(** CSV export of simulation results, for plotting power traces and task
+    scatters (the raw material of the paper's Figures 12 and the power
+    validation plots) with any external tool. *)
+
+(* Emit one CSV line through [put]. *)
+let line put cells = put (String.concat "," cells ^ "\n")
+
+(** Job-power step function: columns [time_s,power_w].  Each change in
+    job power appears as one row. *)
+let write_trace put (r : Engine.result) =
+  line put [ "time_s"; "power_w" ];
+  Array.iter
+    (fun (t, p) -> line put [ Printf.sprintf "%.9g" t; Printf.sprintf "%.6g" p ])
+    r.Engine.trace;
+  line put
+    [ Printf.sprintf "%.9g" r.Engine.makespan; Printf.sprintf "%.6g" 0.0 ]
+
+(** Per-task records: columns
+    [tid,rank,iteration,label,start_s,duration_s,power_w,freq_ghz,threads]. *)
+let write_records put (g : Dag.Graph.t) (r : Engine.result) =
+  line put
+    [
+      "tid"; "rank"; "iteration"; "label"; "start_s"; "duration_s"; "power_w";
+      "freq_ghz"; "threads";
+    ];
+  Array.iter
+    (fun (rc : Engine.task_record) ->
+      let t = g.Dag.Graph.tasks.(rc.tid) in
+      if t.Dag.Graph.profile.Machine.Profile.work > 0.0 then
+        line put
+          [
+            string_of_int rc.tid;
+            string_of_int rc.rank;
+            string_of_int t.Dag.Graph.iteration;
+            t.Dag.Graph.label;
+            Printf.sprintf "%.9g" rc.start;
+            Printf.sprintf "%.9g" rc.duration;
+            Printf.sprintf "%.6g" rc.power;
+            Printf.sprintf "%.2f" rc.point.Pareto.Point.freq;
+            string_of_int rc.point.Pareto.Point.threads;
+          ])
+    r.Engine.records
+
+let trace_to_string r =
+  let buf = Buffer.create 1024 in
+  write_trace (Buffer.add_string buf) r;
+  Buffer.contents buf
+
+let records_to_string g r =
+  let buf = Buffer.create 1024 in
+  write_records (Buffer.add_string buf) g r;
+  Buffer.contents buf
+
+let trace_to_file path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_trace (output_string oc) r)
+
+let records_to_file path g r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_records (output_string oc) g r)

@@ -1,0 +1,7 @@
+(** CSV export of simulation results (power traces, per-task records)
+    for external plotting. *)
+
+val trace_to_string : Engine.result -> string
+val records_to_string : Dag.Graph.t -> Engine.result -> string
+val trace_to_file : string -> Engine.result -> unit
+val records_to_file : string -> Dag.Graph.t -> Engine.result -> unit

@@ -1,0 +1,266 @@
+(** Discrete-event replay of an application DAG under a power-allocation
+    policy.
+
+    The engine fires vertices in event order: a vertex fires when every
+    in-edge (task or message) has completed, plus the vertex's collective
+    delay.  Task durations and powers come from the policy's chosen
+    configuration blend.  The engine itself enforces nothing about power;
+    it {e measures} the job power profile so callers can verify a policy
+    (or an LP schedule) against its job-level constraint — the
+    "validation by replay" of Section 6.1. *)
+
+type task_record = {
+  tid : int;
+  rank : int;
+  start : float;  (** includes the policy's switch overhead *)
+  duration : float;
+  power : float;  (** blend-average socket power during the task *)
+  point : Pareto.Point.t;  (** dominant (largest-weight) blend point *)
+  blend : Pareto.Frontier.blend;
+  overhead : float;
+}
+
+type result = {
+  makespan : float;
+  records : task_record array;  (** indexed by tid *)
+  trace : (float * float) array;
+      (** job-power step function: (time, power) samples, one per change *)
+  max_power : float;
+  avg_power : float;
+  energy : float;  (** joules over the whole run *)
+}
+
+type slack_model =
+  [ `Task_power  (** slack billed at the preceding task's power (LP view) *)
+  | `Idle  (** slack billed at socket idle power *) ]
+
+let dominant_point (b : Pareto.Frontier.blend) =
+  match b with
+  | [] -> invalid_arg "Engine: empty blend"
+  | (p0, w0) :: rest ->
+      let best = ref p0 and bw = ref w0 in
+      List.iter
+        (fun (p, w) ->
+          if w > !bw then begin
+            best := p;
+            bw := w
+          end)
+        rest;
+      !best
+
+type event = Task_done of int | Message_done of int
+
+let run ?(slack_model = `Task_power) ?(idle_power = 18.0) ?release
+    (g : Dag.Graph.t) (policy : Policy.t) : result =
+  let nv = Dag.Graph.n_vertices g in
+  let nt = Dag.Graph.n_tasks g in
+  let remaining = Array.make nv 0 in
+  Array.iteri
+    (fun v es -> remaining.(v) <- List.length es)
+    g.Dag.Graph.in_edges;
+  let latest_in = Array.make nv 0.0 in
+  let fired = Array.make nv false in
+  let fire_time = Array.make nv 0.0 in
+  let records : task_record option array = Array.make nt None in
+  let prev_point : Pareto.Point.t option array =
+    Array.make g.Dag.Graph.nranks None
+  in
+  let queue = Putil.Pqueue.create () in
+  (* Observation window accounting since the last pcontrol. *)
+  let win_busy = Array.make g.Dag.Graph.nranks 0.0 in
+  let win_energy = Array.make g.Dag.Graph.nranks 0.0 in
+  let win_start = ref 0.0 in
+  let start_task tid now =
+    let t = g.Dag.Graph.tasks.(tid) in
+    let d =
+      policy.Policy.decide { Policy.task = t; now; prev = prev_point.(t.rank) }
+    in
+    let blend = d.Policy.blend in
+    let dur = Pareto.Frontier.blend_duration blend in
+    (* Zero-work tasks are instantaneous MPI transitions: they carry no
+       power, matching the LP formulation which gives them no
+       configuration variables. *)
+    let power =
+      if t.profile.Machine.Profile.work <= 0.0 then 0.0
+      else Pareto.Frontier.blend_power blend
+    in
+    let point = dominant_point blend in
+    prev_point.(t.rank) <- Some point;
+    let start = now +. d.Policy.overhead in
+    records.(tid) <-
+      Some
+        {
+          tid;
+          rank = t.rank;
+          start;
+          duration = dur;
+          power;
+          point;
+          blend;
+          overhead = d.Policy.overhead;
+        };
+    win_busy.(t.rank) <- win_busy.(t.rank) +. dur;
+    win_energy.(t.rank) <- win_energy.(t.rank) +. (dur *. power);
+    Putil.Pqueue.push queue (start +. dur) (Task_done tid)
+  in
+  let rec fire_vertex v now =
+    fired.(v) <- true;
+    fire_time.(v) <- now;
+    let vx = g.Dag.Graph.vertices.(v) in
+    let now =
+      if vx.Dag.Graph.pcontrol then now +. policy.Policy.pcontrol_overhead
+      else now
+    in
+    if vx.Dag.Graph.pcontrol then begin
+      let window = now -. !win_start in
+      let rank_power =
+        Array.mapi
+          (fun r e -> if win_busy.(r) > 0.0 then e /. win_busy.(r) else 0.0)
+          win_energy
+      in
+      policy.Policy.observe
+        {
+          Policy.iteration =
+            (match g.Dag.Graph.in_edges.(v) with
+            | Dag.Graph.T tid :: _ -> g.Dag.Graph.tasks.(tid).iteration
+            | _ -> -1);
+          now;
+          window;
+          rank_busy = Array.copy win_busy;
+          rank_power;
+        };
+      Array.fill win_busy 0 (Array.length win_busy) 0.0;
+      Array.fill win_energy 0 (Array.length win_energy) 0.0;
+      win_start := now
+    end;
+    List.iter
+      (fun e ->
+        match e with
+        | Dag.Graph.T tid -> start_task tid now
+        | Dag.Graph.M mid ->
+            let m = g.Dag.Graph.messages.(mid) in
+            Putil.Pqueue.push queue
+              (now +. Machine.Network.transfer_time m.Dag.Graph.bytes)
+              (Message_done mid))
+      g.Dag.Graph.out_edges.(v)
+  and complete_edge_at v now =
+    remaining.(v) <- remaining.(v) - 1;
+    if now > latest_in.(v) then latest_in.(v) <- now;
+    if remaining.(v) = 0 then begin
+      let t = latest_in.(v) +. g.Dag.Graph.vertices.(v).Dag.Graph.delay in
+      (* A schedule may prescribe a later firing time than the greedy
+         one (the LP's event-order constraints can hold a vertex back to
+         keep power-hungry tasks from overlapping); honor it. *)
+      let t = match release with Some r -> max t (r v) | None -> t in
+      fire_vertex v t
+    end
+  in
+  fire_vertex g.Dag.Graph.init_v 0.0;
+  let makespan = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    match Putil.Pqueue.pop queue with
+    | None -> continue := false
+    | Some (now, ev) ->
+        if now > !makespan then makespan := now;
+        (match ev with
+        | Task_done tid -> complete_edge_at g.Dag.Graph.tasks.(tid).t_dst now
+        | Message_done mid ->
+            complete_edge_at g.Dag.Graph.messages.(mid).m_dst now)
+  done;
+  if not fired.(g.Dag.Graph.finalize_v) then
+    failwith "Engine.run: Finalize never fired (dag bug)";
+  (* a delayed or held-back Finalize extends the run even though no task
+     follows it *)
+  if fire_time.(g.Dag.Graph.finalize_v) > !makespan then
+    makespan := fire_time.(g.Dag.Graph.finalize_v);
+  let records =
+    Array.map
+      (function Some r -> r | None -> failwith "Engine.run: task never ran")
+      records
+  in
+  (* ---- job power trace ------------------------------------------- *)
+  (* Per rank, tasks tile the timeline; between a task's end and the next
+     task's start the socket is billed per [slack_model]. *)
+  let deltas = ref [] in
+  let add_delta t dp = if dp <> 0.0 then deltas := (t, dp) :: !deltas in
+  Array.iteri
+    (fun _r seq ->
+      Array.iteri
+        (fun i tid ->
+          let rc = records.(tid) in
+          let seg_end =
+            if i + 1 < Array.length seq then records.(seq.(i + 1)).start
+            else !makespan
+          in
+          let task_end = rc.start +. rc.duration in
+          add_delta rc.start rc.power;
+          (match slack_model with
+          | `Task_power ->
+              (* power held until the next task starts *)
+              add_delta (max task_end seg_end) (-.rc.power)
+          | `Idle ->
+              add_delta task_end (-.rc.power);
+              if seg_end > task_end then begin
+                add_delta task_end idle_power;
+                add_delta seg_end (-.idle_power)
+              end);
+          if i = 0 && rc.start > 0.0 then begin
+            (* leading wait before the first task *)
+            add_delta 0.0 idle_power;
+            add_delta rc.start (-.idle_power)
+          end)
+        seq)
+    g.Dag.Graph.rank_tasks;
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !deltas)
+  in
+  (* Coalesce deltas at identical times so simultaneous task end/start
+     pairs do not register transient power spikes. *)
+  let rec group = function
+    | (t1, d1) :: (t2, d2) :: rest when t1 = t2 -> group ((t1, d1 +. d2) :: rest)
+    | x :: rest -> x :: group rest
+    | [] -> []
+  in
+  let sorted = group sorted in
+  let trace = ref [] in
+  let cur = ref 0.0 in
+  let energy = ref 0.0 in
+  let last_t = ref 0.0 in
+  let maxp = ref 0.0 in
+  List.iter
+    (fun (t, dp) ->
+      if t > !last_t then begin
+        energy := !energy +. (!cur *. (t -. !last_t));
+        last_t := t
+      end;
+      cur := !cur +. dp;
+      if !cur > !maxp then maxp := !cur;
+      match !trace with
+      | (t0, _) :: rest when t0 = t -> trace := (t, !cur) :: rest
+      | _ -> trace := (t, !cur) :: !trace)
+    sorted;
+  {
+    makespan = !makespan;
+    records;
+    trace = Array.of_list (List.rev !trace);
+    max_power = !maxp;
+    avg_power = (if !makespan > 0.0 then !energy /. !makespan else 0.0);
+    energy = !energy;
+  }
+
+(** Maximum job power, excluding intervals shorter than [ignore_below]
+    seconds (useful to separate transient configuration-switch spikes
+    from sustained violations). *)
+let sustained_max_power ?(ignore_below = 0.0) (r : result) =
+  if ignore_below <= 0.0 then r.max_power
+  else begin
+    let n = Array.length r.trace in
+    let m = ref 0.0 in
+    Array.iteri
+      (fun i (t, p) ->
+        let t' = if i + 1 < n then fst r.trace.(i + 1) else r.makespan in
+        if t' -. t >= ignore_below && p > !m then m := p)
+      r.trace;
+    !m
+  end

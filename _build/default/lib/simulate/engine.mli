@@ -1,0 +1,48 @@
+(** Discrete-event replay of an application DAG under a power-allocation
+    policy.  The engine enforces nothing about power; it {e measures} the
+    job-power profile so callers can verify a policy or an LP schedule
+    against its job-level constraint (paper Section 6.1). *)
+
+type task_record = {
+  tid : int;
+  rank : int;
+  start : float;  (** includes the policy's switch overhead *)
+  duration : float;
+  power : float;  (** blend-average socket power during the task *)
+  point : Pareto.Point.t;  (** dominant (largest-weight) blend point *)
+  blend : Pareto.Frontier.blend;
+  overhead : float;
+}
+
+type result = {
+  makespan : float;
+  records : task_record array;  (** indexed by tid *)
+  trace : (float * float) array;
+      (** job-power step function: one (time, power) sample per change *)
+  max_power : float;
+  avg_power : float;
+  energy : float;  (** joules over the whole run *)
+}
+
+type slack_model =
+  [ `Task_power  (** slack billed at the preceding task's power (LP view) *)
+  | `Idle  (** slack billed at socket idle power *) ]
+
+val dominant_point : Pareto.Frontier.blend -> Pareto.Point.t
+
+val run :
+  ?slack_model:slack_model ->
+  ?idle_power:float ->
+  ?release:(int -> float) ->
+  Dag.Graph.t ->
+  Policy.t ->
+  result
+(** Replay the graph to completion.  [release v] (optional) is the
+    earliest time vertex [v] may fire — schedules that prescribe event
+    times (the LP's equations (12)-(13)) are replayed faithfully by
+    passing their vertex times here.  Deterministic given a deterministic
+    policy.  Raises [Failure] on a structurally broken graph. *)
+
+val sustained_max_power : ?ignore_below:float -> result -> float
+(** Maximum job power, ignoring intervals shorter than [ignore_below]
+    seconds (separates switch transients from sustained violations). *)

@@ -1,0 +1,58 @@
+(** ASCII Gantt rendering of a simulation result: one row per rank, time
+    flowing left to right, each cell showing what the rank was doing —
+    a terminal-friendly view of co-scheduling and slack. *)
+
+(* Glyph for a task cell: digit = thread count (1-8); '.' = slack. *)
+let glyph_for (rc : Engine.task_record) =
+  let t = rc.point.Pareto.Point.threads in
+  if t >= 0 && t <= 9 then Char.chr (Char.code '0' + t) else '#'
+
+(** Render [r] into [width] columns.  Each row is
+    ["r<rank> |<cells>|"]; a time scale and a power summary line are
+    appended.  Zero-work tasks are not drawn. *)
+let render ?(width = 72) (g : Dag.Graph.t) (r : Engine.result) : string =
+  if width < 10 then invalid_arg "Gantt.render: width too small";
+  let buf = Buffer.create 1024 in
+  let span = r.Engine.makespan in
+  if span <= 0.0 then "(empty schedule)\n"
+  else begin
+    let col_of t =
+      min (width - 1) (int_of_float (Float.of_int width *. t /. span))
+    in
+    Array.iteri
+      (fun rank seq ->
+        let cells = Bytes.make width '.' in
+        Array.iter
+          (fun tid ->
+            let rc = r.Engine.records.(tid) in
+            if rc.duration > 0.0 then begin
+              let c0 = col_of rc.start
+              and c1 = col_of (rc.start +. rc.duration) in
+              for c = c0 to max c0 (min (width - 1) c1) do
+                Bytes.set cells c (glyph_for rc)
+              done
+            end)
+          seq;
+        Buffer.add_string buf
+          (Printf.sprintf "r%-3d |%s|\n" rank (Bytes.to_string cells)))
+      g.Dag.Graph.rank_tasks;
+    (* time scale *)
+    let marks = Bytes.make width ' ' in
+    let n_marks = 4 in
+    for k = 0 to n_marks do
+      let c = min (width - 1) (k * (width - 1) / n_marks) in
+      Bytes.set marks c '+'
+    done;
+    Buffer.add_string buf (Printf.sprintf "     %s\n" (Bytes.to_string marks));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "     0%*s  (cells: digit = thread count, '.' = waiting)\n"
+         (width - 1)
+         (Printf.sprintf "%.3fs" span));
+    Buffer.add_string buf
+      (Printf.sprintf "     max power %.1f W, avg %.1f W, energy %.1f kJ\n"
+         r.Engine.max_power r.Engine.avg_power (r.Engine.energy /. 1e3));
+    Buffer.contents buf
+  end
+
+let print ?width g r = print_string (render ?width g r)

@@ -1,0 +1,5 @@
+(** ASCII Gantt rendering of a simulation result: one row per rank, cells
+    showing the thread count in use ('.' = waiting). *)
+
+val render : ?width:int -> Dag.Graph.t -> Engine.result -> string
+val print : ?width:int -> Dag.Graph.t -> Engine.result -> unit

@@ -1,0 +1,49 @@
+(** Interface between the simulation engine and a power-allocation
+    policy (Static, Conductor, LP-schedule replay, ...).
+
+    The engine asks the policy for a configuration every time a task
+    becomes ready, and feeds it an observation of the last iteration at
+    every [MPI_Pcontrol] boundary — mirroring how the paper's runtime
+    systems interpose on MPI. *)
+
+type decide_ctx = {
+  task : Dag.Graph.task;
+  now : float;  (** simulation time at which the task starts *)
+  prev : Pareto.Point.t option;
+      (** configuration most recently used on this rank's socket *)
+}
+
+type decision = {
+  blend : Pareto.Frontier.blend;
+      (** configuration(s) to run; multi-segment blends model the paper's
+          continuous case (mid-task configuration switching) *)
+  overhead : float;  (** seconds charged before the task starts *)
+}
+
+type observation = {
+  iteration : int;
+  now : float;
+  window : float;  (** wall time covered by this observation *)
+  rank_busy : float array;  (** per-rank compute time in the window *)
+  rank_power : float array;
+      (** per-rank average socket power while computing in the window *)
+}
+
+type t = {
+  name : string;
+  decide : decide_ctx -> decision;
+  observe : observation -> unit;  (** called at every pcontrol vertex *)
+  pcontrol_overhead : float;
+      (** synchronous cost charged at every pcontrol boundary (the
+          paper's 566 us reallocation step for Conductor; 0 for Static) *)
+}
+
+(** Policy running every task at one fixed configuration point chosen per
+    task; no runtime adaptation. *)
+let of_point_fn name f =
+  {
+    name;
+    decide = (fun ctx -> { blend = [ (f ctx, 1.0) ]; overhead = 0.0 });
+    observe = ignore;
+    pcontrol_overhead = 0.0;
+  }

@@ -1,0 +1,37 @@
+(** Interface between the simulation engine and a power-allocation
+    policy (Static, Conductor, LP-schedule replay, ...). *)
+
+type decide_ctx = {
+  task : Dag.Graph.task;
+  now : float;  (** simulation time at which the task starts *)
+  prev : Pareto.Point.t option;
+      (** configuration most recently used on this rank's socket *)
+}
+
+type decision = {
+  blend : Pareto.Frontier.blend;
+      (** configuration(s) to run; multi-segment blends model mid-task
+          configuration switching (the paper's continuous case) *)
+  overhead : float;  (** seconds charged before the task starts *)
+}
+
+type observation = {
+  iteration : int;
+  now : float;
+  window : float;  (** wall time covered by this observation *)
+  rank_busy : float array;  (** per-rank compute time in the window *)
+  rank_power : float array;
+      (** per-rank average socket power while computing in the window *)
+}
+
+type t = {
+  name : string;
+  decide : decide_ctx -> decision;
+  observe : observation -> unit;  (** called at every pcontrol vertex *)
+  pcontrol_overhead : float;
+      (** synchronous cost charged at every pcontrol boundary *)
+}
+
+val of_point_fn : string -> (decide_ctx -> Pareto.Point.t) -> t
+(** Policy running every task at one configuration point; no runtime
+    adaptation, no overheads. *)

@@ -1,0 +1,46 @@
+(** Small statistics helpers over simulation results, used by the
+    experiment harnesses (medians, per-iteration grouping, improvement
+    percentages). *)
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.median: empty";
+  let s = Array.copy a in
+  Array.sort compare s;
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 a /. Float.of_int n
+
+let stddev a =
+  let m = mean a in
+  let n = Float.of_int (Array.length a) in
+  sqrt (Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a /. n)
+
+(** Speedup of [t] over [base] in percent: how much faster than the
+    baseline, the metric of Figures 9-11 and 13-15. *)
+let improvement_pct ~base ~t =
+  if t <= 0.0 then invalid_arg "Stats.improvement_pct: nonpositive time";
+  ((base /. t) -. 1.0) *. 100.0
+
+(** Records of tasks from a given iteration (excluding zero-work MPI
+    transitions). *)
+let iteration_records (g : Dag.Graph.t) (r : Engine.result) ~iteration =
+  Array.to_list r.Engine.records
+  |> List.filter (fun (rc : Engine.task_record) ->
+         let t = g.Dag.Graph.tasks.(rc.tid) in
+         t.Dag.Graph.iteration = iteration
+         && t.Dag.Graph.profile.Machine.Profile.work > 0.0)
+
+(** Long-running task records (the paper's Figure 12 / Table 3 filter). *)
+let long_records (r : Engine.result) ~min_duration =
+  Array.to_list r.Engine.records
+  |> List.filter (fun (rc : Engine.task_record) -> rc.duration >= min_duration)
+
+(** Records grouped per rank, in start order. *)
+let discard_iterations (g : Dag.Graph.t) (r : Engine.result) ~skip =
+  Array.to_list r.Engine.records
+  |> List.filter (fun (rc : Engine.task_record) ->
+         g.Dag.Graph.tasks.(rc.tid).Dag.Graph.iteration >= skip)

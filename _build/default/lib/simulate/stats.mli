@@ -1,0 +1,22 @@
+(** Statistics helpers over simulation results, used by the experiment
+    harnesses. *)
+
+val median : float array -> float
+val mean : float array -> float
+val stddev : float array -> float
+
+val improvement_pct : base:float -> t:float -> float
+(** Speedup of [t] over [base] in percent ([(base/t - 1) * 100]), the
+    metric of the paper's Figures 9-11 and 13-15. *)
+
+val iteration_records :
+  Dag.Graph.t -> Engine.result -> iteration:int -> Engine.task_record list
+(** Records of one iteration's compute tasks (zero-work transitions
+    excluded). *)
+
+val long_records : Engine.result -> min_duration:float -> Engine.task_record list
+(** Records of long tasks (the Figure 12 / Table 3 filter). *)
+
+val discard_iterations :
+  Dag.Graph.t -> Engine.result -> skip:int -> Engine.task_record list
+(** Records from iterations [>= skip]. *)

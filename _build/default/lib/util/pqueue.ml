@@ -1,0 +1,70 @@
+(** Binary min-heap keyed by a float priority, shared by the MILP
+    branch-and-bound (best-bound node selection) and the discrete-event
+    simulator (event queue). *)
+
+type 'a t = {
+  mutable size : int;
+  mutable keys : float array;
+  mutable data : 'a option array;
+}
+
+let create () = { size = 0; keys = Array.make 16 0.0; data = Array.make 16 None }
+let is_empty h = h.size = 0
+let length h = h.size
+
+let grow h =
+  if h.size = Array.length h.keys then begin
+    let nk = Array.make (2 * h.size) 0.0 in
+    let nd = Array.make (2 * h.size) None in
+    Array.blit h.keys 0 nk 0 h.size;
+    Array.blit h.data 0 nd 0 h.size;
+    h.keys <- nk;
+    h.data <- nd
+  end
+
+let swap h i j =
+  let tk = h.keys.(i) and td = h.data.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.data.(i) <- h.data.(j);
+  h.keys.(j) <- tk;
+  h.data.(j) <- td
+
+let push h k v =
+  grow h;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.keys.(!i) <- k;
+  h.data.(!i) <- Some v;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(!i) then begin
+      swap h parent !i;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top_k = h.keys.(0) and top_v = h.data.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !smallest !i;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    match top_v with Some v -> Some (top_k, v) | None -> assert false
+  end

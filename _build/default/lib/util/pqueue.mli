@@ -1,0 +1,13 @@
+(** Binary min-heap keyed by a float priority, shared by the MILP
+    branch-and-bound (best-bound node selection) and the discrete-event
+    simulator (event queue). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest key first; ties in unspecified order. *)

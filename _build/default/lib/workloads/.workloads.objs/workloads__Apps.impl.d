@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Array Dag Imbalance Machine Printf Random String

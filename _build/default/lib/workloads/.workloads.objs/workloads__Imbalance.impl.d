@@ -1,0 +1,1 @@
+lib/workloads/imbalance.ml: Array Float Random

@@ -1,0 +1,250 @@
+(** Synthetic trace generators for the paper's four benchmarks.
+
+    Each generator reproduces the communication structure and the
+    performance-relevant properties Section 5.2 and 6.4 describe, not the
+    numerics of the original codes:
+
+    - {b CoMD}: molecular dynamics; all communication is collectives, so
+      the only optimization lever is power reallocation against mild load
+      imbalance.
+    - {b LULESH 2.0}: shock hydrodynamics; many point-to-point messages
+      between collectives, and cache contention that makes 4-5 OpenMP
+      threads optimal (Table 3).
+    - {b SP} (NAS-MZ): scalar pentadiagonal solver; very well balanced,
+      leaving the LP almost no room and punishing runtimes that
+      misidentify the critical path.
+    - {b BT} (NAS-MZ): block tridiagonal solver with strongly uneven
+      zone sizes, i.e. heavy persistent load imbalance — the largest LP
+      wins at tight power. *)
+
+type params = {
+  nranks : int;
+  iterations : int;
+  seed : int;
+  scale : float;  (** multiplies all task work; 1.0 = calibrated default *)
+}
+
+let default_params = { nranks = 16; iterations = 8; seed = 42; scale = 1.0 }
+
+type app = CoMD | LULESH | SP | BT
+
+let app_name = function
+  | CoMD -> "CoMD"
+  | LULESH -> "LULESH"
+  | SP -> "SP"
+  | BT -> "BT"
+
+let all_apps = [ CoMD; LULESH; SP; BT ]
+
+let app_of_name s =
+  match String.lowercase_ascii s with
+  | "comd" -> CoMD
+  | "lulesh" -> LULESH
+  | "sp" -> SP
+  | "bt" -> BT
+  | _ -> invalid_arg (Printf.sprintf "unknown application %S" s)
+
+(* ------------------------------------------------------------------ *)
+
+(** Nearest-neighbour halo exchange: every rank posts its Isend first
+    (consuming its pending computation), then receives from its left
+    neighbour — the non-serializing order real halo exchanges use. *)
+let ring_exchange b ~nranks ~bytes =
+  let sends =
+    Array.init nranks (fun r ->
+        Dag.Graph.Builder.mpi_vertex b ~rank:r Dag.Graph.Isend)
+  in
+  for r = 0 to nranks - 1 do
+    let from = (r + nranks - 1) mod nranks in
+    let rv = Dag.Graph.Builder.mpi_vertex b ~rank:r Dag.Graph.Recv in
+    Dag.Graph.Builder.message b ~src_v:sends.(from) ~dst_v:rv ~src_rank:from
+      ~dst_rank:r ~bytes
+  done
+
+(** CoMD: one force-computation task per rank per timestep, then a global
+    reduction.  Work calibrated so a task runs ~1.2 s at the low-power
+    end of the frontier (Figure 12's regime). *)
+let comd (p : params) : Dag.Graph.t =
+  let b = Dag.Graph.Builder.create ~nranks:p.nranks in
+  let imb =
+    Imbalance.uniform_bell ~seed:p.seed ~nranks:p.nranks ~amp:0.05 ~jitter:0.01
+  in
+  let base = 3.6 *. p.scale in
+  for it = 0 to p.iterations - 1 do
+    for r = 0 to p.nranks - 1 do
+      let work = base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"force"
+        (Machine.Profile.v ~serial_frac:0.03 ~contention:0.004 ~mem_bound:0.25
+           work)
+    done;
+    ignore
+      (Dag.Graph.Builder.collective b ~name:"allreduce" ~bytes:64
+         ~pcontrol:true ())
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+(** LULESH: per timestep, a large contention-limited stress task, a ring
+    of halo exchanges, a smaller positions task, and the dt allreduce. *)
+let lulesh (p : params) : Dag.Graph.t =
+  let b = Dag.Graph.Builder.create ~nranks:p.nranks in
+  let imb =
+    Imbalance.uniform_bell ~seed:p.seed ~nranks:p.nranks ~amp:0.06 ~jitter:0.015
+  in
+  let base = 7.8 *. p.scale in
+  let profile work =
+    Machine.Profile.v ~serial_frac:0.02 ~contention:0.04 ~mem_bound:0.3 work
+  in
+  for it = 0 to p.iterations - 1 do
+    (* stress/force phase ending in halo exchange with the next rank *)
+    for r = 0 to p.nranks - 1 do
+      let work = base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"stress"
+        (profile work)
+    done;
+    ring_exchange b ~nranks:p.nranks ~bytes:200_000;
+    (* position update, then the dt reduction *)
+    for r = 0 to p.nranks - 1 do
+      let work = 0.25 *. base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"positions"
+        (profile work)
+    done;
+    ignore
+      (Dag.Graph.Builder.collective b ~name:"allreduce-dt" ~bytes:8
+         ~pcontrol:true ())
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+(** SP: well balanced; boundary exchange with both ring neighbours, one
+    solver task per direction sweep, per-iteration reduction. *)
+let sp (p : params) : Dag.Graph.t =
+  let b = Dag.Graph.Builder.create ~nranks:p.nranks in
+  let imb =
+    Imbalance.uniform_bell ~seed:p.seed ~nranks:p.nranks ~amp:0.008
+      ~jitter:0.004
+  in
+  let base = 2.4 *. p.scale in
+  let profile work =
+    Machine.Profile.v ~serial_frac:0.04 ~contention:0.002 ~mem_bound:0.35 work
+  in
+  for it = 0 to p.iterations - 1 do
+    for r = 0 to p.nranks - 1 do
+      let work = base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"sweep"
+        (profile work)
+    done;
+    ring_exchange b ~nranks:p.nranks ~bytes:120_000;
+    for r = 0 to p.nranks - 1 do
+      let work = 0.5 *. base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"rhs"
+        (profile work)
+    done;
+    ignore
+      (Dag.Graph.Builder.collective b ~name:"allreduce" ~bytes:8
+         ~pcontrol:true ())
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+(** BT: zonal imbalance — a minority of ranks own zones ~2.4x the size
+    of the rest, so at tight caps the critical ranks starve under
+    uniform power. *)
+let bt (p : params) : Dag.Graph.t =
+  let b = Dag.Graph.Builder.create ~nranks:p.nranks in
+  let imb =
+    Imbalance.zonal ~seed:p.seed ~nranks:p.nranks ~heavy_frac:0.125
+      ~heavy_ratio:2.4 ~jitter:0.01
+  in
+  let base = 2.8 *. p.scale in
+  let profile work =
+    Machine.Profile.v ~serial_frac:0.03 ~contention:0.003 ~mem_bound:0.15 work
+  in
+  for it = 0 to p.iterations - 1 do
+    for r = 0 to p.nranks - 1 do
+      let work = base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"solve"
+        (profile work)
+    done;
+    ring_exchange b ~nranks:p.nranks ~bytes:150_000;
+    for r = 0 to p.nranks - 1 do
+      let work = 0.3 *. base *. Imbalance.sample imb ~rank:r in
+      Dag.Graph.Builder.compute b ~rank:r ~iteration:it ~label:"exchange"
+        (profile work)
+    done;
+    ignore
+      (Dag.Graph.Builder.collective b ~name:"allreduce" ~bytes:8
+         ~pcontrol:true ())
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+let generate app p =
+  match app with CoMD -> comd p | LULESH -> lulesh p | SP -> sp p | BT -> bt p
+
+(* ------------------------------------------------------------------ *)
+
+(** Two-rank asynchronous message exchange (paper Figure 2 / Figure 8):
+    rank 0 computes, posts an Isend, overlaps computation, waits; rank 1
+    computes and receives.  Small enough for the flow ILP. *)
+let exchange ?(rounds = 1) ?(scale = 1.0) () : Dag.Graph.t =
+  let b = Dag.Graph.Builder.create ~nranks:2 in
+  let prof w =
+    Machine.Profile.v ~serial_frac:0.03 ~contention:0.004 ~mem_bound:0.2
+      (w *. scale)
+  in
+  for it = 0 to rounds - 1 do
+    Dag.Graph.Builder.compute b ~rank:0 ~iteration:it ~label:"A1" (prof 1.0);
+    let isend_v = Dag.Graph.Builder.mpi_vertex b ~rank:0 Dag.Graph.Isend in
+    Dag.Graph.Builder.compute b ~rank:1 ~iteration:it ~label:"A3" (prof 1.4);
+    let recv_v = Dag.Graph.Builder.mpi_vertex b ~rank:1 Dag.Graph.Recv in
+    Dag.Graph.Builder.message b ~src_v:isend_v ~dst_v:recv_v ~src_rank:0
+      ~dst_rank:1 ~bytes:1_000_000;
+    Dag.Graph.Builder.compute b ~rank:0 ~iteration:it ~label:"A2" (prof 0.8);
+    let wait_v = Dag.Graph.Builder.mpi_vertex b ~rank:0 Dag.Graph.Wait in
+    (* the Wait completes once the receiver has drained the message *)
+    Dag.Graph.Builder.message b ~src_v:recv_v ~dst_v:wait_v ~src_rank:1
+      ~dst_rank:0 ~bytes:0;
+    Dag.Graph.Builder.compute b ~rank:0 ~iteration:it ~label:"A5" (prof 0.6);
+    Dag.Graph.Builder.compute b ~rank:1 ~iteration:it ~label:"A6" (prof 0.9);
+    if it < rounds - 1 then
+      ignore (Dag.Graph.Builder.collective b ~name:"barrier" ~bytes:8 ())
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+(** Random but structurally valid graph for property tests: a seeded mix
+    of compute, collectives and ring p2p. *)
+let synthetic ~seed ~nranks ~steps : Dag.Graph.t =
+  let st = Random.State.make [| seed; 0x5e7 |] in
+  let b = Dag.Graph.Builder.create ~nranks in
+  (* a rank may only queue one computation before its next MPI call *)
+  let pending = Array.make nranks false in
+  for it = 0 to steps - 1 do
+    for r = 0 to nranks - 1 do
+      if (not pending.(r)) && Random.State.bool st then begin
+        pending.(r) <- true;
+        Dag.Graph.Builder.compute b ~rank:r ~iteration:it
+          (Machine.Profile.v
+             ~serial_frac:(Random.State.float st 0.1)
+             ~contention:(Random.State.float st 0.05)
+             ~mem_bound:(Random.State.float st 0.6)
+             (0.1 +. Random.State.float st 2.0))
+      end
+    done;
+    match Random.State.int st 3 with
+    | 0 ->
+        ignore (Dag.Graph.Builder.collective b ~bytes:(Random.State.int st 4096) ());
+        Array.fill pending 0 nranks false
+    | 1 when nranks >= 2 ->
+        let src = Random.State.int st nranks in
+        let dst = (src + 1 + Random.State.int st (nranks - 1)) mod nranks in
+        ignore (Dag.Graph.Builder.p2p b ~src ~dst ~bytes:(Random.State.int st 100_000));
+        pending.(src) <- false;
+        pending.(dst) <- false
+    | _ ->
+        ignore (Dag.Graph.Builder.collective b ~name:"barrier" ~bytes:8 ());
+        Array.fill pending 0 nranks false
+  done;
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b

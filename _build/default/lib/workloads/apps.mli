@@ -1,0 +1,45 @@
+(** Synthetic trace generators reproducing the communication structure
+    and performance-relevant properties of the paper's four benchmarks
+    (Sections 5.2 and 6.4), plus the 2-rank asynchronous exchange used to
+    compare the formulations (Figure 8) and a random generator for
+    property tests. *)
+
+type params = {
+  nranks : int;
+  iterations : int;
+  seed : int;
+  scale : float;  (** multiplies all task work; 1.0 = calibrated default *)
+}
+
+val default_params : params
+
+type app = CoMD | LULESH | SP | BT
+
+val app_name : app -> string
+val all_apps : app list
+
+val app_of_name : string -> app
+(** Case-insensitive; raises [Invalid_argument] on unknown names. *)
+
+val comd : params -> Dag.Graph.t
+(** All-collective molecular dynamics with mild persistent imbalance. *)
+
+val lulesh : params -> Dag.Graph.t
+(** Shock hydrodynamics: halo exchanges between collectives and cache
+    contention that makes 4-5 threads optimal (Table 3). *)
+
+val sp : params -> Dag.Graph.t
+(** Well-balanced NAS-MZ pentadiagonal solver: little LP headroom. *)
+
+val bt : params -> Dag.Graph.t
+(** NAS-MZ block-tridiagonal solver with zonal imbalance: a minority of
+    ranks carries ~2.4x the work. *)
+
+val generate : app -> params -> Dag.Graph.t
+
+val exchange : ?rounds:int -> ?scale:float -> unit -> Dag.Graph.t
+(** Two-rank asynchronous message exchange (paper Figure 2), small enough
+    for the flow ILP. *)
+
+val synthetic : seed:int -> nranks:int -> steps:int -> Dag.Graph.t
+(** Random but structurally valid graph for property tests. *)

@@ -1,0 +1,56 @@
+(** Per-rank load-imbalance patterns.
+
+    Each generator assigns every rank a persistent work multiplier plus a
+    small per-iteration jitter; both are deterministic in the seed.  The
+    distribution of the persistent part is what distinguishes the
+    benchmarks: CoMD and LULESH have mild, roughly bell-shaped imbalance,
+    SP is almost perfectly balanced, and BT-MZ concentrates work in a
+    minority of ranks that own large zones. *)
+
+type t = {
+  persistent : float array;  (** per-rank work multiplier, mean ~1 *)
+  jitter : float;  (** per-iteration relative noise amplitude *)
+  state : Random.State.t;
+}
+
+let bell st amp =
+  let u () = Random.State.float st 2.0 -. 1.0 in
+  1.0 +. (amp *. (u () +. u () +. u ()) /. 3.0)
+
+(** Mild bell-shaped imbalance of relative amplitude [amp]. *)
+let uniform_bell ~seed ~nranks ~amp ~jitter =
+  let st = Random.State.make [| seed; 0x1817 |] in
+  {
+    persistent = Array.init nranks (fun _ -> bell st (3.0 *. amp));
+    jitter;
+    state = Random.State.make [| seed; 0x9b5 |];
+  }
+
+(** BT-MZ-style zonal imbalance: a fraction [heavy_frac] of ranks carry
+    [heavy_ratio] times the work of the others (zone sizes in BT-MZ vary
+    by design); the multipliers are normalized to mean 1. *)
+let zonal ~seed ~nranks ~heavy_frac ~heavy_ratio ~jitter =
+  let st = Random.State.make [| seed; 0xb72 |] in
+  let nheavy = max 1 (int_of_float (Float.of_int nranks *. heavy_frac)) in
+  let raw =
+    Array.init nranks (fun r ->
+        let base = if r < nheavy then heavy_ratio else 1.0 in
+        base *. bell st 0.03)
+  in
+  let mean = Array.fold_left ( +. ) 0.0 raw /. Float.of_int nranks in
+  {
+    persistent = Array.map (fun x -> x /. mean) raw;
+    jitter;
+    state = Random.State.make [| seed; 0x31f |];
+  }
+
+(** Work multiplier for [rank] at this iteration (consumes jitter
+    randomness; call once per task in generation order). *)
+let sample t ~rank =
+  let j = t.jitter *. (Random.State.float t.state 2.0 -. 1.0) in
+  t.persistent.(rank) *. (1.0 +. j)
+
+let spread t =
+  let mn = Array.fold_left min Float.infinity t.persistent in
+  let mx = Array.fold_left max Float.neg_infinity t.persistent in
+  mx /. mn

@@ -1,0 +1,23 @@
+(** Per-rank load-imbalance patterns: a persistent per-rank work
+    multiplier plus per-iteration jitter, both deterministic in the seed.
+    The persistent distribution is what distinguishes the benchmarks
+    (mild bell shape for CoMD/LULESH, near-zero for SP, zonal for
+    BT-MZ). *)
+
+type t
+
+val uniform_bell : seed:int -> nranks:int -> amp:float -> jitter:float -> t
+(** Bell-shaped imbalance of relative amplitude [amp]. *)
+
+val zonal :
+  seed:int -> nranks:int -> heavy_frac:float -> heavy_ratio:float ->
+  jitter:float -> t
+(** A fraction [heavy_frac] of ranks carries [heavy_ratio]× the work of
+    the rest; multipliers normalized to mean 1. *)
+
+val sample : t -> rank:int -> float
+(** Work multiplier for [rank] this iteration; consumes jitter randomness
+    (call once per task in generation order). *)
+
+val spread : t -> float
+(** Max/min ratio of the persistent multipliers. *)

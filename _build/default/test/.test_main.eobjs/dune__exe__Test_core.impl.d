@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Dag Float List Lp Machine QCheck QCheck_alcotest Runtime Simulate Workloads

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Float List Machine QCheck QCheck_alcotest String Workloads

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fmt List Lp Printf QCheck QCheck_alcotest Random

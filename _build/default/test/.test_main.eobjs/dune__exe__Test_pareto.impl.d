@@ -1,0 +1,1 @@
+test/test_pareto.ml: Alcotest Array Float List Machine Pareto QCheck QCheck_alcotest

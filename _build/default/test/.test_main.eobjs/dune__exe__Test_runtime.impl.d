@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Core Dag List Pareto Runtime Simulate Workloads

@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Core Dag Float List Machine Pareto Simulate String Workloads

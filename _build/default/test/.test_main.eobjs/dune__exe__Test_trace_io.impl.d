@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Dag Filename Float Fun List Machine QCheck QCheck_alcotest String Sys Workloads

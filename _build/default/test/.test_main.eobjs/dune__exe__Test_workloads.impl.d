@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dag Float List Machine String Workloads

@@ -1,0 +1,6 @@
+  $ ../../bin/powerlim.exe --help=plain | head -3
+  $ ../../bin/powerlim.exe trace --app comd --ranks 4 --iters 2 -o comd.trace
+  $ ../../bin/powerlim.exe solve-trace comd.trace --cap 35
+  $ ../../bin/powerlim.exe frontier --app comd | head -4
+  $ ../../bin/powerlim.exe export --app comd --ranks 4 --iters 2 --cap 35 --mps comd.mps
+  $ head -3 comd.mps

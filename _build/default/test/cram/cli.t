@@ -1,0 +1,31 @@
+The CLI lists its subcommands:
+
+  $ ../../bin/powerlim.exe --help=plain | head -3
+  NAME
+         powerlim - Finding the limits of power-constrained application
+         performance
+
+Generate a trace, solve it, and check the LP bound is validated:
+
+  $ ../../bin/powerlim.exe trace --app comd --ranks 4 --iters 2 -o comd.trace
+  wrote graph: 4 ranks, 4 vertices, 12 tasks, 0 messages to comd.trace
+  $ ../../bin/powerlim.exe solve-trace comd.trace --cap 35
+  graph: 4 ranks, 4 vertices, 12 tasks, 0 messages
+  LP bound 1.9723 s; replay 1.9727 s; max power 140.0 / 140 W; within cap: true
+
+The frontier has the Table 1 shape (reduced threads only at 1.2 GHz):
+
+  $ ../../bin/powerlim.exe frontier --app comd | head -4
+  convex Pareto frontier of CoMD task 80 (rank 0):
+  1.2GHz/1thr: 6.847s at 19.31W
+  1.2GHz/2thr: 3.553s at 20.62W
+  1.2GHz/3thr: 2.474s at 21.94W
+
+Exporting the LP as MPS produces a parseable file:
+
+  $ ../../bin/powerlim.exe export --app comd --ranks 4 --iters 2 --cap 35 --mps comd.mps
+  wrote event LP (MPS) to comd.mps
+  $ head -3 comd.mps
+  NAME          powerlim-event-lp
+  ROWS
+   N  OBJ

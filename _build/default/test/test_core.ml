@@ -1,0 +1,342 @@
+(* Tests for the paper's formulations: the fixed-vertex-order event LP,
+   schedule replay/validation, and the flow ILP.  These encode the
+   central soundness properties: the LP is a realizable lower bound on
+   time, replay never violates the power cap, and the two formulations
+   agree on small instances (paper Figure 8). *)
+
+let comd_sc () =
+  let g =
+    Workloads.Apps.comd
+      { Workloads.Apps.default_params with nranks = 4; iterations = 3 }
+  in
+  Core.Scenario.make g
+
+let lp_schedule ?mode sc ~cap =
+  match Core.Event_lp.solve ?mode sc ~power_cap:cap with
+  | Core.Event_lp.Schedule s -> s
+  | Core.Event_lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Core.Event_lp.Solver_failure m -> Alcotest.failf "solver failure: %s" m
+
+let test_scenario_frontiers () =
+  let sc = comd_sc () in
+  Array.iteri
+    (fun tid f ->
+      let t = sc.Core.Scenario.graph.Dag.Graph.tasks.(tid) in
+      if t.profile.Machine.Profile.work > 0.0 then
+        Alcotest.(check bool) "nonempty frontier" true (Array.length f >= 2)
+      else Alcotest.(check int) "zero task no frontier" 0 (Array.length f))
+    sc.Core.Scenario.frontiers;
+  let mn = Core.Scenario.min_job_power sc in
+  Alcotest.(check bool) "min power sane" true (mn > 50.0 && mn < 150.0)
+
+let test_lp_infeasible_below_min () =
+  let sc = comd_sc () in
+  let mn = Core.Scenario.min_job_power sc in
+  match Core.Event_lp.solve sc ~power_cap:(0.8 *. mn) with
+  | Core.Event_lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible below minimum power"
+
+let test_lp_monotone_in_cap () =
+  let sc = comd_sc () in
+  let o cap = (lp_schedule sc ~cap).Core.Event_lp.objective in
+  let t1 = o 110.0 and t2 = o 140.0 and t3 = o 200.0 and t4 = o 400.0 in
+  Alcotest.(check bool) "more power never slower" true
+    (t1 >= t2 -. 1e-6 && t2 >= t3 -. 1e-6 && t3 >= t4 -. 1e-6);
+  (* at a huge cap the LP reaches the unconstrained schedule *)
+  let unconstrained = Core.Event_lp.initial_times sc in
+  Alcotest.(check bool) "uncapped = unconstrained" true
+    (Float.abs (t4 -. unconstrained.Dag.Schedule.makespan) < 1e-4)
+
+let test_lp_bound_ordering () =
+  (* LP objective <= continuous replay <= Static makespan: the chain that
+     makes the LP an upper bound on achievable performance *)
+  List.iter
+    (fun app ->
+      let g =
+        Workloads.Apps.generate app
+          { Workloads.Apps.default_params with nranks = 4; iterations = 3 }
+      in
+      let sc = Core.Scenario.make g in
+      let cap = 35.0 *. 4.0 in
+      let s = lp_schedule sc ~cap in
+      let v = Core.Replay.validate sc s ~power_cap:cap in
+      let static = Runtime.Static.run sc ~job_cap:cap in
+      Alcotest.(check bool)
+        (Workloads.Apps.app_name app ^ ": lp <= replay")
+        true
+        (s.Core.Event_lp.objective <= v.Core.Replay.replay_makespan +. 1e-6);
+      Alcotest.(check bool)
+        (Workloads.Apps.app_name app ^ ": replay <= static")
+        true
+        (v.Core.Replay.replay_makespan
+        <= static.Simulate.Engine.makespan +. 1e-6))
+    Workloads.Apps.all_apps
+
+let test_replay_respects_cap () =
+  List.iter
+    (fun app ->
+      let g =
+        Workloads.Apps.generate app
+          { Workloads.Apps.default_params with nranks = 4; iterations = 3 }
+      in
+      let sc = Core.Scenario.make g in
+      List.iter
+        (fun cap_per ->
+          let cap = cap_per *. 4.0 in
+          match Core.Event_lp.solve sc ~power_cap:cap with
+          | Core.Event_lp.Schedule s ->
+              let v = Core.Replay.validate sc s ~power_cap:cap in
+              if not v.Core.Replay.within_cap then
+                Alcotest.failf "%s at %gW: replay power %.1f over cap %.1f"
+                  (Workloads.Apps.app_name app)
+                  cap_per v.Core.Replay.max_power cap
+          | Core.Event_lp.Infeasible -> ()
+          | Core.Event_lp.Solver_failure m -> Alcotest.failf "failure: %s" m)
+        [ 30.0; 45.0; 65.0 ])
+    Workloads.Apps.all_apps
+
+let test_replay_gap_small_continuous () =
+  let sc = comd_sc () in
+  let s = lp_schedule sc ~cap:140.0 in
+  let v = Core.Replay.validate sc s ~power_cap:140.0 in
+  Alcotest.(check bool) "continuous replay within 1% of LP" true
+    (Float.abs v.Core.Replay.gap_pct < 1.0)
+
+let test_discrete_mode () =
+  let sc = comd_sc () in
+  let s = lp_schedule ~mode:Core.Event_lp.Discrete_rounded sc ~cap:140.0 in
+  (* every blend is a single real configuration *)
+  Array.iter
+    (fun blend ->
+      match blend with
+      | [] | [ _ ] -> ()
+      | _ -> Alcotest.fail "discrete blend has several points")
+    s.Core.Event_lp.blends;
+  (* discrete can be slightly worse but must stay close to continuous *)
+  let cont = lp_schedule sc ~cap:140.0 in
+  let vd = Core.Replay.validate sc s ~power_cap:140.0 in
+  Alcotest.(check bool) "discrete replay within 10% of continuous LP" true
+    (vd.Core.Replay.replay_makespan
+    <= cont.Core.Event_lp.objective *. 1.10)
+
+let test_blends_sum_to_one () =
+  let sc = comd_sc () in
+  let s = lp_schedule sc ~cap:120.0 in
+  Array.iteri
+    (fun tid blend ->
+      if Array.length sc.Core.Scenario.frontiers.(tid) > 0 then begin
+        let w = List.fold_left (fun a (_, x) -> a +. x) 0.0 blend in
+        Alcotest.(check (float 1e-6)) "weights sum to 1" 1.0 w;
+        (* blends lie on adjacent hull points in the typical case *)
+        Alcotest.(check bool) "blend support small" true (List.length blend <= 3)
+      end)
+    s.Core.Event_lp.blends
+
+let test_lp_power_rows_deduped () =
+  let sc = comd_sc () in
+  let s = lp_schedule sc ~cap:140.0 in
+  (* comd: one distinct active set per iteration (plus none at the end) *)
+  Alcotest.(check bool) "power rows bounded" true
+    (s.Core.Event_lp.stats.Core.Event_lp.power_rows <= 6)
+
+
+
+let test_to_mps_roundtrip () =
+  (* the exported LP parses back and has the same optimum the internal
+     solve reports *)
+  let sc = comd_sc () in
+  let cap = 130.0 in
+  let mps = Core.Event_lp.to_mps sc ~power_cap:cap in
+  let p = Lp.Mps.of_string mps in
+  let r = Lp.Revised.solve p in
+  let s = lp_schedule sc ~cap in
+  Alcotest.(check bool) "optimal" true (r.Lp.Revised.status = Lp.Revised.Optimal);
+  Alcotest.(check (float 1e-5)) "same optimum" s.Core.Event_lp.objective
+    r.Lp.Revised.objective
+
+let test_power_duals_sensitivity () =
+  (* shadow prices: d(makespan)/d(cap) = -sum of power duals, checked by
+     finite difference at a binding cap *)
+  let sc = comd_sc () in
+  let cap = 120.0 in
+  let s0 = lp_schedule sc ~cap in
+  let total_dual =
+    Array.fold_left (fun acc (_, d) -> acc +. d) 0.0 s0.Core.Event_lp.power_duals
+  in
+  Alcotest.(check bool) "binding at 30W/socket" true (total_dual > 1e-6);
+  let dw = 0.05 in
+  let s1 = lp_schedule sc ~cap:(cap +. dw) in
+  let predicted = s0.Core.Event_lp.objective -. (dw *. total_dual) in
+  let actual = s1.Core.Event_lp.objective in
+  if Float.abs (predicted -. actual) > 1e-3 *. s0.Core.Event_lp.objective then
+    Alcotest.failf "dual prediction %.6f vs actual %.6f (base %.6f)" predicted
+      actual s0.Core.Event_lp.objective
+
+let test_power_duals_vanish_uncapped () =
+  let sc = comd_sc () in
+  let s = lp_schedule sc ~cap:2000.0 in
+  Array.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) "no binding power events" true (Float.abs d < 1e-9))
+    s.Core.Event_lp.power_duals
+
+
+let test_solve_refined_sound () =
+  (* refinement never worsens the bound and stays realizable *)
+  let g =
+    Workloads.Apps.lulesh
+      { Workloads.Apps.default_params with nranks = 4; iterations = 3 }
+  in
+  let sc = Core.Scenario.make g in
+  let cap = 35.0 *. 4.0 in
+  match
+    (Core.Event_lp.solve sc ~power_cap:cap,
+     Core.Event_lp.solve_refined ~rounds:3 sc ~power_cap:cap)
+  with
+  | Core.Event_lp.Schedule base, Core.Event_lp.Schedule refined ->
+      Alcotest.(check bool) "refined <= base" true
+        (refined.Core.Event_lp.objective
+        <= base.Core.Event_lp.objective +. 1e-9);
+      let v = Core.Replay.validate sc refined ~power_cap:cap in
+      Alcotest.(check bool) "refined replay within cap" true
+        v.Core.Replay.within_cap;
+      Alcotest.(check bool) "refined replay near bound" true
+        (Float.abs v.Core.Replay.gap_pct < 1.0)
+  | _ -> Alcotest.fail "both solves should succeed"
+
+(* ------------------------------------------------------------------ *)
+(* Flow ILP                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_too_large () =
+  let sc = comd_sc () in
+  match Core.Flow_ilp.solve ~max_tasks:5 sc ~power_cap:140.0 with
+  | Core.Flow_ilp.Too_large n -> Alcotest.(check bool) "size reported" true (n > 5)
+  | _ -> Alcotest.fail "expected Too_large"
+
+let exchange_sc () = Core.Scenario.make (Workloads.Apps.exchange ())
+
+let test_flow_close_to_fixed_order () =
+  (* paper Figure 8: the two formulations agree within ~2% *)
+  let sc = exchange_sc () in
+  List.iter
+    (fun cap ->
+      let fixed = lp_schedule sc ~cap in
+      match Core.Flow_ilp.solve sc ~power_cap:cap with
+      | Core.Flow_ilp.Schedule flow ->
+          let rel =
+            Float.abs
+              (flow.Core.Flow_ilp.objective -. fixed.Core.Event_lp.objective)
+            /. fixed.Core.Event_lp.objective
+          in
+          if rel > 0.05 then
+            Alcotest.failf "cap %g: flow %.4f vs fixed %.4f (%.1f%%)" cap
+              flow.Core.Flow_ilp.objective fixed.Core.Event_lp.objective
+              (100.0 *. rel);
+          (* the solver-chosen order can only help *)
+          Alcotest.(check bool) "flow <= fixed + tol" true
+            (flow.Core.Flow_ilp.objective
+            <= fixed.Core.Event_lp.objective +. 0.02 *. fixed.Core.Event_lp.objective)
+      | Core.Flow_ilp.Infeasible -> Alcotest.failf "flow infeasible at %g" cap
+      | Core.Flow_ilp.Too_large n -> Alcotest.failf "too large: %d" n
+      | Core.Flow_ilp.Solver_failure m -> Alcotest.failf "flow failure: %s" m)
+    [ 45.0; 60.0; 90.0 ]
+
+
+let test_flow_integer_configs () =
+  (* discrete configurations can only be worse than continuous blends *)
+  let sc = exchange_sc () in
+  let cap = 55.0 in
+  match
+    ( Core.Flow_ilp.solve sc ~power_cap:cap,
+      Core.Flow_ilp.solve ~integer_configs:true sc ~power_cap:cap )
+  with
+  | Core.Flow_ilp.Schedule cont, Core.Flow_ilp.Schedule disc ->
+      Alcotest.(check bool) "discrete >= continuous" true
+        (disc.Core.Flow_ilp.objective >= cont.Core.Flow_ilp.objective -. 1e-6);
+      (* every blend is one configuration *)
+      Array.iter
+        (fun blend ->
+          match blend with
+          | [] | [ _ ] -> ()
+          | _ -> Alcotest.fail "integer configs produced a blend")
+        disc.Core.Flow_ilp.blends;
+      (* but not catastrophically worse on this dense frontier *)
+      Alcotest.(check bool) "discrete within 15%" true
+        (disc.Core.Flow_ilp.objective
+        <= cont.Core.Flow_ilp.objective *. 1.15)
+  | _ -> Alcotest.fail "both solves should succeed"
+
+let test_flow_monotone () =
+  let sc = exchange_sc () in
+  let o cap =
+    match Core.Flow_ilp.solve sc ~power_cap:cap with
+    | Core.Flow_ilp.Schedule s -> s.Core.Flow_ilp.objective
+    | _ -> Alcotest.failf "no flow schedule at %g" cap
+  in
+  let t1 = o 50.0 and t2 = o 70.0 and t3 = o 120.0 in
+  Alcotest.(check bool) "monotone in cap" true
+    (t1 >= t2 -. 1e-6 && t2 >= t3 -. 1e-6)
+
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random synthetic applications                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lp_bound_on_synthetic =
+  QCheck.Test.make ~count:25 ~name:"lp bound and cap hold on synthetic apps"
+    QCheck.(pair (int_bound 1000) (int_range 2 4))
+    (fun (seed, nranks) ->
+      let g = Workloads.Apps.synthetic ~seed ~nranks ~steps:4 in
+      let sc = Core.Scenario.make g in
+      let cap = 40.0 *. Float.of_int nranks in
+      match Core.Event_lp.solve sc ~power_cap:cap with
+      | Core.Event_lp.Infeasible -> true
+      | Core.Event_lp.Solver_failure m ->
+          QCheck.Test.fail_reportf "solver failure: %s" m
+      | Core.Event_lp.Schedule s ->
+          let v = Core.Replay.validate sc s ~power_cap:cap in
+          let static = Runtime.Static.run sc ~job_cap:cap in
+          if not v.Core.Replay.within_cap then
+            QCheck.Test.fail_reportf "cap violated: %.1f > %.1f"
+              v.Core.Replay.max_power cap
+          else if
+            s.Core.Event_lp.objective
+            > static.Simulate.Engine.makespan +. 1e-6
+          then
+            QCheck.Test.fail_reportf "bound above static: %.4f > %.4f"
+              s.Core.Event_lp.objective static.Simulate.Engine.makespan
+          else if
+            Float.abs v.Core.Replay.gap_pct > 2.0
+          then QCheck.Test.fail_reportf "replay gap %.2f%%" v.Core.Replay.gap_pct
+          else true)
+
+let suite =
+  [
+    ( "core.scenario",
+      [ Alcotest.test_case "frontiers" `Quick test_scenario_frontiers ] );
+    ( "core.event_lp",
+      [
+        Alcotest.test_case "infeasible below min" `Quick test_lp_infeasible_below_min;
+        Alcotest.test_case "monotone in cap" `Quick test_lp_monotone_in_cap;
+        Alcotest.test_case "bound ordering" `Quick test_lp_bound_ordering;
+        Alcotest.test_case "replay respects cap" `Quick test_replay_respects_cap;
+        Alcotest.test_case "continuous replay gap" `Quick test_replay_gap_small_continuous;
+        Alcotest.test_case "discrete mode" `Quick test_discrete_mode;
+        Alcotest.test_case "blends sum to one" `Quick test_blends_sum_to_one;
+        Alcotest.test_case "power rows deduped" `Quick test_lp_power_rows_deduped;
+        Alcotest.test_case "dual sensitivity" `Quick test_power_duals_sensitivity;
+        Alcotest.test_case "duals vanish uncapped" `Quick test_power_duals_vanish_uncapped;
+        Alcotest.test_case "mps export" `Quick test_to_mps_roundtrip;
+        Alcotest.test_case "refined sound" `Quick test_solve_refined_sound;
+      ] );
+    ( "core.flow_ilp",
+      [
+        Alcotest.test_case "too large" `Quick test_flow_too_large;
+        Alcotest.test_case "close to fixed order" `Quick test_flow_close_to_fixed_order;
+        Alcotest.test_case "monotone" `Quick test_flow_monotone;
+        Alcotest.test_case "integer configs" `Quick test_flow_integer_configs;
+      ] );
+    ( "core.properties",
+      [ QCheck_alcotest.to_alcotest prop_lp_bound_on_synthetic ] );
+  ]

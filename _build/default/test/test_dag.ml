@@ -1,0 +1,229 @@
+(* Tests for the task-graph library: builder invariants, validation,
+   topological order, schedules, slack, critical path, and events. *)
+
+let prof w = Machine.Profile.v w
+
+(* A small two-rank graph with one p2p exchange. *)
+let small_graph () =
+  let b = Dag.Graph.Builder.create ~nranks:2 in
+  Dag.Graph.Builder.compute b ~rank:0 ~iteration:0 ~label:"a" (prof 2.0);
+  Dag.Graph.Builder.compute b ~rank:1 ~iteration:0 ~label:"b" (prof 1.0);
+  ignore (Dag.Graph.Builder.p2p b ~src:0 ~dst:1 ~bytes:1000);
+  Dag.Graph.Builder.compute b ~rank:1 ~iteration:0 ~label:"c" (prof 0.5);
+  ignore (Dag.Graph.Builder.collective b ());
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+let test_builder_structure () =
+  let g = small_graph () in
+  Alcotest.(check int) "ranks" 2 g.Dag.Graph.nranks;
+  (match Dag.Graph.validate g with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  Alcotest.(check int) "messages" 1 (Dag.Graph.n_messages g);
+  (* rank task chains exist and tile Init..Finalize *)
+  Array.iter
+    (fun seq -> Alcotest.(check bool) "nonempty chain" true (Array.length seq > 0))
+    g.Dag.Graph.rank_tasks
+
+let test_builder_rejects_double_compute () =
+  let b = Dag.Graph.Builder.create ~nranks:1 in
+  Dag.Graph.Builder.compute b ~rank:0 (prof 1.0);
+  Alcotest.check_raises "double compute"
+    (Invalid_argument "Builder.compute: two computations without an MPI call")
+    (fun () -> Dag.Graph.Builder.compute b ~rank:0 (prof 1.0))
+
+let test_builder_rejects_unfinalized () =
+  let b = Dag.Graph.Builder.create ~nranks:1 in
+  Alcotest.check_raises "unfinalized"
+    (Invalid_argument "Builder.build: not finalized") (fun () ->
+      ignore (Dag.Graph.Builder.build b))
+
+let test_builder_rejects_after_finalize () =
+  let b = Dag.Graph.Builder.create ~nranks:1 in
+  ignore (Dag.Graph.Builder.finalize b);
+  Alcotest.check_raises "op after finalize"
+    (Invalid_argument "Builder: graph already finalized") (fun () ->
+      Dag.Graph.Builder.compute b ~rank:0 (prof 1.0))
+
+let test_topo_order () =
+  let g = small_graph () in
+  let order = Dag.Graph.topo_order g in
+  let pos = Array.make (Dag.Graph.n_vertices g) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  (* every edge goes forward *)
+  Array.iter
+    (fun (t : Dag.Graph.task) ->
+      Alcotest.(check bool) "task forward" true (pos.(t.t_src) < pos.(t.t_dst)))
+    g.Dag.Graph.tasks;
+  Array.iter
+    (fun (msg : Dag.Graph.message) ->
+      Alcotest.(check bool) "msg forward" true (pos.(msg.m_src) < pos.(msg.m_dst)))
+    g.Dag.Graph.messages
+
+let const_dur d = fun (_ : Dag.Graph.task) -> d
+let const_msg d = fun (_ : Dag.Graph.message) -> d
+
+let test_schedule_longest_path () =
+  let g = small_graph () in
+  (* durations 1.0, messages 0.1: rank1's path goes through the message *)
+  let ts = Dag.Schedule.compute g ~dur:(const_dur 1.0) ~msg:(const_msg 0.1) in
+  (* rank0: init(0) -> isend(1.0); rank1: recv = max(own 1.0, 1.0+0.1)
+     = 1.1; then task to collective: 2.1 + collective delay; then
+     finalize at +1 more task *)
+  Alcotest.(check bool) "makespan near 3.1" true
+    (Float.abs (ts.Dag.Schedule.makespan -. 3.1) < 0.01);
+  (* vertex times are monotone along task edges *)
+  Array.iter
+    (fun (t : Dag.Graph.task) ->
+      Alcotest.(check bool) "monotone" true
+        (ts.Dag.Schedule.vertex_time.(t.t_dst)
+        >= ts.Dag.Schedule.vertex_time.(t.t_src) +. 1.0 -. 1e-9))
+    g.Dag.Graph.tasks
+
+let test_unconstrained_schedule () =
+  let g = Workloads.Apps.comd { Workloads.Apps.default_params with nranks = 4 } in
+  let ts = Dag.Schedule.unconstrained g in
+  Alcotest.(check bool) "positive makespan" true (ts.Dag.Schedule.makespan > 0.0);
+  (* at max config the makespan is the sum over iterations of the max
+     rank task, plus collective delays: verify lower bound *)
+  let max_task =
+    Array.fold_left
+      (fun acc (t : Dag.Graph.task) ->
+        max acc (Machine.Profile.duration t.profile ~freq:2.6 ~threads:8))
+      0.0 g.Dag.Graph.tasks
+  in
+  Alcotest.(check bool) "at least one max task" true
+    (ts.Dag.Schedule.makespan >= max_task)
+
+let test_slack_nonnegative_and_critical_zero () =
+  let g = Workloads.Apps.lulesh { Workloads.Apps.default_params with nranks = 4; iterations = 2 } in
+  let dur (t : Dag.Graph.task) =
+    Machine.Profile.duration t.Dag.Graph.profile ~freq:2.6 ~threads:8
+  in
+  let ts = Dag.Schedule.compute g ~dur ~msg:Dag.Schedule.default_msg in
+  let slack = Dag.Schedule.task_slack g ts ~dur in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "slack >= 0" true (s >= -1e-9))
+    slack;
+  (* some task has (near) zero slack: the critical one *)
+  Alcotest.(check bool) "a critical task exists" true
+    (Array.exists (fun s -> s < 1e-6) slack)
+
+let test_critical_path_length () =
+  let g = small_graph () in
+  let dur = const_dur 1.0 and msg = const_msg 0.1 in
+  let ts = Dag.Schedule.compute g ~dur ~msg in
+  let path = Dag.Schedule.critical_path g ts ~dur ~msg in
+  Alcotest.(check bool) "path nonempty" true (path <> []);
+  (* path starts at Init and ends at Finalize *)
+  (match path with
+  | first :: _ ->
+      Alcotest.(check int) "starts at init" g.Dag.Graph.init_v
+        (Dag.Graph.edge_src g first)
+  | [] -> ());
+  let last = List.nth path (List.length path - 1) in
+  Alcotest.(check int) "ends at finalize" g.Dag.Graph.finalize_v
+    (Dag.Graph.edge_dst g last)
+
+
+let test_latest_times_alap () =
+  let g = Workloads.Apps.lulesh { Workloads.Apps.default_params with nranks = 4; iterations = 2 } in
+  let dur (t : Dag.Graph.task) =
+    Machine.Profile.duration t.Dag.Graph.profile ~freq:2.6 ~threads:8
+  in
+  let early = Dag.Schedule.compute g ~dur ~msg:Dag.Schedule.default_msg in
+  let late = Dag.Schedule.latest_times g early ~dur ~msg:Dag.Schedule.default_msg in
+  Alcotest.(check (float 1e-12)) "same makespan" early.Dag.Schedule.makespan
+    late.Dag.Schedule.makespan;
+  Array.iteri
+    (fun v te ->
+      Alcotest.(check bool) "late >= early" true
+        (late.Dag.Schedule.vertex_time.(v) >= te -. 1e-9))
+    early.Dag.Schedule.vertex_time;
+  Alcotest.(check (float 1e-9)) "finalize pinned"
+    early.Dag.Schedule.vertex_time.(g.Dag.Graph.finalize_v)
+    late.Dag.Schedule.vertex_time.(g.Dag.Graph.finalize_v);
+  (* ALAP times still respect every precedence *)
+  Array.iter
+    (fun (t : Dag.Graph.task) ->
+      Alcotest.(check bool) "precedence kept" true
+        (late.Dag.Schedule.vertex_time.(t.t_dst)
+         -. g.Dag.Graph.vertices.(t.t_dst).Dag.Graph.delay
+         -. late.Dag.Schedule.vertex_time.(t.t_src)
+        >= dur t -. 1e-9))
+    g.Dag.Graph.tasks;
+  (* something off the critical path actually moved *)
+  Alcotest.(check bool) "slack consumed somewhere" true
+    (Array.exists2
+       (fun a b -> b > a +. 1e-9)
+       early.Dag.Schedule.vertex_time late.Dag.Schedule.vertex_time)
+
+let test_events_ordering_and_activity () =
+  let g = Workloads.Apps.comd { Workloads.Apps.default_params with nranks = 4; iterations = 3 } in
+  let ts = Dag.Schedule.unconstrained g in
+  let ev = Dag.Schedule.events g ts in
+  let n = Array.length ev.Dag.Schedule.order in
+  Alcotest.(check int) "one event per vertex" (Dag.Graph.n_vertices g) n;
+  for k = 0 to n - 2 do
+    Alcotest.(check bool) "time-sorted" true
+      (ts.Dag.Schedule.vertex_time.(ev.Dag.Schedule.order.(k))
+      <= ts.Dag.Schedule.vertex_time.(ev.Dag.Schedule.order.(k + 1)) +. 1e-12)
+  done;
+  (* every compute task is active at its own source event *)
+  Array.iter
+    (fun (t : Dag.Graph.task) ->
+      if t.profile.Machine.Profile.work > 0.0 then begin
+        let found = ref false in
+        Array.iteri
+          (fun k v ->
+            if v = t.t_src && Array.exists (fun tid -> tid = t.tid) ev.Dag.Schedule.active.(k)
+            then found := true)
+          ev.Dag.Schedule.order;
+        Alcotest.(check bool) "task active at its source" true !found
+      end)
+    g.Dag.Graph.tasks
+
+let test_next_task_on_rank () =
+  let g = small_graph () in
+  let seq = g.Dag.Graph.rank_tasks.(1) in
+  Alcotest.(check bool) "rank1 has >= 2 tasks" true (Array.length seq >= 2);
+  (match Dag.Graph.next_task_on_rank g seq.(0) with
+  | Some t -> Alcotest.(check int) "next is second" seq.(1) t
+  | None -> Alcotest.fail "no next task");
+  let last = seq.(Array.length seq - 1) in
+  Alcotest.(check bool) "last has no next" true
+    (Dag.Graph.next_task_on_rank g last = None)
+
+(* Property: random synthetic graphs are always valid and acyclic. *)
+let prop_synthetic_valid =
+  QCheck.Test.make ~count:60 ~name:"synthetic graphs validate"
+    QCheck.(pair (int_bound 1000) (pair (int_range 1 6) (int_range 1 8)))
+    (fun (seed, (nranks, steps)) ->
+      let g = Workloads.Apps.synthetic ~seed ~nranks ~steps in
+      match Dag.Graph.validate g with
+      | Ok () -> true
+      | Error es -> QCheck.Test.fail_reportf "invalid: %s" (String.concat "; " es))
+
+let suite =
+  [
+    ( "dag.builder",
+      [
+        Alcotest.test_case "structure" `Quick test_builder_structure;
+        Alcotest.test_case "double compute" `Quick test_builder_rejects_double_compute;
+        Alcotest.test_case "unfinalized" `Quick test_builder_rejects_unfinalized;
+        Alcotest.test_case "after finalize" `Quick test_builder_rejects_after_finalize;
+      ] );
+    ( "dag.analysis",
+      [
+        Alcotest.test_case "topological order" `Quick test_topo_order;
+        Alcotest.test_case "longest path" `Quick test_schedule_longest_path;
+        Alcotest.test_case "unconstrained schedule" `Quick test_unconstrained_schedule;
+        Alcotest.test_case "slack" `Quick test_slack_nonnegative_and_critical_zero;
+        Alcotest.test_case "critical path" `Quick test_critical_path_length;
+        Alcotest.test_case "alap schedule" `Quick test_latest_times_alap;
+        Alcotest.test_case "events" `Quick test_events_ordering_and_activity;
+        Alcotest.test_case "next task" `Quick test_next_task_on_rank;
+        QCheck_alcotest.to_alcotest prop_synthetic_valid;
+      ] );
+  ]

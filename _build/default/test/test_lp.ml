@@ -1,0 +1,851 @@
+(* Tests for the LP substrate: sparse matrices, LU factorization, the
+   dense oracle simplex, the revised simplex, and branch-and-bound. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_coo_to_csc () =
+  let c = Lp.Sparse.Coo.create () in
+  Lp.Sparse.Coo.add c 1 0 2.0;
+  Lp.Sparse.Coo.add c 0 0 1.0;
+  Lp.Sparse.Coo.add c 0 0 3.0;
+  (* duplicate: summed *)
+  Lp.Sparse.Coo.add c 2 1 5.0;
+  Lp.Sparse.Coo.add c 0 1 0.0;
+  (* explicit zero: dropped *)
+  let a = Lp.Sparse.Csc.of_coo c in
+  Alcotest.(check int) "nrows" 3 (Lp.Sparse.Csc.nrows a);
+  Alcotest.(check int) "ncols" 2 (Lp.Sparse.Csc.ncols a);
+  Alcotest.(check int) "nnz" 3 (Lp.Sparse.Csc.nnz a);
+  let d = Lp.Sparse.Csc.to_dense a in
+  check_float "a00" 4.0 d.(0).(0);
+  check_float "a10" 2.0 d.(1).(0);
+  check_float "a21" 5.0 d.(2).(1)
+
+let test_csc_mult () =
+  let c = Lp.Sparse.Coo.create () in
+  Lp.Sparse.Coo.add c 0 0 1.0;
+  Lp.Sparse.Coo.add c 0 1 2.0;
+  Lp.Sparse.Coo.add c 1 1 3.0;
+  let a = Lp.Sparse.Csc.of_coo c in
+  let y = Array.make 2 0.0 in
+  Lp.Sparse.Csc.mult a [| 10.0; 100.0 |] y;
+  check_float "y0" 210.0 y.(0);
+  check_float "y1" 300.0 y.(1);
+  let z = Lp.Sparse.Csc.mult_t a [| 1.0; 1.0 |] in
+  check_float "z0" 1.0 z.(0);
+  check_float "z1" 5.0 z.(1)
+
+(* ------------------------------------------------------------------ *)
+(* LU                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_sparse_matrix rng m density =
+  let a = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    (* guarantee structural nonsingularity with a strong diagonal *)
+    a.(i).(i) <- 2.0 +. QCheck.Gen.float_bound_inclusive 3.0 rng;
+    for j = 0 to m - 1 do
+      if i <> j && QCheck.Gen.float_bound_inclusive 1.0 rng < density then
+        a.(i).(j) <- QCheck.Gen.float_range (-2.0) 2.0 rng
+    done
+  done;
+  a
+
+let lu_roundtrip m density seed =
+  let rng = Random.State.make [| seed |] in
+  let a = random_sparse_matrix rng m density in
+  let col_iter k f =
+    for i = 0 to m - 1 do
+      if a.(i).(k) <> 0.0 then f i a.(i).(k)
+    done
+  in
+  let lu = Lp.Lu.factor ~m col_iter in
+  Alcotest.(check (list (pair int int))) "no replaced columns" [] lu.Lp.Lu.replaced;
+  (* check B x = b for a few right-hand sides *)
+  let x = Array.make m 0.0 and scratch = Array.make m 0.0 in
+  for trial = 0 to 2 do
+    let b = Array.init m (fun i -> Float.of_int ((i + trial) mod 5) -. 2.0) in
+    Lp.Lu.solve lu ~b ~x ~scratch;
+    (* residual: B x - b where x is indexed by column position *)
+    for i = 0 to m - 1 do
+      let s = ref 0.0 in
+      for k = 0 to m - 1 do
+        s := !s +. (a.(i).(k) *. x.(k))
+      done;
+      if Float.abs (!s -. b.(i)) > 1e-8 then
+        Alcotest.failf "solve residual %g at row %d" (!s -. b.(i)) i
+    done;
+    (* transpose solve *)
+    let y = Array.make m 0.0 in
+    let c = Array.init m (fun i -> Float.of_int (i mod 3) -. 1.0) in
+    Lp.Lu.solve_t lu ~c ~y ~scratch;
+    for k = 0 to m - 1 do
+      let s = ref 0.0 in
+      for i = 0 to m - 1 do
+        s := !s +. (a.(i).(k) *. y.(i))
+      done;
+      if Float.abs (!s -. c.(k)) > 1e-8 then
+        Alcotest.failf "solve_t residual %g at col %d" (!s -. c.(k)) k
+    done
+  done
+
+let test_lu_small () = lu_roundtrip 5 0.5 42
+let test_lu_medium () = lu_roundtrip 60 0.1 7
+let test_lu_dense () = lu_roundtrip 25 0.9 3
+
+let test_lu_identity () =
+  let m = 4 in
+  let lu = Lp.Lu.factor ~m (fun k f -> f k 1.0) in
+  let b = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let x = Array.make m 0.0 and scratch = Array.make m 0.0 in
+  Lp.Lu.solve lu ~b ~x ~scratch;
+  Alcotest.(check (array (float 1e-12))) "identity solve" b x
+
+let test_lu_permutation () =
+  (* a permutation matrix exercises pivoting *)
+  let m = 4 in
+  let perm = [| 2; 0; 3; 1 |] in
+  let lu = Lp.Lu.factor ~m (fun k f -> f perm.(k) 1.0) in
+  let b = [| 10.0; 20.0; 30.0; 40.0 |] in
+  let x = Array.make m 0.0 and scratch = Array.make m 0.0 in
+  Lp.Lu.solve lu ~b ~x ~scratch;
+  (* x.(k) should satisfy column perm: B x = b where B e_k = e_{perm k} *)
+  for k = 0 to m - 1 do
+    check_float "perm solve" b.(perm.(k)) x.(k)
+  done
+
+(* Regression: during elimination a workspace entry can cancel to exactly
+   0.0 and later refill; the factorization must not register that row
+   twice (it once did, duplicating L entries and corrupting solves on the
+   ±1-structured bases LP problems produce). *)
+let test_lu_exact_cancellation () =
+  let m = 4 in
+  let cols =
+    [|
+      [ (0, 1.0); (2, 2.0) ];
+      [ (0, 1.0); (1, 3.0) ];
+      [ (0, 1.0); (1, 3.0); (2, 2.0); (3, 5.0) ];
+      [ (0, 1.0) ];
+    |]
+  in
+  let col_iter k f = List.iter (fun (i, v) -> f i v) cols.(k) in
+  let lu = Lp.Lu.factor ~m col_iter in
+  Alcotest.(check (list (pair int int))) "no replaced" [] lu.Lp.Lu.replaced;
+  let b = [| 1.0; -2.0; 3.0; 0.5 |] in
+  let x = Array.make m 0.0 and scratch = Array.make m 0.0 in
+  Lp.Lu.solve lu ~b ~x ~scratch;
+  for i = 0 to m - 1 do
+    let s = ref 0.0 in
+    for k = 0 to m - 1 do
+      List.iter (fun (r, v) -> if r = i then s := !s +. (v *. x.(k))) cols.(k)
+    done;
+    if Float.abs (!s -. b.(i)) > 1e-10 then
+      Alcotest.failf "cancellation residual %g at row %d" (!s -. b.(i)) i
+  done
+
+let test_lu_singular_replaced () =
+  (* column 1 duplicates column 0: expect one replacement *)
+  let m = 3 in
+  let cols = [| [ (0, 1.0); (1, 1.0) ]; [ (0, 1.0); (1, 1.0) ]; [ (2, 1.0) ] |] in
+  let lu = Lp.Lu.factor ~m (fun k f -> List.iter (fun (i, v) -> f i v) cols.(k)) in
+  Alcotest.(check int) "one replaced" 1 (List.length lu.Lp.Lu.replaced)
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_compile () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:0.0 ~ub:4.0 ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~lb:0.0 ~obj:(-2.0) "y" in
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Le 6.0;
+  Lp.Model.add_constr m [ (1.0, y) ] Lp.Model.Le 3.0;
+  let p = Lp.Model.compile m in
+  Alcotest.(check int) "nv" 2 p.Lp.Model.nv;
+  Alcotest.(check int) "nr" 2 p.Lp.Model.nr;
+  check_float "obj x" (-1.0) p.Lp.Model.obj.(x);
+  check_float "ub x" 4.0 p.Lp.Model.ub.(x);
+  Alcotest.(check bool) "feasible pt" true
+    (Lp.Model.feasible p [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "infeasible pt" false
+    (Lp.Model.feasible p [| 5.0; 5.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Solvers: fixed small instances solved by hand                       *)
+(* ------------------------------------------------------------------ *)
+
+(* max x + 2y st x + y <= 6, y <= 3, 0 <= x <= 4 -> x=3? no:
+   maximize x+2y: y=3, x=3 -> obj 9. As min: -9. *)
+let model_basic () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:0.0 ~ub:4.0 ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~lb:0.0 ~obj:(-2.0) "y" in
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Le 6.0;
+  Lp.Model.add_constr m [ (1.0, y) ] Lp.Model.Le 3.0;
+  Lp.Model.compile m
+
+let test_dense_basic () =
+  let r = Lp.Dense_simplex.solve (model_basic ()) in
+  Alcotest.(check bool) "optimal" true (r.Lp.Dense_simplex.status = Lp.Dense_simplex.Optimal);
+  check_float "objective" (-9.0) r.Lp.Dense_simplex.objective
+
+let test_revised_basic () =
+  let r = Lp.Revised.solve (model_basic ()) in
+  Alcotest.(check bool) "optimal" true (r.Lp.Revised.status = Lp.Revised.Optimal);
+  check_float "objective" (-9.0) r.Lp.Revised.objective;
+  check_float "x" 3.0 r.Lp.Revised.x.(0);
+  check_float "y" 3.0 r.Lp.Revised.x.(1)
+
+(* min x + y st x + y >= 2, x - y = 0 -> x = y = 1 *)
+let model_eq_ge () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~obj:1.0 "x" in
+  let y = Lp.Model.add_var m ~obj:1.0 "y" in
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Ge 2.0;
+  Lp.Model.add_constr m [ (1.0, x); (-1.0, y) ] Lp.Model.Eq 0.0;
+  Lp.Model.compile m
+
+let test_dense_eq_ge () =
+  let r = Lp.Dense_simplex.solve (model_eq_ge ()) in
+  check_float "objective" 2.0 r.Lp.Dense_simplex.objective
+
+let test_revised_eq_ge () =
+  let r = Lp.Revised.solve (model_eq_ge ()) in
+  Alcotest.(check bool) "optimal" true (r.Lp.Revised.status = Lp.Revised.Optimal);
+  check_float "objective" 2.0 r.Lp.Revised.objective;
+  check_float "x" 1.0 r.Lp.Revised.x.(0)
+
+let test_infeasible () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:0.0 ~ub:1.0 ~obj:1.0 "x" in
+  Lp.Model.add_constr m [ (1.0, x) ] Lp.Model.Ge 2.0;
+  let p = Lp.Model.compile m in
+  Alcotest.(check bool) "dense infeasible" true
+    (Lp.Dense_simplex.(solve p).status = Lp.Dense_simplex.Infeasible);
+  Alcotest.(check bool) "revised infeasible" true
+    (Lp.Revised.(solve p).status = Lp.Revised.Infeasible)
+
+let test_unbounded () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~obj:0.0 "y" in
+  Lp.Model.add_constr m [ (1.0, x); (-1.0, y) ] Lp.Model.Le 1.0;
+  let p = Lp.Model.compile m in
+  Alcotest.(check bool) "dense unbounded" true
+    (Lp.Dense_simplex.(solve p).status = Lp.Dense_simplex.Unbounded);
+  Alcotest.(check bool) "revised unbounded" true
+    (Lp.Revised.(solve p).status = Lp.Revised.Unbounded)
+
+
+let test_beale_cycling_example () =
+  (* Beale's classic degenerate LP cycles under textbook Dantzig pivoting
+     without anti-cycling protection; the Bland fallback must terminate
+     at the optimum -0.05 (x3 = 1). *)
+  let m = Lp.Model.create () in
+  let x0 = Lp.Model.add_var m ~obj:(-0.75) "x0" in
+  let x1 = Lp.Model.add_var m ~obj:150.0 "x1" in
+  let x2 = Lp.Model.add_var m ~obj:(-0.02) "x2" in
+  let x3 = Lp.Model.add_var m ~obj:6.0 "x3" in
+  Lp.Model.add_constr m
+    [ (0.25, x0); (-60.0, x1); (-0.04, x2); (9.0, x3) ]
+    Lp.Model.Le 0.0;
+  Lp.Model.add_constr m
+    [ (0.5, x0); (-90.0, x1); (-0.02, x2); (3.0, x3) ]
+    Lp.Model.Le 0.0;
+  Lp.Model.add_constr m [ (1.0, x2) ] Lp.Model.Le 1.0;
+  let p = Lp.Model.compile m in
+  let rr = Lp.Revised.solve p in
+  Alcotest.(check bool) "terminates optimal" true
+    (rr.Lp.Revised.status = Lp.Revised.Optimal);
+  check_float "objective -1/20" (-0.05) rr.Lp.Revised.objective;
+  let rd = Lp.Dense_simplex.solve p in
+  check_float "oracle agrees" rd.Lp.Dense_simplex.objective
+    rr.Lp.Revised.objective
+
+let test_free_variable () =
+  (* min x st x >= -5 handled via a free var and a constraint *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:Float.neg_infinity ~obj:1.0 "x" in
+  Lp.Model.add_constr m [ (1.0, x) ] Lp.Model.Ge (-5.0);
+  let p = Lp.Model.compile m in
+  let rd = Lp.Dense_simplex.solve p in
+  check_float "dense obj" (-5.0) rd.Lp.Dense_simplex.objective;
+  let rr = Lp.Revised.solve p in
+  check_float "revised obj" (-5.0) rr.Lp.Revised.objective
+
+let test_negative_bounds () =
+  (* min x + y with x in [-3,-1], y in [-2, 2], x + y >= -4 *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:(-3.0) ~ub:(-1.0) ~obj:1.0 "x" in
+  let y = Lp.Model.add_var m ~lb:(-2.0) ~ub:2.0 ~obj:1.0 "y" in
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Ge (-4.0);
+  let p = Lp.Model.compile m in
+  let rd = Lp.Dense_simplex.solve p in
+  check_float "dense obj" (-4.0) rd.Lp.Dense_simplex.objective;
+  let rr = Lp.Revised.solve p in
+  Alcotest.(check bool) "optimal" true (rr.Lp.Revised.status = Lp.Revised.Optimal);
+  check_float "revised obj" (-4.0) rr.Lp.Revised.objective
+
+let test_degenerate () =
+  (* multiple redundant constraints through the optimum *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~obj:(-1.0) "y" in
+  Lp.Model.add_constr m [ (1.0, x) ] Lp.Model.Le 1.0;
+  Lp.Model.add_constr m [ (1.0, y) ] Lp.Model.Le 1.0;
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Le 2.0;
+  Lp.Model.add_constr m [ (2.0, x); (2.0, y) ] Lp.Model.Le 4.0;
+  let p = Lp.Model.compile m in
+  let rr = Lp.Revised.solve p in
+  check_float "objective" (-2.0) rr.Lp.Revised.objective
+
+(* ------------------------------------------------------------------ *)
+(* Differential and property tests                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random LP in inequality form with x >= 0 and rows a.x <= b, b >= 0:
+   always feasible at x = 0 and bounded when costs are >= 0... we instead
+   bound the feasible set with sum x <= K so any cost is safe. *)
+let random_model rng =
+  let nv = 1 + QCheck.Gen.int_bound 6 rng in
+  let nr = 1 + QCheck.Gen.int_bound 6 rng in
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init nv (fun j ->
+        let obj = QCheck.Gen.float_range (-5.0) 5.0 rng in
+        let ub =
+          if QCheck.Gen.bool rng then Float.infinity
+          else QCheck.Gen.float_range 0.5 8.0 rng
+        in
+        Lp.Model.add_var m ~lb:0.0 ~ub ~obj (Printf.sprintf "x%d" j))
+  in
+  Lp.Model.add_constr m
+    (Array.to_list (Array.map (fun v -> (1.0, v)) vars))
+    Lp.Model.Le
+    (4.0 +. QCheck.Gen.float_bound_inclusive 10.0 rng);
+  for _ = 1 to nr do
+    let terms =
+      Array.to_list
+        (Array.map (fun v -> (QCheck.Gen.float_range (-3.0) 3.0 rng, v)) vars)
+    in
+    let sense =
+      match QCheck.Gen.int_bound 2 rng with
+      | 0 -> Lp.Model.Le
+      | 1 -> Lp.Model.Ge
+      | _ -> Lp.Model.Eq
+    in
+    let rhs =
+      match sense with
+      | Lp.Model.Le -> QCheck.Gen.float_bound_inclusive 10.0 rng
+      | Lp.Model.Ge -> -.QCheck.Gen.float_bound_inclusive 10.0 rng
+      | Lp.Model.Eq -> 0.0
+    in
+    Lp.Model.add_constr m terms sense rhs
+  done;
+  Lp.Model.compile m
+
+let prop_differential =
+  QCheck.Test.make ~count:300 ~name:"dense and revised simplex agree"
+    QCheck.(make (fun rng -> random_model rng))
+    (fun p ->
+      let rd = Lp.Dense_simplex.solve p in
+      let rr = Lp.Revised.solve p in
+      match (rd.Lp.Dense_simplex.status, rr.Lp.Revised.status) with
+      | Lp.Dense_simplex.Optimal, Lp.Revised.Optimal ->
+          if not (Lp.Model.feasible ~tol:1e-5 p rr.Lp.Revised.x) then
+            QCheck.Test.fail_report "revised solution infeasible"
+          else if
+            Float.abs (rd.Lp.Dense_simplex.objective -. rr.Lp.Revised.objective)
+            > 1e-4 *. (1.0 +. Float.abs rd.Lp.Dense_simplex.objective)
+          then
+            QCheck.Test.fail_reportf "objectives differ: dense %g revised %g"
+              rd.Lp.Dense_simplex.objective rr.Lp.Revised.objective
+          else true
+      | Lp.Dense_simplex.Infeasible, Lp.Revised.Infeasible -> true
+      | Lp.Dense_simplex.Unbounded, Lp.Revised.Unbounded -> true
+      | sd, sr ->
+          QCheck.Test.fail_reportf "status mismatch: dense %s revised %s"
+            (match sd with
+            | Lp.Dense_simplex.Optimal -> "optimal"
+            | Lp.Dense_simplex.Infeasible -> "infeasible"
+            | Lp.Dense_simplex.Unbounded -> "unbounded")
+            (Fmt.str "%a" Lp.Revised.pp_status sr))
+
+let prop_duality =
+  QCheck.Test.make ~count:200 ~name:"strong duality identity holds"
+    QCheck.(make (fun rng -> random_model rng))
+    (fun p ->
+      let r = Lp.Revised.solve p in
+      match r.Lp.Revised.status with
+      | Lp.Revised.Optimal ->
+          (* objective = y.b + sum over nonbasic-at-bound structural vars of
+             dj * xj.  We verify the weaker but solver-independent bound
+             check: c.x >= y.b + sum_j min(dj*lb, dj*ub) for feasible dj
+             signs -- in practice we check the exact identity. *)
+          let yb = ref 0.0 in
+          Array.iteri
+            (fun i yi -> yb := !yb +. (yi *. p.Lp.Model.row_rhs.(i)))
+            r.Lp.Revised.y;
+          let corr = ref 0.0 in
+          Array.iteri
+            (fun j dj ->
+              if Float.abs dj > 1e-7 then
+                corr := !corr +. (dj *. r.Lp.Revised.x.(j)))
+            r.Lp.Revised.dj;
+          let lhs = r.Lp.Revised.objective in
+          let rhs = !yb +. !corr in
+          if Float.abs (lhs -. rhs) > 1e-4 *. (1.0 +. Float.abs lhs) then
+            QCheck.Test.fail_reportf "duality identity: %g vs %g" lhs rhs
+          else true
+      | _ -> true)
+
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_presolve_fixed_vars () =
+  (* x fixed at 2 by bounds; min y st y >= x -> 2 *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:2.0 ~ub:2.0 ~obj:0.0 "x" in
+  let y = Lp.Model.add_var m ~obj:1.0 "y" in
+  Lp.Model.add_constr m [ (1.0, y); (-1.0, x) ] Lp.Model.Ge 0.0;
+  let p = Lp.Model.compile m in
+  (match Lp.Presolve.reduce p with
+  | Lp.Presolve.Reduced r ->
+      (* x is fixed by bounds; the row then becomes the singleton
+         [y >= 2], is turned into a bound, and y (now an empty column)
+         is fixed at it: presolve solves this instance entirely *)
+      Alcotest.(check int) "both columns dropped" 2 r.Lp.Presolve.dropped_cols;
+      Alcotest.(check int) "row dropped" 1 r.Lp.Presolve.dropped_rows
+  | Lp.Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+  let r = Lp.Presolve.solve p in
+  check_float "objective" 2.0 r.Lp.Revised.objective;
+  check_float "x restored" 2.0 r.Lp.Revised.x.(0);
+  check_float "y" 2.0 r.Lp.Revised.x.(1)
+
+let test_presolve_singleton_row () =
+  (* 2x <= 6 becomes x <= 3; min -x -> -3 *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~obj:(-1.0) "x" in
+  Lp.Model.add_constr m [ (2.0, x) ] Lp.Model.Le 6.0;
+  let p = Lp.Model.compile m in
+  (match Lp.Presolve.reduce p with
+  | Lp.Presolve.Reduced r ->
+      Alcotest.(check int) "row dropped" 1 r.Lp.Presolve.dropped_rows;
+      (* the dropped row became a bound, then the empty column was fixed *)
+      Alcotest.(check int) "no rows left" 0 r.Lp.Presolve.problem.Lp.Model.nr
+  | Lp.Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+  let r = Lp.Presolve.solve p in
+  check_float "objective" (-3.0) r.Lp.Revised.objective
+
+let test_presolve_detects_infeasible () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:0.0 ~ub:1.0 "x" in
+  Lp.Model.add_constr m [ (1.0, x) ] Lp.Model.Ge 5.0;
+  let p = Lp.Model.compile m in
+  match Lp.Presolve.reduce p with
+  | Lp.Presolve.Proven_infeasible -> ()
+  | Lp.Presolve.Reduced _ ->
+      (* bound conflict must surface at the latest in the solve *)
+      let r = Lp.Presolve.solve p in
+      Alcotest.(check bool) "infeasible" true
+        (r.Lp.Revised.status = Lp.Revised.Infeasible)
+
+
+let test_presolve_doubleton_chain () =
+  (* x + y = 4, y - z = 1, min x + z subject to z in [0, 2]:
+     y = z + 1, x = 4 - y = 3 - z; objective = (3 - z) + z = 3 constant,
+     any feasible z works; check restored consistency instead *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:Float.neg_infinity ~obj:1.0 "x" in
+  let y = Lp.Model.add_var m ~lb:Float.neg_infinity "y" in
+  let z = Lp.Model.add_var m ~lb:0.0 ~ub:2.0 ~obj:1.0 "z" in
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Eq 4.0;
+  Lp.Model.add_constr m [ (1.0, y); (-1.0, z) ] Lp.Model.Eq 1.0;
+  let p = Lp.Model.compile m in
+  (match Lp.Presolve.reduce p with
+  | Lp.Presolve.Reduced r ->
+      Alcotest.(check int) "both equality rows eliminated" 2
+        r.Lp.Presolve.dropped_rows;
+      Alcotest.(check bool) "at least two columns gone" true
+        (r.Lp.Presolve.dropped_cols >= 2)
+  | Lp.Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+  let r = Lp.Presolve.solve p in
+  Alcotest.(check bool) "optimal" true (r.Lp.Revised.status = Lp.Revised.Optimal);
+  check_float "objective" 3.0 r.Lp.Revised.objective;
+  (* restored point satisfies the original equations *)
+  check_float "x + y" 4.0 (r.Lp.Revised.x.(0) +. r.Lp.Revised.x.(1));
+  check_float "y - z" 1.0 (r.Lp.Revised.x.(1) -. r.Lp.Revised.x.(2));
+  ignore (x, y, z)
+
+let test_presolve_doubleton_bound_transfer () =
+  (* 2x = y with x in [1, 3]: y must land in [2, 6]; min y -> 2 *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:1.0 ~ub:3.0 "x" in
+  let y = Lp.Model.add_var m ~lb:Float.neg_infinity ~obj:1.0 "y" in
+  Lp.Model.add_constr m [ (2.0, x); (-1.0, y) ] Lp.Model.Eq 0.0;
+  let p = Lp.Model.compile m in
+  let r = Lp.Presolve.solve p in
+  check_float "objective" 2.0 r.Lp.Revised.objective;
+  check_float "x" 1.0 r.Lp.Revised.x.(0);
+  ignore (x, y)
+
+let prop_presolve_equivalent =
+  QCheck.Test.make ~count:300 ~name:"presolve preserves the optimum"
+    QCheck.(make (fun rng -> random_model rng))
+    (fun p ->
+      let direct = Lp.Revised.solve p in
+      let pre = Lp.Presolve.solve p in
+      match (direct.Lp.Revised.status, pre.Lp.Revised.status) with
+      | Lp.Revised.Optimal, Lp.Revised.Optimal ->
+          if not (Lp.Model.feasible ~tol:1e-5 p pre.Lp.Revised.x) then
+            QCheck.Test.fail_report "presolved solution infeasible"
+          else if
+            Float.abs (direct.Lp.Revised.objective -. pre.Lp.Revised.objective)
+            > 1e-4 *. (1.0 +. Float.abs direct.Lp.Revised.objective)
+          then
+            QCheck.Test.fail_reportf "objectives differ: %g vs %g"
+              direct.Lp.Revised.objective pre.Lp.Revised.objective
+          else true
+      | Lp.Revised.Infeasible, Lp.Revised.Infeasible -> true
+      | Lp.Revised.Unbounded, Lp.Revised.Unbounded -> true
+      | a, b ->
+          QCheck.Test.fail_reportf "status mismatch: %a vs %a"
+            Lp.Revised.pp_status a Lp.Revised.pp_status b)
+
+(* ------------------------------------------------------------------ *)
+(* MILP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_milp_knapsack () =
+  (* max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binaries.
+     best: a + c = 17 vs b + c = 20 -> 20 *)
+  let m = Lp.Model.create () in
+  let a = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-10.0) "a" in
+  let b = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-13.0) "b" in
+  let c = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-7.0) "c" in
+  Lp.Model.add_constr m [ (3.0, a); (4.0, b); (2.0, c) ] Lp.Model.Le 6.0;
+  let p = Lp.Model.compile m in
+  let r = Lp.Milp.solve p in
+  Alcotest.(check bool) "optimal" true (r.Lp.Milp.status = Lp.Milp.Optimal);
+  check_float "objective" (-20.0) r.Lp.Milp.objective;
+  check_float "b" 1.0 r.Lp.Milp.x.(1);
+  check_float "c" 1.0 r.Lp.Milp.x.(2)
+
+let test_milp_relaxation_bound () =
+  let m = Lp.Model.create () in
+  let a = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-5.0) "a" in
+  let b = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-4.0) "b" in
+  Lp.Model.add_constr m [ (2.0, a); (3.0, b) ] Lp.Model.Le 4.0;
+  let p = Lp.Model.compile m in
+  let r = Lp.Milp.solve p in
+  Alcotest.(check bool) "optimal" true (r.Lp.Milp.status = Lp.Milp.Optimal);
+  Alcotest.(check bool) "relaxation lower-bounds milp (min)" true
+    (r.Lp.Milp.relaxation <= r.Lp.Milp.objective +. 1e-6)
+
+let test_milp_integer_general () =
+  (* min -x - y, x,y integer >= 0, 2x + 5y <= 11, 4x + y <= 9:
+     candidates: x=2,y=1 -> -3 ... x=1,y=1 (-2), x=2,y=1: 2*2+5=9<=11,
+     8+1=9<=9 ok -> obj -3; x=0,y=2: -2. answer -3. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~integer:true ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~integer:true ~obj:(-1.0) "y" in
+  Lp.Model.add_constr m [ (2.0, x); (5.0, y) ] Lp.Model.Le 11.0;
+  Lp.Model.add_constr m [ (4.0, x); (1.0, y) ] Lp.Model.Le 9.0;
+  let p = Lp.Model.compile m in
+  let r = Lp.Milp.solve p in
+  check_float "objective" (-3.0) r.Lp.Milp.objective
+
+let test_milp_infeasible () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:1.0 "x" in
+  Lp.Model.add_constr m [ (2.0, x) ] Lp.Model.Ge 3.0;
+  let p = Lp.Model.compile m in
+  let r = Lp.Milp.solve p in
+  Alcotest.(check bool) "infeasible" true (r.Lp.Milp.status = Lp.Milp.Infeasible)
+
+let prop_milp_vs_bruteforce =
+  (* random small binary problems: compare with exhaustive enumeration *)
+  QCheck.Test.make ~count:100 ~name:"milp matches brute force on binaries"
+    QCheck.(make (fun rng -> rng))
+    (fun rng ->
+      let nv = 2 + QCheck.Gen.int_bound 3 rng in
+      let m = Lp.Model.create () in
+      let obj = Array.init nv (fun _ -> QCheck.Gen.float_range (-5.0) 5.0 rng) in
+      let vars =
+        Array.init nv (fun j ->
+            Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:obj.(j)
+              (Printf.sprintf "b%d" j))
+      in
+      let coefs = Array.init nv (fun _ -> QCheck.Gen.float_range 0.0 4.0 rng) in
+      let cap = QCheck.Gen.float_range 1.0 8.0 rng in
+      Lp.Model.add_constr m
+        (Array.to_list (Array.mapi (fun j v -> (coefs.(j), v)) vars))
+        Lp.Model.Le cap;
+      let p = Lp.Model.compile m in
+      let r = Lp.Milp.solve p in
+      (* brute force *)
+      let best = ref Float.infinity in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let w = ref 0.0 and o = ref 0.0 in
+        for j = 0 to nv - 1 do
+          if mask land (1 lsl j) <> 0 then begin
+            w := !w +. coefs.(j);
+            o := !o +. obj.(j)
+          end
+        done;
+        if !w <= cap +. 1e-9 && !o < !best then best := !o
+      done;
+      match r.Lp.Milp.status with
+      | Lp.Milp.Optimal ->
+          if Float.abs (r.Lp.Milp.objective -. !best) > 1e-5 then
+            QCheck.Test.fail_reportf "milp %g vs brute %g" r.Lp.Milp.objective
+              !best
+          else true
+      | _ -> QCheck.Test.fail_report "milp not optimal on feasible instance")
+
+
+
+(* Larger random LPs: exercises refactorization, partial pricing and
+   bound flips harder than the small differential test. *)
+let random_model_large rng =
+  let nv = 15 + QCheck.Gen.int_bound 20 rng in
+  let nr = 10 + QCheck.Gen.int_bound 20 rng in
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init nv (fun j ->
+        let obj = QCheck.Gen.float_range (-3.0) 3.0 rng in
+        let ub =
+          if QCheck.Gen.bool rng then Float.infinity
+          else QCheck.Gen.float_range 0.5 6.0 rng
+        in
+        Lp.Model.add_var m ~lb:0.0 ~ub ~obj (Printf.sprintf "x%d" j))
+  in
+  (* bounded feasible region *)
+  Lp.Model.add_constr m
+    (Array.to_list (Array.map (fun v -> (1.0, v)) vars))
+    Lp.Model.Le
+    (10.0 +. QCheck.Gen.float_bound_inclusive 30.0 rng);
+  for _ = 1 to nr do
+    (* sparse rows: 3-6 terms *)
+    let k = 3 + QCheck.Gen.int_bound 3 rng in
+    let terms =
+      List.init k (fun _ ->
+          ( QCheck.Gen.float_range (-2.0) 2.0 rng,
+            vars.(QCheck.Gen.int_bound (nv - 1) rng) ))
+    in
+    let sense =
+      match QCheck.Gen.int_bound 2 rng with
+      | 0 -> Lp.Model.Le
+      | 1 -> Lp.Model.Ge
+      | _ -> Lp.Model.Eq
+    in
+    let rhs =
+      match sense with
+      | Lp.Model.Le -> QCheck.Gen.float_bound_inclusive 8.0 rng
+      | Lp.Model.Ge -> -.QCheck.Gen.float_bound_inclusive 8.0 rng
+      | Lp.Model.Eq -> QCheck.Gen.float_range (-1.0) 1.0 rng
+    in
+    Lp.Model.add_constr m terms sense rhs
+  done;
+  Lp.Model.compile m
+
+let prop_differential_large =
+  QCheck.Test.make ~count:60 ~name:"dense and revised agree on larger LPs"
+    QCheck.(make (fun rng -> random_model_large rng))
+    (fun p ->
+      let rd = Lp.Dense_simplex.solve p in
+      let rr = Lp.Presolve.solve p in
+      match (rd.Lp.Dense_simplex.status, rr.Lp.Revised.status) with
+      | Lp.Dense_simplex.Optimal, Lp.Revised.Optimal ->
+          if not (Lp.Model.feasible ~tol:1e-5 p rr.Lp.Revised.x) then
+            QCheck.Test.fail_report "revised solution infeasible"
+          else if
+            Float.abs (rd.Lp.Dense_simplex.objective -. rr.Lp.Revised.objective)
+            > 1e-4 *. (1.0 +. Float.abs rd.Lp.Dense_simplex.objective)
+          then
+            QCheck.Test.fail_reportf "objectives differ: dense %g revised %g"
+              rd.Lp.Dense_simplex.objective rr.Lp.Revised.objective
+          else true
+      | Lp.Dense_simplex.Infeasible, Lp.Revised.Infeasible -> true
+      | Lp.Dense_simplex.Unbounded, Lp.Revised.Unbounded -> true
+      | sd, sr ->
+          QCheck.Test.fail_reportf "status mismatch: dense %s revised %s"
+            (match sd with
+            | Lp.Dense_simplex.Optimal -> "optimal"
+            | Lp.Dense_simplex.Infeasible -> "infeasible"
+            | Lp.Dense_simplex.Unbounded -> "unbounded")
+            (Fmt.str "%a" Lp.Revised.pp_status sr))
+
+(* ------------------------------------------------------------------ *)
+(* MPS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mps_roundtrip_basic () =
+  let p = model_basic () in
+  let p' = Lp.Mps.of_string (Lp.Mps.to_string p) in
+  Alcotest.(check int) "nv" p.Lp.Model.nv p'.Lp.Model.nv;
+  Alcotest.(check int) "nr" p.Lp.Model.nr p'.Lp.Model.nr;
+  let r = Lp.Revised.solve p and r' = Lp.Revised.solve p' in
+  check_float "same optimum" r.Lp.Revised.objective r'.Lp.Revised.objective
+
+let test_mps_integer_markers () =
+  let m = Lp.Model.create () in
+  let a = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-10.0) "a" in
+  let b = Lp.Model.add_var m ~obj:(-1.0) ~ub:3.5 "b" in
+  Lp.Model.add_constr m [ (3.0, a); (1.0, b) ] Lp.Model.Le 5.0;
+  let p = Lp.Model.compile m in
+  let p' = Lp.Mps.of_string (Lp.Mps.to_string p) in
+  Alcotest.(check bool) "a integer" true p'.Lp.Model.integer.(0);
+  Alcotest.(check bool) "b continuous" false p'.Lp.Model.integer.(1);
+  let r = Lp.Milp.solve p and r' = Lp.Milp.solve p' in
+  check_float "same milp optimum" r.Lp.Milp.objective r'.Lp.Milp.objective;
+  ignore (a, b)
+
+let test_mps_parse_fixed_example () =
+  (* hand-written instance: max x + y st x + 2y <= 4 (as min -x - y) *)
+  let text =
+    "* a comment line\n\
+     NAME test\n\
+     ROWS\n\
+     \ N  COST\n\
+     \ L  LIM\n\
+     COLUMNS\n\
+     \    X  COST  -1.0  LIM  1.0\n\
+     \    Y  COST  -1.0  LIM  2.0\n\
+     RHS\n\
+     \    RHS1  LIM  4.0\n\
+     BOUNDS\n\
+     ENDATA\n"
+  in
+  let p = Lp.Mps.of_string text in
+  Alcotest.(check int) "two vars" 2 p.Lp.Model.nv;
+  Alcotest.(check int) "one row" 1 p.Lp.Model.nr;
+  let r = Lp.Revised.solve p in
+  check_float "optimum" (-4.0) r.Lp.Revised.objective
+
+let test_mps_rejects_garbage () =
+  (match Lp.Mps.of_string "ROWS\njunk\n" with
+  | exception Lp.Mps.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  match Lp.Mps.of_string "NAME x\nROWS\n N OBJ\nCOLUMNS\nRHS\nBOUNDS\n" with
+  | exception Lp.Mps.Parse_error _ -> () (* missing ENDATA *)
+  | _ -> Alcotest.fail "expected parse error for missing ENDATA"
+
+let prop_mps_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"mps roundtrip preserves the optimum"
+    QCheck.(make (fun rng -> random_model rng))
+    (fun p ->
+      let p' = Lp.Mps.of_string (Lp.Mps.to_string p) in
+      let r = Lp.Revised.solve p and r' = Lp.Revised.solve p' in
+      match (r.Lp.Revised.status, r'.Lp.Revised.status) with
+      | Lp.Revised.Optimal, Lp.Revised.Optimal ->
+          if
+            Float.abs (r.Lp.Revised.objective -. r'.Lp.Revised.objective)
+            > 1e-5 *. (1.0 +. Float.abs r.Lp.Revised.objective)
+          then
+            QCheck.Test.fail_reportf "objective drift: %g vs %g"
+              r.Lp.Revised.objective r'.Lp.Revised.objective
+          else true
+      | a, b ->
+          if a = b then true
+          else
+            QCheck.Test.fail_reportf "status mismatch %a vs %a"
+              Lp.Revised.pp_status a Lp.Revised.pp_status b)
+
+(* A structured LP shaped like the paper's event formulation, large enough
+   to exercise refactorization. *)
+let test_revised_chain_large () =
+  let n = 120 in
+  let m = Lp.Model.create () in
+  (* v_0 .. v_n: event times; d_i in [1,3] chosen by a blend variable *)
+  let v = Array.init (n + 1) (fun i -> Lp.Model.add_var m (Printf.sprintf "v%d" i)) in
+  let blend = Array.init n (fun i -> Lp.Model.add_var m ~ub:1.0 (Printf.sprintf "c%d" i)) in
+  Lp.Model.add_constr m [ (1.0, v.(0)) ] Lp.Model.Eq 0.0;
+  for i = 0 to n - 1 do
+    (* v_{i+1} - v_i >= 3 - 2 * blend_i  (blend buys speed) *)
+    Lp.Model.add_constr m
+      [ (1.0, v.(i + 1)); (-1.0, v.(i)); (2.0, blend.(i)) ]
+      Lp.Model.Ge 3.0;
+    ignore
+      (Lp.Model.add_constr m [ (1.0, blend.(i)) ] Lp.Model.Le 1.0)
+  done;
+  (* power budget: sum of blends <= n/2 *)
+  Lp.Model.add_constr m
+    (Array.to_list (Array.map (fun b -> (1.0, b)) blend))
+    Lp.Model.Le
+    (Float.of_int n /. 2.0);
+  Lp.Model.set_obj m v.(n) 1.0;
+  let p = Lp.Model.compile m in
+  let r = Lp.Revised.solve p in
+  Alcotest.(check bool) "optimal" true (r.Lp.Revised.status = Lp.Revised.Optimal);
+  (* optimum: n/2 tasks at duration 1, n/2 at 3 -> makespan 2n *)
+  check_float "objective" (2.0 *. Float.of_int n) r.Lp.Revised.objective
+
+let suite =
+  [
+    ( "lp.sparse",
+      [
+        Alcotest.test_case "coo to csc" `Quick test_coo_to_csc;
+        Alcotest.test_case "csc mult" `Quick test_csc_mult;
+      ] );
+    ( "lp.lu",
+      [
+        Alcotest.test_case "roundtrip small" `Quick test_lu_small;
+        Alcotest.test_case "roundtrip medium" `Quick test_lu_medium;
+        Alcotest.test_case "roundtrip dense" `Quick test_lu_dense;
+        Alcotest.test_case "identity" `Quick test_lu_identity;
+        Alcotest.test_case "exact cancellation" `Quick test_lu_exact_cancellation;
+        Alcotest.test_case "permutation" `Quick test_lu_permutation;
+        Alcotest.test_case "singular replaced" `Quick test_lu_singular_replaced;
+      ] );
+    ( "lp.model",
+      [ Alcotest.test_case "compile and feasible" `Quick test_model_compile ] );
+    ( "lp.simplex",
+      [
+        Alcotest.test_case "dense basic" `Quick test_dense_basic;
+        Alcotest.test_case "revised basic" `Quick test_revised_basic;
+        Alcotest.test_case "dense eq/ge" `Quick test_dense_eq_ge;
+        Alcotest.test_case "revised eq/ge" `Quick test_revised_eq_ge;
+        Alcotest.test_case "infeasible" `Quick test_infeasible;
+        Alcotest.test_case "unbounded" `Quick test_unbounded;
+        Alcotest.test_case "free variable" `Quick test_free_variable;
+        Alcotest.test_case "negative bounds" `Quick test_negative_bounds;
+        Alcotest.test_case "degenerate" `Quick test_degenerate;
+        Alcotest.test_case "beale cycling" `Quick test_beale_cycling_example;
+        Alcotest.test_case "large chain" `Quick test_revised_chain_large;
+        QCheck_alcotest.to_alcotest prop_differential;
+        QCheck_alcotest.to_alcotest prop_differential_large;
+        QCheck_alcotest.to_alcotest prop_duality;
+      ] );
+    ( "lp.mps",
+      [
+        Alcotest.test_case "roundtrip basic" `Quick test_mps_roundtrip_basic;
+        Alcotest.test_case "integer markers" `Quick test_mps_integer_markers;
+        Alcotest.test_case "fixed example" `Quick test_mps_parse_fixed_example;
+        Alcotest.test_case "rejects garbage" `Quick test_mps_rejects_garbage;
+        QCheck_alcotest.to_alcotest prop_mps_roundtrip;
+      ] );
+    ( "lp.presolve",
+      [
+        Alcotest.test_case "fixed vars" `Quick test_presolve_fixed_vars;
+        Alcotest.test_case "singleton row" `Quick test_presolve_singleton_row;
+        Alcotest.test_case "infeasible" `Quick test_presolve_detects_infeasible;
+        Alcotest.test_case "doubleton chain" `Quick test_presolve_doubleton_chain;
+        Alcotest.test_case "doubleton bounds" `Quick test_presolve_doubleton_bound_transfer;
+        QCheck_alcotest.to_alcotest prop_presolve_equivalent;
+      ] );
+    ( "lp.milp",
+      [
+        Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+        Alcotest.test_case "relaxation bound" `Quick test_milp_relaxation_bound;
+        Alcotest.test_case "general integers" `Quick test_milp_integer_general;
+        Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+        QCheck_alcotest.to_alcotest prop_milp_vs_bruteforce;
+      ] );
+  ]

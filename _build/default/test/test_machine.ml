@@ -1,0 +1,206 @@
+(* Tests for the machine model: DVFS ladder, task profiles, socket power,
+   RAPL capping, and the network model. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let sock = Machine.Socket.nominal 0
+
+let test_dvfs_ladder () =
+  Alcotest.(check int) "15 states" 15 Machine.Dvfs.n_states;
+  check_float "min" 1.2 Machine.Dvfs.ladder.(0);
+  check_float "max" 2.6 Machine.Dvfs.ladder.(14);
+  Alcotest.(check bool) "1.5 is a state" true (Machine.Dvfs.is_state 1.5);
+  check_float "floor 1.57" 1.5 (Machine.Dvfs.floor_freq 1.57);
+  check_float "floor below" 1.2 (Machine.Dvfs.floor_freq 0.3);
+  check_float "nearest 2.44" 2.4 (Machine.Dvfs.nearest 2.44);
+  Alcotest.(check int) "index of max" 14 (Machine.Dvfs.index_of 2.6)
+
+let test_profile_monotonicity () =
+  let p = Machine.Profile.v ~serial_frac:0.05 ~contention:0.0 ~mem_bound:0.2 1.0 in
+  (* duration decreases with threads (no contention) *)
+  let d t = Machine.Profile.duration p ~freq:2.6 ~threads:t in
+  for t = 1 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "d(%d) > d(%d)" t (t + 1))
+      true
+      (d t > d (t + 1))
+  done;
+  (* duration decreases with frequency *)
+  let df f = Machine.Profile.duration p ~freq:f ~threads:8 in
+  Alcotest.(check bool) "faster clock is faster" true (df 2.6 < df 1.2);
+  (* at max frequency, 1 thread: duration = work *)
+  check_float "work normalization" 1.0
+    (Machine.Profile.duration p ~freq:2.6 ~threads:1)
+
+let test_profile_contention_optimum () =
+  (* strong contention pushes the optimal thread count below 8 *)
+  let p = Machine.Profile.v ~serial_frac:0.02 ~contention:0.06 1.0 in
+  let best = Machine.Profile.best_threads p ~max_threads:8 in
+  Alcotest.(check bool) "optimum below 8 threads" true (best < 8);
+  Alcotest.(check bool) "optimum above 1 thread" true (best > 1);
+  (* no contention: 8 threads is best *)
+  let q = Machine.Profile.v ~serial_frac:0.02 ~contention:0.0 1.0 in
+  Alcotest.(check int) "8 threads" 8 (Machine.Profile.best_threads q ~max_threads:8)
+
+let test_profile_mem_bound () =
+  (* fully frequency-sensitive task scales linearly with 1/f *)
+  let p = Machine.Profile.v ~mem_bound:0.0 1.0 in
+  let d13 = Machine.Profile.duration p ~freq:1.3 ~threads:1 in
+  check_float "2x clock, 2x speed" 2.0 d13;
+  (* memory-bound task barely scales *)
+  let q = Machine.Profile.v ~mem_bound:0.9 1.0 in
+  let dq = Machine.Profile.duration q ~freq:1.3 ~threads:1 in
+  Alcotest.(check bool) "mem-bound insensitive" true (dq < 1.2)
+
+let test_profile_validation () =
+  Alcotest.check_raises "negative work" (Invalid_argument "Profile.v: negative work")
+    (fun () -> ignore (Machine.Profile.v (-1.0)));
+  Alcotest.check_raises "bad serial"
+    (Invalid_argument "Profile.v: serial_frac out of [0,1]") (fun () ->
+      ignore (Machine.Profile.v ~serial_frac:1.5 1.0))
+
+let test_socket_power_range () =
+  let p8max = Machine.Socket.power sock ~freq:2.6 ~threads:8 ~mem_bound:0.0 in
+  let p8min = Machine.Socket.power sock ~freq:1.2 ~threads:8 ~mem_bound:0.0 in
+  let p1min = Machine.Socket.power sock ~freq:1.2 ~threads:1 ~mem_bound:0.0 in
+  Alcotest.(check bool) "max ~ 82W" true (p8max > 74.0 && p8max < 90.0);
+  Alcotest.(check bool) "8thr floor ~ 29W" true (p8min > 26.0 && p8min < 33.0);
+  Alcotest.(check bool) "1thr floor ~ 19W" true (p1min > 18.0 && p1min < 22.0);
+  (* monotonic in threads and frequency *)
+  Alcotest.(check bool) "threads increase power" true
+    (Machine.Socket.power sock ~freq:2.0 ~threads:5 ~mem_bound:0.1
+    < Machine.Socket.power sock ~freq:2.0 ~threads:6 ~mem_bound:0.1);
+  Alcotest.(check bool) "frequency increases power" true
+    (Machine.Socket.power sock ~freq:1.8 ~threads:6 ~mem_bound:0.1
+    < Machine.Socket.power sock ~freq:2.0 ~threads:6 ~mem_bound:0.1);
+  (* memory-bound tasks draw less *)
+  Alcotest.(check bool) "mem-bound draws less" true
+    (Machine.Socket.power sock ~freq:2.6 ~threads:8 ~mem_bound:0.8
+    < Machine.Socket.power sock ~freq:2.6 ~threads:8 ~mem_bound:0.0)
+
+let test_socket_fleet () =
+  let fleet = Machine.Socket.fleet ~seed:42 32 in
+  Alcotest.(check int) "fleet size" 32 (Array.length fleet);
+  (* deterministic in the seed *)
+  let fleet' = Machine.Socket.fleet ~seed:42 32 in
+  Array.iteri
+    (fun i s ->
+      check_float "deterministic eff" s.Machine.Socket.eff
+        fleet'.(i).Machine.Socket.eff)
+    fleet;
+  (* bounded variability *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "eff in range" true
+        (s.Machine.Socket.eff > 0.8 && s.Machine.Socket.eff < 1.2))
+    fleet;
+  (* different seed, different fleet *)
+  let other = Machine.Socket.fleet ~seed:7 32 in
+  Alcotest.(check bool) "seed matters" true
+    (Array.exists2
+       (fun a b -> a.Machine.Socket.eff <> b.Machine.Socket.eff)
+       fleet other)
+
+let test_rapl_respects_cap () =
+  List.iter
+    (fun cap ->
+      List.iter
+        (fun threads ->
+          let op =
+            Machine.Rapl.operating_point sock ~cap ~threads ~mem_bound:0.2
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "cap %g thr %d" cap threads)
+            true
+            (op.Machine.Rapl.power <= cap +. 1e-6
+            || op.Machine.Rapl.duty = Machine.Rapl.min_duty))
+        [ 1; 4; 8 ])
+    [ 20.0; 30.0; 45.0; 60.0; 80.0 ]
+
+let test_rapl_uncapped_is_max_freq () =
+  let op = Machine.Rapl.operating_point sock ~cap:100.0 ~threads:8 ~mem_bound:0.2 in
+  check_float "max freq" 2.6 op.Machine.Rapl.freq;
+  check_float "no modulation" 1.0 op.Machine.Rapl.duty
+
+let test_rapl_modulation_under_tight_cap () =
+  (* 8 threads need ~35 W at the lowest P-state; a 25 W cap forces
+     clock modulation *)
+  let op = Machine.Rapl.operating_point sock ~cap:25.0 ~threads:8 ~mem_bound:0.0 in
+  check_float "lowest P-state" 1.2 op.Machine.Rapl.freq;
+  Alcotest.(check bool) "duty < 1" true (op.Machine.Rapl.duty < 1.0);
+  Alcotest.(check bool) "clock fraction < 0.46" true
+    (Machine.Rapl.relative_clock op < 0.46);
+  (* modulated duration exceeds unmodulated duration *)
+  let prof = Machine.Profile.v 1.0 in
+  let d = Machine.Rapl.duration prof op ~threads:8 in
+  let d_unmod = Machine.Profile.duration prof ~freq:1.2 ~threads:8 in
+  Alcotest.(check bool) "modulation slows execution" true (d > d_unmod)
+
+
+let test_rapl_duty_floor () =
+  (* an impossible cap cannot push the duty cycle below the hardware
+     floor; the reported power then honestly exceeds the cap *)
+  let op = Machine.Rapl.operating_point sock ~cap:5.0 ~threads:8 ~mem_bound:0.0 in
+  Alcotest.(check (float 1e-9)) "duty floored" Machine.Rapl.min_duty
+    op.Machine.Rapl.duty;
+  Alcotest.(check bool) "power above the impossible cap" true
+    (op.Machine.Rapl.power > 5.0)
+
+let test_rapl_threads_zero () =
+  let op = Machine.Rapl.operating_point sock ~cap:30.0 ~threads:0 ~mem_bound:0.0 in
+  (* zero active threads draw idle power at any state *)
+  Alcotest.(check bool) "idle draw" true (op.Machine.Rapl.power <= 30.0)
+
+let test_rapl_monotone_in_cap () =
+  let prof = Machine.Profile.v 1.0 in
+  let d cap =
+    let op = Machine.Rapl.operating_point sock ~cap ~threads:8 ~mem_bound:0.2 in
+    Machine.Rapl.duration prof op ~threads:8
+  in
+  Alcotest.(check bool) "more power, no slower" true
+    (d 30.0 >= d 40.0 && d 40.0 >= d 55.0 && d 55.0 >= d 80.0)
+
+let test_network () =
+  let t0 = Machine.Network.transfer_time 0 in
+  check_float "latency only" 2.0e-6 t0;
+  Alcotest.(check bool) "bigger is slower" true
+    (Machine.Network.transfer_time 1_000_000 > Machine.Network.transfer_time 1_000);
+  Alcotest.(check bool) "collective grows with ranks" true
+    (Machine.Network.collective_time ~ranks:32 1024
+    > Machine.Network.collective_time ~ranks:2 1024)
+
+let test_overheads_sane () =
+  Alcotest.(check bool) "ordering of overheads" true
+    (Machine.Overheads.conductor_per_task < Machine.Overheads.dvfs_transition
+    && Machine.Overheads.dvfs_transition < Machine.Overheads.reallocation_per_step)
+
+let suite =
+  [
+    ( "machine.dvfs",
+      [ Alcotest.test_case "ladder" `Quick test_dvfs_ladder ] );
+    ( "machine.profile",
+      [
+        Alcotest.test_case "monotonicity" `Quick test_profile_monotonicity;
+        Alcotest.test_case "contention optimum" `Quick test_profile_contention_optimum;
+        Alcotest.test_case "memory boundedness" `Quick test_profile_mem_bound;
+        Alcotest.test_case "validation" `Quick test_profile_validation;
+      ] );
+    ( "machine.socket",
+      [
+        Alcotest.test_case "power range" `Quick test_socket_power_range;
+        Alcotest.test_case "fleet variability" `Quick test_socket_fleet;
+      ] );
+    ( "machine.rapl",
+      [
+        Alcotest.test_case "respects cap" `Quick test_rapl_respects_cap;
+        Alcotest.test_case "uncapped" `Quick test_rapl_uncapped_is_max_freq;
+        Alcotest.test_case "modulation" `Quick test_rapl_modulation_under_tight_cap;
+        Alcotest.test_case "monotone in cap" `Quick test_rapl_monotone_in_cap;
+        Alcotest.test_case "duty floor" `Quick test_rapl_duty_floor;
+        Alcotest.test_case "zero threads" `Quick test_rapl_threads_zero;
+      ] );
+    ( "machine.network",
+      [
+        Alcotest.test_case "transfer model" `Quick test_network;
+        Alcotest.test_case "overheads" `Quick test_overheads_sane;
+      ] );
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the online power-allocation policies: power-cap safety,
+   thread behaviour (RAPL cannot change concurrency), and the relative
+   performance ordering the paper reports. *)
+
+let make app ~nranks ~iterations =
+  let g =
+    Workloads.Apps.generate app
+      { Workloads.Apps.default_params with nranks; iterations }
+  in
+  (g, Core.Scenario.make g)
+
+let test_static_respects_cap () =
+  List.iter
+    (fun app ->
+      let _, sc = make app ~nranks:4 ~iterations:3 in
+      List.iter
+        (fun cap_per ->
+          let cap = cap_per *. 4.0 in
+          let r = Runtime.Static.run sc ~job_cap:cap in
+          let mx = Simulate.Engine.sustained_max_power ~ignore_below:1e-3 r in
+          if mx > cap +. 1e-6 then
+            Alcotest.failf "%s at %g: static power %.1f over %.1f"
+              (Workloads.Apps.app_name app) cap_per mx cap)
+        [ 30.0; 45.0; 60.0; 80.0 ])
+    Workloads.Apps.all_apps
+
+let test_static_always_eight_threads () =
+  let _, sc = make Workloads.Apps.LULESH ~nranks:4 ~iterations:2 in
+  let r = Runtime.Static.run sc ~job_cap:160.0 in
+  Array.iter
+    (fun (rc : Simulate.Engine.task_record) ->
+      if rc.duration > 0.0 then
+        Alcotest.(check int) "RAPL cannot drop threads" 8
+          rc.point.Pareto.Point.threads)
+    r.Simulate.Engine.records
+
+let test_static_monotone_in_cap () =
+  let _, sc = make Workloads.Apps.CoMD ~nranks:4 ~iterations:3 in
+  let t cap = (Runtime.Static.run sc ~job_cap:cap).Simulate.Engine.makespan in
+  Alcotest.(check bool) "more power never slower" true
+    (t 120.0 >= t 160.0 -. 1e-9 && t 160.0 >= t 240.0 -. 1e-9)
+
+let test_conductor_respects_cap () =
+  List.iter
+    (fun app ->
+      let _, sc = make app ~nranks:4 ~iterations:5 in
+      List.iter
+        (fun cap_per ->
+          let cap = cap_per *. 4.0 in
+          let r = Runtime.Conductor.run sc ~job_cap:cap in
+          let mx = Simulate.Engine.sustained_max_power ~ignore_below:1e-3 r in
+          (* 2% tolerance mirrors RAPL's averaging window *)
+          if mx > cap *. 1.02 +. 1e-6 then
+            Alcotest.failf "%s at %g: conductor power %.1f over %.1f"
+              (Workloads.Apps.app_name app) cap_per mx cap)
+        [ 30.0; 45.0; 60.0 ])
+    Workloads.Apps.all_apps
+
+let test_conductor_beats_static_on_imbalance () =
+  (* BT's zonal imbalance is Conductor's bread and butter *)
+  let _, sc = make Workloads.Apps.BT ~nranks:8 ~iterations:8 in
+  let cap = 35.0 *. 8.0 in
+  let st = Runtime.Static.run sc ~job_cap:cap in
+  let co = Runtime.Conductor.run sc ~job_cap:cap in
+  Alcotest.(check bool) "conductor faster on BT" true
+    (co.Simulate.Engine.makespan < st.Simulate.Engine.makespan)
+
+let test_conductor_near_static_on_balanced () =
+  (* on balanced SP Conductor may lose, but only slightly (paper: worst
+     2.6% slower) *)
+  let _, sc = make Workloads.Apps.SP ~nranks:8 ~iterations:8 in
+  let cap = 50.0 *. 8.0 in
+  let st = Runtime.Static.run sc ~job_cap:cap in
+  let co = Runtime.Conductor.run sc ~job_cap:cap in
+  let rel =
+    (co.Simulate.Engine.makespan -. st.Simulate.Engine.makespan)
+    /. st.Simulate.Engine.makespan
+  in
+  Alcotest.(check bool) "within -2%..+8% of static" true
+    (rel > -0.02 && rel < 0.08)
+
+let test_conductor_lp_is_still_bound () =
+  let _, sc = make Workloads.Apps.LULESH ~nranks:4 ~iterations:4 in
+  let cap = 45.0 *. 4.0 in
+  match Core.Event_lp.solve sc ~power_cap:cap with
+  | Core.Event_lp.Schedule s ->
+      let co = Runtime.Conductor.run sc ~job_cap:cap in
+      Alcotest.(check bool) "lp lower-bounds conductor" true
+        (s.Core.Event_lp.objective <= co.Simulate.Engine.makespan +. 1e-6)
+  | _ -> Alcotest.fail "lp should be feasible"
+
+let test_conductor_deterministic () =
+  let _, sc = make Workloads.Apps.CoMD ~nranks:4 ~iterations:4 in
+  let r1 = Runtime.Conductor.run sc ~job_cap:140.0 in
+  let r2 = Runtime.Conductor.run sc ~job_cap:140.0 in
+  Alcotest.(check (float 0.0)) "same makespan" r1.Simulate.Engine.makespan
+    r2.Simulate.Engine.makespan
+
+
+let test_balancer_respects_cap_and_bound () =
+  List.iter
+    (fun app ->
+      let _, sc = make app ~nranks:4 ~iterations:5 in
+      let cap = 40.0 *. 4.0 in
+      let r = Runtime.Balancer.run sc ~job_cap:cap in
+      let mx = Simulate.Engine.sustained_max_power ~ignore_below:1e-3 r in
+      if mx > cap *. 1.02 +. 1e-6 then
+        Alcotest.failf "%s: balancer power %.1f over %.1f"
+          (Workloads.Apps.app_name app) mx cap;
+      match Core.Event_lp.solve sc ~power_cap:cap with
+      | Core.Event_lp.Schedule s ->
+          Alcotest.(check bool) "lp bounds balancer" true
+            (s.Core.Event_lp.objective <= r.Simulate.Engine.makespan +. 1e-6)
+      | _ -> ())
+    Workloads.Apps.all_apps
+
+let test_balancer_helps_imbalance () =
+  let _, sc = make Workloads.Apps.BT ~nranks:8 ~iterations:8 in
+  let cap = 35.0 *. 8.0 in
+  let st = Runtime.Static.run sc ~job_cap:cap in
+  let ba = Runtime.Balancer.run sc ~job_cap:cap in
+  Alcotest.(check bool) "balancer faster than static on BT" true
+    (ba.Simulate.Engine.makespan < st.Simulate.Engine.makespan)
+
+let test_adagio_saves_energy_keeps_time () =
+  let g, sc = make Workloads.Apps.BT ~nranks:4 ~iterations:4 in
+  ignore g;
+  let fastest =
+    Simulate.Policy.of_point_fn "fastest" (fun ctx ->
+        let tid = ctx.Simulate.Policy.task.Dag.Graph.tid in
+        let f = sc.Core.Scenario.frontiers.(tid) in
+        if Array.length f = 0 then
+          { Pareto.Point.freq = 1.2; threads = 1; duration = 0.0; power = 0.0 }
+        else Pareto.Frontier.fastest f)
+  in
+  let base = Simulate.Engine.run sc.Core.Scenario.graph fastest in
+  let ada = Runtime.Adagio.run sc in
+  Alcotest.(check bool) "within 2% of fastest time" true
+    (ada.Simulate.Engine.makespan <= base.Simulate.Engine.makespan *. 1.02);
+  Alcotest.(check bool) "uses less energy" true
+    (ada.Simulate.Engine.energy < base.Simulate.Engine.energy)
+
+let suite =
+  [
+    ( "runtime.static",
+      [
+        Alcotest.test_case "respects cap" `Quick test_static_respects_cap;
+        Alcotest.test_case "eight threads" `Quick test_static_always_eight_threads;
+        Alcotest.test_case "monotone in cap" `Quick test_static_monotone_in_cap;
+      ] );
+    ( "runtime.conductor",
+      [
+        Alcotest.test_case "respects cap" `Quick test_conductor_respects_cap;
+        Alcotest.test_case "beats static on BT" `Quick test_conductor_beats_static_on_imbalance;
+        Alcotest.test_case "near static on SP" `Quick test_conductor_near_static_on_balanced;
+        Alcotest.test_case "lp bound holds" `Quick test_conductor_lp_is_still_bound;
+        Alcotest.test_case "deterministic" `Quick test_conductor_deterministic;
+      ] );
+    ( "runtime.balancer",
+      [
+        Alcotest.test_case "cap and bound" `Quick test_balancer_respects_cap_and_bound;
+        Alcotest.test_case "helps imbalance" `Quick test_balancer_helps_imbalance;
+      ] );
+    ( "runtime.adagio",
+      [ Alcotest.test_case "energy vs time" `Quick test_adagio_saves_energy_keeps_time ] );
+  ]

@@ -1,0 +1,239 @@
+(* Tests for the discrete-event engine: agreement with the static
+   longest-path schedule, determinism, power-trace accounting, and
+   pcontrol observations. *)
+
+let fastest_policy (sc : Core.Scenario.t) =
+  Simulate.Policy.of_point_fn "fastest" (fun ctx ->
+      let tid = ctx.Simulate.Policy.task.Dag.Graph.tid in
+      let f = sc.Core.Scenario.frontiers.(tid) in
+      if Array.length f = 0 then
+        { Pareto.Point.freq = 1.2; threads = 1; duration = 0.0; power = 0.0 }
+      else Pareto.Frontier.fastest f)
+
+let comd_small () =
+  let g =
+    Workloads.Apps.comd
+      { Workloads.Apps.default_params with nranks = 4; iterations = 3 }
+  in
+  (g, Core.Scenario.make g)
+
+let test_engine_matches_longest_path () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  let ts =
+    Dag.Schedule.compute g
+      ~dur:(fun t -> Core.Scenario.fastest_duration sc t.Dag.Graph.tid)
+      ~msg:Dag.Schedule.default_msg
+  in
+  Alcotest.(check (float 1e-9))
+    "event-driven = longest path" ts.Dag.Schedule.makespan
+    r.Simulate.Engine.makespan
+
+let test_engine_deterministic () =
+  let g, sc = comd_small () in
+  let r1 = Simulate.Engine.run g (fastest_policy sc) in
+  let r2 = Simulate.Engine.run g (fastest_policy sc) in
+  Alcotest.(check (float 0.0)) "same makespan" r1.Simulate.Engine.makespan
+    r2.Simulate.Engine.makespan;
+  Alcotest.(check (float 0.0)) "same energy" r1.Simulate.Engine.energy
+    r2.Simulate.Engine.energy
+
+let test_all_tasks_recorded () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  Alcotest.(check int) "one record per task" (Dag.Graph.n_tasks g)
+    (Array.length r.Simulate.Engine.records);
+  Array.iter
+    (fun (rc : Simulate.Engine.task_record) ->
+      Alcotest.(check bool) "start >= 0" true (rc.start >= 0.0);
+      Alcotest.(check bool) "within makespan" true
+        (rc.start +. rc.duration <= r.Simulate.Engine.makespan +. 1e-9))
+    r.Simulate.Engine.records
+
+let test_trace_consistent_with_energy () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  (* integrate the step function independently *)
+  let e = ref 0.0 in
+  let n = Array.length r.Simulate.Engine.trace in
+  Array.iteri
+    (fun i (t, p) ->
+      let t' =
+        if i + 1 < n then fst r.Simulate.Engine.trace.(i + 1)
+        else r.Simulate.Engine.makespan
+      in
+      e := !e +. (p *. (t' -. t)))
+    r.Simulate.Engine.trace;
+  Alcotest.(check bool) "trace integrates to energy" true
+    (Float.abs (!e -. r.Simulate.Engine.energy)
+    < 1e-6 *. (1.0 +. r.Simulate.Engine.energy));
+  (* max power matches the max of the trace *)
+  let mx =
+    Array.fold_left (fun acc (_, p) -> max acc p) 0.0 r.Simulate.Engine.trace
+  in
+  Alcotest.(check (float 1e-9)) "max power" mx r.Simulate.Engine.max_power
+
+let test_trace_nonnegative () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  Array.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "nonnegative power" true (p >= -1e-9))
+    r.Simulate.Engine.trace
+
+let test_slack_model_idle_cheaper () =
+  let g, sc = comd_small () in
+  let pol = fastest_policy sc in
+  let task_pw = Simulate.Engine.run ~slack_model:`Task_power g pol in
+  let idle = Simulate.Engine.run ~slack_model:`Idle g pol in
+  Alcotest.(check (float 1e-9)) "same makespan" task_pw.Simulate.Engine.makespan
+    idle.Simulate.Engine.makespan;
+  Alcotest.(check bool) "idle slack uses less energy" true
+    (idle.Simulate.Engine.energy <= task_pw.Simulate.Engine.energy +. 1e-6)
+
+let test_pcontrol_observations () =
+  let g, sc = comd_small () in
+  let count = ref 0 in
+  let windows = ref 0.0 in
+  let pol = fastest_policy sc in
+  let pol =
+    {
+      pol with
+      Simulate.Policy.observe =
+        (fun obs ->
+          incr count;
+          windows := !windows +. obs.Simulate.Policy.window;
+          Alcotest.(check int) "per-rank arrays" 4
+            (Array.length obs.Simulate.Policy.rank_busy));
+    }
+  in
+  let r = Simulate.Engine.run g pol in
+  (* comd emits one pcontrol collective per iteration *)
+  Alcotest.(check int) "one observation per iteration" 3 !count;
+  Alcotest.(check bool) "windows cover most of the run" true
+    (!windows > 0.9 *. r.Simulate.Engine.makespan)
+
+let test_pcontrol_overhead_charged () =
+  let g, sc = comd_small () in
+  let base = Simulate.Engine.run g (fastest_policy sc) in
+  let pol = { (fastest_policy sc) with Simulate.Policy.pcontrol_overhead = 0.1 } in
+  let slow = Simulate.Engine.run g pol in
+  (* 3 pcontrol vertices, 0.1 s each *)
+  Alcotest.(check bool) "overhead extends makespan" true
+    (slow.Simulate.Engine.makespan
+    >= base.Simulate.Engine.makespan +. 0.29)
+
+let test_switch_overhead_charged () =
+  let g, sc = comd_small () in
+  let base = Simulate.Engine.run g (fastest_policy sc) in
+  let pol = fastest_policy sc in
+  let pol =
+    {
+      pol with
+      Simulate.Policy.decide =
+        (fun ctx ->
+          let d = pol.Simulate.Policy.decide ctx in
+          { d with Simulate.Policy.overhead = 0.05 });
+    }
+  in
+  let slow = Simulate.Engine.run g pol in
+  Alcotest.(check bool) "per-task overhead extends makespan" true
+    (slow.Simulate.Engine.makespan > base.Simulate.Engine.makespan +. 0.05)
+
+let test_stats_helpers () =
+  Alcotest.(check (float 1e-12)) "median odd" 2.0 (Simulate.Stats.median [| 3.0; 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-12)) "median even" 1.5 (Simulate.Stats.median [| 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-12)) "mean" 2.0 (Simulate.Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-12)) "stddev of constant" 0.0 (Simulate.Stats.stddev [| 5.0; 5.0 |]);
+  Alcotest.(check (float 1e-9)) "improvement" 25.0
+    (Simulate.Stats.improvement_pct ~base:5.0 ~t:4.0)
+
+let test_sustained_max_power () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  let sustained = Simulate.Engine.sustained_max_power ~ignore_below:1e-3 r in
+  Alcotest.(check bool) "sustained <= max" true
+    (sustained <= r.Simulate.Engine.max_power +. 1e-9);
+  Alcotest.(check bool) "sustained positive" true (sustained > 0.0)
+
+
+
+let test_release_times_delay_firing () =
+  let g, sc = comd_small () in
+  let base = Simulate.Engine.run g (fastest_policy sc) in
+  (* delay every vertex by at least 0.5 s beyond its greedy time *)
+  let release v = if v = g.Dag.Graph.init_v then 0.0 else 0.5 in
+  let delayed = Simulate.Engine.run ~release g (fastest_policy sc) in
+  Alcotest.(check bool) "release cannot speed things up" true
+    (delayed.Simulate.Engine.makespan >= base.Simulate.Engine.makespan);
+  (* the first collective fires at >= 0.5 even though tasks finish later *)
+  let big_release v = if v = g.Dag.Graph.finalize_v then 100.0 else 0.0 in
+  let held = Simulate.Engine.run ~release:big_release g (fastest_policy sc) in
+  Alcotest.(check bool) "finalize held back" true
+    (held.Simulate.Engine.makespan >= 100.0)
+
+let test_csv_exports () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  let trace = Simulate.Csv.trace_to_string r in
+  let lines = String.split_on_char '\n' trace in
+  (match lines with
+  | header :: _ -> Alcotest.(check string) "trace header" "time_s,power_w" header
+  | [] -> Alcotest.fail "empty trace csv");
+  (* one row per trace sample + header + closing row + trailing newline *)
+  Alcotest.(check int) "trace rows" (Array.length r.Simulate.Engine.trace + 3)
+    (List.length lines);
+  let recs = Simulate.Csv.records_to_string g r in
+  let nonzero_tasks =
+    Array.to_list g.Dag.Graph.tasks
+    |> List.filter (fun (t : Dag.Graph.task) ->
+           t.profile.Machine.Profile.work > 0.0)
+    |> List.length
+  in
+  Alcotest.(check int) "record rows" (nonzero_tasks + 2)
+    (List.length (String.split_on_char '\n' recs))
+
+
+let test_gantt_render () =
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  let s = Simulate.Gantt.render ~width:40 g r in
+  let lines = String.split_on_char '\n' s in
+  (* one row per rank plus scale/summary lines *)
+  Alcotest.(check bool) "row count" true (List.length lines >= 4 + 3);
+  List.iteri
+    (fun i l ->
+      if i < 4 then begin
+        Alcotest.(check bool) "row prefix" true
+          (String.length l > 6 && l.[0] = 'r');
+        (* 8 threads at full power: rows contain '8' cells *)
+        Alcotest.(check bool) "has running cells" true (String.contains l '8')
+      end)
+    lines;
+  Alcotest.check_raises "width too small"
+    (Invalid_argument "Gantt.render: width too small") (fun () ->
+      ignore (Simulate.Gantt.render ~width:4 g r))
+
+let suite =
+  [
+    ( "simulate.engine",
+      [
+        Alcotest.test_case "matches longest path" `Quick test_engine_matches_longest_path;
+        Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+        Alcotest.test_case "all tasks recorded" `Quick test_all_tasks_recorded;
+        Alcotest.test_case "trace/energy consistency" `Quick test_trace_consistent_with_energy;
+        Alcotest.test_case "trace nonnegative" `Quick test_trace_nonnegative;
+        Alcotest.test_case "slack models" `Quick test_slack_model_idle_cheaper;
+        Alcotest.test_case "pcontrol observations" `Quick test_pcontrol_observations;
+        Alcotest.test_case "pcontrol overhead" `Quick test_pcontrol_overhead_charged;
+        Alcotest.test_case "switch overhead" `Quick test_switch_overhead_charged;
+        Alcotest.test_case "sustained max power" `Quick test_sustained_max_power;
+        Alcotest.test_case "release times" `Quick test_release_times_delay_firing;
+      ] );
+    ( "simulate.stats",
+      [ Alcotest.test_case "helpers" `Quick test_stats_helpers ] );
+    ( "simulate.csv",
+      [ Alcotest.test_case "exports" `Quick test_csv_exports ] );
+    ( "simulate.gantt",
+      [ Alcotest.test_case "render" `Quick test_gantt_render ] );
+  ]

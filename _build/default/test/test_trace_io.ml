@@ -1,0 +1,138 @@
+(* Tests for the trace serialization format and the DOT export. *)
+
+let roundtrip g =
+  let s = Dag.Trace_io.to_string g in
+  let g' = Dag.Trace_io.of_string s in
+  Alcotest.(check int) "ranks" g.Dag.Graph.nranks g'.Dag.Graph.nranks;
+  Alcotest.(check int) "vertices" (Dag.Graph.n_vertices g) (Dag.Graph.n_vertices g');
+  Alcotest.(check int) "tasks" (Dag.Graph.n_tasks g) (Dag.Graph.n_tasks g');
+  Alcotest.(check int) "messages" (Dag.Graph.n_messages g) (Dag.Graph.n_messages g');
+  Array.iteri
+    (fun i (t : Dag.Graph.task) ->
+      let t' = g'.Dag.Graph.tasks.(i) in
+      Alcotest.(check int) "rank" t.rank t'.rank;
+      Alcotest.(check int) "src" t.t_src t'.t_src;
+      Alcotest.(check int) "dst" t.t_dst t'.t_dst;
+      Alcotest.(check (float 0.0)) "work" t.profile.Machine.Profile.work
+        t'.profile.Machine.Profile.work;
+      Alcotest.(check string) "label" t.label t'.label;
+      Alcotest.(check int) "iteration" t.iteration t'.iteration)
+    g.Dag.Graph.tasks;
+  Array.iteri
+    (fun i (v : Dag.Graph.vertex) ->
+      let v' = g'.Dag.Graph.vertices.(i) in
+      Alcotest.(check bool) "kind" true (v.kind = v'.kind);
+      Alcotest.(check bool) "pcontrol" v.pcontrol v'.pcontrol;
+      Alcotest.(check (float 1e-15)) "delay" v.delay v'.delay)
+    g.Dag.Graph.vertices;
+  (* schedules of original and parsed graph agree *)
+  let ts = Dag.Schedule.unconstrained g in
+  let ts' = Dag.Schedule.unconstrained g' in
+  Alcotest.(check (float 1e-12)) "same makespan" ts.Dag.Schedule.makespan
+    ts'.Dag.Schedule.makespan
+
+let test_roundtrip_apps () =
+  List.iter
+    (fun app ->
+      roundtrip
+        (Workloads.Apps.generate app
+           { Workloads.Apps.default_params with nranks = 4; iterations = 2 }))
+    Workloads.Apps.all_apps
+
+let test_roundtrip_exchange () = roundtrip (Workloads.Apps.exchange ~rounds:2 ())
+
+let test_roundtrip_file () =
+  let g = Workloads.Apps.comd { Workloads.Apps.default_params with nranks = 3; iterations = 2 } in
+  let path = Filename.temp_file "powerlim_test" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Dag.Trace_io.to_file path g;
+      let g' = Dag.Trace_io.of_file path in
+      Alcotest.(check int) "tasks" (Dag.Graph.n_tasks g) (Dag.Graph.n_tasks g'))
+
+let test_label_encoding () =
+  let b = Dag.Graph.Builder.create ~nranks:1 in
+  Dag.Graph.Builder.compute b ~rank:0 ~label:"force calc 100%"
+    (Machine.Profile.v 1.0);
+  ignore (Dag.Graph.Builder.finalize b);
+  let g = Dag.Graph.Builder.build b in
+  let g' = Dag.Trace_io.of_string (Dag.Trace_io.to_string g) in
+  Alcotest.(check string) "label with spaces and percent" "force calc 100%"
+    g'.Dag.Graph.tasks.(0).Dag.Graph.label
+
+let test_rejects_garbage () =
+  Alcotest.check_raises "bad magic" (Dag.Trace_io.Parse_error (1, "bad magic \"nonsense\""))
+    (fun () -> ignore (Dag.Trace_io.of_string "nonsense\n"));
+  (match Dag.Trace_io.of_string "powerlim-trace 1\nranks 1\nbogus 1 2 3\n" with
+  | exception Dag.Trace_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  (* structurally broken: task references a missing vertex *)
+  let s =
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 false 0\n\
+     vertex 1 finalize 0 false 0\ntask 0 0 0 7 1 0.05 0 0.2 0 %\n"
+  in
+  match Dag.Trace_io.of_string s with
+  | exception Dag.Trace_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error for dangling vertex"
+
+let prop_roundtrip_synthetic =
+  QCheck.Test.make ~count:40 ~name:"trace roundtrip on synthetic graphs"
+    QCheck.(pair (int_bound 500) (int_range 1 5))
+    (fun (seed, nranks) ->
+      let g = Workloads.Apps.synthetic ~seed ~nranks ~steps:4 in
+      let g' = Dag.Trace_io.of_string (Dag.Trace_io.to_string g) in
+      Dag.Graph.n_tasks g = Dag.Graph.n_tasks g'
+      && Dag.Graph.n_messages g = Dag.Graph.n_messages g'
+      &&
+      let ts = Dag.Schedule.unconstrained g in
+      let ts' = Dag.Schedule.unconstrained g' in
+      Float.abs (ts.Dag.Schedule.makespan -. ts'.Dag.Schedule.makespan) < 1e-9)
+
+(* substring search without extra dependencies *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let test_dot_output () =
+  let g = Workloads.Apps.exchange () in
+  let path = Filename.temp_file "powerlim_test" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let ts = Dag.Schedule.unconstrained g in
+      Dag.Dot.to_file ~times:ts path g;
+      let ic = open_in path in
+      let first = input_line ic in
+      let all = ref [ first ] in
+      (try
+         while true do
+           all := input_line ic :: !all
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Alcotest.(check bool) "digraph header" true
+        (String.length first >= 7 && String.sub first 0 7 = "digraph");
+      let body = String.concat "\n" !all in
+      Alcotest.(check bool) "has dashed message edge" true
+        (contains body "style=dashed");
+      Alcotest.(check bool) "annotated with times" true (contains body "0.000s"))
+
+let suite =
+  [
+    ( "dag.trace_io",
+      [
+        Alcotest.test_case "roundtrip all apps" `Quick test_roundtrip_apps;
+        Alcotest.test_case "roundtrip exchange" `Quick test_roundtrip_exchange;
+        Alcotest.test_case "roundtrip file" `Quick test_roundtrip_file;
+        Alcotest.test_case "label encoding" `Quick test_label_encoding;
+        Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+        QCheck_alcotest.to_alcotest prop_roundtrip_synthetic;
+        Alcotest.test_case "dot output" `Quick test_dot_output;
+      ] );
+  ]

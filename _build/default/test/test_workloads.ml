@@ -1,0 +1,163 @@
+(* Tests for the synthetic benchmark generators: structure, determinism,
+   and the imbalance characteristics the experiments rely on. *)
+
+let params = { Workloads.Apps.nranks = 8; iterations = 4; seed = 11; scale = 1.0 }
+
+let test_all_apps_valid () =
+  List.iter
+    (fun app ->
+      let g = Workloads.Apps.generate app params in
+      match Dag.Graph.validate g with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s invalid: %s"
+            (Workloads.Apps.app_name app)
+            (String.concat "; " es))
+    Workloads.Apps.all_apps
+
+let test_generators_deterministic () =
+  List.iter
+    (fun app ->
+      let g1 = Workloads.Apps.generate app params in
+      let g2 = Workloads.Apps.generate app params in
+      Alcotest.(check int) "same tasks" (Dag.Graph.n_tasks g1) (Dag.Graph.n_tasks g2);
+      Array.iteri
+        (fun i (t1 : Dag.Graph.task) ->
+          let t2 = g2.Dag.Graph.tasks.(i) in
+          Alcotest.(check (float 0.0)) "same work"
+            t1.profile.Machine.Profile.work t2.profile.Machine.Profile.work)
+        g1.Dag.Graph.tasks)
+    Workloads.Apps.all_apps
+
+let test_comd_all_collectives () =
+  let g = Workloads.Apps.comd params in
+  Alcotest.(check int) "no p2p messages" 0 (Dag.Graph.n_messages g);
+  (* one pcontrol collective per iteration *)
+  let pcontrols =
+    Array.to_list g.Dag.Graph.vertices
+    |> List.filter (fun (v : Dag.Graph.vertex) -> v.pcontrol)
+    |> List.length
+  in
+  Alcotest.(check int) "pcontrol per iteration" params.iterations pcontrols
+
+let test_lulesh_has_p2p () =
+  let g = Workloads.Apps.lulesh params in
+  Alcotest.(check int) "halo messages" (params.nranks * params.iterations)
+    (Dag.Graph.n_messages g);
+  (* contention profile: optimal thread count below 8 *)
+  let stress =
+    Array.to_list g.Dag.Graph.tasks
+    |> List.find (fun (t : Dag.Graph.task) -> t.label = "stress")
+  in
+  let best =
+    Machine.Profile.best_threads stress.Dag.Graph.profile ~max_threads:8
+  in
+  Alcotest.(check bool) "lulesh prefers 4-6 threads" true (best >= 4 && best <= 6)
+
+let spread app =
+  let g = Workloads.Apps.generate app params in
+  (* per-rank total work of compute tasks *)
+  let work = Array.make params.nranks 0.0 in
+  Array.iter
+    (fun (t : Dag.Graph.task) ->
+      work.(t.rank) <- work.(t.rank) +. t.profile.Machine.Profile.work)
+    g.Dag.Graph.tasks;
+  let mx = Array.fold_left max 0.0 work in
+  let mn = Array.fold_left min Float.infinity work in
+  mx /. mn
+
+let test_imbalance_ordering () =
+  let sp = spread Workloads.Apps.SP in
+  let comd = spread Workloads.Apps.CoMD in
+  let bt = spread Workloads.Apps.BT in
+  Alcotest.(check bool) "SP balanced" true (sp < 1.05);
+  Alcotest.(check bool) "CoMD mild" true (comd > 1.01 && comd < 1.5);
+  Alcotest.(check bool) "BT zonal" true (bt > 1.8);
+  Alcotest.(check bool) "ordering sp < comd < bt" true (sp < comd && comd < bt)
+
+let test_bt_minority_heavy () =
+  let g = Workloads.Apps.bt params in
+  let work = Array.make params.nranks 0.0 in
+  Array.iter
+    (fun (t : Dag.Graph.task) ->
+      work.(t.rank) <- work.(t.rank) +. t.profile.Machine.Profile.work)
+    g.Dag.Graph.tasks;
+  let mean = Array.fold_left ( +. ) 0.0 work /. Float.of_int params.nranks in
+  let heavy = Array.to_list work |> List.filter (fun w -> w > 1.5 *. mean) in
+  Alcotest.(check bool) "a minority of ranks is heavy" true
+    (List.length heavy >= 1 && List.length heavy <= params.nranks / 4)
+
+let test_exchange_structure () =
+  let g = Workloads.Apps.exchange () in
+  Alcotest.(check int) "two ranks" 2 g.Dag.Graph.nranks;
+  (match Dag.Graph.validate g with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  (* payload message + completion ack *)
+  Alcotest.(check int) "two messages" 2 (Dag.Graph.n_messages g);
+  (* small enough for the flow ILP *)
+  let nonzero =
+    Array.to_list g.Dag.Graph.tasks
+    |> List.filter (fun (t : Dag.Graph.task) ->
+           t.profile.Machine.Profile.work > 0.0)
+    |> List.length
+  in
+  Alcotest.(check bool) "ILP-sized" true (nonzero <= 10);
+  (* Isend overlap: rank 0 computes while the message is in flight *)
+  let kinds = Array.map (fun (v : Dag.Graph.vertex) -> v.kind) g.Dag.Graph.vertices in
+  Alcotest.(check bool) "has Isend" true (Array.mem Dag.Graph.Isend kinds);
+  Alcotest.(check bool) "has Wait" true (Array.mem Dag.Graph.Wait kinds);
+  Alcotest.(check bool) "has Recv" true (Array.mem Dag.Graph.Recv kinds)
+
+let test_exchange_rounds () =
+  let g1 = Workloads.Apps.exchange ~rounds:1 () in
+  let g3 = Workloads.Apps.exchange ~rounds:3 () in
+  Alcotest.(check bool) "rounds scale tasks" true
+    (Dag.Graph.n_tasks g3 > 2 * Dag.Graph.n_tasks g1)
+
+let test_scale_parameter () =
+  let g1 = Workloads.Apps.comd params in
+  let g2 = Workloads.Apps.comd { params with scale = 2.0 } in
+  let total g =
+    Array.fold_left
+      (fun acc (t : Dag.Graph.task) -> acc +. t.profile.Machine.Profile.work)
+      0.0 g.Dag.Graph.tasks
+  in
+  Alcotest.(check bool) "scale doubles work" true
+    (Float.abs ((total g2 /. total g1) -. 2.0) < 0.01)
+
+let test_imbalance_module () =
+  let imb = Workloads.Imbalance.uniform_bell ~seed:3 ~nranks:16 ~amp:0.05 ~jitter:0.01 in
+  Alcotest.(check bool) "spread sane" true (Workloads.Imbalance.spread imb < 1.6);
+  let z =
+    Workloads.Imbalance.zonal ~seed:3 ~nranks:16 ~heavy_frac:0.25 ~heavy_ratio:2.0
+      ~jitter:0.0
+  in
+  (* normalized to mean ~1 (jitter is zero, so sample = persistent) *)
+  let mean =
+    let s = ref 0.0 in
+    for r = 0 to 15 do
+      s := !s +. Workloads.Imbalance.sample z ~rank:r
+    done;
+    !s /. 16.0
+  in
+  Alcotest.(check bool) "zonal mean ~1" true (Float.abs (mean -. 1.0) < 0.01);
+  Alcotest.(check bool) "zonal spread ~2" true
+    (Workloads.Imbalance.spread z > 1.7 && Workloads.Imbalance.spread z < 2.3)
+
+let suite =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "all apps valid" `Quick test_all_apps_valid;
+        Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+        Alcotest.test_case "comd collectives only" `Quick test_comd_all_collectives;
+        Alcotest.test_case "lulesh p2p + contention" `Quick test_lulesh_has_p2p;
+        Alcotest.test_case "imbalance ordering" `Quick test_imbalance_ordering;
+        Alcotest.test_case "bt minority heavy" `Quick test_bt_minority_heavy;
+        Alcotest.test_case "exchange structure" `Quick test_exchange_structure;
+        Alcotest.test_case "exchange rounds" `Quick test_exchange_rounds;
+        Alcotest.test_case "scale parameter" `Quick test_scale_parameter;
+        Alcotest.test_case "imbalance module" `Quick test_imbalance_module;
+      ] );
+  ]
