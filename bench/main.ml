@@ -61,6 +61,7 @@ let experiments =
     ("extensions", fun config -> Experiments.Extensions.run ~config ppf);
     ("scaling", fun config -> Experiments.Scaling.run ~config ppf);
     ("micro", fun config -> Experiments.Micro.run ~config ppf);
+    ("parbench", fun config -> Experiments.Parbench.run ~config ppf);
   ]
 
 let () =
@@ -88,4 +89,14 @@ let () =
   Fmt.pf ppf "powerlim benchmark harness: %d ranks, %d iterations, seed %d@."
     config.Experiments.Common.nranks config.Experiments.Common.iterations
     config.Experiments.Common.seed;
-  List.iter (fun n -> (List.assoc n experiments) config) names
+  (* pool size and wall times go to stderr: stdout stays byte-identical
+     across POWERLIM_JOBS settings *)
+  Fmt.epr "pool: %d-way parallel (POWERLIM_JOBS=%s)@."
+    (Putil.Pool.parallelism (Putil.Pool.get_default ()))
+    (match Sys.getenv_opt "POWERLIM_JOBS" with Some s -> s | None -> "unset");
+  List.iter
+    (fun n ->
+      let t0 = Unix.gettimeofday () in
+      (List.assoc n experiments) config;
+      Fmt.epr "[%s: %.2f s]@." n (Unix.gettimeofday () -. t0))
+    names

@@ -112,7 +112,14 @@ let sweep_cmd =
         seed;
       }
     in
+    (* pool size and wall time on stderr: stdout is byte-identical at
+       every POWERLIM_JOBS setting *)
+    Fmt.epr "pool: %d-way parallel (POWERLIM_JOBS=%s)@."
+      (Putil.Pool.parallelism (Putil.Pool.get_default ()))
+      (match Sys.getenv_opt "POWERLIM_JOBS" with Some s -> s | None -> "unset");
+    let t0 = Unix.gettimeofday () in
     let sweep = Experiments.Sweeps.compute ~config () in
+    Fmt.epr "[sweep: %.2f s]@." (Unix.gettimeofday () -. t0);
     Experiments.Sweeps.fig9 sweep Fmt.stdout;
     Experiments.Sweeps.fig10 sweep Fmt.stdout;
     Experiments.Sweeps.summary sweep Fmt.stdout

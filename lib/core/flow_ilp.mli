@@ -25,6 +25,7 @@ type outcome =
   | Solver_failure of string
 
 val solve :
+  ?pool:Putil.Pool.t ->
   ?max_tasks:int ->
   ?max_nodes:int ->
   ?integer_configs:bool ->
@@ -33,4 +34,5 @@ val solve :
   outcome
 (** [integer_configs] additionally restricts every task to a single
     discrete configuration (equation (5), the paper's discrete case)
-    instead of a continuous blend (equation (6)). *)
+    instead of a continuous blend (equation (6)).  [pool] turns on the
+    branch-and-bound's parallel child-node evaluation ({!Lp.Milp.solve}). *)

@@ -113,8 +113,19 @@ let run_point (s : setup) ~cap : point =
         job_cap;
       }
 
-let run_sweep (s : setup) : sweep =
-  { setup = s; points = List.map (fun cap -> run_point s ~cap) s.config.caps }
+(* Each cap point is an independent solve+simulate job: [setup] (graph,
+   scenario, frontiers) is immutable after construction, and every solver
+   and simulator allocates its own working state per run, so sharing the
+   setup across domains is safe. *)
+let run_sweep ?pool (s : setup) : sweep =
+  let pool =
+    match pool with Some p -> p | None -> Putil.Pool.get_default ()
+  in
+  {
+    setup = s;
+    points =
+      Putil.Pool.parallel_map pool (fun cap -> run_point s ~cap) s.config.caps;
+  }
 
 (** The power range each per-benchmark figure shows (x-axes of the
     paper's Figures 11 and 13-15). *)

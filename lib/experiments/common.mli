@@ -44,7 +44,12 @@ type point = {
 type sweep = { setup : setup; points : point list }
 
 val run_point : setup -> cap:float -> point
-val run_sweep : setup -> sweep
+
+val run_sweep : ?pool:Putil.Pool.t -> setup -> sweep
+(** Runs every cap's Static/Conductor/LP-replay triple as an independent
+    job on [pool] (the shared default pool when omitted), preserving the
+    order of [config.caps] in [points].  Each job only reads the shared
+    immutable [setup]; all solver and simulator state is per-job. *)
 
 val figure_caps : Workloads.Apps.app -> float * float
 (** The power range each per-benchmark figure shows (the x-axes of the

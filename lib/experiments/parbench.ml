@@ -1,0 +1,40 @@
+(** Micro-benchmark of the domain-parallel sweep engine: the same small
+    sweep timed on a 1-domain (sequential) pool and on an N-domain pool,
+    with a byte-level check that both produce identical results.  Not a
+    paper artifact — engineering data for the task-pool substrate. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Render the summary (the figure data all flows from the same points)
+   to compare the two runs byte for byte. *)
+let render (s : Sweeps.t) = Fmt.str "%t" (Sweeps.summary s)
+
+let run ?(config = Common.default_config) ppf =
+  Common.header ppf "Parallel sweep micro-benchmark";
+  let small =
+    {
+      config with
+      nranks = min config.nranks 8;
+      iterations = min config.iterations 6;
+    }
+  in
+  let jobs =
+    let d = Putil.Pool.default_size () in
+    if d > 1 then d else 4
+  in
+  let seq = Putil.Pool.create ~size:1 () in
+  let par = Putil.Pool.create ~size:jobs () in
+  let s1, t1 = time (fun () -> Sweeps.compute ~pool:seq ~config:small ()) in
+  let sn, tn = time (fun () -> Sweeps.compute ~pool:par ~config:small ()) in
+  Putil.Pool.shutdown par;
+  Putil.Pool.shutdown seq;
+  Fmt.pf ppf "sweep (%d ranks, %d iterations, %d caps x %d apps)@."
+    small.Common.nranks small.Common.iterations
+    (List.length small.Common.caps)
+    (List.length Workloads.Apps.all_apps);
+  Fmt.pf ppf "  1 domain  : %8.3f s@." t1;
+  Fmt.pf ppf "  %d domains : %8.3f s  (speedup %.2fx)@." jobs tn (t1 /. tn);
+  Fmt.pf ppf "  results identical: %b@." (String.equal (render s1) (render sn))

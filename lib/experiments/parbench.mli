@@ -1,0 +1,5 @@
+(** Micro-benchmark comparing the 1-domain and N-domain wall time of the
+    figure sweep, including a byte-identity check of the results.  N is
+    [Putil.Pool.default_size ()] when that is parallel, else 4. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -5,11 +5,18 @@
 
 type t = (Workloads.Apps.app * Common.sweep) list
 
-let compute ?(config = Common.default_config) () : t =
-  List.map
+(* The apps fan out on the pool; each app's per-cap points fan out on
+   the same pool from inside the app job (nested submission -- the pool's
+   helping [await] keeps the fixed worker set busy).  [parallel_map]
+   preserves list order, so the result is independent of pool size. *)
+let compute ?pool ?(config = Common.default_config) () : t =
+  let pool =
+    match pool with Some p -> p | None -> Putil.Pool.get_default ()
+  in
+  Putil.Pool.parallel_map pool
     (fun app ->
       let setup = Common.make_setup config app in
-      (app, Common.run_sweep setup))
+      (app, Common.run_sweep ~pool setup))
     Workloads.Apps.all_apps
 
 (* ---- Figure 9: LP vs Static, all benchmarks ---------------------- *)

@@ -5,7 +5,11 @@
 
 type t = (Workloads.Apps.app * Common.sweep) list
 
-val compute : ?config:Common.config -> unit -> t
+(** Computes every application's sweep, fanning the apps (and, nested,
+    each app's cap points) out over [pool] — the shared default pool when
+    omitted.  The result list keeps the order of
+    [Workloads.Apps.all_apps] at any pool size. *)
+val compute : ?pool:Putil.Pool.t -> ?config:Common.config -> unit -> t
 val fig9 : t -> Format.formatter -> unit
 val fig10 : t -> Format.formatter -> unit
 val figure_number : Workloads.Apps.app -> int

@@ -40,18 +40,30 @@ let snap (p : Model.problem) (x : float array) =
     (fun j v -> if p.integer.(j) then Float.round v else v)
     x
 
-let solve ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
+let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
     ?(lp_max_iter = 0) (p : Model.problem) : result =
   let root = { n_lb = Array.copy p.lb; n_ub = Array.copy p.ub; depth = 0 } in
   let heap = Putil.Pqueue.create () in
   let incumbent = ref None in
   let incumbent_obj = ref Float.infinity in
-  let nodes = ref 0 in
+  (* atomic: child relaxations may be solved on pool workers *)
+  let nodes = Atomic.make 0 in
   let relaxation = ref Float.nan in
   let status = ref Infeasible in
   let solve_node n =
-    incr nodes;
+    Atomic.incr nodes;
     Revised.solve ~max_iter:lp_max_iter ~lb:n.n_lb ~ub:n.n_ub p
+  in
+  (* Both children of a branching are independent LP solves over the
+     shared read-only problem (bounds are per-node copies); with a
+     parallel pool they run concurrently.  Results are then folded in a
+     fixed (down, up) order, so the heap insertion sequence -- and hence
+     the whole search -- is identical to the sequential mode. *)
+  let solve_children kids =
+    match pool with
+    | Some pl when Putil.Pool.size pl > 1 ->
+        Putil.Pool.parallel_map pl (fun c -> (c, solve_node c)) kids
+    | _ -> List.map (fun c -> (c, solve_node c)) kids
   in
   let r0 = solve_node root in
   (match r0.Revised.status with
@@ -63,7 +75,7 @@ let solve ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
       Putil.Pqueue.push heap r0.Revised.objective (root, r0);
       let hit_limit = ref false in
       while (not (Putil.Pqueue.is_empty heap)) && not !hit_limit do
-        if !nodes > max_nodes then hit_limit := true
+        if Atomic.get nodes > max_nodes then hit_limit := true
         else begin
           match Putil.Pqueue.pop heap with
           | None -> ()
@@ -83,8 +95,9 @@ let solve ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
                     end
                 | j ->
                     let fl = Float.of_int (int_of_float (Float.floor x.(j))) in
-                    let branch lo_ hi_ =
-                      if lo_ <= hi_ then begin
+                    let make_child lo_ hi_ =
+                      if lo_ > hi_ then None
+                      else begin
                         let c =
                           {
                             n_lb = Array.copy n.n_lb;
@@ -94,21 +107,27 @@ let solve ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
                         in
                         c.n_lb.(j) <- max c.n_lb.(j) lo_;
                         c.n_ub.(j) <- min c.n_ub.(j) hi_;
-                        if c.n_lb.(j) <= c.n_ub.(j) then begin
-                          let rc = solve_node c in
-                          match rc.Revised.status with
-                          | Revised.Optimal ->
-                              if rc.Revised.objective < !incumbent_obj -. gap
-                              then
-                                Putil.Pqueue.push heap rc.Revised.objective (c, rc)
-                          | Revised.Infeasible -> ()
-                          | Revised.Unbounded | Revised.Iter_limit ->
-                              hit_limit := true
-                        end
+                        if c.n_lb.(j) <= c.n_ub.(j) then Some c else None
                       end
                     in
-                    branch Float.neg_infinity fl;
-                    branch (fl +. 1.0) Float.infinity
+                    let kids =
+                      List.filter_map Fun.id
+                        [
+                          make_child Float.neg_infinity fl;
+                          make_child (fl +. 1.0) Float.infinity;
+                        ]
+                    in
+                    List.iter
+                      (fun (c, rc) ->
+                        match rc.Revised.status with
+                        | Revised.Optimal ->
+                            if rc.Revised.objective < !incumbent_obj -. gap
+                            then
+                              Putil.Pqueue.push heap rc.Revised.objective (c, rc)
+                        | Revised.Infeasible -> ()
+                        | Revised.Unbounded | Revised.Iter_limit ->
+                            hit_limit := true)
+                      (solve_children kids)
               end
         end
       done;
@@ -121,7 +140,7 @@ let solve ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
         status = !status;
         objective = !incumbent_obj;
         x;
-        nodes = !nodes;
+        nodes = Atomic.get nodes;
         relaxation = !relaxation;
       }
   | None ->
@@ -129,6 +148,6 @@ let solve ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
         status = !status;
         objective = Float.nan;
         x = Array.make p.nv 0.0;
-        nodes = !nodes;
+        nodes = Atomic.get nodes;
         relaxation = !relaxation;
       }

@@ -20,9 +20,16 @@ val most_fractional : Model.problem -> ?int_tol:float -> float array -> int
 val integral : Model.problem -> ?int_tol:float -> float array -> bool
 
 val solve :
+  ?pool:Putil.Pool.t ->
   ?max_nodes:int ->
   ?int_tol:float ->
   ?gap:float ->
   ?lp_max_iter:int ->
   Model.problem ->
   result
+(** [pool] enables parallel node evaluation: the two child LP
+    relaxations created by each branching are solved concurrently on the
+    pool (the children only share the read-only compiled problem; bounds
+    are per-node copies).  Search order, incumbents and the node count
+    are identical to the sequential mode, which is used when [pool] is
+    omitted or sequential. *)

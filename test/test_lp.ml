@@ -375,6 +375,71 @@ let prop_differential =
             | Lp.Dense_simplex.Unbounded -> "unbounded")
             (Fmt.str "%a" Lp.Revised.pp_status sr))
 
+(* Guaranteed-feasible, guaranteed-bounded random LPs: every variable is
+   boxed, and each row is constructed to hold at a known witness point
+   x*, so both solvers must return Optimal — a sharper oracle than
+   [prop_differential] (which mostly exercises status agreement) and the
+   safety net for any solver-state-sharing bug the domain pool could
+   introduce.  Tolerance 1e-6 relative. *)
+let random_feasible_model rng =
+  let nv = 1 + QCheck.Gen.int_bound 5 rng in
+  let nr = 1 + QCheck.Gen.int_bound 5 rng in
+  let m = Lp.Model.create () in
+  let xstar = Array.init nv (fun _ -> QCheck.Gen.float_range 0.0 4.0 rng) in
+  let vars =
+    Array.init nv (fun j ->
+        let ub = xstar.(j) +. QCheck.Gen.float_range 0.5 6.0 rng in
+        let obj = QCheck.Gen.float_range (-4.0) 4.0 rng in
+        Lp.Model.add_var m ~lb:0.0 ~ub ~obj (Printf.sprintf "x%d" j))
+  in
+  for _ = 1 to nr do
+    let coefs =
+      Array.init nv (fun _ -> QCheck.Gen.float_range (-2.0) 2.0 rng)
+    in
+    let at_star = ref 0.0 in
+    Array.iteri (fun j c -> at_star := !at_star +. (c *. xstar.(j))) coefs;
+    let terms =
+      Array.to_list (Array.mapi (fun j v -> (coefs.(j), v)) vars)
+    in
+    (match QCheck.Gen.int_bound 2 rng with
+    | 0 ->
+        Lp.Model.add_constr m terms Lp.Model.Le
+          (!at_star +. QCheck.Gen.float_bound_inclusive 5.0 rng)
+    | 1 ->
+        Lp.Model.add_constr m terms Lp.Model.Ge
+          (!at_star -. QCheck.Gen.float_bound_inclusive 5.0 rng)
+    | _ -> Lp.Model.add_constr m terms Lp.Model.Eq !at_star);
+    ()
+  done;
+  Lp.Model.compile m
+
+let prop_differential_feasible =
+  QCheck.Test.make ~count:300
+    ~name:"dense and revised agree to 1e-6 on feasible LPs"
+    QCheck.(make (fun rng -> random_feasible_model rng))
+    (fun p ->
+      let rd = Lp.Dense_simplex.solve p in
+      let rr = Lp.Revised.solve p in
+      match (rd.Lp.Dense_simplex.status, rr.Lp.Revised.status) with
+      | Lp.Dense_simplex.Optimal, Lp.Revised.Optimal ->
+          if not (Lp.Model.feasible ~tol:1e-6 p rr.Lp.Revised.x) then
+            QCheck.Test.fail_report "revised solution infeasible"
+          else if
+            Float.abs (rd.Lp.Dense_simplex.objective -. rr.Lp.Revised.objective)
+            > 1e-6 *. (1.0 +. Float.abs rd.Lp.Dense_simplex.objective)
+          then
+            QCheck.Test.fail_reportf "objectives differ: dense %.9g revised %.9g"
+              rd.Lp.Dense_simplex.objective rr.Lp.Revised.objective
+          else true
+      | sd, sr ->
+          QCheck.Test.fail_reportf
+            "constructed-feasible LP not Optimal/Optimal: dense %s revised %s"
+            (match sd with
+            | Lp.Dense_simplex.Optimal -> "optimal"
+            | Lp.Dense_simplex.Infeasible -> "infeasible"
+            | Lp.Dense_simplex.Unbounded -> "unbounded")
+            (Fmt.str "%a" Lp.Revised.pp_status sr))
+
 let prop_duality =
   QCheck.Test.make ~count:200 ~name:"strong duality identity holds"
     QCheck.(make (fun rng -> random_model rng))
@@ -820,6 +885,7 @@ let suite =
         Alcotest.test_case "beale cycling" `Quick test_beale_cycling_example;
         Alcotest.test_case "large chain" `Quick test_revised_chain_large;
         QCheck_alcotest.to_alcotest prop_differential;
+        QCheck_alcotest.to_alcotest prop_differential_feasible;
         QCheck_alcotest.to_alcotest prop_differential_large;
         QCheck_alcotest.to_alcotest prop_duality;
       ] );

@@ -1,0 +1,114 @@
+(* Property tests for Putil.Pqueue, the binary min-heap backing both the
+   MILP node queue and the event simulator's event queue. *)
+
+(* Push n random keys (payload = the key rendered, to catch key/payload
+   desynchronization), then pop everything: keys must come out sorted,
+   every payload must match its key, and the multiset must round-trip. *)
+let prop_pop_sorted =
+  QCheck.Test.make ~count:500 ~name:"pqueue pops keys in sorted order"
+    QCheck.(list (float_range (-1000.0) 1000.0))
+    (fun keys ->
+      let h = Putil.Pqueue.create () in
+      List.iter (fun k -> Putil.Pqueue.push h k (string_of_float k)) keys;
+      if Putil.Pqueue.length h <> List.length keys then
+        QCheck.Test.fail_report "length after pushes";
+      let rec drain acc =
+        match Putil.Pqueue.pop h with
+        | None -> List.rev acc
+        | Some (k, v) ->
+            if v <> string_of_float k then
+              QCheck.Test.fail_reportf "payload %s detached from key %g" v k;
+            drain (k :: acc)
+      in
+      let out = drain [] in
+      if List.length out <> List.length keys then
+        QCheck.Test.fail_report "lost or duplicated elements";
+      let rec sorted = function
+        | a :: (b :: _ as tl) ->
+            if a > b then false else sorted tl
+        | _ -> true
+      in
+      if not (sorted out) then QCheck.Test.fail_report "pop order not sorted";
+      if List.sort compare out <> List.sort compare keys then
+        QCheck.Test.fail_report "key multiset changed";
+      true)
+
+(* Model-based test of random push/pop interleavings: the heap must agree
+   with a sorted-list reference on every pop's key, on emptiness, and on
+   length throughout. *)
+let prop_interleaved_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (2, map (fun k -> `Push k) (float_range (-50.0) 50.0));
+          (1, return `Pop);
+        ])
+  in
+  QCheck.Test.make ~count:500 ~name:"pqueue agrees with a sorted-list model"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 200) op_gen))
+    (fun ops ->
+      let h = Putil.Pqueue.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Push k ->
+              Putil.Pqueue.push h k k;
+              model := List.merge compare [ k ] !model
+          | `Pop -> (
+              match (Putil.Pqueue.pop h, !model) with
+              | None, [] -> ()
+              | None, _ :: _ -> QCheck.Test.fail_report "heap empty, model not"
+              | Some _, [] -> QCheck.Test.fail_report "model empty, heap not"
+              | Some (k, v), m :: rest ->
+                  if k <> m then
+                    QCheck.Test.fail_reportf "popped %g, model says %g" k m;
+                  if v <> k then
+                    QCheck.Test.fail_report "payload detached from key";
+                  model := rest));
+          if Putil.Pqueue.length h <> List.length !model then
+            QCheck.Test.fail_report "length diverged from model";
+          if Putil.Pqueue.is_empty h <> (!model = []) then
+            QCheck.Test.fail_report "is_empty diverged from model")
+        ops;
+      true)
+
+(* The heap invariant (every parent key <= its children) holds after any
+   interleaving; checked via the public API by draining a snapshot. *)
+let prop_heap_invariant =
+  QCheck.Test.make ~count:300
+    ~name:"pqueue drain is sorted after any interleaving"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_bound 120)
+           (frequency
+              [
+                (3, map (fun k -> `Push k) (float_range 0.0 100.0));
+                (1, return `Pop);
+              ])))
+    (fun ops ->
+      let h = Putil.Pqueue.create () in
+      List.iter
+        (function
+          | `Push k -> Putil.Pqueue.push h k ()
+          | `Pop -> ignore (Putil.Pqueue.pop h))
+        ops;
+      let rec drain last =
+        match Putil.Pqueue.pop h with
+        | None -> true
+        | Some (k, ()) ->
+            if k < last then QCheck.Test.fail_report "drain out of order"
+            else drain k
+      in
+      drain Float.neg_infinity)
+
+let suite =
+  [
+    ( "util.pqueue",
+      [
+        QCheck_alcotest.to_alcotest prop_pop_sorted;
+        QCheck_alcotest.to_alcotest prop_interleaved_model;
+        QCheck_alcotest.to_alcotest prop_heap_invariant;
+      ] );
+  ]
