@@ -62,6 +62,7 @@ let experiments =
     ("scaling", fun config -> Experiments.Scaling.run ~config ppf);
     ("micro", fun config -> Experiments.Micro.run ~config ppf);
     ("parbench", fun config -> Experiments.Parbench.run ~config ppf);
+    ("warmbench", fun config -> Experiments.Warmbench.run ~config ppf);
   ]
 
 let () =
@@ -97,6 +98,11 @@ let () =
   List.iter
     (fun n ->
       let t0 = Unix.gettimeofday () in
+      Lp.Stats.reset ();
       (List.assoc n experiments) config;
-      Fmt.epr "[%s: %.2f s]@." n (Unix.gettimeofday () -. t0))
+      (* LP solver counters per experiment, on stderr with the timings
+         (cached-sweep consumers legitimately report zero solves) *)
+      Fmt.epr "[%s: %.2f s | lp: %a]@." n
+        (Unix.gettimeofday () -. t0)
+        Lp.Stats.pp (Lp.Stats.snapshot ()))
     names

@@ -171,17 +171,11 @@ let to_mps ?reduce_slack (sc : Scenario.t) ~power_cap =
   let b = build ?reduce_slack sc ~power_cap in
   Lp.Mps.to_string ~name:"powerlim-event-lp" b.problem
 
-let solve ?(mode = Continuous) ?(max_iter = 0) ?(reduce_slack = true)
-    ?(presolve = true) ?init (sc : Scenario.t) ~power_cap : outcome =
-  let g = sc.Scenario.graph in
-  let nt = Dag.Graph.n_tasks g in
-  let { problem = p; v_vars = v; c_vars = c; meta; n_power_rows } =
-    build ~reduce_slack ?init sc ~power_cap
-  in
-  let r =
-    if presolve then Lp.Presolve.solve ~max_iter p
-    else Lp.Revised.solve ~max_iter p
-  in
+(* Map a solver result back to the schedule domain. *)
+let outcome_of ~mode (sc : Scenario.t)
+    ({ problem = p; v_vars = v; c_vars = c; meta; n_power_rows } : built)
+    (r : Lp.Revised.result) : outcome =
+  let nt = Dag.Graph.n_tasks sc.Scenario.graph in
   match r.Lp.Revised.status with
   | Lp.Revised.Infeasible -> Infeasible
   | Lp.Revised.Unbounded -> Solver_failure "unbounded (formulation bug)"
@@ -229,6 +223,73 @@ let solve ?(mode = Continuous) ?(max_iter = 0) ?(reduce_slack = true)
             };
         }
 
+(* How re-solves of a prepared model are executed.  [`Reduced] caches one
+   presolve reduction and patches the power-row RHS through it — only
+   sound when every power row survived the reduction, so a cap change
+   cannot invalidate any reduction decision.  [`Each] falls back to a
+   fresh presolve per cap (reduction touched a power row); [`Full] skips
+   presolve entirely. *)
+type resolution =
+  [ `Reduced of Lp.Presolve.reduction | `Each | `Full ]
+
+type prepared = { psc : Scenario.t; pbuilt : built; resolution : resolution }
+
+let prepare ?(reduce_slack = true) ?(presolve = true) ?init (sc : Scenario.t)
+    ~power_cap : prepared =
+  let b = build ~reduce_slack ?init sc ~power_cap in
+  let resolution =
+    if not presolve then `Full
+    else
+      match Lp.Presolve.reduce b.problem with
+      | Lp.Presolve.Proven_infeasible -> `Each
+      | Lp.Presolve.Reduced red ->
+          let kept = Array.make b.problem.Lp.Model.nr false in
+          Array.iter
+            (fun i -> kept.(i) <- true)
+            red.Lp.Presolve.kept_rows;
+          if List.for_all (fun (row, _) -> kept.(row)) b.meta then
+            `Reduced red
+          else `Each
+  in
+  { psc = sc; pbuilt = b; resolution }
+
+let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
+    ~power_cap : outcome * Lp.Revised.basis option =
+  let b = pz.pbuilt in
+  let p = b.problem in
+  (* Fresh RHS override with the power rows re-capped; [None] when the
+     prepared model was built at this very cap (keeps the one-shot
+     [solve] path bit-identical to a direct solve). *)
+  let rhs =
+    if
+      List.for_all
+        (fun (row, _) -> p.Lp.Model.row_rhs.(row) = power_cap)
+        b.meta
+    then None
+    else begin
+      let r = Array.copy p.Lp.Model.row_rhs in
+      List.iter (fun (row, _) -> r.(row) <- power_cap) b.meta;
+      Some r
+    end
+  in
+  let r =
+    match pz.resolution with
+    | `Reduced red -> Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm p red
+    | `Each ->
+        let pp =
+          match rhs with
+          | None -> p
+          | Some row_rhs -> { p with Lp.Model.row_rhs }
+        in
+        { (Lp.Presolve.solve ~max_iter pp) with Lp.Revised.basis = None }
+    | `Full -> Lp.Revised.solve ~max_iter ?rhs ?warm p
+  in
+  (outcome_of ~mode pz.psc b r, r.Lp.Revised.basis)
+
+let solve ?(mode = Continuous) ?(max_iter = 0) ?(reduce_slack = true)
+    ?(presolve = true) ?init (sc : Scenario.t) ~power_cap : outcome =
+  let pz = prepare ~reduce_slack ~presolve ?init sc ~power_cap in
+  fst (solve_prepared ~mode ~max_iter pz ~power_cap)
 
 (** Event-order refinement (an extension beyond the paper): the fixed
     event order comes from a power-{e unconstrained} schedule, but the
@@ -238,12 +299,14 @@ let solve ?(mode = Continuous) ?(max_iter = 0) ?(reduce_slack = true)
     fixed-point iteration — every round's schedule is realizable and its
     bound sound — and occasionally tightens the bound on communication-
     heavy traces.  Returns the best schedule seen. *)
-let solve_refined ?(rounds = 2) ?(mode = Continuous) ?max_iter
-    (sc : Scenario.t) ~power_cap : outcome =
+let solve_refined ?(rounds = 2) ?(mode = Continuous) ?max_iter ?reduce_slack
+    ?presolve (sc : Scenario.t) ~power_cap : outcome =
   let rec go n best_outcome best_obj init =
     if n >= rounds then best_outcome
     else begin
-      match solve ~mode ?max_iter ?init sc ~power_cap with
+      match
+        solve ~mode ?max_iter ?reduce_slack ?presolve ?init sc ~power_cap
+      with
       | Schedule s ->
           let best_outcome, best_obj =
             if s.objective < best_obj then (Schedule s, s.objective)

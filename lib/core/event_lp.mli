@@ -60,10 +60,46 @@ val solve :
     overrides it entirely (the event order is taken from these times);
     [presolve] (default true) runs {!Lp.Presolve} before the simplex. *)
 
+type prepared
+(** A built-once event LP, ready for repeated power-cap re-solves.  The
+    model (and, when sound, its presolve reduction) is constructed a
+    single time; each {!solve_prepared} call patches only the power-row
+    RHS.  The event order is the one derived at {!prepare} time, so all
+    re-solves share identical rows — which is what makes the returned
+    bases exchangeable between caps. *)
+
+val prepare :
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
+  ?init:Dag.Schedule.times ->
+  Scenario.t ->
+  power_cap:float ->
+  prepared
+(** Build the model once at a reference cap.  The presolve reduction is
+    cached only when every power row survives it (a cap change must not
+    be able to alter a reduction decision); otherwise re-solves fall back
+    to a per-cap presolve. *)
+
+val solve_prepared :
+  ?mode:mode ->
+  ?max_iter:int ->
+  ?warm:Lp.Revised.basis ->
+  prepared ->
+  power_cap:float ->
+  outcome * Lp.Revised.basis option
+(** Re-solve the prepared model at a new cap.  [warm] supplies the basis
+    returned by a previous [solve_prepared] on the {e same} prepared
+    handle (the basis lives in the prepared model's — possibly reduced —
+    space); the solver then runs the dual simplex from it instead of a
+    cold phase-1/2.  Returns the outcome and the final basis to thread
+    into the next cap ([None] when no reusable basis exists). *)
+
 val solve_refined :
   ?rounds:int ->
   ?mode:mode ->
   ?max_iter:int ->
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
   Scenario.t ->
   power_cap:float ->
   outcome

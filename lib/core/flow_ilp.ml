@@ -37,7 +37,7 @@ type outcome =
 type xval = Fixed of float | Free of Lp.Model.var
 
 let solve ?pool ?(max_tasks = 30) ?(max_nodes = 20_000)
-    ?(integer_configs = false) (sc : Scenario.t) ~power_cap : outcome =
+    ?(integer_configs = false) ?warm (sc : Scenario.t) ~power_cap : outcome =
   let g = sc.Scenario.graph in
   let tids =
     Array.to_list g.Dag.Graph.tasks
@@ -277,7 +277,7 @@ let solve ?pool ?(max_tasks = 30) ?(max_nodes = 20_000)
     done;
     Lp.Model.set_obj m v.(g.Dag.Graph.finalize_v) 1.0;
     let p = Lp.Model.compile m in
-    let r = Lp.Milp.solve ?pool ~max_nodes p in
+    let r = Lp.Milp.solve ?pool ~max_nodes ?warm p in
     match r.Lp.Milp.status with
     | Lp.Milp.Infeasible -> Infeasible
     | Lp.Milp.Unbounded -> Solver_failure "unbounded (formulation bug)"

@@ -29,10 +29,12 @@ val solve :
   ?max_tasks:int ->
   ?max_nodes:int ->
   ?integer_configs:bool ->
+  ?warm:bool ->
   Scenario.t ->
   power_cap:float ->
   outcome
 (** [integer_configs] additionally restricts every task to a single
     discrete configuration (equation (5), the paper's discrete case)
     instead of a continuous blend (equation (6)).  [pool] turns on the
-    branch-and-bound's parallel child-node evaluation ({!Lp.Milp.solve}). *)
+    branch-and-bound's parallel child-node evaluation ({!Lp.Milp.solve});
+    [warm] (default true) its parent-basis warm starts. *)

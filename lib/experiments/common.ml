@@ -72,9 +72,10 @@ type point = {
 
 type sweep = { setup : setup; points : point list }
 
-let run_point (s : setup) ~cap : point =
-  let job_cap = cap *. Float.of_int s.config.nranks in
-  match Core.Event_lp.solve s.sc ~power_cap:job_cap with
+(* Map a solver outcome at one cap to a sweep point. *)
+let point_of_outcome (s : setup) ~cap ~job_cap (o : Core.Event_lp.outcome) :
+    point =
+  match o with
   | Core.Event_lp.Infeasible | Core.Event_lp.Solver_failure _ ->
       {
         cap;
@@ -113,19 +114,123 @@ let run_point (s : setup) ~cap : point =
         job_cap;
       }
 
+let run_point (s : setup) ~cap : point =
+  let job_cap = cap *. Float.of_int s.config.nranks in
+  point_of_outcome s ~cap ~job_cap (Core.Event_lp.solve s.sc ~power_cap:job_cap)
+
+(** One cap of a prepared sweep: re-solve the shared model at [cap],
+    optionally warm-started, and return the point together with the final
+    basis to thread into the next cap. *)
+let solve_point (s : setup) (pz : Core.Event_lp.prepared) ?warm ~cap () :
+    point * Lp.Revised.basis option * Core.Event_lp.outcome =
+  let job_cap = cap *. Float.of_int s.config.nranks in
+  let outcome, b = Core.Event_lp.solve_prepared ?warm pz ~power_cap:job_cap in
+  (point_of_outcome s ~cap ~job_cap outcome, b, outcome)
+
+let run_point_prepared (s : setup) (pz : Core.Event_lp.prepared) ?warm ~cap ()
+    : point * Lp.Revised.basis option =
+  let pt, b, _ = solve_point s pz ?warm ~cap () in
+  (pt, b)
+
+(* Warm starts across the sweep are on by default; POWERLIM_WARM=0 turns
+   them off (cold re-solves through the same prepared pipeline). *)
+let warm_default () =
+  match Sys.getenv_opt "POWERLIM_WARM" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
 (* Each cap point is an independent solve+simulate job: [setup] (graph,
    scenario, frontiers) is immutable after construction, and every solver
    and simulator allocates its own working state per run, so sharing the
-   setup across domains is safe. *)
-let run_sweep ?pool (s : setup) : sweep =
+   setup across domains is safe.
+
+   The caps are sorted ascending (tightest first) and split into a
+   {e fixed} number of contiguous chains.  Each chain builds the event LP
+   once ({!Core.Event_lp.prepare} at its loosest cap, where presolve is
+   least likely to drop a power row) and re-solves up the chain,
+   threading the previous cap's optimal basis as a warm start — a cap
+   change only moves the power-row RHS, so the previous basis stays dual
+   feasible and the dual simplex reoptimizes in O(m) pivots.  Tightest
+   first matters: the loosest-cap optimum leaves the power rows slack
+   and, with identical ranks, is massively dual degenerate — chaining
+   {e from} it makes the dual crawl, while every hop between
+   power-anchored optima is cheap.  Caps whose power duals are all zero
+   (the cap does not constrain the schedule) are re-solved cold (see the
+   comment in the chain body), so warm output is byte-identical to cold
+   output.  The chain count does
+   not depend on the pool size, so sweep output is identical at any
+   POWERLIM_JOBS setting. *)
+let run_sweep ?pool ?warm (s : setup) : sweep =
+  let warm = match warm with Some w -> w | None -> warm_default () in
   let pool =
     match pool with Some p -> p | None -> Putil.Pool.get_default ()
   in
-  {
-    setup = s;
-    points =
-      Putil.Pool.parallel_map pool (fun cap -> run_point s ~cap) s.config.caps;
-  }
+  let caps = Array.of_list s.config.caps in
+  let n = Array.length caps in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match Float.compare caps.(i) caps.(j) with
+      | 0 -> compare i j
+      | c -> c)
+    order;
+  let nchains = if n >= 4 then 2 else 1 in
+  let chains =
+    List.init nchains (fun c ->
+        let lo = c * n / nchains and hi = (c + 1) * n / nchains in
+        Array.to_list (Array.sub order lo (hi - lo)))
+  in
+  let run_chain idxs =
+    match idxs with
+    | [] -> []
+    | idxs ->
+        let loosest =
+          List.fold_left (fun acc i -> Float.max acc caps.(i)) neg_infinity
+            idxs
+        in
+        let pz =
+          Core.Event_lp.prepare s.sc
+            ~power_cap:(loosest *. Float.of_int s.config.nranks)
+        in
+        let unconstraining = function
+          | Core.Event_lp.Schedule sch ->
+              (* Duals are ~2e-4 s/W or larger wherever power actually
+                 binds, and exactly zero (up to roundoff) when it does
+                 not, so the threshold is uncritical. *)
+              Array.for_all
+                (fun (_, d) -> Float.abs d <= 1e-9)
+                sch.Core.Event_lp.power_duals
+          | _ -> false
+        in
+        let prev = ref None in
+        let warm_on = ref warm in
+        List.map
+          (fun i ->
+            let wb = if !warm_on then !prev else None in
+            let pt, b, o = solve_point s pz ?warm:wb ~cap:caps.(i) () in
+            let pt, b =
+              (* Zero power duals mean the cap does not constrain the
+                 schedule: the optimum is the cap-independent
+                 unconstrained one, which is massively degenerate, and a
+                 warm start may land on any of its alternate optima.
+                 Re-solve cold so the reported schedule is canonical
+                 (byte-identical to the cold path), and stop warming —
+                 every looser cap in this ascending chain is
+                 unconstraining too, and those solves are the cheap
+                 ones. *)
+              if Option.is_some wb && unconstraining o then (
+                warm_on := false;
+                run_point_prepared s pz ~cap:caps.(i) ())
+              else (pt, b)
+            in
+            (match b with Some _ -> prev := b | None -> ());
+            (i, pt))
+          idxs
+  in
+  let results = Putil.Pool.parallel_map pool run_chain chains in
+  let out = Array.make n None in
+  List.iter (List.iter (fun (i, pt) -> out.(i) <- Some pt)) results;
+  { setup = s; points = Array.to_list (Array.map Option.get out) }
 
 (** The power range each per-benchmark figure shows (x-axes of the
     paper's Figures 11 and 13-15). *)

@@ -45,11 +45,34 @@ type sweep = { setup : setup; points : point list }
 
 val run_point : setup -> cap:float -> point
 
-val run_sweep : ?pool:Putil.Pool.t -> setup -> sweep
-(** Runs every cap's Static/Conductor/LP-replay triple as an independent
-    job on [pool] (the shared default pool when omitted), preserving the
-    order of [config.caps] in [points].  Each job only reads the shared
-    immutable [setup]; all solver and simulator state is per-job. *)
+val run_point_prepared :
+  setup ->
+  Core.Event_lp.prepared ->
+  ?warm:Lp.Revised.basis ->
+  cap:float ->
+  unit ->
+  point * Lp.Revised.basis option
+(** One cap of a prepared sweep: re-solve the shared model at [cap]
+    (warm-started from [warm] when given) and return the point with the
+    final basis to thread into the next cap. *)
+
+val run_sweep : ?pool:Putil.Pool.t -> ?warm:bool -> setup -> sweep
+(** Runs the Static/Conductor/LP-replay triples over [config.caps] on
+    [pool] (the shared default pool when omitted), preserving the cap
+    order in [points].  The caps are processed as a fixed number of
+    ascending (tightest-first) contiguous chains, each building the
+    event LP once ({!Core.Event_lp.prepare}) and threading the previous
+    cap's optimal basis into the next solve as a warm start.  [warm]
+    defaults to on;
+    [POWERLIM_WARM=0] disables it (cold re-solves through the same
+    prepared pipeline).  Caps whose power duals are all zero are
+    re-solved cold — their cap-independent unconstrained optimum is
+    degenerate and a warm start may land on an alternate vertex — so
+    sweep output is byte-identical with warm starts on or off.  The chain count is
+    independent of the pool size, so output does not depend on
+    POWERLIM_JOBS.  Each job only
+    reads the shared immutable [setup]; all solver and simulator state is
+    per-job. *)
 
 val figure_caps : Workloads.Apps.app -> float * float
 (** The power range each per-benchmark figure shows (the x-axes of the

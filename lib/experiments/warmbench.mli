@@ -1,0 +1,7 @@
+(** Warm-start benchmark: cold vs warm LP re-solves across the power-cap
+    sweep and inside the flow-ILP branch and bound.  Writes
+    [BENCH_warmstart.json] (schema documented in EXPERIMENTS.md) and
+    fails — non-zero exit — when cold and warm objectives disagree beyond
+    1e-9. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -1,9 +1,13 @@
 (** Mixed-integer linear programming by LP-based branch and bound.
 
     Best-bound node selection, branching on the most fractional integer
-    variable.  Each node re-solves its LP relaxation from scratch with
-    {!Revised}; this is ample for the small flow-ILP instances the paper
-    solves (tens of binaries), which is also the regime the paper itself
+    variable.  Each node solves its LP relaxation with {!Revised},
+    warm-started from the parent node's optimal basis: a branching
+    changes a single variable bound, so the parent basis stays dual
+    feasible and the dual simplex typically reoptimizes in a handful of
+    pivots (pass [~warm:false] to re-solve every node from scratch).
+    This is ample for the small flow-ILP instances the paper solves
+    (tens of binaries), which is also the regime the paper itself
     restricts the ILP to. *)
 
 type status = Optimal | Infeasible | Unbounded | Node_limit
@@ -16,7 +20,14 @@ type result = {
   relaxation : float;  (** objective of the root LP relaxation *)
 }
 
-type node = { n_lb : float array; n_ub : float array; depth : int }
+type node = {
+  n_lb : float array;
+  n_ub : float array;
+  depth : int;
+  n_warm : Revised.basis option;
+      (** parent node's optimal basis, used to warm-start this node's
+          relaxation *)
+}
 
 let most_fractional (p : Model.problem) ?(int_tol = 1e-6) (x : float array) =
   let best = ref (-1) and best_frac = ref int_tol in
@@ -41,8 +52,10 @@ let snap (p : Model.problem) (x : float array) =
     x
 
 let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
-    ?(lp_max_iter = 0) (p : Model.problem) : result =
-  let root = { n_lb = Array.copy p.lb; n_ub = Array.copy p.ub; depth = 0 } in
+    ?(lp_max_iter = 0) ?(warm = true) (p : Model.problem) : result =
+  let root =
+    { n_lb = Array.copy p.lb; n_ub = Array.copy p.ub; depth = 0; n_warm = None }
+  in
   let heap = Putil.Pqueue.create () in
   let incumbent = ref None in
   let incumbent_obj = ref Float.infinity in
@@ -52,7 +65,7 @@ let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
   let status = ref Infeasible in
   let solve_node n =
     Atomic.incr nodes;
-    Revised.solve ~max_iter:lp_max_iter ~lb:n.n_lb ~ub:n.n_ub p
+    Revised.solve ~max_iter:lp_max_iter ~lb:n.n_lb ~ub:n.n_ub ?warm:n.n_warm p
   in
   (* Both children of a branching are independent LP solves over the
      shared read-only problem (bounds are per-node copies); with a
@@ -103,6 +116,7 @@ let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
                             n_lb = Array.copy n.n_lb;
                             n_ub = Array.copy n.n_ub;
                             depth = n.depth + 1;
+                            n_warm = (if warm then r.Revised.basis else None);
                           }
                         in
                         c.n_lb.(j) <- max c.n_lb.(j) lo_;
@@ -131,7 +145,11 @@ let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
               end
         end
       done;
-      if !hit_limit && !incumbent = None then status := Node_limit
+      (* Any limit (node budget, or a child LP stopping on its iteration
+         limit, which silently prunes that subtree) means the incumbent is
+         not proven optimal: the search is inconclusive even when an
+         incumbent exists. *)
+      if !hit_limit then status := Node_limit
       else
         status := (match !incumbent with Some _ -> Optimal | None -> Infeasible));
   match !incumbent with

@@ -1,7 +1,8 @@
 (** Mixed-integer linear programming by LP-based branch and bound:
     best-bound node selection, branching on the most fractional integer
-    variable, each node re-solved from scratch with {!Revised}.  Sized
-    for the paper's flow-ILP instances (tens of binaries). *)
+    variable, each node solved with {!Revised} warm-started from the
+    parent node's optimal basis (dual simplex on the one changed bound).
+    Sized for the paper's flow-ILP instances (tens of binaries). *)
 
 type status = Optimal | Infeasible | Unbounded | Node_limit
 
@@ -25,6 +26,7 @@ val solve :
   ?int_tol:float ->
   ?gap:float ->
   ?lp_max_iter:int ->
+  ?warm:bool ->
   Model.problem ->
   result
 (** [pool] enables parallel node evaluation: the two child LP
@@ -32,4 +34,9 @@ val solve :
     pool (the children only share the read-only compiled problem; bounds
     are per-node copies).  Search order, incumbents and the node count
     are identical to the sequential mode, which is used when [pool] is
-    omitted or sequential. *)
+    omitted or sequential.  [warm] (default [true]) warm-starts each
+    child from its parent's optimal basis; both children receive the same
+    basis, so parallel and sequential search remain identical.  A hit
+    node budget or a child relaxation stopping on its LP iteration limit
+    yields [Node_limit] even when an incumbent exists — the incumbent is
+    then feasible but not proven optimal. *)

@@ -275,6 +275,52 @@ let fixed_objective (p : Model.problem) (r : reduction) =
     r.state;
   !s
 
+(** [solve_reduction p r] solves a previously computed reduction of [p]
+    and maps the solution back to the original space — the re-solve path
+    behind {!Core.Event_lp.solve_prepared}.
+
+    [rhs] overrides the {e original-space} row RHS: each kept row's
+    reduced RHS is patched by the delta against [p.row_rhs].  This is
+    only sound when the changed rows were kept by the reduction and the
+    RHS change cannot alter any reduction decision (the caller's
+    responsibility; {!Core.Event_lp.prepare} checks that every power row
+    survived).  [warm] is a {e reduced-space} basis from a previous
+    [solve_reduction] on the same reduction; the returned result's
+    [basis] field is likewise in the reduced space. *)
+let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm (p : Model.problem)
+    (r : reduction) : Revised.result =
+  let red_rhs =
+    match rhs with
+    | None -> None
+    | Some new_rhs ->
+        let b = Array.copy r.problem.Model.row_rhs in
+        Array.iteri
+          (fun k i ->
+            let delta = new_rhs.(i) -. p.Model.row_rhs.(i) in
+            if delta <> 0.0 then b.(k) <- b.(k) +. delta)
+          r.kept_rows;
+        Some b
+  in
+  let res =
+    Revised.solve ?max_iter ?feas_tol ?opt_tol ?rhs:red_rhs ?warm r.problem
+  in
+  let x =
+    match res.Revised.status with
+    | Revised.Optimal -> restore r res.Revised.x
+    | _ -> Array.make p.Model.nv 0.0
+  in
+  let y = Array.make p.Model.nr 0.0 in
+  Array.iteri (fun k i -> y.(i) <- res.Revised.y.(k)) r.kept_rows;
+  {
+    res with
+    Revised.x;
+    y;
+    objective =
+      (match res.Revised.status with
+      | Revised.Optimal -> Model.objective_value p x
+      | _ -> res.Revised.objective);
+  }
+
 (** Presolve, solve with {!Revised}, and restore: a drop-in replacement
     for {!Revised.solve} on models without integer variables. *)
 let solve ?max_iter ?feas_tol ?opt_tol (p : Model.problem) : Revised.result =
@@ -287,22 +333,10 @@ let solve ?max_iter ?feas_tol ?opt_tol (p : Model.problem) : Revised.result =
         y = Array.make p.Model.nr 0.0;
         dj = Array.copy p.Model.obj;
         iterations = 0;
+        basis = None;
       }
   | Reduced r ->
-      let res = Revised.solve ?max_iter ?feas_tol ?opt_tol r.problem in
-      let x =
-        match res.Revised.status with
-        | Revised.Optimal -> restore r res.Revised.x
-        | _ -> Array.make p.Model.nv 0.0
-      in
-      let y = Array.make p.Model.nr 0.0 in
-      Array.iteri (fun k i -> y.(i) <- res.Revised.y.(k)) r.kept_rows;
-      {
-        res with
-        Revised.x;
-        y;
-        objective =
-          (match res.Revised.status with
-          | Revised.Optimal -> Model.objective_value p x
-          | _ -> res.Revised.objective);
-      }
+      let res = solve_reduction ?max_iter ?feas_tol ?opt_tol p r in
+      (* the embedded basis lives in the reduced space; a one-shot solve
+         has no re-solve to feed it to, so drop it to avoid misuse *)
+      { res with Revised.basis = None }

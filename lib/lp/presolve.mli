@@ -29,8 +29,28 @@ val restore : reduction -> float array -> float array
 val fixed_objective : Model.problem -> reduction -> float
 (** Objective contribution of the variables presolve fixed outright. *)
 
+val solve_reduction :
+  ?max_iter:int ->
+  ?feas_tol:float ->
+  ?opt_tol:float ->
+  ?rhs:float array ->
+  ?warm:Revised.basis ->
+  Model.problem ->
+  reduction ->
+  Revised.result
+(** [solve_reduction p r] solves a previously computed reduction of [p]
+    and restores the solution to the original space — the warm re-solve
+    path behind {!Core.Event_lp.solve_prepared}.  [rhs] overrides the
+    {e original-space} row RHS (each kept row's reduced RHS is patched by
+    the delta); only sound when the changed rows were kept by the
+    reduction and cannot alter any reduction decision.  [warm] and the
+    returned [basis] field are in the {e reduced} space of [r]. *)
+
 val solve :
   ?max_iter:int -> ?feas_tol:float -> ?opt_tol:float -> Model.problem ->
   Revised.result
 (** Presolve, solve the reduction with {!Revised}, restore.  A drop-in
-    replacement for {!Revised.solve} on continuous models. *)
+    replacement for {!Revised.solve} on continuous models.  The returned
+    [basis] is [None]: a one-shot solve's reduced-space basis has no
+    aligned re-solve to feed; use {!reduce} + {!solve_reduction} to
+    warm-start across re-solves. *)

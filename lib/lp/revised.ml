@@ -9,7 +9,17 @@
     The basis is factorized with {!Lu} and updated between
     refactorizations with product-form (eta) updates.  Pricing is
     Dantzig's rule with an automatic switch to Bland's rule after a run of
-    degenerate pivots; the ratio test is a two-pass Harris test. *)
+    degenerate pivots; the ratio test is a two-pass Harris test.
+
+    Warm starts: [solve] returns the final basis (basic set + nonbasic
+    statuses) and accepts it back via [?warm] on a later call whose
+    bounds/RHS differ.  The warm basis is repaired against the new bounds
+    and, because bound/RHS changes preserve dual feasibility, re-solved
+    with a {e dual simplex} loop (largest-violation row choice, dual
+    ratio test with bound flips).  Any irreparable situation — basis
+    singular beyond {!Lu} repair, dual-infeasible nonbasic that cannot be
+    flipped — falls back to the cold primal phase-1/2 path, so a warm
+    call can never be less robust than a cold one. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
@@ -19,6 +29,15 @@ let pp_status ppf = function
   | Unbounded -> Fmt.string ppf "unbounded"
   | Iter_limit -> Fmt.string ppf "iteration-limit"
 
+type basis = {
+  basic : int array;
+      (** column of each basis position, length [nr]; structural columns
+          are [0..nv-1], slacks [nv..nv+nr-1] *)
+  vstat : char array;
+      (** per-column status, length [nv+nr]: ['b'] basic, ['l']/['u'] at
+          lower/upper bound, ['f'] free at zero *)
+}
+
 type result = {
   status : status;
   objective : float;
@@ -26,12 +45,18 @@ type result = {
   y : float array;  (** row duals, length [nr] *)
   dj : float array;  (** structural reduced costs, length [nv] *)
   iterations : int;
+  basis : basis option;
+      (** final simplex basis, reusable as [?warm] on a re-solve of the
+          same problem shape; [None] when no clean slack/structural basis
+          exists (e.g. constraint-free models) *)
 }
 
 type eta = { er : int; eidx : int array; evals : float array; edia : float }
 
 let neg_inf = Float.neg_infinity
 let inf = Float.infinity
+
+exception Warm_fallback
 
 (* Trivial path for models without constraints. *)
 let solve_unconstrained (p : Model.problem) lo hi =
@@ -52,13 +77,16 @@ let solve_unconstrained (p : Model.problem) lo hi =
     y = [||];
     dj = Array.copy p.obj;
     iterations = 0;
+    basis = None;
   }
 
-let solve ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
-    (p : Model.problem) : result =
+let solve ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub ?rhs
+    ?warm (p : Model.problem) : result =
+  let t_solve0 = Unix.gettimeofday () in
   let nv = p.nv and m = p.nr in
   let lb_s = match lb with Some a -> a | None -> p.lb in
   let ub_s = match ub with Some a -> a | None -> p.ub in
+  let rhs_s = match rhs with Some a -> a | None -> p.row_rhs in
   let max_iter = if max_iter > 0 then max_iter else 20_000 + (60 * m) in
   (* Column layout: 0..nv-1 structural, nv..nv+m-1 slacks, then
      artificials.  [ntot] grows as artificials are added. *)
@@ -79,460 +107,938 @@ let solve ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
         lo.(j) <- 0.0;
         hi.(j) <- 0.0
   done;
-  if m = 0 then solve_unconstrained p lo hi
+  if m = 0 then begin
+    let r = solve_unconstrained p lo hi in
+    Stats.note_solve ~warm:false ~iterations:0 ~dual:0 ~flips:0 ~factors:0
+      ~wall:(Unix.gettimeofday () -. t_solve0);
+    r
+  end
   else begin
-    let nart = ref 0 in
-    let art_row = Array.make m (-1) and art_sig = Array.make m 1.0 in
-    let ntot () = nv + m + !nart in
-    let col_iter j f =
-      if j < nv then Sparse.Csc.iter_col p.a j f
-      else if j < nv + m then f (j - nv) 1.0
-      else f art_row.(j - nv - m) art_sig.(j - nv - m)
-    in
-    let col_dot j (y : float array) =
-      if j < nv then Sparse.Csc.dot_col p.a j y
-      else if j < nv + m then y.(j - nv)
-      else art_sig.(j - nv - m) *. y.(art_row.(j - nv - m))
-    in
-    let where = Array.make cap (-1) in
-    let nb_at = Array.make cap 'l' in
-    let basis = Array.make m 0 in
-    let x_basic = Array.make m 0.0 in
-    let nbval j =
-      match nb_at.(j) with
-      | 'l' -> lo.(j)
-      | 'u' -> hi.(j)
-      | _ -> 0.0
-    in
-    (* Initial nonbasic statuses for structural columns. *)
-    for j = 0 to nv - 1 do
-      nb_at.(j) <-
-        (if Float.is_finite lo.(j) then 'l'
-         else if Float.is_finite hi.(j) then 'u'
-         else 'f')
-    done;
-    (* Row activities of the nonbasic structural point. *)
-    let act = Array.make m 0.0 in
-    let x0 = Array.init nv nbval in
-    Sparse.Csc.mult p.a x0 act;
-    for i = 0 to m - 1 do
-      let sj = nv + i in
-      let sval = p.row_rhs.(i) -. act.(i) in
-      if sval >= lo.(sj) -. feas_tol && sval <= hi.(sj) +. feas_tol then begin
-        basis.(i) <- sj;
-        where.(sj) <- i;
-        x_basic.(i) <- sval
-      end
-      else begin
-        let bound = if sval < lo.(sj) then lo.(sj) else hi.(sj) in
-        nb_at.(sj) <- (if sval < lo.(sj) then 'l' else 'u');
-        let r = sval -. bound in
-        let k = !nart in
-        incr nart;
-        art_row.(k) <- i;
-        art_sig.(k) <- (if r >= 0.0 then 1.0 else -1.0);
-        let aj = nv + m + k in
-        lo.(aj) <- 0.0;
-        hi.(aj) <- inf;
-        basis.(i) <- aj;
-        where.(aj) <- i;
-        x_basic.(i) <- Float.abs r
-      end
-    done;
-    (* --- basis factorization machinery ------------------------------- *)
-    let stats_on = Sys.getenv_opt "LP_STATS" <> None in
-    let t_factor = ref 0.0
-    and t_ftran = ref 0.0
-    and t_btran = ref 0.0
-    and t_price = ref 0.0
-    and t_ratio = ref 0.0
-    and lu_nnz_total = ref 0
-    and n_factor = ref 0 in
-    let clock () = if stats_on then Sys.time () else 0.0 in
-    let lu = ref (Lu.factor ~m (fun k f -> col_iter basis.(k) f)) in
-    let etas = ref [] (* newest first *) in
-    let n_etas = ref 0 in
-    let scratch = Array.make m 0.0 in
-    let bwork = Array.make m 0.0 in
-    let recompute_x_basic () =
-      Array.blit p.row_rhs 0 bwork 0 m;
-      for j = 0 to ntot () - 1 do
-        if where.(j) < 0 then begin
-          let v = nbval j in
-          if v <> 0.0 then col_iter j (fun i a -> bwork.(i) <- bwork.(i) -. (a *. v))
-        end
-      done;
-      Lu.solve !lu ~b:bwork ~x:x_basic ~scratch
-    in
-    let rec refactorize depth =
-      if depth > 4 then failwith "Revised: unable to repair singular basis";
-      let t0 = clock () in
-      let f = Lu.factor ~m (fun k f -> col_iter basis.(k) f) in
-      t_factor := !t_factor +. clock () -. t0;
-      incr n_factor;
-      lu_nnz_total := !lu_nnz_total + Lu.nnz f;
-      etas := [];
-      n_etas := 0;
-      match f.Lu.replaced with
-      | [] ->
-          lu := f;
-          recompute_x_basic ()
-      | reps ->
-          List.iter
-            (fun (kpos, row) ->
-              let old = basis.(kpos) in
-              where.(old) <- -1;
-              nb_at.(old) <-
-                (if Float.is_finite lo.(old) then 'l'
-                 else if Float.is_finite hi.(old) then 'u'
-                 else 'f');
-              let slack = nv + row in
-              if where.(slack) >= 0 then
-                failwith "Revised: basis repair failed (slack already basic)";
-              basis.(kpos) <- slack;
-              where.(slack) <- kpos)
-            reps;
-          refactorize (depth + 1)
-    in
-    refactorize 0;
-    recompute_x_basic ();
-    let ftran j (w : float array) =
-      let t0 = clock () in
-      Array.fill bwork 0 m 0.0;
-      col_iter j (fun i v -> bwork.(i) <- bwork.(i) +. v);
-      Lu.solve !lu ~b:bwork ~x:w ~scratch;
-      List.iter
-        (fun e ->
-          let t = w.(e.er) in
-          if t <> 0.0 then begin
-            w.(e.er) <- e.edia *. t;
-            for k = 0 to Array.length e.eidx - 1 do
-              w.(e.eidx.(k)) <- w.(e.eidx.(k)) +. (e.evals.(k) *. t)
-            done
-          end)
-        (List.rev !etas);
-      t_ftran := !t_ftran +. clock () -. t0
-    in
-    let btran (cb : float array) (y : float array) =
-      let t0 = clock () in
-      (* Apply eta transposes newest-first, then the base factorization. *)
-      List.iter
-        (fun e ->
-          let s = ref (e.edia *. cb.(e.er)) in
-          for k = 0 to Array.length e.eidx - 1 do
-            s := !s +. (e.evals.(k) *. cb.(e.eidx.(k)))
+    (* One solve attempt: cold (phase 1/2 primal) when [warm_opt = None],
+       otherwise installs the given basis and runs the dual simplex.
+       Warm attempts raise [Warm_fallback] on any irreparable state and
+       are retried cold by the dispatcher below. *)
+    let attempt warm_opt =
+      let nart = ref 0 in
+      let art_row = Array.make m (-1) and art_sig = Array.make m 1.0 in
+      let ntot () = nv + m + !nart in
+      let col_iter j f =
+        if j < nv then Sparse.Csc.iter_col p.a j f
+        else if j < nv + m then f (j - nv) 1.0
+        else f art_row.(j - nv - m) art_sig.(j - nv - m)
+      in
+      let col_dot j (y : float array) =
+        if j < nv then Sparse.Csc.dot_col p.a j y
+        else if j < nv + m then y.(j - nv)
+        else art_sig.(j - nv - m) *. y.(art_row.(j - nv - m))
+      in
+      let where = Array.make cap (-1) in
+      let nb_at = Array.make cap 'l' in
+      let basis = Array.make m 0 in
+      let x_basic = Array.make m 0.0 in
+      let nbval j =
+        match nb_at.(j) with
+        | 'l' -> lo.(j)
+        | 'u' -> hi.(j)
+        | _ -> 0.0
+      in
+      (match warm_opt with
+      | None ->
+          (* Initial nonbasic statuses for structural columns. *)
+          for j = 0 to nv - 1 do
+            nb_at.(j) <-
+              (if Float.is_finite lo.(j) then 'l'
+               else if Float.is_finite hi.(j) then 'u'
+               else 'f')
           done;
-          cb.(e.er) <- !s)
-        !etas;
-      Lu.solve_t !lu ~c:cb ~y ~scratch;
-      t_btran := !t_btran +. clock () -. t0
-    in
-    let push_eta (w : float array) r =
-      let wr = w.(r) in
-      let cnt = ref 0 in
-      for k = 0 to m - 1 do
-        if k <> r && Float.abs w.(k) > 1e-12 then incr cnt
-      done;
-      let eidx = Array.make !cnt 0 and evals = Array.make !cnt 0.0 in
-      let at = ref 0 in
-      for k = 0 to m - 1 do
-        if k <> r && Float.abs w.(k) > 1e-12 then begin
-          eidx.(!at) <- k;
-          evals.(!at) <- -.w.(k) /. wr;
-          incr at
-        end
-      done;
-      etas := { er = r; eidx; evals; edia = 1.0 /. wr } :: !etas;
-      incr n_etas
-    in
-    (* --- simplex iterations ------------------------------------------ *)
-    let cost = Array.make cap 0.0 in
-    let cb = Array.make m 0.0 in
-    let y = Array.make m 0.0 in
-    let w = Array.make m 0.0 in
-    let iters = ref 0 in
-    let bland = ref false in
-    let degen = ref 0 in
-    let price_cursor = ref 0 in
-    (* Expensive per-pivot invariant check, enabled via LP_PARANOID. *)
-    let paranoid = Sys.getenv_opt "LP_PARANOID" <> None in
-    let check_invariants () =
-      if paranoid then begin
-        let saved = Array.copy x_basic in
-        let saved_etas = !etas and saved_n = !n_etas and saved_lu = !lu in
-        lu := Lu.factor ~m (fun k f -> col_iter basis.(k) f);
+          (* Row activities of the nonbasic structural point. *)
+          let act = Array.make m 0.0 in
+          let x0 = Array.init nv nbval in
+          Sparse.Csc.mult p.a x0 act;
+          for i = 0 to m - 1 do
+            let sj = nv + i in
+            let sval = rhs_s.(i) -. act.(i) in
+            if sval >= lo.(sj) -. feas_tol && sval <= hi.(sj) +. feas_tol
+            then begin
+              basis.(i) <- sj;
+              where.(sj) <- i;
+              x_basic.(i) <- sval
+            end
+            else begin
+              let bound = if sval < lo.(sj) then lo.(sj) else hi.(sj) in
+              nb_at.(sj) <- (if sval < lo.(sj) then 'l' else 'u');
+              let r = sval -. bound in
+              let k = !nart in
+              incr nart;
+              art_row.(k) <- i;
+              art_sig.(k) <- (if r >= 0.0 then 1.0 else -1.0);
+              let aj = nv + m + k in
+              lo.(aj) <- 0.0;
+              hi.(aj) <- inf;
+              basis.(i) <- aj;
+              where.(aj) <- i;
+              x_basic.(i) <- Float.abs r
+            end
+          done
+      | Some wb ->
+          (* Install the caller's basis; repair nonbasic statuses against
+             the (possibly changed) bounds. *)
+          if Array.length wb.basic <> m || Array.length wb.vstat <> nv + m
+          then raise Warm_fallback;
+          Array.iteri
+            (fun k j ->
+              if j < 0 || j >= nv + m || where.(j) >= 0 then
+                raise Warm_fallback;
+              basis.(k) <- j;
+              where.(j) <- k)
+            wb.basic;
+          for j = 0 to nv + m - 1 do
+            if where.(j) < 0 then
+              nb_at.(j) <-
+                (match wb.vstat.(j) with
+                | 'l' when Float.is_finite lo.(j) -> 'l'
+                | 'u' when Float.is_finite hi.(j) -> 'u'
+                | _ ->
+                    if Float.is_finite lo.(j) then 'l'
+                    else if Float.is_finite hi.(j) then 'u'
+                    else 'f')
+          done);
+      (* --- basis factorization machinery ------------------------------- *)
+      let stats_on = Sys.getenv_opt "LP_STATS" <> None in
+      let t_factor = ref 0.0
+      and t_ftran = ref 0.0
+      and t_btran = ref 0.0
+      and t_price = ref 0.0
+      and t_ratio = ref 0.0
+      and lu_nnz_total = ref 0
+      and n_factor = ref 0 in
+      let clock () = if stats_on then Sys.time () else 0.0 in
+      let lu = ref (Lu.factor ~m (fun k f -> col_iter basis.(k) f)) in
+      let etas = ref [] (* newest first *) in
+      let n_etas = ref 0 in
+      let scratch = Array.make m 0.0 in
+      let bwork = Array.make m 0.0 in
+      let recompute_x_basic () =
+        Array.blit rhs_s 0 bwork 0 m;
+        for j = 0 to ntot () - 1 do
+          if where.(j) < 0 then begin
+            let v = nbval j in
+            if v <> 0.0 then
+              col_iter j (fun i a -> bwork.(i) <- bwork.(i) -. (a *. v))
+          end
+        done;
+        Lu.solve !lu ~b:bwork ~x:x_basic ~scratch
+      in
+      let rec refactorize depth =
+        if depth > 4 then failwith "Revised: unable to repair singular basis";
+        let t0 = clock () in
+        let f = Lu.factor ~m (fun k f -> col_iter basis.(k) f) in
+        t_factor := !t_factor +. clock () -. t0;
+        incr n_factor;
+        lu_nnz_total := !lu_nnz_total + Lu.nnz f;
         etas := [];
         n_etas := 0;
-        recompute_x_basic ();
-        let drift = ref 0.0 in
+        match f.Lu.replaced with
+        | [] ->
+            lu := f;
+            recompute_x_basic ()
+        | reps ->
+            List.iter
+              (fun (kpos, row) ->
+                let old = basis.(kpos) in
+                where.(old) <- -1;
+                nb_at.(old) <-
+                  (if Float.is_finite lo.(old) then 'l'
+                   else if Float.is_finite hi.(old) then 'u'
+                   else 'f');
+                let slack = nv + row in
+                if where.(slack) >= 0 then
+                  failwith "Revised: basis repair failed (slack already basic)";
+                basis.(kpos) <- slack;
+                where.(slack) <- kpos)
+              reps;
+            refactorize (depth + 1)
+      in
+      refactorize 0;
+      recompute_x_basic ();
+      let ftran j (w : float array) =
+        let t0 = clock () in
+        Array.fill bwork 0 m 0.0;
+        col_iter j (fun i v -> bwork.(i) <- bwork.(i) +. v);
+        Lu.solve !lu ~b:bwork ~x:w ~scratch;
+        List.iter
+          (fun e ->
+            let t = w.(e.er) in
+            if t <> 0.0 then begin
+              w.(e.er) <- e.edia *. t;
+              for k = 0 to Array.length e.eidx - 1 do
+                w.(e.eidx.(k)) <- w.(e.eidx.(k)) +. (e.evals.(k) *. t)
+              done
+            end)
+          (List.rev !etas);
+        t_ftran := !t_ftran +. clock () -. t0
+      in
+      let btran (cb : float array) (y : float array) =
+        let t0 = clock () in
+        (* Apply eta transposes newest-first, then the base factorization. *)
+        List.iter
+          (fun e ->
+            let s = ref (e.edia *. cb.(e.er)) in
+            for k = 0 to Array.length e.eidx - 1 do
+              s := !s +. (e.evals.(k) *. cb.(e.eidx.(k)))
+            done;
+            cb.(e.er) <- !s)
+          !etas;
+        Lu.solve_t !lu ~c:cb ~y ~scratch;
+        t_btran := !t_btran +. clock () -. t0
+      in
+      let push_eta (w : float array) r =
+        let wr = w.(r) in
+        let cnt = ref 0 in
         for k = 0 to m - 1 do
-          let d = Float.abs (x_basic.(k) -. saved.(k)) in
-          if d > !drift then drift := d
+          if k <> r && Float.abs w.(k) > 1e-12 then incr cnt
         done;
-        if !drift > 1e-6 then begin
-          (* residual of the incrementally maintained point: b - A x *)
-          let res = Array.copy p.row_rhs in
-          let sub j xv =
-            if xv <> 0.0 then col_iter j (fun i a -> res.(i) <- res.(i) -. (a *. xv))
-          in
-          for j = 0 to ntot () - 1 do
-            if where.(j) < 0 then sub j (nbval j)
-          done;
+        let eidx = Array.make !cnt 0 and evals = Array.make !cnt 0.0 in
+        let at = ref 0 in
+        for k = 0 to m - 1 do
+          if k <> r && Float.abs w.(k) > 1e-12 then begin
+            eidx.(!at) <- k;
+            evals.(!at) <- -.w.(k) /. wr;
+            incr at
+          end
+        done;
+        etas := { er = r; eidx; evals; edia = 1.0 /. wr } :: !etas;
+        incr n_etas
+      in
+      (* --- simplex iterations ------------------------------------------ *)
+      let cost = Array.make cap 0.0 in
+      let cb = Array.make m 0.0 in
+      let y = Array.make m 0.0 in
+      let w = Array.make m 0.0 in
+      let rho = Array.make m 0.0 in
+      let iters = ref 0 in
+      let dual_pivots = ref 0 in
+      let bound_flips = ref 0 in
+      let bland = ref false in
+      let degen = ref 0 in
+      let price_cursor = ref 0 in
+      (* Expensive per-pivot invariant check, enabled via LP_PARANOID. *)
+      let paranoid = Sys.getenv_opt "LP_PARANOID" <> None in
+      let check_invariants () =
+        if paranoid then begin
+          let saved = Array.copy x_basic in
+          let saved_etas = !etas and saved_n = !n_etas and saved_lu = !lu in
+          lu := Lu.factor ~m (fun k f -> col_iter basis.(k) f);
+          etas := [];
+          n_etas := 0;
+          recompute_x_basic ();
+          let drift = ref 0.0 in
           for k = 0 to m - 1 do
-            sub basis.(k) saved.(k)
+            let d = Float.abs (x_basic.(k) -. saved.(k)) in
+            if d > !drift then drift := d
           done;
-          let rmax = Array.fold_left (fun a v -> max a (Float.abs v)) 0.0 res in
-          Printf.eprintf
-            "LP_PARANOID: iter %d drift %g incremental-residual %g replaced %d\n%!"
-            !iters !drift rmax
-            (List.length !lu.Lu.replaced);
-          (match Sys.getenv_opt "LP_DUMP_BASIS" with
-          | Some path when not (Sys.file_exists path) ->
-              let oc = open_out path in
-              Printf.fprintf oc "%d\n" m;
-              for k = 0 to m - 1 do
-                col_iter basis.(k) (fun i v -> Printf.fprintf oc "%d %d %.17g\n" i k v)
-              done;
-              close_out oc
-          | _ -> ())
-        end;
-        Array.blit saved 0 x_basic 0 m;
-        etas := saved_etas;
-        n_etas := saved_n;
-        lu := saved_lu
-      end
-    in
-    let run_phase () =
-      let outcome = ref `Run in
-      while !outcome = `Run do
-        if !iters >= max_iter then outcome := `Iter_limit
-        else begin
-          incr iters;
-          if !n_etas >= 64 then refactorize 0;
-          for k = 0 to m - 1 do
-            cb.(k) <- cost.(basis.(k))
-          done;
-          btran cb y;
-          (* pricing *)
-          let best_j = ref (-1) and best_mag = ref 0.0 and best_dir = ref 1.0 in
-          let consider j d dir =
-            let mag = Float.abs d in
-            if !bland then begin
-              if !best_j < 0 then begin
+          if !drift > 1e-6 then begin
+            (* residual of the incrementally maintained point: b - A x *)
+            let res = Array.copy rhs_s in
+            let sub j xv =
+              if xv <> 0.0 then
+                col_iter j (fun i a -> res.(i) <- res.(i) -. (a *. xv))
+            in
+            for j = 0 to ntot () - 1 do
+              if where.(j) < 0 then sub j (nbval j)
+            done;
+            for k = 0 to m - 1 do
+              sub basis.(k) saved.(k)
+            done;
+            let rmax =
+              Array.fold_left (fun a v -> max a (Float.abs v)) 0.0 res
+            in
+            Printf.eprintf
+              "LP_PARANOID: iter %d drift %g incremental-residual %g \
+               replaced %d\n\
+               %!"
+              !iters !drift rmax
+              (List.length !lu.Lu.replaced);
+            (match Sys.getenv_opt "LP_DUMP_BASIS" with
+            | Some path when not (Sys.file_exists path) ->
+                let oc = open_out path in
+                Printf.fprintf oc "%d\n" m;
+                for k = 0 to m - 1 do
+                  col_iter basis.(k) (fun i v ->
+                      Printf.fprintf oc "%d %d %.17g\n" i k v)
+                done;
+                close_out oc
+            | _ -> ())
+          end;
+          Array.blit saved 0 x_basic 0 m;
+          etas := saved_etas;
+          n_etas := saved_n;
+          lu := saved_lu
+        end
+      in
+      let run_phase () =
+        let outcome = ref `Run in
+        while !outcome = `Run do
+          if !iters >= max_iter then outcome := `Iter_limit
+          else begin
+            incr iters;
+            if !n_etas >= 64 then refactorize 0;
+            for k = 0 to m - 1 do
+              cb.(k) <- cost.(basis.(k))
+            done;
+            btran cb y;
+            (* pricing *)
+            let best_j = ref (-1)
+            and best_mag = ref 0.0
+            and best_dir = ref 1.0 in
+            let consider j d dir =
+              let mag = Float.abs d in
+              if !bland then begin
+                if !best_j < 0 then begin
+                  best_j := j;
+                  best_mag := mag;
+                  best_dir := dir
+                end
+              end
+              else if mag > !best_mag then begin
                 best_j := j;
                 best_mag := mag;
                 best_dir := dir
               end
-            end
-            else if mag > !best_mag then begin
-              best_j := j;
-              best_mag := mag;
-              best_dir := dir
-            end
-          in
-          let tprice0 = clock () in
-          let total = ntot () in
-          (* Partial pricing: scan from a rotating cursor and stop once a
-             window's worth of columns has been examined with at least
-             one candidate in hand.  Optimality is still exact: the phase
-             only ends after a full wrap finds no candidate.  Bland mode
-             scans deterministically from column 0. *)
-          let window = max 512 (total / 8) in
-          if !bland then begin
-            let j = ref 0 in
-            while !j < total && !best_j < 0 do
-              let jj = !j in
-              if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
-                let d = cost.(jj) -. col_dot jj y in
-                let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
-                match nb_at.(jj) with
-                | 'l' -> if d < -.tol then consider jj d 1.0
-                | 'u' -> if d > tol then consider jj d (-1.0)
-                | _ ->
-                    if d < -.tol then consider jj d 1.0
-                    else if d > tol then consider jj d (-1.0)
-              end;
-              incr j
-            done
-          end
-          else begin
-            let scanned = ref 0 in
-            while
-              !scanned < total && not (!best_j >= 0 && !scanned >= window)
-            do
-              let jj = (!price_cursor + !scanned) mod total in
-              if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
-                let d = cost.(jj) -. col_dot jj y in
-                let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
-                match nb_at.(jj) with
-                | 'l' -> if d < -.tol then consider jj d 1.0
-                | 'u' -> if d > tol then consider jj d (-1.0)
-                | _ ->
-                    if d < -.tol then consider jj d 1.0
-                    else if d > tol then consider jj d (-1.0)
-              end;
-              incr scanned
-            done;
-            if !best_j >= 0 then price_cursor := (!best_j + 1) mod total
-          end;
-          t_price := !t_price +. clock () -. tprice0;
-          if !best_j < 0 then outcome := `Phase_done
-          else begin
-            let je = !best_j and s = !best_dir in
-            ftran je w;
-            let tratio0 = clock () in
-            (* Two-pass Harris ratio test. *)
-            let theta_max = ref inf in
-            let t_flip =
-              if Float.is_finite lo.(je) && Float.is_finite hi.(je) then
-                hi.(je) -. lo.(je)
-              else inf
             in
-            for k = 0 to m - 1 do
-              let delta = s *. w.(k) in
-              if Float.abs delta > 1e-9 then begin
-                let b = basis.(k) in
-                if delta > 0.0 && Float.is_finite lo.(b) then begin
-                  let slack = max 0.0 (x_basic.(k) -. lo.(b)) in
-                  let r = (slack +. feas_tol) /. delta in
-                  if r < !theta_max then theta_max := r
-                end
-                else if delta < 0.0 && Float.is_finite hi.(b) then begin
-                  let slack = max 0.0 (hi.(b) -. x_basic.(k)) in
-                  let r = (slack +. feas_tol) /. -.delta in
-                  if r < !theta_max then theta_max := r
-                end
-              end
-            done;
-            if !theta_max = inf && t_flip = inf then outcome := `Unbounded
+            let tprice0 = clock () in
+            let total = ntot () in
+            (* Partial pricing: scan from a rotating cursor and stop once a
+               window's worth of columns has been examined with at least
+               one candidate in hand.  Optimality is still exact: the phase
+               only ends after a full wrap finds no candidate.  Bland mode
+               scans deterministically from column 0. *)
+            let window = max 512 (total / 8) in
+            if !bland then begin
+              let j = ref 0 in
+              while !j < total && !best_j < 0 do
+                let jj = !j in
+                if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
+                  let d = cost.(jj) -. col_dot jj y in
+                  let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
+                  match nb_at.(jj) with
+                  | 'l' -> if d < -.tol then consider jj d 1.0
+                  | 'u' -> if d > tol then consider jj d (-1.0)
+                  | _ ->
+                      if d < -.tol then consider jj d 1.0
+                      else if d > tol then consider jj d (-1.0)
+                end;
+                incr j
+              done
+            end
             else begin
-              (* pass 2: among blocking candidates within theta_max pick
-                 the largest pivot magnitude *)
-              let leave = ref (-1) and lmag = ref 0.0 and lt = ref inf in
+              let scanned = ref 0 in
+              while
+                !scanned < total && not (!best_j >= 0 && !scanned >= window)
+              do
+                let jj = (!price_cursor + !scanned) mod total in
+                if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
+                  let d = cost.(jj) -. col_dot jj y in
+                  let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
+                  match nb_at.(jj) with
+                  | 'l' -> if d < -.tol then consider jj d 1.0
+                  | 'u' -> if d > tol then consider jj d (-1.0)
+                  | _ ->
+                      if d < -.tol then consider jj d 1.0
+                      else if d > tol then consider jj d (-1.0)
+                end;
+                incr scanned
+              done;
+              if !best_j >= 0 then price_cursor := (!best_j + 1) mod total
+            end;
+            t_price := !t_price +. clock () -. tprice0;
+            if !best_j < 0 then outcome := `Phase_done
+            else begin
+              let je = !best_j and s = !best_dir in
+              ftran je w;
+              let tratio0 = clock () in
+              (* Two-pass Harris ratio test. *)
+              let theta_max = ref inf in
+              let t_flip =
+                if Float.is_finite lo.(je) && Float.is_finite hi.(je) then
+                  hi.(je) -. lo.(je)
+                else inf
+              in
               for k = 0 to m - 1 do
                 let delta = s *. w.(k) in
                 if Float.abs delta > 1e-9 then begin
                   let b = basis.(k) in
-                  let slack =
-                    if delta > 0.0 && Float.is_finite lo.(b) then
-                      Some (max 0.0 (x_basic.(k) -. lo.(b)))
-                    else if delta < 0.0 && Float.is_finite hi.(b) then
-                      Some (max 0.0 (hi.(b) -. x_basic.(k)))
-                    else None
-                  in
-                  match slack with
-                  | Some sl ->
-                      let r = sl /. Float.abs delta in
-                      if r <= !theta_max && Float.abs delta > !lmag then begin
-                        leave := k;
-                        lmag := Float.abs delta;
-                        lt := r
-                      end
-                  | None -> ()
+                  if delta > 0.0 && Float.is_finite lo.(b) then begin
+                    let slack = max 0.0 (x_basic.(k) -. lo.(b)) in
+                    let r = (slack +. feas_tol) /. delta in
+                    if r < !theta_max then theta_max := r
+                  end
+                  else if delta < 0.0 && Float.is_finite hi.(b) then begin
+                    let slack = max 0.0 (hi.(b) -. x_basic.(k)) in
+                    let r = (slack +. feas_tol) /. -.delta in
+                    if r < !theta_max then theta_max := r
+                  end
                 end
               done;
-              let t_leave = if !leave >= 0 then !lt else inf in
-              if t_flip < t_leave then begin
-                (* bound flip: no basis change *)
-                for k = 0 to m - 1 do
-                  x_basic.(k) <- x_basic.(k) -. (s *. t_flip *. w.(k))
-                done;
-                nb_at.(je) <- (if nb_at.(je) = 'l' then 'u' else 'l');
-                if paranoid then
-                  Printf.eprintf "LP_PARANOID: iter %d flip j=%d t=%g\n%!"
-                    !iters je t_flip;
-                check_invariants ();
-                if t_flip <= 1e-10 then incr degen else degen := 0
-              end
-              else if !leave < 0 then outcome := `Unbounded
+              if !theta_max = inf && t_flip = inf then outcome := `Unbounded
               else begin
-                let r = !leave in
-                let t = t_leave in
+                (* pass 2: among blocking candidates within theta_max pick
+                   the largest pivot magnitude *)
+                let leave = ref (-1) and lmag = ref 0.0 and lt = ref inf in
                 for k = 0 to m - 1 do
-                  x_basic.(k) <- x_basic.(k) -. (s *. t *. w.(k))
+                  let delta = s *. w.(k) in
+                  if Float.abs delta > 1e-9 then begin
+                    let b = basis.(k) in
+                    let slack =
+                      if delta > 0.0 && Float.is_finite lo.(b) then
+                        Some (max 0.0 (x_basic.(k) -. lo.(b)))
+                      else if delta < 0.0 && Float.is_finite hi.(b) then
+                        Some (max 0.0 (hi.(b) -. x_basic.(k)))
+                      else None
+                    in
+                    match slack with
+                    | Some sl ->
+                        let r = sl /. Float.abs delta in
+                        if r <= !theta_max && Float.abs delta > !lmag
+                        then begin
+                          leave := k;
+                          lmag := Float.abs delta;
+                          lt := r
+                        end
+                    | None -> ()
+                  end
                 done;
-                let entering_val = nbval je +. (s *. t) in
-                let leaving = basis.(r) in
-                where.(leaving) <- -1;
-                nb_at.(leaving) <- (if s *. w.(r) > 0.0 then 'l' else 'u');
-                basis.(r) <- je;
-                where.(je) <- r;
-                x_basic.(r) <- entering_val;
-                push_eta w r;
-                check_invariants ();
-                if t <= 1e-10 then incr degen else degen := 0
-              end;
-              if !degen > 200 + m then bland := true
-              else if !degen = 0 then bland := false;
-              t_ratio := !t_ratio +. clock () -. tratio0
+                let t_leave = if !leave >= 0 then !lt else inf in
+                if t_flip < t_leave then begin
+                  (* bound flip: no basis change *)
+                  for k = 0 to m - 1 do
+                    x_basic.(k) <- x_basic.(k) -. (s *. t_flip *. w.(k))
+                  done;
+                  nb_at.(je) <- (if nb_at.(je) = 'l' then 'u' else 'l');
+                  if paranoid then
+                    Printf.eprintf "LP_PARANOID: iter %d flip j=%d t=%g\n%!"
+                      !iters je t_flip;
+                  check_invariants ();
+                  if t_flip <= 1e-10 then incr degen else degen := 0
+                end
+                else if !leave < 0 then outcome := `Unbounded
+                else begin
+                  let r = !leave in
+                  let t = t_leave in
+                  for k = 0 to m - 1 do
+                    x_basic.(k) <- x_basic.(k) -. (s *. t *. w.(k))
+                  done;
+                  let entering_val = nbval je +. (s *. t) in
+                  let leaving = basis.(r) in
+                  where.(leaving) <- -1;
+                  nb_at.(leaving) <- (if s *. w.(r) > 0.0 then 'l' else 'u');
+                  basis.(r) <- je;
+                  where.(je) <- r;
+                  x_basic.(r) <- entering_val;
+                  push_eta w r;
+                  check_invariants ();
+                  if t <= 1e-10 then incr degen else degen := 0
+                end;
+                if !degen > 200 + m then bland := true
+                else if !degen = 0 then bland := false;
+                t_ratio := !t_ratio +. clock () -. tratio0
+              end
             end
           end
-        end
-      done;
-      !outcome
-    in
-    (* --- phase 1 ------------------------------------------------------ *)
-    let status = ref Optimal in
-    if !nart > 0 then begin
-      for k = 0 to !nart - 1 do
-        cost.(nv + m + k) <- 1.0
-      done;
-      (match run_phase () with
-      | `Phase_done ->
-          let infeas = ref 0.0 in
+        done;
+        !outcome
+      in
+      (* --- dual simplex (warm re-solves) -------------------------------
+         Invariant: nonbasic reduced costs are dual-feasible (repaired on
+         entry); basic variables may violate their bounds.  Each iteration
+         picks the most-violated basic variable to leave, prices the row
+         with a dual ratio test, flips boxed columns whose full flip is
+         cheaper than the remaining violation (bound-flip ratio test) and
+         pivots the blocking column in. *)
+      let run_dual () =
+        let outcome = ref `Run in
+        let bad_pivots = ref 0 in
+        let dual_cap = m + 2000 in
+        (* Row-major view for pricing: alpha = rho^T A is gathered over
+           supp(rho) only, so each iteration costs the fill of the pivot
+           row rather than a full-matrix scan.  [stamp]/[touched] give
+           O(touched) reset between iterations. *)
+        let arows = Sparse.Csc.rows p.a in
+        let alpha_acc = Array.make (nv + m) 0.0 in
+        let stamp = Array.make (nv + m) (-1) in
+        let touched = Array.make (nv + m) 0 in
+        (* Reduced costs are maintained incrementally: a pivot with dual
+           step theta only moves d_j by -theta * alpha_j, and alpha is
+           zero outside the gathered columns.  Entries for basic columns
+           are dead (the candidate scan skips them); the array is rebuilt
+           from the duals at every refactorization to bound drift. *)
+        let d = Array.make (nv + m) 0.0 in
+        let recompute_d () =
           for k = 0 to m - 1 do
-            if basis.(k) >= nv + m then infeas := !infeas +. x_basic.(k)
+            cb.(k) <- cost.(basis.(k))
           done;
-          for k = 0 to !nart - 1 do
-            let aj = nv + m + k in
-            if where.(aj) < 0 then infeas := !infeas +. nbval aj
+          btran cb y;
+          for j = 0 to nv + m - 1 do
+            d.(j) <- (if where.(j) >= 0 then 0.0 else cost.(j) -. col_dot j y)
+          done
+        in
+        recompute_d ();
+        while !outcome = `Run do
+          if !iters >= max_iter then outcome := `Iter_limit
+          else if !dual_pivots > dual_cap then begin
+            if stats_on then
+              Printf.eprintf "LP_STATS: dual cap hit (%d pivots, m=%d)\n%!"
+                !dual_pivots m;
+            outcome := `Numerical
+          end
+          else begin
+            incr iters;
+            incr dual_pivots;
+            if !n_etas >= 64 then begin
+              refactorize 0;
+              recompute_d ()
+            end;
+            (* leaving row: largest primal bound violation *)
+            let lrow = ref (-1) and viol = ref feas_tol and below = ref true in
+            for k = 0 to m - 1 do
+              let b = basis.(k) in
+              if lo.(b) -. x_basic.(k) > !viol then begin
+                lrow := k;
+                viol := lo.(b) -. x_basic.(k);
+                below := true
+              end;
+              if x_basic.(k) -. hi.(b) > !viol then begin
+                lrow := k;
+                viol := x_basic.(k) -. hi.(b);
+                below := false
+              end
+            done;
+            if !lrow < 0 then outcome := `Optimal
+            else begin
+              let r = !lrow in
+              (* sigma: direction the leaving basic must move *)
+              let sigma = if !below then 1.0 else -1.0 in
+              (* rho = row r of B^-1 *)
+              Array.fill cb 0 m 0.0;
+              cb.(r) <- 1.0;
+              btran cb rho;
+              let tprice0 = clock () in
+              (* Entering candidates: nonbasic j whose move in its feasible
+                 direction drives x_B(r) toward the violated bound, ranked
+                 by dual ratio |d_j| / |alpha_j|.  Gather alpha row-wise:
+                 only columns hit by supp(rho) can have nonzero alpha. *)
+              let ntouched = ref 0 in
+              let touch j =
+                if stamp.(j) <> !iters then begin
+                  stamp.(j) <- !iters;
+                  alpha_acc.(j) <- 0.0;
+                  touched.(!ntouched) <- j;
+                  incr ntouched
+                end
+              in
+              for i = 0 to m - 1 do
+                let ri = rho.(i) in
+                if Float.abs ri > 1e-12 then begin
+                  let js = nv + i in
+                  touch js;
+                  alpha_acc.(js) <- alpha_acc.(js) +. ri;
+                  for k = arows.Sparse.Csc.rowptr.(i)
+                      to arows.Sparse.Csc.rowptr.(i + 1) - 1
+                  do
+                    let j = arows.Sparse.Csc.colind.(k) in
+                    touch j;
+                    alpha_acc.(j) <-
+                      alpha_acc.(j) +. (ri *. arows.Sparse.Csc.rvalues.(k))
+                  done
+                end
+              done;
+              let cands = ref [] in
+              for tk = 0 to !ntouched - 1 do
+                let j = touched.(tk) in
+                if where.(j) < 0 && lo.(j) < hi.(j) then begin
+                  let alpha = alpha_acc.(j) in
+                  if Float.abs alpha > 1e-9 then begin
+                    let eligible =
+                      match nb_at.(j) with
+                      | 'l' -> sigma *. alpha < 0.0
+                      | 'u' -> sigma *. alpha > 0.0
+                      | _ -> true
+                    in
+                    if eligible then
+                      let ratio = Float.abs d.(j) /. Float.abs alpha in
+                      cands := (ratio, Float.abs alpha, j) :: !cands
+                  end
+                end
+              done;
+              t_price := !t_price +. clock () -. tprice0;
+              match !cands with
+              | [] ->
+                  (* no column can relieve the violation: the bound system
+                     is primal infeasible *)
+                  outcome := `Primal_infeasible
+              | cands0 ->
+                  let tratio0 = clock () in
+                  (* smallest dual ratio first; larger pivot, then lower
+                     column index, breaks ties — a total order, so the
+                     pick does not depend on gather order *)
+                  let sorted =
+                    List.sort
+                      (fun (r1, a1, j1) (r2, a2, j2) ->
+                        match Float.compare r1 r2 with
+                        | 0 -> (
+                            match Float.compare a2 a1 with
+                            | 0 -> compare j1 j2
+                            | c -> c)
+                        | c -> c)
+                      cands0
+                  in
+                  (* Bound-flip ratio test: a boxed candidate whose full
+                     flip removes less than the remaining violation is
+                     flipped outright (no pivot); the walk stops at the
+                     first candidate that would overshoot.  The flips only
+                     change nonbasic values, so their combined effect on
+                     x_basic is applied with a single solve
+                     (B^-1 sum_j delta_j a_j) after the walk. *)
+                  let remaining = ref !viol in
+                  let flipped = ref [] in
+                  let rec walk = function
+                    | [] -> []
+                    | [ c ] -> [ c ]
+                    | ((_, a, j) :: rest) as l ->
+                        let range = hi.(j) -. lo.(j) in
+                        if
+                          Float.is_finite range
+                          && nb_at.(j) <> 'f'
+                          && (a *. range) < !remaining -. feas_tol
+                        then begin
+                          let delta =
+                            if nb_at.(j) = 'l' then range else -.range
+                          in
+                          flipped := (j, delta) :: !flipped;
+                          nb_at.(j) <- (if nb_at.(j) = 'l' then 'u' else 'l');
+                          incr bound_flips;
+                          remaining := !remaining -. (a *. range);
+                          walk rest
+                        end
+                        else l
+                  in
+                  let tail = walk sorted in
+                  (* Harris-style second pass: the strict minimum ratio
+                     often rides a tiny |alpha|, and t = viol / alpha then
+                     throws the entering variable far past its opposite
+                     bound — the violation migrates instead of shrinking.
+                     Admit every candidate whose reduced cost would go
+                     infeasible by at most dtol at the head's ratio and
+                     enter the one with the largest pivot; the closing
+                     primal run repairs the bounded slack. *)
+                  let je =
+                    match tail with
+                    | [] -> assert false
+                    | (r_e, a_e, j_e) :: rest ->
+                        let dtol = 1e-7 in
+                        let best_a = ref a_e and best_j = ref j_e in
+                        List.iter
+                          (fun (rt, a, j) ->
+                            if a > !best_a && (rt *. a) -. (r_e *. a) <= dtol
+                            then begin
+                              best_a := a;
+                              best_j := j
+                            end)
+                          rest;
+                        !best_j
+                  in
+                  (match !flipped with
+                  | [] -> ()
+                  | flips ->
+                      Array.fill bwork 0 m 0.0;
+                      List.iter
+                        (fun (j, delta) ->
+                          col_iter j (fun i v ->
+                              bwork.(i) <- bwork.(i) +. (delta *. v)))
+                        flips;
+                      Lu.solve !lu ~b:bwork ~x:w ~scratch;
+                      List.iter
+                        (fun e ->
+                          let t = w.(e.er) in
+                          if t <> 0.0 then begin
+                            w.(e.er) <- e.edia *. t;
+                            for k = 0 to Array.length e.eidx - 1 do
+                              w.(e.eidx.(k)) <-
+                                w.(e.eidx.(k)) +. (e.evals.(k) *. t)
+                            done
+                          end)
+                        (List.rev !etas);
+                      for k = 0 to m - 1 do
+                        x_basic.(k) <- x_basic.(k) -. w.(k)
+                      done);
+                  ftran je w;
+                  if Float.abs w.(r) < 1e-8 then begin
+                    (* numerically unusable pivot: rebuild the
+                       factorization once and retry the iteration *)
+                    incr bad_pivots;
+                    refactorize 0;
+                    recompute_d ();
+                    if !bad_pivots > 3 then begin
+                      if stats_on then
+                        Printf.eprintf
+                          "LP_STATS: dual bad pivots (r=%d w_r=%g)\n%!" r
+                          w.(r);
+                      outcome := `Numerical
+                    end
+                  end
+                  else begin
+                    bad_pivots := 0;
+                    let b = basis.(r) in
+                    let bound = if !below then lo.(b) else hi.(b) in
+                    let t = (x_basic.(r) -. bound) /. w.(r) in
+                    for k = 0 to m - 1 do
+                      x_basic.(k) <- x_basic.(k) -. (t *. w.(k))
+                    done;
+                    (* dual step: d_j -= theta * alpha_j, nonzero only on
+                       the gathered columns; the leaving column's alpha is
+                       exactly 1 (it is row r's basic), so its new
+                       reduced cost is -theta *)
+                    let theta = d.(je) /. w.(r) in
+                    for tk = 0 to !ntouched - 1 do
+                      let j = touched.(tk) in
+                      d.(j) <- d.(j) -. (theta *. alpha_acc.(j))
+                    done;
+                    d.(je) <- 0.0;
+                    d.(b) <- -.theta;
+                    let entering_val = nbval je +. t in
+                    where.(b) <- -1;
+                    nb_at.(b) <- (if !below then 'l' else 'u');
+                    basis.(r) <- je;
+                    where.(je) <- r;
+                    x_basic.(r) <- entering_val;
+                    push_eta w r;
+                    check_invariants ()
+                  end;
+                  t_ratio := !t_ratio +. clock () -. tratio0
+            end
+          end
+        done;
+        !outcome
+      in
+      (* --- phases ------------------------------------------------------- *)
+      let status = ref Optimal in
+      (match warm_opt with
+      | None ->
+          (* phase 1 *)
+          if !nart > 0 then begin
+            for k = 0 to !nart - 1 do
+              cost.(nv + m + k) <- 1.0
+            done;
+            (match run_phase () with
+            | `Phase_done ->
+                let infeas = ref 0.0 in
+                for k = 0 to m - 1 do
+                  if basis.(k) >= nv + m then infeas := !infeas +. x_basic.(k)
+                done;
+                for k = 0 to !nart - 1 do
+                  let aj = nv + m + k in
+                  if where.(aj) < 0 then infeas := !infeas +. nbval aj
+                done;
+                if !infeas > 1e-6 then status := Infeasible
+            | `Unbounded ->
+                failwith "Revised: phase 1 unbounded (internal error)"
+            | `Iter_limit -> status := Iter_limit
+            | `Run -> assert false);
+            (* Fix artificials at zero for phase 2. *)
+            for k = 0 to !nart - 1 do
+              let aj = nv + m + k in
+              cost.(aj) <- 0.0;
+              hi.(aj) <- 0.0;
+              if where.(aj) < 0 then nb_at.(aj) <- 'l'
+            done
+          end;
+          (* phase 2 *)
+          if !status = Optimal then begin
+            Array.blit p.obj 0 cost 0 nv;
+            bland := false;
+            degen := 0;
+            match run_phase () with
+            | `Phase_done -> ()
+            | `Unbounded -> status := Unbounded
+            | `Iter_limit -> status := Iter_limit
+            | `Run -> assert false
+          end
+      | Some _ ->
+          Array.blit p.obj 0 cost 0 nv;
+          (* Dual-feasibility repair: a boxed nonbasic sitting at the wrong
+             bound for its reduced-cost sign is flipped to the other bound;
+             a non-boxed one with the wrong sign cannot be repaired without
+             pivoting, so fall back to the cold path. *)
+          for k = 0 to m - 1 do
+            cb.(k) <- cost.(basis.(k))
           done;
-          if !infeas > 1e-6 then status := Infeasible
-      | `Unbounded -> failwith "Revised: phase 1 unbounded (internal error)"
-      | `Iter_limit -> status := Iter_limit
-      | `Run -> assert false);
-      (* Fix artificials at zero for phase 2. *)
-      for k = 0 to !nart - 1 do
-        let aj = nv + m + k in
-        cost.(aj) <- 0.0;
-        hi.(aj) <- 0.0;
-        if where.(aj) < 0 then nb_at.(aj) <- 'l'
-      done
-    end;
-    (* --- phase 2 ------------------------------------------------------ *)
-    if !status = Optimal then begin
-      Array.blit p.obj 0 cost 0 nv;
-      bland := false;
-      degen := 0;
-      (match run_phase () with
-      | `Phase_done -> ()
-      | `Unbounded -> status := Unbounded
-      | `Iter_limit -> status := Iter_limit
-      | `Run -> assert false)
-    end;
-    (* --- extraction --------------------------------------------------- *)
-    if stats_on then
-      Printf.eprintf
-        "LP_STATS: iters=%d factor=%.2fs (%d, avg nnz %d) ftran=%.2fs \
-         btran=%.2fs price=%.2fs ratio+update=%.2fs etas_max=%d\n%!"
-        !iters !t_factor !n_factor
-        (if !n_factor > 0 then !lu_nnz_total / !n_factor else 0)
-        !t_ftran !t_btran !t_price !t_ratio 64;
-    let x = Array.make nv 0.0 in
-    for j = 0 to nv - 1 do
-      if where.(j) >= 0 then x.(j) <- x_basic.(where.(j)) else x.(j) <- nbval j
-    done;
-    for k = 0 to m - 1 do
-      cb.(k) <- cost.(basis.(k))
-    done;
-    btran cb y;
-    let dj = Array.init nv (fun j -> p.obj.(j) -. col_dot j y) in
-    {
-      status = !status;
-      objective = Model.objective_value p x;
-      x;
-      y = Array.copy y;
-      dj;
-      iterations = !iters;
-    }
+          btran cb y;
+          for j = 0 to nv + m - 1 do
+            if where.(j) < 0 && lo.(j) < hi.(j) then begin
+              let d = cost.(j) -. col_dot j y in
+              let tol = opt_tol *. (1.0 +. Float.abs cost.(j)) in
+              match nb_at.(j) with
+              | 'l' when d < -.tol ->
+                  if Float.is_finite hi.(j) then nb_at.(j) <- 'u'
+                  else begin
+                    if stats_on then
+                      Printf.eprintf "LP_STATS: fallback repair j=%d at=l d=%g\n%!" j d;
+                    raise Warm_fallback
+                  end
+              | 'u' when d > tol ->
+                  if Float.is_finite lo.(j) then nb_at.(j) <- 'l'
+                  else begin
+                    if stats_on then
+                      Printf.eprintf "LP_STATS: fallback repair j=%d at=u d=%g\n%!" j d;
+                    raise Warm_fallback
+                  end
+              | 'f' when Float.abs d > tol ->
+                  if stats_on then
+                    Printf.eprintf "LP_STATS: fallback repair j=%d at=f d=%g\n%!" j d;
+                  raise Warm_fallback
+              | _ -> ()
+            end
+          done;
+          recompute_x_basic ();
+          let primal_viol () =
+            let v = ref 0.0 in
+            for k = 0 to m - 1 do
+              let b = basis.(k) in
+              if lo.(b) -. x_basic.(k) > !v then v := lo.(b) -. x_basic.(k);
+              if x_basic.(k) -. hi.(b) > !v then v := x_basic.(k) -. hi.(b)
+            done;
+            !v
+          in
+          let finish_primal () =
+            (* The dual loop (or the repair alone) reached a primal-feasible
+               point; a primal phase-2 run from here certifies optimality
+               and cleans up any tolerance-level dual infeasibility left by
+               the status repair. *)
+            bland := false;
+            degen := 0;
+            match run_phase () with
+            | `Phase_done -> ()
+            | `Unbounded -> status := Unbounded
+            | `Iter_limit -> status := Iter_limit
+            | `Run -> assert false
+          in
+          if primal_viol () <= feas_tol then finish_primal ()
+          else begin
+            (* Dual-degenerate warm bases — many nonbasic reduced costs
+               exactly zero, typical when the previous cap left the power
+               rows slack — stall the dual objective (theta_d = 0 steps)
+               and can cycle.  A deterministic dual-feasible cost
+               perturbation gives distinct, strictly positive ratios; the
+               closing primal run restores the exact costs, so the
+               perturbation never reaches the reported solution. *)
+            for j = 0 to nv + m - 1 do
+              if where.(j) < 0 && lo.(j) < hi.(j) then begin
+                let eps =
+                  1e-7
+                  *. (1.0 +. Float.abs cost.(j))
+                  *. (1.0 +. (Float.of_int (j mod 97) /. 97.0))
+                in
+                match nb_at.(j) with
+                | 'l' -> cost.(j) <- cost.(j) +. eps
+                | 'u' -> cost.(j) <- cost.(j) -. eps
+                | _ -> ()
+              end
+            done;
+            let dual_res = run_dual () in
+            Array.blit p.obj 0 cost 0 nv;
+            Array.fill cost nv (Array.length cost - nv) 0.0;
+            match dual_res with
+            | `Optimal -> finish_primal ()
+            | `Primal_infeasible -> status := Infeasible
+            | `Iter_limit -> status := Iter_limit
+            | `Numerical ->
+                if stats_on then
+                  Printf.eprintf "LP_STATS: fallback dual numerical\n%!";
+                raise Warm_fallback
+            | `Run -> assert false
+          end);
+      (* --- extraction --------------------------------------------------- *)
+      (* The reported solution must depend only on the final basis, never
+         on the pivot path that reached it: a warm re-solve ending at the
+         same basis as a cold solve has to agree to the last bit.  Sort
+         the basis into canonical (column-index) order, drop the eta file
+         by refactorizing, and recompute the primal point from the fresh
+         factors. *)
+      if !status = Optimal then begin
+        Array.sort compare basis;
+        for k = 0 to m - 1 do
+          where.(basis.(k)) <- k
+        done;
+        refactorize 0
+      end;
+      if stats_on then
+        Printf.eprintf
+          "LP_STATS: iters=%d factor=%.2fs (%d, avg nnz %d) ftran=%.2fs \
+           btran=%.2fs price=%.2fs ratio+update=%.2fs etas_max=%d\n\
+           %!"
+          !iters !t_factor !n_factor
+          (if !n_factor > 0 then !lu_nnz_total / !n_factor else 0)
+          !t_ftran !t_btran !t_price !t_ratio 64;
+      let x = Array.make nv 0.0 in
+      for j = 0 to nv - 1 do
+        if where.(j) >= 0 then x.(j) <- x_basic.(where.(j)) else x.(j) <- nbval j
+      done;
+      for k = 0 to m - 1 do
+        cb.(k) <- cost.(basis.(k))
+      done;
+      btran cb y;
+      let dj = Array.init nv (fun j -> p.obj.(j) -. col_dot j y) in
+      let basis_out =
+        (* A clean basis mentions only structural and slack columns.  An
+           artificial still basic (necessarily at zero after a feasible
+           phase 1) is stood in for by its row's slack when that slack is
+           nonbasic; otherwise no reusable basis is reported. *)
+        let ok = ref true in
+        let bas = Array.make m 0 in
+        for k = 0 to m - 1 do
+          let j = basis.(k) in
+          if j < nv + m then bas.(k) <- j
+          else begin
+            let s = nv + art_row.(j - nv - m) in
+            if where.(s) < 0 then bas.(k) <- s else ok := false
+          end
+        done;
+        if not !ok then None
+        else begin
+          let vstat = Array.make (nv + m) 'l' in
+          for j = 0 to nv + m - 1 do
+            vstat.(j) <- (if where.(j) >= 0 then 'b' else nb_at.(j))
+          done;
+          Array.iter (fun j -> vstat.(j) <- 'b') bas;
+          Some { basic = bas; vstat }
+        end
+      in
+      Stats.note_solve
+        ~warm:(warm_opt <> None)
+        ~iterations:!iters ~dual:!dual_pivots ~flips:!bound_flips
+        ~factors:!n_factor
+        ~wall:(Unix.gettimeofday () -. t_solve0);
+      {
+        status = !status;
+        objective = Model.objective_value p x;
+        x;
+        y = Array.copy y;
+        dj;
+        iterations = !iters;
+        basis = basis_out;
+      }
+    in
+    match warm with
+    | None -> attempt None
+    | Some wb -> (
+        try attempt (Some wb)
+        with
+        | Warm_fallback ->
+            Stats.note_fallback ();
+            attempt None
+        | Failure msg ->
+            if Sys.getenv_opt "LP_STATS" <> None then
+              Printf.eprintf "LP_STATS: fallback failure %s\n%!" msg;
+            Stats.note_fallback ();
+            attempt None)
   end

@@ -7,14 +7,32 @@
     Infeasible starting points are repaired by a phase-1 objective over
     artificial variables.
 
+    Re-solves of the same problem with different bounds or RHS can be
+    warm-started: pass a previous result's {!type:basis} as [?warm] and
+    the solver repairs it against the new bounds and runs a dual simplex
+    (largest-violation leaving row, dual ratio test with bound flips)
+    instead of the cold phase-1/2 path.  Any irreparable warm state falls
+    back to a cold solve, so warm calls are never less robust.
+
     Environment knobs: [LP_PARANOID] enables expensive per-pivot
     invariant checks (each pivot verified against a fresh factorization);
     [LP_DUMP_BASIS=<path>] dumps the first offending basis;
-    [LP_STATS] prints a per-solve phase-time breakdown to stderr. *)
+    [LP_STATS] prints a per-solve phase-time breakdown to stderr.
+    Aggregate counters (cold/warm solves, primal/dual pivots, wall time)
+    are accumulated in {!Stats}. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
 val pp_status : Format.formatter -> status -> unit
+
+type basis = {
+  basic : int array;
+      (** column of each basis position, length [nr]; structural columns
+          are [0..nv-1], slacks [nv..nv+nr-1] *)
+  vstat : char array;
+      (** per-column status, length [nv+nr]: ['b'] basic, ['l']/['u'] at
+          lower/upper bound, ['f'] free at zero *)
+}
 
 type result = {
   status : status;
@@ -23,6 +41,10 @@ type result = {
   y : float array;  (** row duals, length [nr] *)
   dj : float array;  (** structural reduced costs, length [nv] *)
   iterations : int;
+  basis : basis option;
+      (** final simplex basis, reusable as [?warm] on a re-solve of the
+          same problem shape; [None] when no clean slack/structural basis
+          exists (e.g. constraint-free models) *)
 }
 
 val solve :
@@ -31,8 +53,14 @@ val solve :
   ?opt_tol:float ->
   ?lb:float array ->
   ?ub:float array ->
+  ?rhs:float array ->
+  ?warm:basis ->
   Model.problem ->
   result
-(** [solve p] minimizes [p].  [lb]/[ub] override the structural bounds
-    without rebuilding the problem (used by branch and bound).
-    [max_iter <= 0] selects a size-dependent default. *)
+(** [solve p] minimizes [p].  [lb]/[ub]/[rhs] override the structural
+    bounds / row RHS without rebuilding the problem (used by branch and
+    bound and by power-cap re-solves).  [warm] supplies a starting basis
+    from a previous solve of the same problem shape ([nv]/[nr]
+    unchanged); it is repaired against the current bounds and re-solved
+    with the dual simplex, falling back to a cold solve when repair is
+    impossible.  [max_iter <= 0] selects a size-dependent default. *)

@@ -152,6 +152,49 @@ module Csc = struct
     done;
     !s
 
+  (** [dot_col2 t j y z] computes the inner products of column [j] with
+      two dense vectors in a single traversal of the column — the dual
+      simplex prices every nonbasic column against both the pivot row
+      [rho] and the duals [y], and one pass halves the index/value
+      traffic on that hot loop. *)
+  let dot_col2 t j (y : float array) (z : float array) =
+    let s = ref 0.0 and u = ref 0.0 in
+    for k = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      let i = t.rowind.(k) and v = t.values.(k) in
+      s := !s +. (v *. y.(i));
+      u := !u +. (v *. z.(i))
+    done;
+    (!s, !u)
+
+  type rows = { rowptr : int array; colind : int array; rvalues : float array }
+
+  (** Row-major (CSR) view of the same matrix.  The dual simplex prices
+      the pivot row [rho^T B^-1 A] by gathering only the rows in
+      [supp rho], which needs row-wise access; columns within each row
+      come out in increasing order. *)
+  let rows t =
+    let nr = t.nrows in
+    let nnz = Array.length t.rowind in
+    let rowptr = Array.make (nr + 1) 0 in
+    for k = 0 to nnz - 1 do
+      rowptr.(t.rowind.(k) + 1) <- rowptr.(t.rowind.(k) + 1) + 1
+    done;
+    for i = 0 to nr - 1 do
+      rowptr.(i + 1) <- rowptr.(i + 1) + rowptr.(i)
+    done;
+    let fill = Array.copy rowptr in
+    let colind = Array.make nnz 0 and rvalues = Array.make nnz 0.0 in
+    for j = 0 to t.ncols - 1 do
+      for k = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+        let i = t.rowind.(k) in
+        let at = fill.(i) in
+        colind.(at) <- j;
+        rvalues.(at) <- t.values.(k);
+        fill.(i) <- at + 1
+      done
+    done;
+    { rowptr; colind; rvalues }
+
   (** [mult t x y] accumulates [A x] into [y] ([y] must be zeroed by the
       caller if a plain product is wanted). *)
   let mult t (x : float array) (y : float array) =

@@ -46,6 +46,19 @@ module Csc : sig
   val dot_col : t -> int -> float array -> float
   (** Inner product of a column with a dense vector. *)
 
+  val dot_col2 : t -> int -> float array -> float array -> float * float
+  (** [dot_col2 t j y z] is [(dot_col t j y, dot_col t j z)] in a single
+      traversal of the column (dual-simplex pricing hot path). *)
+
+  type rows = { rowptr : int array; colind : int array; rvalues : float array }
+
+  val rows : t -> rows
+  (** Row-major (CSR) view of the matrix: [rowptr] has length
+      [nrows + 1], and row [i]'s entries are [colind]/[rvalues] slices
+      [rowptr.(i) .. rowptr.(i+1) - 1] in increasing column order.  Used
+      by the dual simplex to price the pivot row against only the rows in
+      the support of [rho]. *)
+
   val mult : t -> float array -> float array -> unit
   (** [mult t x y] accumulates [A x] into [y] ([y] is not cleared). *)
 

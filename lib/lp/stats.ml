@@ -1,0 +1,81 @@
+(** Process-wide solver counters (atomic, shared across pool domains).
+
+    {!Revised.solve} reports every solve here: cold vs warm start, the
+    primal/dual pivot split, bound flips, basis factorizations and wall
+    time.  The benchmark harness snapshots the counters around each
+    experiment, and [warmbench] uses them to quantify what warm starts
+    save.  Counters are process-global: reset before the region you want
+    to measure. *)
+
+type snapshot = {
+  solves : int;
+  cold_solves : int;
+  warm_solves : int;  (** solves that ran from a caller-supplied basis *)
+  warm_fallbacks : int;
+      (** warm attempts abandoned for a cold phase-1/2 restart *)
+  pivots : int;  (** total simplex iterations, primal + dual *)
+  primal_pivots : int;
+  dual_pivots : int;
+  bound_flips : int;  (** dual-ratio-test flips (no basis change) *)
+  factorizations : int;
+  wall_s : float;  (** summed wall time inside {!Revised.solve} *)
+}
+
+let solves = Atomic.make 0
+let warm_solves = Atomic.make 0
+let warm_fallbacks = Atomic.make 0
+let pivots = Atomic.make 0
+let dual_pivots = Atomic.make 0
+let bound_flips = Atomic.make 0
+let factorizations = Atomic.make 0
+let wall_ns = Atomic.make 0
+
+let reset () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      solves;
+      warm_solves;
+      warm_fallbacks;
+      pivots;
+      dual_pivots;
+      bound_flips;
+      factorizations;
+      wall_ns;
+    ]
+
+let note_fallback () = ignore (Atomic.fetch_and_add warm_fallbacks 1)
+
+let note_solve ~warm ~iterations ~dual ~flips ~factors ~wall =
+  ignore (Atomic.fetch_and_add solves 1);
+  if warm then ignore (Atomic.fetch_and_add warm_solves 1);
+  ignore (Atomic.fetch_and_add pivots iterations);
+  ignore (Atomic.fetch_and_add dual_pivots dual);
+  ignore (Atomic.fetch_and_add bound_flips flips);
+  ignore (Atomic.fetch_and_add factorizations factors);
+  ignore (Atomic.fetch_and_add wall_ns (int_of_float (wall *. 1e9)))
+
+let snapshot () =
+  let solves = Atomic.get solves
+  and warm_solves = Atomic.get warm_solves
+  and pivots = Atomic.get pivots
+  and dual_pivots = Atomic.get dual_pivots in
+  {
+    solves;
+    cold_solves = solves - warm_solves;
+    warm_solves;
+    warm_fallbacks = Atomic.get warm_fallbacks;
+    pivots;
+    primal_pivots = pivots - dual_pivots;
+    dual_pivots;
+    bound_flips = Atomic.get bound_flips;
+    factorizations = Atomic.get factorizations;
+    wall_s = Float.of_int (Atomic.get wall_ns) *. 1e-9;
+  }
+
+let pp ppf (s : snapshot) =
+  Fmt.pf ppf
+    "%d solves (%d cold, %d warm, %d fallbacks), %d pivots (%d primal, %d \
+     dual, %d flips), %d factorizations, %.3f s"
+    s.solves s.cold_solves s.warm_solves s.warm_fallbacks s.pivots
+    s.primal_pivots s.dual_pivots s.bound_flips s.factorizations s.wall_s

@@ -1,0 +1,37 @@
+(** Process-wide solver counters (atomic, shared across pool domains).
+
+    {!Revised.solve} reports every solve: cold vs warm start, the
+    primal/dual pivot split, bound flips, basis factorizations and wall
+    time.  Reset before the region you want to measure, snapshot after;
+    [warmbench] and the benchmark harness are the main consumers. *)
+
+type snapshot = {
+  solves : int;
+  cold_solves : int;
+  warm_solves : int;  (** solves that ran from a caller-supplied basis *)
+  warm_fallbacks : int;
+      (** warm attempts abandoned for a cold phase-1/2 restart *)
+  pivots : int;  (** total simplex iterations, primal + dual *)
+  primal_pivots : int;
+  dual_pivots : int;
+  bound_flips : int;  (** dual-ratio-test flips (no basis change) *)
+  factorizations : int;
+  wall_s : float;  (** summed wall time inside {!Revised.solve} *)
+}
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+val pp : Format.formatter -> snapshot -> unit
+
+(** {2 Internal increment API (used by {!Revised})} *)
+
+val note_fallback : unit -> unit
+
+val note_solve :
+  warm:bool ->
+  iterations:int ->
+  dual:int ->
+  flips:int ->
+  factors:int ->
+  wall:float ->
+  unit

@@ -204,6 +204,27 @@ let test_solve_refined_sound () =
         (Float.abs v.Core.Replay.gap_pct < 1.0)
   | _ -> Alcotest.fail "both solves should succeed"
 
+let test_solve_refined_flag_plumbing () =
+  (* reduce_slack/presolve must reach the inner rounds, not just round 0:
+     with both off, refinement still never worsens the equally-configured
+     direct solve and stays realizable *)
+  let sc = comd_sc () in
+  let cap = 140.0 in
+  match
+    ( Core.Event_lp.solve ~reduce_slack:false ~presolve:false sc
+        ~power_cap:cap,
+      Core.Event_lp.solve_refined ~rounds:3 ~reduce_slack:false
+        ~presolve:false sc ~power_cap:cap )
+  with
+  | Core.Event_lp.Schedule base, Core.Event_lp.Schedule refined ->
+      Alcotest.(check bool) "refined <= base" true
+        (refined.Core.Event_lp.objective
+        <= base.Core.Event_lp.objective +. 1e-9);
+      let v = Core.Replay.validate sc refined ~power_cap:cap in
+      Alcotest.(check bool) "refined replay within cap" true
+        v.Core.Replay.within_cap
+  | _ -> Alcotest.fail "both solves should succeed"
+
 (* ------------------------------------------------------------------ *)
 (* Flow ILP                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -329,6 +350,8 @@ let suite =
         Alcotest.test_case "duals vanish uncapped" `Quick test_power_duals_vanish_uncapped;
         Alcotest.test_case "mps export" `Quick test_to_mps_roundtrip;
         Alcotest.test_case "refined sound" `Quick test_solve_refined_sound;
+        Alcotest.test_case "refined flag plumbing" `Quick
+          test_solve_refined_flag_plumbing;
       ] );
     ( "core.flow_ilp",
       [

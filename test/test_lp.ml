@@ -634,25 +634,31 @@ let test_milp_infeasible () =
   let r = Lp.Milp.solve p in
   Alcotest.(check bool) "infeasible" true (r.Lp.Milp.status = Lp.Milp.Infeasible)
 
+(* Random small binary knapsack; returns the compiled problem together
+   with the raw data so properties can brute-force it. *)
+let random_binary_knapsack rng =
+  let nv = 2 + QCheck.Gen.int_bound 3 rng in
+  let m = Lp.Model.create () in
+  let obj = Array.init nv (fun _ -> QCheck.Gen.float_range (-5.0) 5.0 rng) in
+  let vars =
+    Array.init nv (fun j ->
+        Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:obj.(j)
+          (Printf.sprintf "b%d" j))
+  in
+  let coefs = Array.init nv (fun _ -> QCheck.Gen.float_range 0.0 4.0 rng) in
+  let cap = QCheck.Gen.float_range 1.0 8.0 rng in
+  Lp.Model.add_constr m
+    (Array.to_list (Array.mapi (fun j v -> (coefs.(j), v)) vars))
+    Lp.Model.Le cap;
+  (Lp.Model.compile m, obj, coefs, cap)
+
 let prop_milp_vs_bruteforce =
   (* random small binary problems: compare with exhaustive enumeration *)
   QCheck.Test.make ~count:100 ~name:"milp matches brute force on binaries"
     QCheck.(make (fun rng -> rng))
     (fun rng ->
-      let nv = 2 + QCheck.Gen.int_bound 3 rng in
-      let m = Lp.Model.create () in
-      let obj = Array.init nv (fun _ -> QCheck.Gen.float_range (-5.0) 5.0 rng) in
-      let vars =
-        Array.init nv (fun j ->
-            Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:obj.(j)
-              (Printf.sprintf "b%d" j))
-      in
-      let coefs = Array.init nv (fun _ -> QCheck.Gen.float_range 0.0 4.0 rng) in
-      let cap = QCheck.Gen.float_range 1.0 8.0 rng in
-      Lp.Model.add_constr m
-        (Array.to_list (Array.mapi (fun j v -> (coefs.(j), v)) vars))
-        Lp.Model.Le cap;
-      let p = Lp.Model.compile m in
+      let p, obj, coefs, cap = random_binary_knapsack rng in
+      let nv = p.Lp.Model.nv in
       let r = Lp.Milp.solve p in
       (* brute force *)
       let best = ref Float.infinity in
@@ -674,6 +680,186 @@ let prop_milp_vs_bruteforce =
           else true
       | _ -> QCheck.Test.fail_report "milp not optimal on feasible instance")
 
+let prop_milp_warm_equals_cold =
+  (* parent-basis warm starts are a pure performance device: the search
+     must reach the same status and objective as cold node solves *)
+  QCheck.Test.make ~count:100 ~name:"warm-started b&b matches cold b&b"
+    QCheck.(make (fun rng -> rng))
+    (fun rng ->
+      let p, _, _, _ = random_binary_knapsack rng in
+      let rw = Lp.Milp.solve ~warm:true p in
+      let rc = Lp.Milp.solve ~warm:false p in
+      if rw.Lp.Milp.status <> rc.Lp.Milp.status then
+        QCheck.Test.fail_report "warm and cold b&b status differ"
+      else
+        match rw.Lp.Milp.status with
+        | Lp.Milp.Optimal ->
+            if
+              Float.abs (rw.Lp.Milp.objective -. rc.Lp.Milp.objective)
+              > 1e-9 *. (1.0 +. Float.abs rc.Lp.Milp.objective)
+            then
+              QCheck.Test.fail_reportf "objectives differ: warm %.12g cold %.12g"
+                rw.Lp.Milp.objective rc.Lp.Milp.objective
+            else true
+        | _ -> true)
+
+(* A crafted limit-probing instance (solved with [int_tol = 0.3]).  x and
+   y sit on the segment x + y <= 1.5, u is near-integral at 0.25 — so
+   snapping an "integral" node lifts its objective 0.3 above its bound,
+   keeping strictly-better-bound subtrees alive after the first incumbent
+   — and the w-chain under x spawns those subtrees one at a time.  The
+   integer optimum is (x, y) = (0, 1): objective -2.  With [chain = n],
+   n ballast variables t_i are added with rows t_1 >= w2 - 0.5,
+   t_{i+1} >= t_i and t_n <= 0.4: feasible (all zero) while w2 <= 0.5,
+   but the branch that forces w2 = 1 is infeasible in a way phase-1 only
+   discovers after walking the whole chain — a child LP needing ~n
+   iterations where the root needs ~8. *)
+let milp_limits_model ?(chain = 0) () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-2.0) "y" in
+  let u = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-1.2) "u" in
+  let w1 = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-0.4) "w1" in
+  let w2 = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-0.2) "w2" in
+  let w3 = Lp.Model.add_var m ~ub:1.0 ~integer:true ~obj:(-1.8) "w3" in
+  Lp.Model.add_constr m [ (1.0, x); (1.0, y) ] Lp.Model.Le 1.5;
+  Lp.Model.add_constr m [ (1.0, u) ] Lp.Model.Le 0.25;
+  List.iter
+    (fun w ->
+      Lp.Model.add_constr m [ (1.0, w) ] Lp.Model.Le 0.45;
+      Lp.Model.add_constr m [ (1.0, w); (-1.0, x) ] Lp.Model.Le 0.0)
+    [ w1; w2; w3 ];
+  if chain > 0 then begin
+    let t =
+      Array.init chain (fun i ->
+          Lp.Model.add_var m ~lb:0.0 ~ub:1.0 ~obj:0.0
+            (Printf.sprintf "t%d" i))
+    in
+    Lp.Model.add_constr m [ (1.0, t.(0)); (-1.0, w2) ] Lp.Model.Ge (-0.5);
+    for i = 0 to chain - 2 do
+      Lp.Model.add_constr m [ (1.0, t.(i + 1)); (-1.0, t.(i)) ] Lp.Model.Ge 0.0
+    done;
+    Lp.Model.add_constr m [ (1.0, t.(chain - 1)) ] Lp.Model.Le 0.4
+  end;
+  Lp.Model.compile m
+
+(* Regression: hitting [max_nodes] must report [Node_limit], never
+   [Optimal] — the incumbent, when one exists, is not proven optimal. *)
+let test_milp_node_limit_with_incumbent () =
+  let p = milp_limits_model () in
+  let full = Lp.Milp.solve ~int_tol:0.3 p in
+  Alcotest.(check bool) "full search optimal" true
+    (full.Lp.Milp.status = Lp.Milp.Optimal);
+  check_float "full objective" (-2.0) full.Lp.Milp.objective;
+  let r1 = Lp.Milp.solve ~int_tol:0.3 ~max_nodes:1 p in
+  Alcotest.(check bool) "tiny budget is inconclusive" true
+    (r1.Lp.Milp.status = Lp.Milp.Node_limit);
+  (* probe node budgets upward: at some budget the search holds an
+     incumbent when the limit fires, and must still say Node_limit *)
+  let found = ref false in
+  for k = 1 to full.Lp.Milp.nodes do
+    if not !found then begin
+      let r = Lp.Milp.solve ~int_tol:0.3 ~max_nodes:k p in
+      if
+        r.Lp.Milp.status = Lp.Milp.Node_limit
+        && not (Float.is_nan r.Lp.Milp.objective)
+      then begin
+        found := true;
+        (* the incumbent itself is reported alongside the honest status *)
+        check_float "incumbent objective" (-2.0) r.Lp.Milp.objective
+      end
+    end
+  done;
+  Alcotest.(check bool) "some budget stops holding an incumbent" true !found
+
+(* Regression: a child LP stopping on its iteration limit silently prunes
+   that subtree, so the search is inconclusive — [Node_limit], even
+   though an incumbent exists by then. *)
+let test_milp_child_iter_limit () =
+  let p = milp_limits_model ~chain:30 () in
+  let root = Lp.Revised.solve p in
+  (* above every feasible node's needs, well below the ballast chain *)
+  let lim = root.Lp.Revised.iterations + 10 in
+  Alcotest.(check bool) "limit sits inside the designed window" true
+    (lim > root.Lp.Revised.iterations && lim < 30);
+  let r = Lp.Milp.solve ~int_tol:0.3 ~warm:false ~lp_max_iter:lim p in
+  Alcotest.(check bool) "child Iter_limit propagates as Node_limit" true
+    (r.Lp.Milp.status = Lp.Milp.Node_limit);
+  check_float "incumbent objective still reported" (-2.0) r.Lp.Milp.objective;
+  (* the ballast is inert in a full solve *)
+  let full = Lp.Milp.solve ~int_tol:0.3 p in
+  Alcotest.(check bool) "full search optimal" true
+    (full.Lp.Milp.status = Lp.Milp.Optimal);
+  check_float "full objective" (-2.0) full.Lp.Milp.objective
+
+(* ------------------------------------------------------------------ *)
+(* Warm starts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_rhs_resolve () =
+  (* re-solve model_basic with tightened RHS from the previous basis:
+     max x + 2y st x + y <= 5, y <= 2.5, x <= 4 -> (2.5, 2.5), obj -7.5 *)
+  let p = model_basic () in
+  let r0 = Lp.Revised.solve p in
+  let b =
+    match r0.Lp.Revised.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "no basis returned"
+  in
+  let rhs = [| 5.0; 2.5 |] in
+  let cold = Lp.Revised.solve ~rhs p in
+  let warm = Lp.Revised.solve ~rhs ~warm:b p in
+  Alcotest.(check bool) "warm optimal" true
+    (warm.Lp.Revised.status = Lp.Revised.Optimal);
+  check_float "matches cold" cold.Lp.Revised.objective warm.Lp.Revised.objective;
+  check_float "objective" (-7.5) warm.Lp.Revised.objective
+
+let prop_warm_resolve =
+  (* the tentpole property: solving a perturbed instance from the
+     previous optimal basis agrees with a cold solve of that instance in
+     status and (to 1e-6) objective *)
+  QCheck.Test.make ~count:300
+    ~name:"warm re-solve after rhs/bound perturbation matches cold"
+    QCheck.(make (fun rng -> rng))
+    (fun rng ->
+      let p = random_feasible_model rng in
+      let r0 = Lp.Revised.solve p in
+      match (r0.Lp.Revised.status, r0.Lp.Revised.basis) with
+      | Lp.Revised.Optimal, Some b ->
+          let rhs =
+            Array.map
+              (fun v -> v +. QCheck.Gen.float_range (-0.5) 0.5 rng)
+              p.Lp.Model.row_rhs
+          in
+          let ub =
+            Array.mapi
+              (fun j u ->
+                if Float.is_finite u then
+                  Float.max p.Lp.Model.lb.(j)
+                    (u +. QCheck.Gen.float_range (-0.3) 0.5 rng)
+                else u)
+              p.Lp.Model.ub
+          in
+          let cold = Lp.Revised.solve ~rhs ~ub p in
+          let warm = Lp.Revised.solve ~rhs ~ub ~warm:b p in
+          if cold.Lp.Revised.status <> warm.Lp.Revised.status then
+            QCheck.Test.fail_reportf "status mismatch: cold %a warm %a"
+              Lp.Revised.pp_status cold.Lp.Revised.status Lp.Revised.pp_status
+              warm.Lp.Revised.status
+          else (
+            match cold.Lp.Revised.status with
+            | Lp.Revised.Optimal ->
+                if
+                  Float.abs
+                    (cold.Lp.Revised.objective -. warm.Lp.Revised.objective)
+                  > 1e-6 *. (1.0 +. Float.abs cold.Lp.Revised.objective)
+                then
+                  QCheck.Test.fail_reportf
+                    "objectives differ: cold %.9g warm %.9g"
+                    cold.Lp.Revised.objective warm.Lp.Revised.objective
+                else true
+            | _ -> true)
+      | _ -> true)
 
 
 (* Larger random LPs: exercises refactorization, partial pricing and
@@ -912,6 +1098,16 @@ let suite =
         Alcotest.test_case "relaxation bound" `Quick test_milp_relaxation_bound;
         Alcotest.test_case "general integers" `Quick test_milp_integer_general;
         Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+        Alcotest.test_case "node limit with incumbent" `Quick
+          test_milp_node_limit_with_incumbent;
+        Alcotest.test_case "child iteration limit" `Quick
+          test_milp_child_iter_limit;
         QCheck_alcotest.to_alcotest prop_milp_vs_bruteforce;
+        QCheck_alcotest.to_alcotest prop_milp_warm_equals_cold;
+      ] );
+    ( "lp.warm",
+      [
+        Alcotest.test_case "rhs re-solve" `Quick test_warm_rhs_resolve;
+        QCheck_alcotest.to_alcotest prop_warm_resolve;
       ] );
   ]

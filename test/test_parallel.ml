@@ -155,6 +155,33 @@ let test_sweep_determinism () =
   Alcotest.(check string) "figure output byte-identical at 1 and 4 domains"
     seq par
 
+(* Warm-started sweeps are a pure performance device: every point of
+   [run_sweep ~warm:true] must be byte-identical to the cold path, at
+   POWERLIM_JOBS=1 and 4 alike.  Points are rendered with %h (hex
+   floats), so the comparison is exact to the last bit. *)
+let render_points warm pool =
+  let setup =
+    Experiments.Common.make_setup small_config Workloads.Apps.CoMD
+  in
+  let sw = Experiments.Common.run_sweep ~pool ~warm setup in
+  String.concat "\n"
+    (List.map
+       (fun (p : Experiments.Common.point) ->
+         Printf.sprintf "%h %b %h %h %h %h %h %h %h %h %h" p.cap p.schedulable
+           p.static_span p.conductor_span p.lp_span p.lp_objective
+           p.lp_vs_static p.lp_vs_conductor p.conductor_vs_static
+           p.lp_max_power p.job_cap)
+       sw.Experiments.Common.points)
+
+let test_sweep_warm_equals_cold () =
+  let w1 = with_pool 1 (render_points true) in
+  let c1 = with_pool 1 (render_points false) in
+  let w4 = with_pool 4 (render_points true) in
+  let c4 = with_pool 4 (render_points false) in
+  Alcotest.(check string) "warm = cold at 1 domain" c1 w1;
+  Alcotest.(check string) "warm = cold at 4 domains" c4 w4;
+  Alcotest.(check string) "cold path pool-size invariant" c1 c4
+
 let suite =
   [
     ( "util.pool",
@@ -184,5 +211,7 @@ let suite =
       [
         Alcotest.test_case "POWERLIM_JOBS=1 vs 4 byte-identical" `Slow
           test_sweep_determinism;
+        Alcotest.test_case "warm vs cold byte-identical at 1 and 4 domains"
+          `Slow test_sweep_warm_equals_cold;
       ] );
   ]
