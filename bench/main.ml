@@ -63,6 +63,7 @@ let experiments =
     ("micro", fun config -> Experiments.Micro.run ~config ppf);
     ("parbench", fun config -> Experiments.Parbench.run ~config ppf);
     ("warmbench", fun config -> Experiments.Warmbench.run ~config ppf);
+    ("cachebench", fun config -> Experiments.Cachebench.run ~config ppf);
   ]
 
 let () =
@@ -99,10 +100,13 @@ let () =
     (fun n ->
       let t0 = Unix.gettimeofday () in
       Lp.Stats.reset ();
+      Putil.Cache.reset_all_stats ();
       (List.assoc n experiments) config;
-      (* LP solver counters per experiment, on stderr with the timings
-         (cached-sweep consumers legitimately report zero solves) *)
-      Fmt.epr "[%s: %.2f s | lp: %a]@." n
+      (* LP solver and pipeline-cache counters per experiment, on stderr
+         with the timings (cached-sweep consumers legitimately report
+         zero solves) *)
+      Fmt.epr "[%s: %.2f s | lp: %a | cache: %a]@." n
         (Unix.gettimeofday () -. t0)
-        Lp.Stats.pp (Lp.Stats.snapshot ()))
+        Lp.Stats.pp (Lp.Stats.snapshot ())
+        Putil.Cache.pp_totals ())
     names

@@ -41,8 +41,8 @@ let setup app ranks iters seed =
   let params =
     { Workloads.Apps.nranks = ranks; iterations = iters; seed; scale = 1.0 }
   in
-  let g = Workloads.Apps.generate app params in
-  (g, Core.Scenario.make g)
+  let sc = Pipeline.Stages.scenario (Pipeline.Stages.Synthetic (app, params)) in
+  (sc.Core.Scenario.graph, sc)
 
 let bound_cmd =
   let run app ranks iters seed cap discrete =
@@ -102,8 +102,14 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare Static, Conductor and the LP bound at one power cap.")
     Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t)
 
+let no_cache_t =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Disable the pipeline artifact cache (same as POWERLIM_CACHE=0); \
+               every stage recomputes.  Output is byte-identical either way.")
+
 let sweep_cmd =
-  let run ranks iters seed =
+  let run ranks iters seed no_cache =
+    if no_cache then Putil.Cache.set_enabled false;
     let config =
       {
         Experiments.Common.default_config with
@@ -112,26 +118,30 @@ let sweep_cmd =
         seed;
       }
     in
-    (* pool size and wall time on stderr: stdout is byte-identical at
-       every POWERLIM_JOBS setting *)
+    (* pool size, wall time and cache traffic on stderr: stdout is
+       byte-identical at every POWERLIM_JOBS setting, cache on or off *)
     Fmt.epr "pool: %d-way parallel (POWERLIM_JOBS=%s)@."
       (Putil.Pool.parallelism (Putil.Pool.get_default ()))
       (match Sys.getenv_opt "POWERLIM_JOBS" with Some s -> s | None -> "unset");
     let t0 = Unix.gettimeofday () in
     let sweep = Experiments.Sweeps.compute ~config () in
-    Fmt.epr "[sweep: %.2f s]@." (Unix.gettimeofday () -. t0);
+    Fmt.epr "[sweep: %.2f s | cache: %a]@."
+      (Unix.gettimeofday () -. t0)
+      Putil.Cache.pp_totals ();
     Experiments.Sweeps.fig9 sweep Fmt.stdout;
     Experiments.Sweeps.fig10 sweep Fmt.stdout;
     Experiments.Sweeps.summary sweep Fmt.stdout
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run the full Static/Conductor/LP power sweep (figures 9-10).")
-    Term.(const run $ ranks_t $ iters_t $ seed_t)
+    Term.(const run $ ranks_t $ iters_t $ seed_t $ no_cache_t)
 
 let frontier_cmd =
   let run app seed =
     let params = { Workloads.Apps.default_params with Workloads.Apps.seed } in
-    let g = Workloads.Apps.generate app params in
-    let sc = Core.Scenario.make g in
+    let sc =
+      Pipeline.Stages.scenario (Pipeline.Stages.Synthetic (app, params))
+    in
+    let g = sc.Core.Scenario.graph in
     (* largest task of rank 0 *)
     let best = ref None in
     Array.iteri
@@ -155,7 +165,7 @@ let frontier_cmd =
 let flow_cmd =
   let run cap =
     let g = Workloads.Apps.exchange ~rounds:2 () in
-    let sc = Core.Scenario.make g in
+    let sc = Pipeline.Stages.scenario (Pipeline.Stages.Graph g) in
     (match Core.Event_lp.solve sc ~power_cap:cap with
     | Core.Event_lp.Schedule s ->
         Fmt.pr "fixed-vertex-order LP : %.4f s@." s.Core.Event_lp.objective
@@ -207,8 +217,8 @@ let trace_cmd =
 
 let solve_trace_cmd =
   let run path cap =
-    let g = Dag.Trace_io.of_file path in
-    let sc = Core.Scenario.make g in
+    let sc = Pipeline.Stages.scenario (Pipeline.Stages.Trace_file path) in
+    let g = sc.Core.Scenario.graph in
     let job_cap = cap *. Float.of_int g.Dag.Graph.nranks in
     Fmt.pr "%a@." Dag.Graph.pp_stats g;
     match Core.Event_lp.solve sc ~power_cap:job_cap with

@@ -8,20 +8,60 @@ type t = {
   sockets : Machine.Socket.t array;  (** indexed by rank *)
   frontiers : Pareto.Frontier.t array;
       (** indexed by tid; empty array for zero-work MPI transitions *)
+  socket_seed : int;  (** fleet seed the sockets were drawn with *)
+  variability : float;  (** fleet efficiency variability *)
 }
 
 let make ?(socket_seed = 7) ?(variability = 0.04) (graph : Dag.Graph.t) : t =
   let sockets =
     Machine.Socket.fleet ~variability ~seed:socket_seed graph.Dag.Graph.nranks
   in
+  (* Frontier enumeration is deduplicated: within one build, every task
+     with the same (socket efficiency, profile) content shares one
+     physical hull array, and [Frontier.convex_memo] extends that
+     sharing across scenario builds through the process-wide cache.  The
+     local table also covers the cache-disabled mode, where intra-build
+     sharing (and the O(distinct pairs) build cost) is preserved. *)
+  let local : (string, Pareto.Frontier.t) Hashtbl.t = Hashtbl.create 64 in
   let frontiers =
     Array.map
       (fun (t : Dag.Graph.task) ->
         if t.profile.Machine.Profile.work <= 0.0 then [||]
-        else Pareto.Frontier.convex sockets.(t.rank) t.profile)
+        else begin
+          let key = Pareto.Frontier.memo_key sockets.(t.rank) t.profile in
+          match Hashtbl.find_opt local key with
+          | Some f -> f
+          | None ->
+              let f = Pareto.Frontier.convex_memo sockets.(t.rank) t.profile in
+              Hashtbl.add local key f;
+              f
+        end)
       graph.Dag.Graph.tasks
   in
-  { graph; sockets; frontiers }
+  { graph; sockets; frontiers; socket_seed; variability }
+
+(* Structural identity: the graph plus every parameter the socket fleet
+   and frontiers were derived from.  The frontiers themselves are a pure
+   function of (graph, sockets, default machine params) and are not
+   re-hashed. *)
+let digest_fold h t =
+  Dag.Graph.digest_fold h t.graph;
+  Putil.Hashing.int h t.socket_seed;
+  Putil.Hashing.float h t.variability;
+  Putil.Hashing.int h (Array.length t.sockets);
+  Array.iter (Machine.Socket.digest_fold h) t.sockets
+
+let digest t =
+  let h = Putil.Hashing.create () in
+  digest_fold h t;
+  Putil.Hashing.hex h
+
+let equal a b =
+  a.socket_seed = b.socket_seed
+  && Float.equal a.variability b.variability
+  && Array.length a.sockets = Array.length b.sockets
+  && Array.for_all2 Machine.Socket.equal a.sockets b.sockets
+  && Dag.Graph.equal a.graph b.graph
 
 (** Smallest job power at which every task can run at all: the sum over
     ranks of the most frugal frontier point of the rank's hungriest task

@@ -8,9 +8,25 @@ type t = {
   sockets : Machine.Socket.t array;  (** indexed by rank *)
   frontiers : Pareto.Frontier.t array;
       (** indexed by tid; empty for zero-work MPI transitions *)
+  socket_seed : int;  (** fleet seed the sockets were drawn with *)
+  variability : float;  (** fleet efficiency variability *)
 }
 
 val make : ?socket_seed:int -> ?variability:float -> Dag.Graph.t -> t
+(** Builds the socket fleet and every task's convex frontier.  Frontier
+    construction is deduplicated: tasks whose (socket efficiency,
+    profile) inputs are equal share one physical hull array, within a
+    build always and across builds through the process-wide frontier
+    cache ({!Pareto.Frontier.convex_memo}). *)
+
+val equal : t -> t -> bool
+(** Structural, seed- and parameter-inclusive equality. *)
+
+val digest_fold : Putil.Hashing.t -> t -> unit
+
+val digest : t -> string
+(** Hex digest of the scenario's structure — graph, socket fleet, seed
+    and variability — the scenario's content-derived cache key. *)
 
 val min_job_power : t -> float
 (** Smallest job power at which every task can run at all; below it the

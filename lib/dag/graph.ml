@@ -337,6 +337,75 @@ let validate g =
     g.rank_tasks;
   match !problems with [] -> Ok () | ps -> Error (List.rev ps)
 
+(* ------------------------------------------------------------------ *)
+(* Structural identity.  The digest covers every constructed field
+   (vertices, tasks with their profiles, messages, entry/exit); the
+   derived adjacency ([out_edges], [in_edges], [rank_tasks]) is a pure
+   function of those and is skipped.  Equal graphs — built from the same
+   trace or the same generator parameters — digest identically, which is
+   what makes graph-derived cache keys structural rather than
+   positional. *)
+
+let digest_fold h g =
+  let module H = Putil.Hashing in
+  H.int h g.nranks;
+  H.int h (n_vertices g);
+  Array.iter
+    (fun v ->
+      H.int h v.vid;
+      (match v.kind with
+      | Init -> H.string h "init"
+      | Finalize -> H.string h "finalize"
+      | Collective s ->
+          H.string h "collective";
+          H.string h s
+      | Send -> H.string h "send"
+      | Recv -> H.string h "recv"
+      | Isend -> H.string h "isend"
+      | Wait -> H.string h "wait"
+      | Pcontrol -> H.string h "pcontrol");
+      H.int h (List.length v.ranks);
+      List.iter (H.int h) v.ranks;
+      H.float h v.delay;
+      H.bool h v.pcontrol)
+    g.vertices;
+  H.int h (n_tasks g);
+  Array.iter
+    (fun t ->
+      H.int h t.tid;
+      H.int h t.rank;
+      H.int h t.t_src;
+      H.int h t.t_dst;
+      Machine.Profile.digest_fold h t.profile;
+      H.int h t.iteration;
+      H.string h t.label)
+    g.tasks;
+  H.int h (n_messages g);
+  Array.iter
+    (fun m ->
+      H.int h m.mid;
+      H.int h m.m_src;
+      H.int h m.m_dst;
+      H.int h m.src_rank;
+      H.int h m.dst_rank;
+      H.int h m.bytes)
+    g.messages;
+  H.int h g.init_v;
+  H.int h g.finalize_v
+
+let digest g =
+  let h = Putil.Hashing.create () in
+  digest_fold h g;
+  Putil.Hashing.hex h
+
+(* Structural equality over the same constructed fields the digest
+   covers (the derived adjacency follows from them).  Polymorphic
+   compare is exact here: the fields hold only ints, floats (never NaN),
+   strings, lists and variants. *)
+let equal a b =
+  a.nranks = b.nranks && a.init_v = b.init_v && a.finalize_v = b.finalize_v
+  && a.vertices = b.vertices && a.tasks = b.tasks && a.messages = b.messages
+
 let pp_stats ppf g =
   Fmt.pf ppf "graph: %d ranks, %d vertices, %d tasks, %d messages" g.nranks
     (n_vertices g) (n_tasks g) (n_messages g)

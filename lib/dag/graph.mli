@@ -112,4 +112,15 @@ val validate : t -> (unit, string list) result
 (** Structural validation: single entry/exit, acyclicity, per-rank task
     chains. *)
 
+val equal : t -> t -> bool
+(** Structural equality (vertices, tasks with profiles, messages,
+    entry/exit; the derived adjacency follows from those). *)
+
+val digest_fold : Putil.Hashing.t -> t -> unit
+(** Feed the graph's canonical encoding to a hasher. *)
+
+val digest : t -> string
+(** Hex digest of {!digest_fold} — the graph's content-derived cache
+    key. *)
+
 val pp_stats : Format.formatter -> t -> unit

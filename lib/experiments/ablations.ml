@@ -114,9 +114,10 @@ let socket_variability config ppf =
           scale = 1.0;
         }
       in
-      let g = Workloads.Apps.comd params in
       let sc =
-        Core.Scenario.make ~socket_seed:config.Common.socket_seed ~variability g
+        Pipeline.Stages.scenario ~socket_seed:config.Common.socket_seed
+          ~variability
+          (Pipeline.Stages.Synthetic (Workloads.Apps.CoMD, params))
       in
       let job_cap = 30.0 *. Float.of_int config.Common.nranks in
       let st = Runtime.Static.run sc ~job_cap in

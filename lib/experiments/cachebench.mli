@@ -1,0 +1,9 @@
+(** Pipeline artifact-cache benchmark: the per-cap request sequence
+    (scenario assembly, LP preparation, re-solve) repeated as the
+    experiment drivers repeat it, timed with the cache disabled (every
+    round rebuilds every artifact) and enabled (rounds after the first
+    hit).  Writes [BENCH_pipeline.json] (schema documented in
+    EXPERIMENTS.md) and fails — non-zero exit — when the two arms'
+    objectives differ at all: caching must never change a result. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

@@ -38,8 +38,11 @@ let make_setup config app =
       scale = 1.0;
     }
   in
-  let graph = Workloads.Apps.generate app params in
-  { app; graph; sc = Core.Scenario.make ~socket_seed:config.socket_seed graph; config }
+  let sc =
+    Pipeline.Stages.scenario ~socket_seed:config.socket_seed
+      (Pipeline.Stages.Synthetic (app, params))
+  in
+  { app; graph = sc.Core.Scenario.graph; sc; config }
 
 (** Wall time of iterations [>= skip] (the paper discards the first three
     iterations as Conductor's configuration-exploration phase). *)
@@ -189,7 +192,7 @@ let run_sweep ?pool ?warm (s : setup) : sweep =
             idxs
         in
         let pz =
-          Core.Event_lp.prepare s.sc
+          Pipeline.Stages.prepare s.sc
             ~power_cap:(loosest *. Float.of_int s.config.nranks)
         in
         let unconstraining = function

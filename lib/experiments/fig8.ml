@@ -6,7 +6,7 @@
 let run ?(config = Common.default_config) ppf =
   ignore config;
   let g = Workloads.Apps.exchange ~rounds:2 () in
-  let sc = Core.Scenario.make g in
+  let sc = Pipeline.Stages.scenario (Pipeline.Stages.Graph g) in
   let min_power = Core.Scenario.min_job_power sc in
   Common.header ppf
     "Figure 8: flow vs fixed-vertex-order formulations (2-rank exchange)";

@@ -7,11 +7,10 @@ open Bechamel
 open Toolkit
 
 let small_scenario () =
-  let g =
-    Workloads.Apps.comd
-      { Workloads.Apps.default_params with nranks = 8; iterations = 4 }
-  in
-  Core.Scenario.make g
+  Pipeline.Stages.scenario
+    (Pipeline.Stages.Synthetic
+       ( Workloads.Apps.CoMD,
+         { Workloads.Apps.default_params with nranks = 8; iterations = 4 } ))
 
 let lu_input m seed =
   let st = Random.State.make [| seed |] in

@@ -17,11 +17,13 @@ let run ?(config = Common.default_config) ppf =
   Fmt.pf ppf "# ranks iterations tasks rows cols simplex_iters solve_s@.";
   List.iter
     (fun (nranks, iterations) ->
-      let g =
-        Workloads.Apps.comd
-          { Workloads.Apps.default_params with nranks; iterations }
+      let sc =
+        Pipeline.Stages.scenario
+          (Pipeline.Stages.Synthetic
+             ( Workloads.Apps.CoMD,
+               { Workloads.Apps.default_params with nranks; iterations } ))
       in
-      let sc = Core.Scenario.make g in
+      let g = sc.Core.Scenario.graph in
       let job_cap = 40.0 *. Float.of_int nranks in
       match time_solve sc job_cap with
       | Some (stats, dt) ->
@@ -34,11 +36,13 @@ let run ?(config = Common.default_config) ppf =
   Fmt.pf ppf "# ranks iterations tasks rows cols simplex_iters solve_s@.";
   List.iter
     (fun (nranks, iterations) ->
-      let g =
-        Workloads.Apps.lulesh
-          { Workloads.Apps.default_params with nranks; iterations }
+      let sc =
+        Pipeline.Stages.scenario
+          (Pipeline.Stages.Synthetic
+             ( Workloads.Apps.LULESH,
+               { Workloads.Apps.default_params with nranks; iterations } ))
       in
-      let sc = Core.Scenario.make g in
+      let g = sc.Core.Scenario.graph in
       let job_cap = 45.0 *. Float.of_int nranks in
       match time_solve sc job_cap with
       | Some (stats, dt) ->

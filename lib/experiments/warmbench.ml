@@ -69,7 +69,7 @@ let sweep_side (s : Common.setup) (caps : float list) =
    with and without parent-basis warm starts. *)
 let milp_side () =
   let g = Workloads.Apps.exchange ~rounds:2 () in
-  let sc = Core.Scenario.make g in
+  let sc = Pipeline.Stages.scenario (Pipeline.Stages.Graph g) in
   let cap = Float.max 60.0 (1.1 *. Core.Scenario.min_job_power sc) in
   let run warm =
     Lp.Stats.reset ();

@@ -61,6 +61,18 @@ let best_threads t ~max_threads =
   done;
   !best
 
+let equal a b =
+  Float.equal a.work b.work
+  && Float.equal a.serial_frac b.serial_frac
+  && Float.equal a.contention b.contention
+  && Float.equal a.mem_bound b.mem_bound
+
+let digest_fold h t =
+  Putil.Hashing.float h t.work;
+  Putil.Hashing.float h t.serial_frac;
+  Putil.Hashing.float h t.contention;
+  Putil.Hashing.float h t.mem_bound
+
 let pp ppf t =
   Fmt.pf ppf "{work=%.4gs; serial=%.3g; contention=%.3g; mem=%.3g}" t.work
     t.serial_frac t.contention t.mem_bound

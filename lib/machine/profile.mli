@@ -31,4 +31,10 @@ val duration : t -> freq:float -> threads:int -> float
 val best_threads : t -> max_threads:int -> int
 (** Thread count in [1..max_threads] minimizing duration. *)
 
+val equal : t -> t -> bool
+(** Structural (bit-level float) equality. *)
+
+val digest_fold : Putil.Hashing.t -> t -> unit
+(** Feed the profile's canonical encoding to a hasher (cache keys). *)
+
 val pp : Format.formatter -> t -> unit

@@ -61,4 +61,17 @@ let power ?(params = default_params) t ~freq ~threads ~mem_bound =
 (** Idle (no active cores) socket power. *)
 let idle_power ?(params = default_params) (_ : t) = params.idle_w
 
+let equal a b = a.id = b.id && Float.equal a.eff b.eff
+
+let digest_fold h t =
+  Putil.Hashing.int h t.id;
+  Putil.Hashing.float h t.eff
+
+let params_digest_fold h p =
+  Putil.Hashing.int h p.cores;
+  Putil.Hashing.float h p.idle_w;
+  Putil.Hashing.float h p.leak_w;
+  Putil.Hashing.float h p.dyn_w;
+  Putil.Hashing.float h p.mem_damp
+
 let pp ppf t = Fmt.pf ppf "socket%d(eff=%.3f)" t.id t.eff

@@ -30,4 +30,13 @@ val power :
     task of the given memory-boundedness. *)
 
 val idle_power : ?params:params -> t -> float
+
+val equal : t -> t -> bool
+(** Structural equality (id and efficiency). *)
+
+val digest_fold : Putil.Hashing.t -> t -> unit
+(** Feed the socket's canonical encoding to a hasher (cache keys). *)
+
+val params_digest_fold : Putil.Hashing.t -> params -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -27,6 +27,26 @@ val convex :
   ?params:Machine.Socket.params -> Machine.Socket.t -> Machine.Profile.t -> t
 (** [convex socket profile] = hull of [enumerate socket profile]. *)
 
+val equal : t -> t -> bool
+(** Structural (bit-level float) equality of the hulls. *)
+
+val digest_fold : Putil.Hashing.t -> t -> unit
+(** Feed the hull's canonical encoding to a hasher (cache keys). *)
+
+val memo_key :
+  ?params:Machine.Socket.params ->
+  Machine.Socket.t ->
+  Machine.Profile.t ->
+  string
+(** The content key {!convex_memo} caches under: machine parameters,
+    socket efficiency (not id) and profile. *)
+
+val convex_memo :
+  ?params:Machine.Socket.params -> Machine.Socket.t -> Machine.Profile.t -> t
+(** {!convex} through the process-wide frontier cache: equal inputs
+    return one physically shared (immutable) hull array.  Falls back to
+    a fresh {!convex} when caching is disabled ({!Putil.Cache.enabled}). *)
+
 val min_power : t -> float
 val max_power : t -> float
 

@@ -20,6 +20,18 @@ let dominates a b =
   a.duration <= b.duration && a.power <= b.power
   && (a.duration < b.duration || a.power < b.power)
 
+let equal a b =
+  Float.equal a.freq b.freq
+  && a.threads = b.threads
+  && Float.equal a.duration b.duration
+  && Float.equal a.power b.power
+
+let digest_fold h t =
+  Putil.Hashing.float h t.freq;
+  Putil.Hashing.int h t.threads;
+  Putil.Hashing.float h t.duration;
+  Putil.Hashing.float h t.power
+
 let pp ppf t =
   Fmt.pf ppf "%.1fGHz/%dthr: %.4gs at %.4gW" t.freq t.threads t.duration
     t.power

@@ -15,4 +15,10 @@ val dominates : t -> t -> bool
 (** [dominates a b]: [a] is at least as good in both time and power, and
     strictly better in one. *)
 
+val equal : t -> t -> bool
+(** Structural (bit-level float) equality. *)
+
+val digest_fold : Putil.Hashing.t -> t -> unit
+(** Feed the point's canonical encoding to a hasher (cache keys). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+type t = string
+
+let of_digest ~stage digest = stage ^ ":" ^ digest
+let v ~stage h = of_digest ~stage (Putil.Hashing.hex h)
+let to_string k = k
+let equal = String.equal
+let pp = Fmt.string

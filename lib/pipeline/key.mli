@@ -1,0 +1,21 @@
+(** Stable structural keys for pipeline stages.
+
+    A key is ["stage:digest"] — a stage namespace (so the same content
+    digest used by two stages can never alias) plus the hex digest of
+    the stage's complete input content.  Keys are deterministic across
+    runs, domains and pool sizes: equal inputs always derive equal keys,
+    and any input change (a seed, a parameter, a byte of a trace file)
+    derives a different one. *)
+
+type t = private string
+
+val v : stage:string -> Putil.Hashing.t -> t
+(** [v ~stage h] finishes the hasher and namespaces its digest. *)
+
+val of_digest : stage:string -> string -> t
+(** Namespace an already-computed hex digest (e.g. {!Dag.Graph.digest}
+    or a file-content digest). *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

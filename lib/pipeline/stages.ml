@@ -1,0 +1,68 @@
+type source =
+  | Synthetic of Workloads.Apps.app * Workloads.Apps.params
+  | Trace_file of string
+  | Graph of Dag.Graph.t
+
+let source_key = function
+  | Synthetic (app, p) ->
+      let h = Putil.Hashing.create () in
+      Putil.Hashing.string h (Workloads.Apps.app_name app);
+      Putil.Hashing.int h p.Workloads.Apps.nranks;
+      Putil.Hashing.int h p.Workloads.Apps.iterations;
+      Putil.Hashing.int h p.Workloads.Apps.seed;
+      Putil.Hashing.float h p.Workloads.Apps.scale;
+      Key.v ~stage:"trace" h
+  | Trace_file path ->
+      (* Content-addressed: renaming or touching the file changes
+         nothing; editing a byte of it changes the key. *)
+      Key.of_digest ~stage:"trace-file" (Digest.to_hex (Digest.file path))
+  | Graph g -> Key.of_digest ~stage:"graph" (Dag.Graph.digest g)
+
+let graph_cache : Dag.Graph.t Putil.Cache.t =
+  Putil.Cache.create ~capacity:32 ~name:"graph" ()
+
+let graph = function
+  | Graph g -> g
+  | Synthetic (app, p) as src ->
+      Putil.Cache.find_or_build graph_cache
+        (Key.to_string (source_key src))
+        (fun () -> Workloads.Apps.generate app p)
+  | Trace_file path as src ->
+      (* The key digests the content read at lookup time, so a stale
+         cache entry for an overwritten file can never be returned. *)
+      Putil.Cache.find_or_build graph_cache
+        (Key.to_string (source_key src))
+        (fun () -> Dag.Trace_io.of_file path)
+
+let scenario_key ?(socket_seed = 7) ?(variability = 0.04) src =
+  let h = Putil.Hashing.create () in
+  Putil.Hashing.string h (Key.to_string (source_key src));
+  Putil.Hashing.int h socket_seed;
+  Putil.Hashing.float h variability;
+  Key.v ~stage:"scenario" h
+
+let scenario_cache : Core.Scenario.t Putil.Cache.t =
+  Putil.Cache.create ~capacity:32 ~name:"scenario" ()
+
+let scenario ?(socket_seed = 7) ?(variability = 0.04) src =
+  Putil.Cache.find_or_build scenario_cache
+    (Key.to_string (scenario_key ~socket_seed ~variability src))
+    (fun () -> Core.Scenario.make ~socket_seed ~variability (graph src))
+
+let frontier = Pareto.Frontier.convex_memo
+
+let prepare_key ?(reduce_slack = true) ?(presolve = true) sc ~power_cap =
+  let h = Putil.Hashing.create () in
+  Core.Scenario.digest_fold h sc;
+  Putil.Hashing.bool h reduce_slack;
+  Putil.Hashing.bool h presolve;
+  Putil.Hashing.float h power_cap;
+  Key.v ~stage:"prepare" h
+
+let prepare_cache : Core.Event_lp.prepared Putil.Cache.t =
+  Putil.Cache.create ~capacity:16 ~name:"prepare" ()
+
+let prepare ?(reduce_slack = true) ?(presolve = true) sc ~power_cap =
+  Putil.Cache.find_or_build prepare_cache
+    (Key.to_string (prepare_key ~reduce_slack ~presolve sc ~power_cap))
+    (fun () -> Core.Event_lp.prepare ~reduce_slack ~presolve sc ~power_cap)

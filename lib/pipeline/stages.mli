@@ -1,0 +1,71 @@
+(** The typed construction pipeline behind every experiment driver:
+
+    {v
+    trace acquisition -> graph build -> frontier enumeration
+                      -> scenario assembly -> LP model preparation
+    v}
+
+    Each stage is a named, cached function with a stable structural key
+    (see {!Key}): stage outputs are artifacts addressed by the content
+    of their inputs, so sweeps that vary only the power cap (or only the
+    policy) hit the cache on everything upstream of the LP solve, and
+    concurrent pool workers requesting the same artifact build it once
+    (single-flight, {!Putil.Cache}).  With caching disabled
+    ([POWERLIM_CACHE=0] or [--no-cache]) every stage simply recomputes —
+    outputs are byte-identical either way.
+
+    Frontier enumeration runs inside scenario assembly (see
+    {!Core.Scenario.make}) against the process-wide frontier cache; it
+    is also exposed directly as {!frontier}. *)
+
+type source =
+  | Synthetic of Workloads.Apps.app * Workloads.Apps.params
+      (** a generated benchmark trace; keyed by app and parameters *)
+  | Trace_file of string
+      (** an on-disk trace; keyed by the file's {e content} digest *)
+  | Graph of Dag.Graph.t
+      (** an already-built graph; keyed by its structural digest *)
+
+val source_key : source -> Key.t
+(** The trace-acquisition stage's key.  [Trace_file] reads the file, so
+    this raises [Sys_error] when the path is unreadable. *)
+
+val graph : source -> Dag.Graph.t
+(** Graph-build stage: generate / parse / pass through the source's
+    graph.  [Synthetic] and [Trace_file] builds are cached. *)
+
+val scenario_key : ?socket_seed:int -> ?variability:float -> source -> Key.t
+(** Key of the scenario-assembly stage: {!source_key} plus the socket
+    fleet's seed and variability (defaults as {!Core.Scenario.make}). *)
+
+val scenario : ?socket_seed:int -> ?variability:float -> source -> Core.Scenario.t
+(** Scenario-assembly stage: {!graph} plus socket fleet plus per-task
+    convex frontiers ({!Core.Scenario.make}), cached under
+    {!scenario_key}.  Repeated requests for an equal source and
+    parameters return one physically shared scenario. *)
+
+val frontier :
+  ?params:Machine.Socket.params ->
+  Machine.Socket.t ->
+  Machine.Profile.t ->
+  Pareto.Frontier.t
+(** Frontier-enumeration stage ({!Pareto.Frontier.convex_memo}). *)
+
+val prepare_key :
+  ?reduce_slack:bool -> ?presolve:bool -> Core.Scenario.t -> power_cap:float -> Key.t
+(** Key of the LP-preparation stage: the scenario's digest plus the
+    build flags and the reference cap the model is anchored at. *)
+
+val prepare :
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
+  Core.Scenario.t ->
+  power_cap:float ->
+  Core.Event_lp.prepared
+(** LP-model-preparation stage: {!Core.Event_lp.prepare} cached under
+    {!prepare_key}.  The reference cap is part of the key, so a cached
+    model is reused only by solves that would have prepared at the very
+    same cap — re-solves at other caps go through
+    {!Core.Event_lp.solve_prepared}'s RHS patching as before.  Prepared
+    models are read-only during re-solves, so sharing one across
+    domains is safe. *)

@@ -1,0 +1,190 @@
+type stats = { hits : int; misses : int; evictions : int }
+
+(* POWERLIM_CACHE=0 disables caching process-wide (same spelling rules as
+   POWERLIM_WARM and POWERLIM_JOBS). *)
+let env_default () =
+  match Sys.getenv_opt "POWERLIM_CACHE" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
+let enabled_flag = Atomic.make (env_default ())
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+type 'a entry = { value : 'a; mutable last_use : int }
+
+type 'a t = {
+  name : string;
+  capacity : int;
+  mutex : Mutex.t;
+  landed : Condition.t;  (** signalled when an in-flight build completes *)
+  table : (string, 'a entry) Hashtbl.t;
+  inflight : (string, unit) Hashtbl.t;
+  mutable tick : int;  (** LRU clock, monotone under [mutex] *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+(* The registry erases the value type: per-cache closures for the
+   process-wide totals / reset / clear entry points. *)
+type registered = {
+  r_name : string;
+  r_stats : unit -> stats;
+  r_reset : unit -> unit;
+  r_clear : unit -> unit;
+}
+
+let registry : registered list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+  }
+
+let reset_stats t =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.evictions 0
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Mutex.unlock t.mutex
+
+let create ?(capacity = 64) ~name () =
+  let t =
+    {
+      name;
+      capacity = max 1 capacity;
+      mutex = Mutex.create ();
+      landed = Condition.create ();
+      table = Hashtbl.create 64;
+      inflight = Hashtbl.create 8;
+      tick = 0;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      evictions = Atomic.make 0;
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry :=
+    {
+      r_name = name;
+      r_stats = (fun () -> stats t);
+      r_reset = (fun () -> reset_stats t);
+      r_clear = (fun () -> clear t);
+    }
+    :: !registry;
+  Mutex.unlock registry_mutex;
+  t
+
+(* Evict least-recently-used entries down to capacity.  O(n) scans, but
+   n <= capacity and eviction is rare relative to the work cached. *)
+let evict_locked t =
+  while Hashtbl.length t.table > t.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, age) when age <= e.last_use -> ()
+        | _ -> victim := Some (k, e.last_use))
+      t.table;
+    match !victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.table k;
+        Atomic.incr t.evictions
+    | None -> ()
+  done
+
+let find_or_build t key build =
+  if not (enabled ()) then build ()
+  else begin
+    Mutex.lock t.mutex;
+    let rec get () =
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          Atomic.incr t.hits;
+          let v = e.value in
+          Mutex.unlock t.mutex;
+          v
+      | None ->
+          if Hashtbl.mem t.inflight key then begin
+            (* Single-flight: another domain is building this key.  Wait
+               for it to land and re-check (the entry may have been
+               evicted again, in which case we become the builder). *)
+            Condition.wait t.landed t.mutex;
+            get ()
+          end
+          else begin
+            Hashtbl.replace t.inflight key ();
+            Mutex.unlock t.mutex;
+            let v =
+              try build ()
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Mutex.lock t.mutex;
+                Hashtbl.remove t.inflight key;
+                Condition.broadcast t.landed;
+                Mutex.unlock t.mutex;
+                Printexc.raise_with_backtrace e bt
+            in
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.inflight key;
+            Atomic.incr t.misses;
+            t.tick <- t.tick + 1;
+            (match Hashtbl.find_opt t.table key with
+            | Some e -> e.last_use <- t.tick  (* lost a race; keep theirs *)
+            | None -> Hashtbl.replace t.table key { value = v; last_use = t.tick });
+            evict_locked t;
+            Condition.broadcast t.landed;
+            Mutex.unlock t.mutex;
+            v
+          end
+    in
+    get ()
+  end
+
+let totals () =
+  Mutex.lock registry_mutex;
+  let rs = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left
+    (fun (acc : stats) r ->
+      let s = r.r_stats () in
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions;
+      })
+    { hits = 0; misses = 0; evictions = 0 }
+    rs
+
+let reset_all_stats () =
+  Mutex.lock registry_mutex;
+  let rs = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter (fun r -> r.r_reset ()) rs
+
+let clear_all () =
+  Mutex.lock registry_mutex;
+  let rs = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter (fun r -> r.r_clear ()) rs
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "%d hits, %d misses, %d evicted" s.hits s.misses
+    s.evictions
+
+let pp_totals ppf () = pp_stats ppf (totals ())

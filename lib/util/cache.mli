@@ -1,0 +1,74 @@
+(** Domain-safe, size-bounded, content-keyed artifact cache.
+
+    Each cache memoizes one artifact type under string keys that the
+    caller derives from the {e content} of the inputs (see {!Hashing}),
+    so a hit is exactly "this value was already computed from equal
+    inputs" — keys are structural, never positional.  Used by the stage
+    pipeline (graphs, scenarios, prepared LPs) and the Pareto-frontier
+    builder.
+
+    Concurrency: all operations are safe from any domain.  A key being
+    built is {e single-flight}: the first caller runs the builder while
+    concurrent callers for the same key block until the value lands, so
+    N pool workers asking for the same artifact compute it once.  A
+    builder that raises releases the key (waiters retry, typically
+    becoming the builder themselves) and caches nothing.
+
+    Bounding: each cache holds at most [capacity] entries; inserting
+    beyond that evicts the least-recently-used entry.  Eviction affects
+    only what is remembered, never the values returned, so results are
+    byte-identical at any capacity — and with the cache disabled
+    entirely ([POWERLIM_CACHE=0], or {!set_enabled}[ false], when every
+    lookup just runs its builder).
+
+    Counters: per-cache and process-wide hit/miss/evict counts, reported
+    in the style of {!Lp.Stats} (reset / snapshot / pp). *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val enabled : unit -> bool
+(** Initially from the environment: [POWERLIM_CACHE=0] (or [false],
+    [off], [no]) disables caching; anything else enables it. *)
+
+val set_enabled : bool -> unit
+(** Process-wide override of {!enabled} (the [--no-cache] CLI flag). *)
+
+val create : ?capacity:int -> name:string -> unit -> 'a t
+(** A new cache holding at most [capacity] (default 64, clamped to
+    [>= 1]) entries.  [name] labels it in the registry ({!totals} spans
+    all created caches). *)
+
+val find_or_build : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_build t key build] returns the cached value for [key],
+    waiting out a concurrent in-flight build of the same key, or runs
+    [build ()] and caches its result.  With caching disabled it simply
+    runs [build ()] (and counts nothing). *)
+
+val length : 'a t -> int
+(** Number of resident entries (always [<= capacity]). *)
+
+val clear : 'a t -> unit
+(** Drop every resident entry (counters are kept; in-flight builds are
+    unaffected and will land normally). *)
+
+val stats : 'a t -> stats
+
+val reset_stats : 'a t -> unit
+
+(** {2 Process-wide registry} *)
+
+val totals : unit -> stats
+(** Summed counters of every cache created so far. *)
+
+val reset_all_stats : unit -> unit
+
+val clear_all : unit -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Renders as ["H hits, M misses, E evicted"]. *)
+
+val pp_totals : Format.formatter -> unit -> unit
+(** [pp_stats] of {!totals} — for the stderr reporting lines next to
+    pool size and wall time. *)

@@ -1,0 +1,42 @@
+type t = Buffer.t
+
+let create () = Buffer.create 256
+
+(* One tag byte per atom keeps adjacent atoms of different types from
+   aliasing (e.g. an int followed by a float vs. a string of the same
+   bytes). *)
+let tag b c = Buffer.add_char b c
+
+let add_int64 b (v : int64) =
+  for shift = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * shift)) 0xFFL)))
+  done
+
+let int b v =
+  tag b 'i';
+  add_int64 b (Int64.of_int v)
+
+let bool b v =
+  tag b 'b';
+  Buffer.add_char b (if v then '\001' else '\000')
+
+let float b v =
+  tag b 'f';
+  let v = if v = 0.0 then 0.0 else v in
+  add_int64 b (Int64.bits_of_float v)
+
+let string b s =
+  tag b 's';
+  add_int64 b (Int64.of_int (String.length s));
+  Buffer.add_string b s
+
+let hex b = Digest.to_hex (Digest.string (Buffer.contents b))
+
+let to_int b =
+  let h = Digest.string (Buffer.contents b) in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code h.[i]
+  done;
+  !v land max_int

@@ -1,0 +1,31 @@
+(** Canonical structural digests for content-addressed cache keys.
+
+    A hasher accumulates a canonical byte encoding of the structure fed
+    to it (every atom is tagged and fixed-width or length-prefixed, so
+    distinct structures cannot collide by concatenation) and finishes to
+    a 128-bit MD5 rendered as hex.  The encoding depends only on the
+    values — not on physical identity, hash-table order or word size —
+    which is what makes the derived keys stable across runs, domains and
+    POWERLIM_JOBS settings. *)
+
+type t
+(** An accumulating hasher. *)
+
+val create : unit -> t
+
+val int : t -> int -> unit
+val bool : t -> bool -> unit
+
+val float : t -> float -> unit
+(** Hashes the IEEE-754 bit pattern ([-0.0] is canonicalized to [0.0],
+    so [Float.equal] values always digest equally). *)
+
+val string : t -> string -> unit
+(** Length-prefixed, so ["ab"^"c"] and ["a"^"bc"] digest differently. *)
+
+val hex : t -> string
+(** 32-character lowercase hex MD5 of everything fed so far. *)
+
+val to_int : t -> int
+(** A non-negative [int] folded from {!hex}, for [Hashtbl.hash]-style
+    consumers. *)
