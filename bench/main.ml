@@ -96,12 +96,18 @@ let () =
   Fmt.epr "pool: %d-way parallel (POWERLIM_JOBS=%s)@."
     (Putil.Pool.parallelism (Putil.Pool.get_default ()))
     (match Sys.getenv_opt "POWERLIM_JOBS" with Some s -> s | None -> "unset");
+  (* Observability exports, mirroring the powerlim CLI flags:
+     POWERLIM_TRACE_OUT=t.json records spans and writes a Chrome trace,
+     POWERLIM_STATS_JSON=s.json dumps the unified counter registry.
+     Both only ever touch their own file and stderr. *)
+  let trace_out = Sys.getenv_opt "POWERLIM_TRACE_OUT" in
+  if trace_out <> None then Putil.Obs.set_enabled true;
   List.iter
     (fun n ->
       let t0 = Unix.gettimeofday () in
       Lp.Stats.reset ();
       Putil.Cache.reset_all_stats ();
-      (List.assoc n experiments) config;
+      Putil.Obs.span ~cat:"bench" n (fun () -> (List.assoc n experiments) config);
       (* LP solver and pipeline-cache counters per experiment, on stderr
          with the timings (cached-sweep consumers legitimately report
          zero solves) *)
@@ -109,4 +115,15 @@ let () =
         (Unix.gettimeofday () -. t0)
         Lp.Stats.pp (Lp.Stats.snapshot ())
         Putil.Cache.pp_totals ())
-    names
+    names;
+  Option.iter
+    (fun path ->
+      Putil.Obs.write_chrome_json path;
+      Fmt.epr "wrote Chrome trace (%d events) to %s@."
+        (Putil.Obs.event_count ()) path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      Putil.Obs.write_stats_json path;
+      Fmt.epr "wrote stats JSON to %s@." path)
+    (Sys.getenv_opt "POWERLIM_STATS_JSON")

@@ -37,6 +37,73 @@ let discrete_t =
   Arg.(value & flag & info [ "discrete" ]
          ~doc:"Round the LP schedule to single discrete configurations.")
 
+(* ---- observability plumbing --------------------------------------- *)
+
+let trace_out_t =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record spans (implies POWERLIM_TRACE=1) and write a Chrome \
+               trace-event JSON file loadable in chrome://tracing or \
+               Perfetto.  Never changes stdout: traced and untraced runs \
+               print byte-identical results.")
+
+let stats_json_t =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+         ~doc:"Write the unified counter registry (LP solver, artifact \
+               caches, domain pool, tracer) as JSON when the command \
+               finishes.")
+
+(* The export runs from at_exit, not from a normal-return path, so the
+   trace and stats survive diagnostic exits (a failed cap validation is
+   exactly when you want them).  Status messages go to stderr: stdout
+   stays byte-identical with tracing on or off. *)
+let with_obs trace_out stats_json run =
+  if trace_out <> None then Putil.Obs.set_enabled true;
+  if trace_out <> None || stats_json <> None then
+    at_exit (fun () ->
+        Option.iter
+          (fun path ->
+            Putil.Obs.write_chrome_json path;
+            Fmt.epr "wrote Chrome trace (%d events) to %s@."
+              (Putil.Obs.event_count ()) path)
+          trace_out;
+        Option.iter
+          (fun path ->
+            Putil.Obs.write_stats_json path;
+            Fmt.epr "wrote stats JSON to %s@." path)
+          stats_json);
+  run ()
+
+(* Earliest sustained (>= 1 ms, matching Replay.validate's smoothing)
+   interval of the replayed power trace above the validation limit. *)
+let first_cap_violation (r : Simulate.Engine.result) ~limit =
+  let n = Array.length r.Simulate.Engine.trace in
+  let found = ref None in
+  Array.iteri
+    (fun i (t, p) ->
+      let t' =
+        if i + 1 < n then fst r.Simulate.Engine.trace.(i + 1)
+        else r.Simulate.Engine.makespan
+      in
+      if !found = None && t' -. t >= 1e-3 && p > limit then
+        found := Some (t, p))
+    r.Simulate.Engine.trace;
+  !found
+
+let report_cap_violation (v : Core.Replay.validation) ~job_cap =
+  (* mirror of Replay.validate's within_cap test (tol = 0.02) *)
+  let limit = (job_cap *. 1.02) +. 1e-6 in
+  (match first_cap_violation v.Core.Replay.result ~limit with
+  | Some (t, p) ->
+      Fmt.epr
+        "error: replay exceeds the power cap: %.1f W at t=%.4f s, cap %.0f W \
+         (+2%% tolerance = %.1f W), excess %.1f W@."
+        p t job_cap limit (p -. limit)
+  | None ->
+      Fmt.epr
+        "error: replay exceeds the power cap: max sustained power %.1f W > \
+         %.0f W (+2%% tolerance)@."
+        v.Core.Replay.max_power job_cap)
+
 let setup app ranks iters seed =
   let params =
     { Workloads.Apps.nranks = ranks; iterations = iters; seed; scale = 1.0 }
@@ -45,7 +112,8 @@ let setup app ranks iters seed =
   (sc.Core.Scenario.graph, sc)
 
 let bound_cmd =
-  let run app ranks iters seed cap discrete =
+  let run app ranks iters seed cap discrete trace_out stats_json =
+    with_obs trace_out stats_json @@ fun () ->
     let g, sc = setup app ranks iters seed in
     let job_cap = cap *. Float.of_int ranks in
     Fmt.pr "%a@." Dag.Graph.pp_stats g;
@@ -66,13 +134,17 @@ let bound_cmd =
            cap: %b@."
           v.Core.Replay.replay_makespan v.Core.Replay.gap_pct
           v.Core.Replay.max_power v.Core.Replay.within_cap;
-        if not v.Core.Replay.within_cap then exit 1
+        if not v.Core.Replay.within_cap then begin
+          report_cap_violation v ~job_cap;
+          exit 1
+        end
     | Core.Event_lp.Infeasible ->
         Fmt.pr "infeasible: the cap cannot accommodate every task@."
     | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m
   in
   Cmd.v (Cmd.info "bound" ~doc:"Compute the LP performance bound and validate it by replay.")
-    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ discrete_t)
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ discrete_t
+          $ trace_out_t $ stats_json_t)
 
 let compare_cmd =
   let run app ranks iters seed cap =
@@ -108,7 +180,8 @@ let no_cache_t =
                every stage recomputes.  Output is byte-identical either way.")
 
 let sweep_cmd =
-  let run ranks iters seed no_cache =
+  let run ranks iters seed no_cache trace_out stats_json =
+    with_obs trace_out stats_json @@ fun () ->
     if no_cache then Putil.Cache.set_enabled false;
     let config =
       {
@@ -133,7 +206,8 @@ let sweep_cmd =
     Experiments.Sweeps.summary sweep Fmt.stdout
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run the full Static/Conductor/LP power sweep (figures 9-10).")
-    Term.(const run $ ranks_t $ iters_t $ seed_t $ no_cache_t)
+    Term.(const run $ ranks_t $ iters_t $ seed_t $ no_cache_t $ trace_out_t
+          $ stats_json_t)
 
 let frontier_cmd =
   let run app seed =
@@ -216,7 +290,8 @@ let trace_cmd =
     Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ out_t $ dot_t)
 
 let solve_trace_cmd =
-  let run path cap =
+  let run path cap trace_out stats_json =
+    with_obs trace_out stats_json @@ fun () ->
     let sc = Pipeline.Stages.scenario (Pipeline.Stages.Trace_file path) in
     let g = sc.Core.Scenario.graph in
     let job_cap = cap *. Float.of_int g.Dag.Graph.nranks in
@@ -238,7 +313,7 @@ let solve_trace_cmd =
   Cmd.v
     (Cmd.info "solve-trace"
        ~doc:"Load a saved trace and compute its LP bound under a power cap.")
-    Term.(const run $ path_t $ cap_t)
+    Term.(const run $ path_t $ cap_t $ trace_out_t $ stats_json_t)
 
 let export_cmd =
   let run app ranks iters seed cap mps_out trace_csv records_csv =

@@ -39,20 +39,33 @@ let vkind_of_string s =
   | "wait" -> Graph.Wait
   | "pcontrol" -> Graph.Pcontrol
   | _ ->
-      if String.length s > 11 && String.sub s 0 11 = "collective:" then
+      (* ["collective:"] (length exactly 11) is a collective with an
+         empty name and must parse; only shorter strings cannot match. *)
+      if String.length s >= 11 && String.sub s 0 11 = "collective:" then
         Graph.Collective (String.sub s 11 (String.length s - 11))
-      else failwith (Printf.sprintf "Trace_io: unknown vertex kind %S" s)
+      else failwith (Printf.sprintf "unknown vertex kind %S" s)
 
+(* Every byte that [String.trim] or the space-splitting tokenizer could
+   mangle is escaped: '%' itself, space, and all control characters
+   (tab, LF, CR, FF, VT, ...). *)
 let encode_label s =
   let buf = Buffer.create (String.length s) in
   String.iter
     (fun c ->
-      match c with
-      | ' ' | '%' | '\t' | '\n' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
-      | c -> Buffer.add_char buf c)
+      if c <= ' ' || c = '%' then
+        Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      else Buffer.add_char buf c)
     s;
   if Buffer.length buf = 0 then "%" else Buffer.contents buf
 
+let hex_val = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+(* Raises [Failure] on a malformed or truncated escape; [of_lines] turns
+   that into a [Parse_error] carrying the line number. *)
 let decode_label s =
   if s = "%" then ""
   else begin
@@ -60,9 +73,15 @@ let decode_label s =
     let i = ref 0 in
     let n = String.length s in
     while !i < n do
-      if s.[!i] = '%' && !i + 2 < n then begin
-        Buffer.add_char buf
-          (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      if s.[!i] = '%' then begin
+        if !i + 2 >= n then
+          failwith (Printf.sprintf "truncated escape in label %S" s);
+        let h1 = hex_val s.[!i + 1] and h2 = hex_val s.[!i + 2] in
+        if h1 < 0 || h2 < 0 then
+          failwith
+            (Printf.sprintf "malformed escape %%%c%c in label %S" s.[!i + 1]
+               s.[!i + 2] s);
+        Buffer.add_char buf (Char.chr ((h1 * 16) + h2));
         i := !i + 3
       end
       else begin
@@ -134,51 +153,59 @@ let of_lines (lines : string Seq.t) : Graph.t =
         if line = magic then seen_magic := true
         else parse_error !lineno "bad magic %S" line
       else begin
-        match String.split_on_char ' ' line with
-        | [ "ranks"; n ] -> nranks := int_of_string n
-        | "vertex" :: vid :: kind :: delay :: pcontrol :: ranks :: [] ->
-            vertices :=
-              {
-                Graph.vid = int_of_string vid;
-                kind = vkind_of_string kind;
-                delay = float_of_string delay;
-                pcontrol = bool_of_string pcontrol;
-                ranks =
-                  String.split_on_char ',' ranks |> List.map int_of_string;
-              }
-              :: !vertices
-        | "task" :: tid :: rank :: src :: dst :: work :: serial :: cont
-          :: mem :: iteration :: label :: [] ->
-            tasks :=
-              {
-                Graph.tid = int_of_string tid;
-                rank = int_of_string rank;
-                t_src = int_of_string src;
-                t_dst = int_of_string dst;
-                profile =
-                  Machine.Profile.v
-                    ~serial_frac:(float_of_string serial)
-                    ~contention:(float_of_string cont)
-                    ~mem_bound:(float_of_string mem)
-                    (float_of_string work);
-                iteration = int_of_string iteration;
-                label = decode_label label;
-              }
-              :: !tasks
-        | "message" :: mid :: src :: dst :: src_rank :: dst_rank :: bytes :: []
-          ->
-            messages :=
-              {
-                Graph.mid = int_of_string mid;
-                m_src = int_of_string src;
-                m_dst = int_of_string dst;
-                src_rank = int_of_string src_rank;
-                dst_rank = int_of_string dst_rank;
-                bytes = int_of_string bytes;
-              }
-              :: !messages
-        | kw :: _ -> parse_error !lineno "unknown record %S" kw
-        | [] -> ()
+        (* Field-level failures (bad integer/float/bool literals, unknown
+           vertex kinds, malformed label escapes) surface as [Failure] or
+           [Invalid_argument]; rethrow them as [Parse_error] so the
+           caller always learns the offending line. *)
+        try
+          match String.split_on_char ' ' line with
+          | [ "ranks"; n ] -> nranks := int_of_string n
+          | "vertex" :: vid :: kind :: delay :: pcontrol :: ranks :: [] ->
+              vertices :=
+                {
+                  Graph.vid = int_of_string vid;
+                  kind = vkind_of_string kind;
+                  delay = float_of_string delay;
+                  pcontrol = bool_of_string pcontrol;
+                  ranks =
+                    String.split_on_char ',' ranks |> List.map int_of_string;
+                }
+                :: !vertices
+          | "task" :: tid :: rank :: src :: dst :: work :: serial :: cont
+            :: mem :: iteration :: label :: [] ->
+              tasks :=
+                {
+                  Graph.tid = int_of_string tid;
+                  rank = int_of_string rank;
+                  t_src = int_of_string src;
+                  t_dst = int_of_string dst;
+                  profile =
+                    Machine.Profile.v
+                      ~serial_frac:(float_of_string serial)
+                      ~contention:(float_of_string cont)
+                      ~mem_bound:(float_of_string mem)
+                      (float_of_string work);
+                  iteration = int_of_string iteration;
+                  label = decode_label label;
+                }
+                :: !tasks
+          | "message" :: mid :: src :: dst :: src_rank :: dst_rank :: bytes :: []
+            ->
+              messages :=
+                {
+                  Graph.mid = int_of_string mid;
+                  m_src = int_of_string src;
+                  m_dst = int_of_string dst;
+                  src_rank = int_of_string src_rank;
+                  dst_rank = int_of_string dst_rank;
+                  bytes = int_of_string bytes;
+                }
+                :: !messages
+          | kw :: _ -> parse_error !lineno "unknown record %S" kw
+          | [] -> ()
+        with
+        | Failure msg | Invalid_argument msg ->
+            parse_error !lineno "malformed record: %s" msg
       end)
     lines;
   if not !seen_magic then parse_error 0 "missing magic header";

@@ -117,9 +117,22 @@ let point_of_outcome (s : setup) ~cap ~job_cap (o : Core.Event_lp.outcome) :
         job_cap;
       }
 
+(* One span per cap point: the unit of work the paper's figures sum up,
+   and the natural bar of the sweep flame chart. *)
+let cap_span (s : setup) ~cap f =
+  Putil.Obs.span ~cat:"sweep"
+    ~args:
+      [
+        ("app", Workloads.Apps.app_name s.app);
+        ("cap", Printf.sprintf "%g" cap);
+      ]
+    "cap" f
+
 let run_point (s : setup) ~cap : point =
-  let job_cap = cap *. Float.of_int s.config.nranks in
-  point_of_outcome s ~cap ~job_cap (Core.Event_lp.solve s.sc ~power_cap:job_cap)
+  cap_span s ~cap (fun () ->
+      let job_cap = cap *. Float.of_int s.config.nranks in
+      point_of_outcome s ~cap ~job_cap
+        (Core.Event_lp.solve s.sc ~power_cap:job_cap))
 
 (** One cap of a prepared sweep: re-solve the shared model at [cap],
     optionally warm-started, and return the point together with the final
@@ -209,6 +222,7 @@ let run_sweep ?pool ?warm (s : setup) : sweep =
         let warm_on = ref warm in
         List.map
           (fun i ->
+            cap_span s ~cap:caps.(i) @@ fun () ->
             let wb = if !warm_on then !prev else None in
             let pt, b, o = solve_point s pz ?warm:wb ~cap:caps.(i) () in
             let pt, b =

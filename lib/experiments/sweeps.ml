@@ -15,8 +15,12 @@ let compute ?pool ?(config = Common.default_config) () : t =
   in
   Putil.Pool.parallel_map pool
     (fun app ->
-      let setup = Common.make_setup config app in
-      (app, Common.run_sweep ~pool setup))
+      Putil.Obs.span ~cat:"sweep"
+        ~args:[ ("app", Workloads.Apps.app_name app) ]
+        "app"
+        (fun () ->
+          let setup = Common.make_setup config app in
+          (app, Common.run_sweep ~pool setup)))
     Workloads.Apps.all_apps
 
 (* ---- Figure 9: LP vs Static, all benchmarks ---------------------- *)

@@ -65,7 +65,12 @@ let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
   let status = ref Infeasible in
   let solve_node n =
     Atomic.incr nodes;
-    Revised.solve ~max_iter:lp_max_iter ~lb:n.n_lb ~ub:n.n_ub ?warm:n.n_warm p
+    Putil.Obs.span ~cat:"milp"
+      ~args:[ ("depth", string_of_int n.depth) ]
+      "node"
+      (fun () ->
+        Revised.solve ~max_iter:lp_max_iter ~lb:n.n_lb ~ub:n.n_ub ?warm:n.n_warm
+          p)
   in
   (* Both children of a branching are independent LP solves over the
      shared read-only problem (bounds are per-node copies); with a

@@ -80,8 +80,8 @@ let solve_unconstrained (p : Model.problem) lo hi =
     basis = None;
   }
 
-let solve ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub ?rhs
-    ?warm (p : Model.problem) : result =
+let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
+    ?rhs ?warm (p : Model.problem) : result =
   let t_solve0 = Unix.gettimeofday () in
   let nv = p.nv and m = p.nr in
   let lb_s = match lb with Some a -> a | None -> p.lb in
@@ -1042,3 +1042,15 @@ let solve ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub ?rhs
             Stats.note_fallback ();
             attempt None)
   end
+
+let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm (p : Model.problem) :
+    result =
+  Putil.Obs.span ~cat:"lp"
+    ~args:
+      [
+        ("warm", if warm = None then "false" else "true");
+        ("rows", string_of_int p.nr);
+        ("cols", string_of_int p.nv);
+      ]
+    "revised.solve"
+    (fun () -> solve_impl ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm p)

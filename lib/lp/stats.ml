@@ -73,6 +73,25 @@ let snapshot () =
     wall_s = Float.of_int (Atomic.get wall_ns) *. 1e-9;
   }
 
+(* Stats provider: the same counters, machine-readable, for the unified
+   [--stats-json] dump. *)
+let () =
+  Putil.Obs.register_stats ~name:"lp" (fun () ->
+      let s = snapshot () in
+      Putil.Obs.Assoc
+        [
+          ("solves", Putil.Obs.Int s.solves);
+          ("cold_solves", Putil.Obs.Int s.cold_solves);
+          ("warm_solves", Putil.Obs.Int s.warm_solves);
+          ("warm_fallbacks", Putil.Obs.Int s.warm_fallbacks);
+          ("pivots", Putil.Obs.Int s.pivots);
+          ("primal_pivots", Putil.Obs.Int s.primal_pivots);
+          ("dual_pivots", Putil.Obs.Int s.dual_pivots);
+          ("bound_flips", Putil.Obs.Int s.bound_flips);
+          ("factorizations", Putil.Obs.Int s.factorizations);
+          ("wall_s", Putil.Obs.Float s.wall_s);
+        ])
+
 let pp ppf (s : snapshot) =
   Fmt.pf ppf
     "%d solves (%d cold, %d warm, %d fallbacks), %d pivots (%d primal, %d \

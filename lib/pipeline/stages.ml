@@ -21,18 +21,26 @@ let source_key = function
 let graph_cache : Dag.Graph.t Putil.Cache.t =
   Putil.Cache.create ~capacity:32 ~name:"graph" ()
 
+(* Span around an actual stage build (cache hits record nothing: the
+   interesting wall time is the construction, and a hit costs nothing
+   worth charting). *)
+let build_span ~stage ~key f =
+  Putil.Obs.span ~cat:"pipeline" ~args:[ ("key", key) ] stage f
+
 let graph = function
   | Graph g -> g
   | Synthetic (app, p) as src ->
-      Putil.Cache.find_or_build graph_cache
-        (Key.to_string (source_key src))
-        (fun () -> Workloads.Apps.generate app p)
+      let key = Key.to_string (source_key src) in
+      Putil.Cache.find_or_build graph_cache key (fun () ->
+          build_span ~stage:"stage:trace" ~key (fun () ->
+              Workloads.Apps.generate app p))
   | Trace_file path as src ->
       (* The key digests the content read at lookup time, so a stale
          cache entry for an overwritten file can never be returned. *)
-      Putil.Cache.find_or_build graph_cache
-        (Key.to_string (source_key src))
-        (fun () -> Dag.Trace_io.of_file path)
+      let key = Key.to_string (source_key src) in
+      Putil.Cache.find_or_build graph_cache key (fun () ->
+          build_span ~stage:"stage:trace-file" ~key (fun () ->
+              Dag.Trace_io.of_file path))
 
 let scenario_key ?(socket_seed = 7) ?(variability = 0.04) src =
   let h = Putil.Hashing.create () in
@@ -45,9 +53,10 @@ let scenario_cache : Core.Scenario.t Putil.Cache.t =
   Putil.Cache.create ~capacity:32 ~name:"scenario" ()
 
 let scenario ?(socket_seed = 7) ?(variability = 0.04) src =
-  Putil.Cache.find_or_build scenario_cache
-    (Key.to_string (scenario_key ~socket_seed ~variability src))
-    (fun () -> Core.Scenario.make ~socket_seed ~variability (graph src))
+  let key = Key.to_string (scenario_key ~socket_seed ~variability src) in
+  Putil.Cache.find_or_build scenario_cache key (fun () ->
+      build_span ~stage:"stage:scenario" ~key (fun () ->
+          Core.Scenario.make ~socket_seed ~variability (graph src)))
 
 let frontier = Pareto.Frontier.convex_memo
 
@@ -63,6 +72,7 @@ let prepare_cache : Core.Event_lp.prepared Putil.Cache.t =
   Putil.Cache.create ~capacity:16 ~name:"prepare" ()
 
 let prepare ?(reduce_slack = true) ?(presolve = true) sc ~power_cap =
-  Putil.Cache.find_or_build prepare_cache
-    (Key.to_string (prepare_key ~reduce_slack ~presolve sc ~power_cap))
-    (fun () -> Core.Event_lp.prepare ~reduce_slack ~presolve sc ~power_cap)
+  let key = Key.to_string (prepare_key ~reduce_slack ~presolve sc ~power_cap) in
+  Putil.Cache.find_or_build prepare_cache key (fun () ->
+      build_span ~stage:"stage:prepare" ~key (fun () ->
+          Core.Event_lp.prepare ~reduce_slack ~presolve sc ~power_cap))

@@ -2,8 +2,31 @@
     scatters (the raw material of the paper's Figures 12 and the power
     validation plots) with any external tool. *)
 
+(* RFC 4180 quoting: a cell containing a comma, double quote, CR or LF
+   is wrapped in double quotes with embedded quotes doubled.  Numeric
+   cells never match, so quoting is applied uniformly and string cells
+   (task labels today, anything added later) can never shift columns. *)
+let quote cell =
+  let needs_quoting =
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      cell
+  in
+  if not needs_quoting then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 (* Emit one CSV line through [put]. *)
-let line put cells = put (String.concat "," cells ^ "\n")
+let line put cells = put (String.concat "," (List.map quote cells) ^ "\n")
 
 (** Job-power step function: columns [time_s,power_w].  Each change in
     job power appears as one row. *)

@@ -50,8 +50,8 @@ let dominant_point (b : Pareto.Frontier.blend) =
 
 type event = Task_done of int | Message_done of int
 
-let run ?(slack_model = `Task_power) ?(idle_power = 18.0) ?release
-    (g : Dag.Graph.t) (policy : Policy.t) : result =
+let run_impl ~slack_model ~idle_power ?release (g : Dag.Graph.t)
+    (policy : Policy.t) : result =
   let nv = Dag.Graph.n_vertices g in
   let nt = Dag.Graph.n_tasks g in
   let remaining = Array.make nv 0 in
@@ -248,6 +248,12 @@ let run ?(slack_model = `Task_power) ?(idle_power = 18.0) ?release
     avg_power = (if !makespan > 0.0 then !energy /. !makespan else 0.0);
     energy = !energy;
   }
+
+let run ?(slack_model = `Task_power) ?(idle_power = 18.0) ?release g policy =
+  Putil.Obs.span ~cat:"simulate"
+    ~args:[ ("policy", policy.Policy.name) ]
+    "engine.run"
+    (fun () -> run_impl ~slack_model ~idle_power ?release g policy)
 
 (** Maximum job power, excluding intervals shorter than [ignore_below]
     seconds (useful to separate transient configuration-switch spikes

@@ -183,6 +183,36 @@ let clear_all () =
   Mutex.unlock registry_mutex;
   List.iter (fun r -> r.r_clear ()) rs
 
+(* Stats provider: process totals plus a per-cache breakdown, in cache
+   creation order. *)
+let () =
+  Obs.register_stats ~name:"cache" (fun () ->
+      Mutex.lock registry_mutex;
+      let rs = !registry in
+      Mutex.unlock registry_mutex;
+      let per_cache =
+        List.rev_map
+          (fun r ->
+            let s = r.r_stats () in
+            Obs.Assoc
+              [
+                ("name", Obs.String r.r_name);
+                ("hits", Obs.Int s.hits);
+                ("misses", Obs.Int s.misses);
+                ("evictions", Obs.Int s.evictions);
+              ])
+          rs
+      in
+      let t = totals () in
+      Obs.Assoc
+        [
+          ("enabled", Obs.Bool (enabled ()));
+          ("hits", Obs.Int t.hits);
+          ("misses", Obs.Int t.misses);
+          ("evictions", Obs.Int t.evictions);
+          ("caches", Obs.List per_cache);
+        ])
+
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "%d hits, %d misses, %d evicted" s.hits s.misses
     s.evictions

@@ -1,0 +1,242 @@
+(** Span tracing into per-domain buffers + the stats-provider registry.
+    See obs.mli for the contract. *)
+
+(* ---- minimal JSON ------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+(* ASCII-only output: control and non-ASCII bytes are \u-escaped (the
+   latter as their Latin-1 code points), so arbitrary byte strings still
+   serialize to valid JSON. *)
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_json_float b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let rec json_to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> add_json_float b f
+  | String s -> add_json_string b s
+  | List js ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i j ->
+          if i > 0 then Buffer.add_char b ',';
+          json_to_buffer b j)
+        js;
+      Buffer.add_char b ']'
+  | Assoc kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          add_json_string b k;
+          Buffer.add_char b ':';
+          json_to_buffer b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let json_to_string j =
+  let b = Buffer.create 256 in
+  json_to_buffer b j;
+  Buffer.contents b
+
+(* ---- enabling ----------------------------------------------------- *)
+
+let env_default () =
+  match Sys.getenv_opt "POWERLIM_TRACE" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+let enabled_flag = Atomic.make (env_default ())
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+(* ---- per-domain event buffers ------------------------------------- *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+let dummy_event = { name = ""; cat = ""; ph = 'B'; ts = 0.0; tid = 0; args = [] }
+
+type buffer = {
+  btid : int;
+  mutable evs : event array;
+  mutable blen : int;
+  mutable last_ts : float;  (** clamp: per-buffer timestamps never regress *)
+}
+
+let buffers : buffer list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+(* All timestamps are relative to one process epoch so spans from every
+   domain land on a common timeline. *)
+let epoch = Unix.gettimeofday ()
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          btid = (Domain.self () :> int);
+          evs = Array.make 256 dummy_event;
+          blen = 0;
+          last_ts = 0.0;
+        }
+      in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let emit ?(args = []) ~cat ph name =
+  let b = Domain.DLS.get buffer_key in
+  let now = Unix.gettimeofday () -. epoch in
+  let ts = if now > b.last_ts then now else b.last_ts in
+  b.last_ts <- ts;
+  if b.blen = Array.length b.evs then begin
+    let nb = Array.make (2 * b.blen) dummy_event in
+    Array.blit b.evs 0 nb 0 b.blen;
+    b.evs <- nb
+  end;
+  b.evs.(b.blen) <- { name; cat; ph; ts; tid = b.btid; args };
+  b.blen <- b.blen + 1
+
+let span ?(args = []) ~cat name f =
+  if not (enabled ()) then f ()
+  else begin
+    (* the enabled check is not repeated at the end: a span that began
+       always closes, so per-tid begin/end counts stay balanced even if
+       tracing is toggled mid-flight *)
+    emit ~args ~cat 'B' name;
+    match f () with
+    | v ->
+        emit ~cat 'E' name;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        emit ~cat 'E' name;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(args = []) ~cat name =
+  if enabled () then emit ~args ~cat 'i' name
+
+let snapshot_buffers () =
+  Mutex.lock buffers_mutex;
+  let bs = !buffers in
+  Mutex.unlock buffers_mutex;
+  List.sort (fun a b -> compare a.btid b.btid) bs
+
+let events () =
+  let per_buffer =
+    List.concat_map
+      (fun b -> Array.to_list (Array.sub b.evs 0 b.blen))
+      (snapshot_buffers ())
+  in
+  (* stable: equal timestamps keep per-buffer (= per-tid) order, which is
+     what makes each tid's B/E sequence well nested *)
+  List.stable_sort (fun a b -> Float.compare a.ts b.ts) per_buffer
+
+let event_count () =
+  List.fold_left (fun acc b -> acc + b.blen) 0 (snapshot_buffers ())
+
+let clear () =
+  List.iter
+    (fun b ->
+      b.blen <- 0;
+      b.last_ts <- 0.0)
+    (snapshot_buffers ())
+
+(* ---- Chrome trace-event export ------------------------------------ *)
+
+let add_chrome_event b (e : event) =
+  Buffer.add_string b "{\"name\":";
+  add_json_string b e.name;
+  Buffer.add_string b ",\"cat\":";
+  add_json_string b e.cat;
+  Buffer.add_string b (Printf.sprintf ",\"ph\":\"%c\"" e.ph);
+  if e.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+  Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f" (e.ts *. 1e6));
+  Buffer.add_string b (Printf.sprintf ",\"pid\":1,\"tid\":%d" e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    json_to_buffer b (Assoc (List.map (fun (k, v) -> (k, String v)) e.args))
+  end;
+  Buffer.add_char b '}'
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      add_chrome_event b e)
+    (events ());
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let write_chrome_json path = write_file path (to_chrome_json ())
+
+(* ---- stats registry ----------------------------------------------- *)
+
+let providers : (string * (unit -> json)) list ref = ref []
+let providers_mutex = Mutex.create ()
+
+let register_stats ~name f =
+  Mutex.lock providers_mutex;
+  providers := (name, f) :: List.remove_assoc name !providers;
+  Mutex.unlock providers_mutex
+
+let stats_json () =
+  Mutex.lock providers_mutex;
+  let ps = !providers in
+  Mutex.unlock providers_mutex;
+  let ps = List.sort (fun (a, _) (b, _) -> compare a b) ps in
+  Assoc (List.map (fun (n, f) -> (n, f ())) ps)
+
+let stats_to_string () = json_to_string (stats_json ())
+let write_stats_json path = write_file path (stats_to_string ())
+
+(* The trace layer reports on itself, so a stats dump records whether the
+   numbers were gathered under tracing. *)
+let () =
+  register_stats ~name:"trace" (fun () ->
+      Assoc [ ("enabled", Bool (enabled ())); ("events", Int (event_count ())) ])

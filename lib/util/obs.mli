@@ -1,0 +1,106 @@
+(** Unified observability: span tracing and a process-wide stats registry.
+
+    Two concerns, one module, because they share the export machinery:
+
+    {b Spans.} Code wraps interesting regions in {!span}; each traced
+    region records a begin/end event pair carrying the domain id, a
+    category, and optional string arguments.  Events land in per-domain
+    append-only buffers (no locks on the hot path; a mutex is taken only
+    once per domain, at buffer creation), so recording from pool workers
+    never serializes them.  The collected events export as Chrome
+    trace-event JSON loadable in [chrome://tracing] or Perfetto, giving a
+    flame chart of where wall time goes across domains.
+
+    Tracing is {e disabled by default} ([POWERLIM_TRACE=0]); a disabled
+    {!span} costs one atomic load and runs its thunk directly, and the
+    hard invariant is that enabling tracing changes no computed output:
+    spans observe, never steer.
+
+    {b Stats.} Subsystems with counters (the LP solver, the artifact
+    caches, the domain pool) register a provider with {!register_stats};
+    {!stats_json} assembles every provider's current counters into one
+    machine-readable JSON document (the [--stats-json] CLI output).
+
+    Export should happen at quiescence (no domain still recording);
+    concurrent appends during an export are not torn, but may be missed. *)
+
+(** {1 Minimal JSON} *)
+
+(** A tiny JSON value type so providers need no external dependency.
+    Serialization escapes every non-printing and non-ASCII byte, so the
+    output is always valid (ASCII-only) JSON; non-finite floats render as
+    [null]. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+val json_to_buffer : Buffer.t -> json -> unit
+val json_to_string : json -> string
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+(** Initially from the environment: [POWERLIM_TRACE=1] (or [true], [on],
+    [yes]) enables tracing; anything else — including unset — disables
+    it. *)
+
+val set_enabled : bool -> unit
+(** Process-wide override of {!enabled} (the [--trace-out] CLI flag). *)
+
+(** {1 Spans} *)
+
+val span : ?args:(string * string) list -> cat:string -> string -> (unit -> 'a) -> 'a
+(** [span ~cat name f] runs [f ()]; when tracing is enabled it brackets
+    the call with begin/end events on the calling domain.  The end event
+    is recorded even when [f] raises (the exception is re-raised with its
+    backtrace), so traces stay balanced.  The enabled check happens once,
+    at entry: a span started under tracing always closes. *)
+
+val instant : ?args:(string * string) list -> cat:string -> string -> unit
+(** A zero-duration marker event (Chrome phase ['i']). *)
+
+(** {1 Collected events} *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant *)
+  ts : float;  (** seconds since the process trace epoch *)
+  tid : int;  (** recording domain id *)
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Snapshot of every recorded event, ordered by timestamp (ties keep
+    per-domain recording order, so each tid's B/E events nest). *)
+
+val event_count : unit -> int
+
+val clear : unit -> unit
+(** Drop all recorded events (tests; does not touch stats providers). *)
+
+val to_chrome_json : unit -> string
+(** The events as a Chrome trace-event JSON document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with microsecond
+    timestamps, [pid] 1 and [tid] the domain id. *)
+
+val write_chrome_json : string -> unit
+(** [write_chrome_json path] writes {!to_chrome_json} to [path]. *)
+
+(** {1 Stats registry} *)
+
+val register_stats : name:string -> (unit -> json) -> unit
+(** Register (or replace) the provider for [name].  Providers are called
+    lazily, at {!stats_json} time. *)
+
+val stats_json : unit -> json
+(** One [Assoc] with every registered provider's current value, keys
+    sorted, so the document layout is deterministic. *)
+
+val stats_to_string : unit -> string
+val write_stats_json : string -> unit

@@ -67,6 +67,35 @@ module Deque = struct
     r
 end
 
+(* Process-wide counters across every pool, feeding the Obs stats
+   registry (and the [--stats-json] dump). *)
+type totals = { submitted : int; run : int; stolen : int }
+
+let n_submitted = Atomic.make 0
+let n_run = Atomic.make 0
+let n_stolen = Atomic.make 0
+let max_workers = Atomic.make 0
+
+let totals () =
+  {
+    submitted = Atomic.get n_submitted;
+    run = Atomic.get n_run;
+    stolen = Atomic.get n_stolen;
+  }
+
+let reset_totals () =
+  List.iter (fun c -> Atomic.set c 0) [ n_submitted; n_run; n_stolen ]
+
+let () =
+  Obs.register_stats ~name:"pool" (fun () ->
+      Obs.Assoc
+        [
+          ("workers", Obs.Int (Atomic.get max_workers));
+          ("submitted", Obs.Int (Atomic.get n_submitted));
+          ("run", Obs.Int (Atomic.get n_run));
+          ("stolen", Obs.Int (Atomic.get n_stolen));
+        ])
+
 type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
 
 type 'a future = {
@@ -136,7 +165,9 @@ let find_task pool wid =
               if v = wid then scan (k + 1)
               else
                 match Deque.steal pool.deques.(v) with
-                | Some _ as t -> t
+                | Some _ as t ->
+                    Atomic.incr n_stolen;
+                    t
                 | None -> scan (k + 1)
           in
           scan 0)
@@ -147,6 +178,7 @@ let try_run_one pool wid =
   match find_task pool wid with
   | Some task ->
       took pool;
+      Atomic.incr n_run;
       task ();
       true
   | None -> false
@@ -177,8 +209,12 @@ let fulfill fut st =
   Condition.broadcast fut.fcond;
   Mutex.unlock fut.flock
 
+(* The span must close before [fulfill] publishes the result: a waiter
+   that observes the future done may export the trace immediately, and
+   the atomic state write orders the 'E' append before that read, so an
+   observable-complete task always has a balanced span. *)
 let run_into fut f =
-  match f () with
+  match Obs.span ~cat:"pool" "task" f with
   | v -> fulfill fut (Done v)
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
@@ -193,7 +229,11 @@ let make_future () =
 
 let submit pool f =
   let fut = make_future () in
-  if pool.workers = 0 then run_into fut f
+  Atomic.incr n_submitted;
+  if pool.workers = 0 then begin
+    Atomic.incr n_run;
+    run_into fut f
+  end
   else begin
     let task () = run_into fut f in
     let dq =
@@ -275,6 +315,7 @@ let create ?size () =
       domains = [||];
     }
   in
+  if workers > Atomic.get max_workers then Atomic.set max_workers workers;
   if workers > 0 then
     pool.domains <-
       Array.init workers (fun wid ->

@@ -63,6 +63,16 @@ val shutdown : t -> unit
     Idempotent.  Futures still pending from another domain's viewpoint
     must not be awaited after shutdown. *)
 
+type totals = { submitted : int; run : int; stolen : int }
+(** Process-wide task counters across every pool: tasks submitted, tasks
+    executed (sequential pools included), and tasks obtained by stealing
+    from another worker's deque. *)
+
+val totals : unit -> totals
+
+val reset_totals : unit -> unit
+(** Zero the process-wide counters (benchmarks and tests). *)
+
 val get_default : unit -> t
 (** The process-wide shared pool, created on first use with
     [default_size ()] and shut down automatically at exit.  All library

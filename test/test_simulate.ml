@@ -194,6 +194,110 @@ let test_csv_exports () =
     (List.length (String.split_on_char '\n' recs))
 
 
+(* Quote-aware RFC-4180 reader: splits a CSV document into records of
+   fields, honoring quoted cells (embedded commas/newlines/doubled
+   quotes).  Rows are newline-terminated, so the trailing empty chunk is
+   not a record. *)
+let csv_parse (s : string) : string list list =
+  let rows = ref [] and fields = ref [] in
+  let cell = Buffer.create 16 in
+  let flush_field () =
+    fields := Buffer.contents cell :: !fields;
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_quotes then
+      if c = '"' then
+        if !i + 1 < n && s.[!i + 1] = '"' then begin
+          Buffer.add_char cell '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char cell c
+    else begin
+      match c with
+      | '"' -> in_quotes := true
+      | ',' -> flush_field ()
+      | '\n' -> flush_row ()
+      | c -> Buffer.add_char cell c
+    end;
+    incr i
+  done;
+  if Buffer.length cell > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let test_csv_label_quoting () =
+  (* labels with the four metacharacters RFC 4180 cares about *)
+  let evil = "he said \"hi\", twice\nand then\ra tab\tend" in
+  let b = Dag.Graph.Builder.create ~nranks:1 in
+  Dag.Graph.Builder.compute b ~rank:0 ~label:evil (Machine.Profile.v 1.0);
+  ignore (Dag.Graph.Builder.finalize b);
+  let g = Dag.Graph.Builder.build b in
+  let sc = Core.Scenario.make g in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  let rows = csv_parse (Simulate.Csv.records_to_string g r) in
+  (match rows with
+  | _header :: data :: _ ->
+      Alcotest.(check int) "evil row still has 9 fields" 9 (List.length data);
+      Alcotest.(check string) "label cell roundtrips" evil (List.nth data 3)
+  | _ -> Alcotest.fail "expected a header and one data row");
+  (* the raw text must contain the quoted form, quotes doubled *)
+  let raw = Simulate.Csv.records_to_string g r in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "embedded quotes doubled" true
+    (contains raw "\"he said \"\"hi\"\", twice")
+
+let test_csv_records_parse_back () =
+  (* every emitted record must split into exactly the 9 header fields *)
+  let g, sc = comd_small () in
+  let r = Simulate.Engine.run g (fastest_policy sc) in
+  let rows = csv_parse (Simulate.Csv.records_to_string g r) in
+  let nonzero_tasks =
+    Array.to_list g.Dag.Graph.tasks
+    |> List.filter (fun (t : Dag.Graph.task) ->
+           t.profile.Machine.Profile.work > 0.0)
+    |> List.length
+  in
+  Alcotest.(check int) "header + one record per nonzero task"
+    (nonzero_tasks + 1) (List.length rows);
+  (match rows with
+  | header :: _ ->
+      Alcotest.(check (list string)) "header fields"
+        [ "tid"; "rank"; "iteration"; "label"; "start_s"; "duration_s";
+          "power_w"; "freq_ghz"; "threads" ]
+        header
+  | [] -> Alcotest.fail "empty csv");
+  List.iteri
+    (fun i row ->
+      Alcotest.(check int)
+        (Printf.sprintf "row %d has 9 fields" i)
+        9 (List.length row))
+    rows;
+  (* numeric cells parse back as numbers; labels match the graph *)
+  List.iteri
+    (fun i row ->
+      if i > 0 then begin
+        let tid = int_of_string (List.nth row 0) in
+        Alcotest.(check string) "label column matches task"
+          g.Dag.Graph.tasks.(tid).Dag.Graph.label (List.nth row 3);
+        ignore (float_of_string (List.nth row 4));
+        ignore (float_of_string (List.nth row 6))
+      end)
+    rows
+
 let test_gantt_render () =
   let g, sc = comd_small () in
   let r = Simulate.Engine.run g (fastest_policy sc) in
@@ -233,7 +337,12 @@ let suite =
     ( "simulate.stats",
       [ Alcotest.test_case "helpers" `Quick test_stats_helpers ] );
     ( "simulate.csv",
-      [ Alcotest.test_case "exports" `Quick test_csv_exports ] );
+      [
+        Alcotest.test_case "exports" `Quick test_csv_exports;
+        Alcotest.test_case "label quoting" `Quick test_csv_label_quoting;
+        Alcotest.test_case "records parse back" `Quick
+          test_csv_records_parse_back;
+      ] );
     ( "simulate.gantt",
       [ Alcotest.test_case "render" `Quick test_gantt_render ] );
   ]

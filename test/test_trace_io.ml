@@ -76,6 +76,97 @@ let test_rejects_garbage () =
   | exception Dag.Trace_io.Parse_error _ -> ()
   | _ -> Alcotest.fail "expected parse error for dangling vertex"
 
+(* A one-task graph carrying [label], for label-focused roundtrips. *)
+let graph_with_label label =
+  let b = Dag.Graph.Builder.create ~nranks:1 in
+  Dag.Graph.Builder.compute b ~rank:0 ~label (Machine.Profile.v 1.0);
+  ignore (Dag.Graph.Builder.finalize b);
+  Dag.Graph.Builder.build b
+
+(* Full char range: QCheck.string draws every byte 0x00-0xff, so this
+   covers '%', whitespace (space, tab, CR, LF, FF, VT) that String.trim
+   would strip, and non-ASCII bytes. *)
+let prop_roundtrip_labels =
+  QCheck.Test.make ~count:500 ~name:"label roundtrip over full char range"
+    QCheck.string (fun label ->
+      let g = graph_with_label label in
+      let g' = Dag.Trace_io.of_string (Dag.Trace_io.to_string g) in
+      g'.Dag.Graph.tasks.(0).Dag.Graph.label = label)
+
+(* Labels whose raw bytes would be mangled by trimming/tokenizing if the
+   encoder missed them; kept as explicit regressions alongside the
+   property. *)
+let test_label_hostile_cases () =
+  List.iter
+    (fun label ->
+      let g = graph_with_label label in
+      let g' = Dag.Trace_io.of_string (Dag.Trace_io.to_string g) in
+      Alcotest.(check string) "hostile label survives" label
+        g'.Dag.Graph.tasks.(0).Dag.Graph.label)
+    [
+      ""; "%"; "%%"; "a%4"; "%zz"; " leading"; "trailing "; "tab\there";
+      "nl\nthere"; "cr\rthere"; "ff\012vt\011"; "100% d\xc3\xa9j\xc0 vu";
+      "\000nul\000";
+    ]
+
+(* a trace whose only task carries [label] verbatim (no encoding) *)
+let trace_with_raw_label label =
+  Printf.sprintf
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 false 0\n\
+     vertex 1 finalize 0 false 0\ntask 0 0 0 1 1 0.05 0 0.2 0 %s\n"
+    label
+
+let check_parse_error_on ~expected_line s =
+  match Dag.Trace_io.of_string s with
+  | exception Dag.Trace_io.Parse_error (line, _) ->
+      Alcotest.(check int) "error reports the offending line" expected_line
+        line
+  | exception e ->
+      Alcotest.failf "expected Parse_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Parse_error, parse succeeded"
+
+let test_malformed_escape_is_parse_error () =
+  (* '%zz' is not hex: must be Parse_error with the line, not a bare
+     Failure escaping from int_of_string *)
+  check_parse_error_on ~expected_line:5 (trace_with_raw_label "a%zzb")
+
+let test_truncated_escape_is_parse_error () =
+  (* '%4' at end of string must be rejected, not silently passed *)
+  check_parse_error_on ~expected_line:5 (trace_with_raw_label "a%4")
+
+let test_bad_literal_is_parse_error () =
+  (* int/float/bool literal failures also surface as Parse_error *)
+  check_parse_error_on ~expected_line:2 "powerlim-trace 1\nranks zz\n";
+  check_parse_error_on ~expected_line:3
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 maybe 0\n"
+
+let test_empty_collective_name () =
+  (* "collective:" (nothing after the colon) is a collective with an
+     empty name and must parse, both built... *)
+  let b = Dag.Graph.Builder.create ~nranks:2 in
+  Dag.Graph.Builder.compute b ~rank:0 (Machine.Profile.v 1.0);
+  Dag.Graph.Builder.compute b ~rank:1 (Machine.Profile.v 1.0);
+  ignore (Dag.Graph.Builder.collective b ~name:"" ());
+  ignore (Dag.Graph.Builder.finalize b);
+  let g = Dag.Graph.Builder.build b in
+  let g' = Dag.Trace_io.of_string (Dag.Trace_io.to_string g) in
+  let has_empty_collective =
+    Array.exists
+      (fun (v : Dag.Graph.vertex) -> v.kind = Dag.Graph.Collective "")
+      g'.Dag.Graph.vertices
+  in
+  Alcotest.(check bool) "empty-name collective roundtrips" true
+    has_empty_collective;
+  (* ...and parsed from a hand-written record *)
+  let s =
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 false 0\n\
+     vertex 1 collective: 0 false 0\nvertex 2 finalize 0 false 0\n\
+     task 0 0 0 1 1 0.05 0 0.2 0 %\ntask 1 0 1 2 1 0.05 0 0.2 0 %\n"
+  in
+  let g'' = Dag.Trace_io.of_string s in
+  Alcotest.(check bool) "bare collective: kind accepted" true
+    (g''.Dag.Graph.vertices.(1).Dag.Graph.kind = Dag.Graph.Collective "")
+
 let prop_roundtrip_synthetic =
   QCheck.Test.make ~count:40 ~name:"trace roundtrip on synthetic graphs"
     QCheck.(pair (int_bound 500) (int_range 1 5))
@@ -131,6 +222,16 @@ let suite =
         Alcotest.test_case "roundtrip exchange" `Quick test_roundtrip_exchange;
         Alcotest.test_case "roundtrip file" `Quick test_roundtrip_file;
         Alcotest.test_case "label encoding" `Quick test_label_encoding;
+        Alcotest.test_case "hostile labels" `Quick test_label_hostile_cases;
+        QCheck_alcotest.to_alcotest prop_roundtrip_labels;
+        Alcotest.test_case "malformed escape -> Parse_error" `Quick
+          test_malformed_escape_is_parse_error;
+        Alcotest.test_case "truncated escape -> Parse_error" `Quick
+          test_truncated_escape_is_parse_error;
+        Alcotest.test_case "bad literal -> Parse_error" `Quick
+          test_bad_literal_is_parse_error;
+        Alcotest.test_case "empty collective name" `Quick
+          test_empty_collective_name;
         Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
         QCheck_alcotest.to_alcotest prop_roundtrip_synthetic;
         Alcotest.test_case "dot output" `Quick test_dot_output;
