@@ -232,7 +232,17 @@ let outcome_of ~mode (sc : Scenario.t)
 type resolution =
   [ `Reduced of Lp.Presolve.reduction | `Each | `Full ]
 
-type prepared = { psc : Scenario.t; pbuilt : built; resolution : resolution }
+type prepared = {
+  psc : Scenario.t;
+  pbuilt : built;
+  resolution : resolution;
+  panalysis : Lp.Revised.analysis option;
+      (* symbolic analysis of the matrix the per-cap re-solves actually
+         hand to the simplex (the reduction's problem under [`Reduced],
+         the full problem under [`Full]); cap changes touch only the RHS,
+         so it is computed once here and reused for every cap.  [`Each]
+         re-presolves per cap, so there is nothing stable to analyze. *)
+}
 
 let prepare ?(reduce_slack = true) ?(presolve = true) ?init (sc : Scenario.t)
     ~power_cap : prepared =
@@ -251,7 +261,14 @@ let prepare ?(reduce_slack = true) ?(presolve = true) ?init (sc : Scenario.t)
             `Reduced red
           else `Each
   in
-  { psc = sc; pbuilt = b; resolution }
+  let panalysis =
+    match resolution with
+    | `Reduced red ->
+        Some (Lp.Revised.make_analysis red.Lp.Presolve.problem)
+    | `Full -> Some (Lp.Revised.make_analysis b.problem)
+    | `Each -> None
+  in
+  { psc = sc; pbuilt = b; resolution; panalysis }
 
 let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
     ~power_cap : outcome * Lp.Revised.basis option =
@@ -274,7 +291,9 @@ let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
   in
   let r =
     match pz.resolution with
-    | `Reduced red -> Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm p red
+    | `Reduced red ->
+        Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm
+          ?analysis:pz.panalysis p red
     | `Each ->
         let pp =
           match rhs with
@@ -282,7 +301,7 @@ let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
           | Some row_rhs -> { p with Lp.Model.row_rhs }
         in
         { (Lp.Presolve.solve ~max_iter pp) with Lp.Revised.basis = None }
-    | `Full -> Lp.Revised.solve ~max_iter ?rhs ?warm p
+    | `Full -> Lp.Revised.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis p
   in
   (outcome_of ~mode pz.psc b r, r.Lp.Revised.basis)
 

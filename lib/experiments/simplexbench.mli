@@ -1,0 +1,8 @@
+(** Simplex-kernel benchmark: hypersparse FTRAN/BTRAN and devex pricing
+    vs the dense + Dantzig baseline at three trace sizes, toggled
+    in-process via [POWERLIM_HYPERSPARSE]/[POWERLIM_DEVEX].  Writes
+    [BENCH_simplex.json] (schema documented in EXPERIMENTS.md) and
+    fails — non-zero exit — when any mode's objective differs from the
+    baseline beyond 1e-9 at any cap. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

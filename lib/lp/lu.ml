@@ -14,6 +14,21 @@
     factorization is always produced; the caller inspects [replaced] and
     repairs its basis. *)
 
+(** Structure-only transposes of the factors, built lazily: [usucc]
+    lists, for each pivot position [i], the columns [k] with
+    [i ∈ urows.(k)] (and [lsucc] likewise for [L]).  The gather-form
+    transpose solve needs them to know which positions a nonzero
+    {e reaches}; the numeric gathers themselves still read the original
+    column storage, so sparse and dense solves perform identical
+    floating-point operations. *)
+type tsym = {
+  cpos : int array;  (** inverse of [cperm] *)
+  usucc_ptr : int array;
+  usucc_ind : int array;
+  lsucc_ptr : int array;
+  lsucc_ind : int array;
+}
+
 type t = {
   m : int;
   p : int array;  (** [p.(k)] = original row chosen as pivot at step [k] *)
@@ -29,6 +44,8 @@ type t = {
   replaced : (int * int) list;
       (** [(col, row)]: basis column [col] was singular and stands replaced
           by the unit column of original row [row]. *)
+  mutable tsym : tsym option;
+      (** lazily built transpose structure for sparse transpose solves *)
 }
 
 let nnz t =
@@ -44,10 +61,50 @@ let nnz t =
     nearly triangular but arbitrarily ordered) fill catastrophically. *)
 let pivot_threshold = 0.1
 
+let sort_prefix (a : int array) n =
+  let rec qsort lo hi =
+    if hi - lo >= 12 then begin
+      (* median-of-3 pivot *)
+      let mid = (lo + hi) / 2 in
+      let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+      let piv =
+        if x < y then if y < z then y else if x < z then z else x
+        else if x < z then x
+        else if y < z then z
+        else y
+      in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < piv do incr i done;
+        while a.(!j) > piv do decr j done;
+        if !i <= !j then begin
+          let tmp = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- tmp;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+    else
+      for k = lo + 1 to hi do
+        let v = a.(k) in
+        let m = ref k in
+        while !m > lo && a.(!m - 1) > v do
+          a.(!m) <- a.(!m - 1);
+          decr m
+        done;
+        a.(!m) <- v
+      done
+  in
+  if n > 1 then qsort 0 (n - 1)
+
 (** [factor ~m col_iter] factorizes the [m]×[m] matrix whose [k]-th column
     is enumerated by [col_iter k f] (calling [f row value] for each
     entry). *)
-let factor ~m col_iter0 =
+let factor ?(symbolic = true) ~m col_iter0 =
   let pos = Array.make m (-1) in
   let p = Array.make m (-1) in
   (* static nonzero count per row and column of the input *)
@@ -64,8 +121,8 @@ let factor ~m col_iter0 =
   let cperm = Array.init m Fun.id in
   Array.sort
     (fun a b ->
-      match compare colcount.(a) colcount.(b) with
-      | 0 -> compare a b
+      match Int.compare colcount.(a) colcount.(b) with
+      | 0 -> Int.compare a b
       | c -> c)
     cperm;
   let col_iter k f = col_iter0 cperm.(k) f in
@@ -79,6 +136,13 @@ let factor ~m col_iter0 =
   let work = Array.make m 0.0 in
   let inwork = Array.make m false in
   let touched = Array.make m 0 in
+  (* Workspace for the symbolic elimination step: which previously
+     factored columns can reach the current column's support through the
+     L dependency DAG.  [rvis] is stamped with the current column [k],
+     so no clearing between columns. *)
+  let rstack = Array.make m 0 in
+  let rreach = Array.make m 0 in
+  let rvis = Array.make m (-1) in
   let replaced = ref [] in
   (* L columns are built with original row indices first, then remapped to
      pivot order once all pivots are known. *)
@@ -98,18 +162,67 @@ let factor ~m col_iter0 =
       end
     in
     col_iter k scatter;
-    (* Eliminate with all previously factored columns, in pivot order. *)
-    for j = 0 to k - 1 do
-      let xj = work.(p.(j)) in
-      if xj <> 0.0 then begin
-        let rs = lrows.(j) and vs = lvals.(j) in
-        for e = 0 to Array.length rs - 1 do
-          let i = rs.(e) in
-          touch i;
-          work.(i) <- work.(i) -. (xj *. vs.(e))
-        done
-      end
-    done;
+    (* Symbolic elimination step (Gilbert–Peierls): only columns [j < k]
+       reachable from the scattered support through the L dependency DAG
+       can hold a nonzero at their pivot row, so DFS the closure instead
+       of scanning all [k] prior columns.  Processing the reach set in
+       ascending pivot order with the same [xj <> 0.0] guard performs
+       exactly the floating-point operations of the full scan, in the
+       same order — the factors are bitwise identical, and
+       [~symbolic:false] keeps the plain scan around as the measurable
+       pre-hypersparse baseline. *)
+    if symbolic then begin
+      let nreach = ref 0 in
+      for e0 = 0 to !ntouch - 1 do
+        let seed = pos.(touched.(e0)) in
+        if seed >= 0 && seed < k && rvis.(seed) <> k then begin
+          rvis.(seed) <- k;
+          rstack.(0) <- seed;
+          let top = ref 1 in
+          while !top > 0 do
+            decr top;
+            let u = rstack.(!top) in
+            rreach.(!nreach) <- u;
+            incr nreach;
+            let rs = lrows.(u) in
+            for e = 0 to Array.length rs - 1 do
+              (* lrows still holds original row indices at this point *)
+              let w = pos.(rs.(e)) in
+              if w >= 0 && w < k && rvis.(w) <> k then begin
+                rvis.(w) <- k;
+                rstack.(!top) <- w;
+                incr top
+              end
+            done
+          done
+        end
+      done;
+      sort_prefix rreach !nreach;
+      for e0 = 0 to !nreach - 1 do
+        let j = rreach.(e0) in
+        let xj = work.(p.(j)) in
+        if xj <> 0.0 then begin
+          let rs = lrows.(j) and vs = lvals.(j) in
+          for e = 0 to Array.length rs - 1 do
+            let i = rs.(e) in
+            touch i;
+            work.(i) <- work.(i) -. (xj *. vs.(e))
+          done
+        end
+      done
+    end
+    else
+      for j = 0 to k - 1 do
+        let xj = work.(p.(j)) in
+        if xj <> 0.0 then begin
+          let rs = lrows.(j) and vs = lvals.(j) in
+          for e = 0 to Array.length rs - 1 do
+            let i = rs.(e) in
+            touch i;
+            work.(i) <- work.(i) -. (xj *. vs.(e))
+          done
+        end
+      done;
     (* Threshold pivoting: among not-yet-pivoted rows within
        [pivot_threshold] of the max magnitude, take the sparsest. *)
     let pmag = ref 0.0 in
@@ -205,7 +318,7 @@ let factor ~m col_iter0 =
   done;
   (* [replaced] reports input-column indices *)
   let replaced = List.map (fun (k, r) -> (cperm.(k), r)) !replaced in
-  { m; p; pos; cperm; lrows; lvals; urows; uvals; udiag; replaced }
+  { m; p; pos; cperm; lrows; lvals; urows; uvals; udiag; replaced; tsym = None }
 
 (** [solve t b x] solves [B x = b].  [b] is indexed by original rows,
     [x] by basis position.  Both arrays have length [m]; [b] is not
@@ -261,3 +374,326 @@ let solve_t t ~(c : float array) ~(y : float array) ~(scratch : float array) =
     scratch.(k) <- !acc
   done;
   for k = 0 to m - 1 do y.(t.p.(k)) <- scratch.(k) done
+
+(* ------------------------------------------------------------------ *)
+(* Hypersparse right-hand-side solves (Gilbert–Peierls reachability)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Invert the column pre-ordering and build structure-only transposes of
+   both factors: [usucc.(i)] = columns [k] with [i ∈ urows.(k)], i.e.
+   the positions a nonzero at [i] reaches in the U^T forward solve. *)
+let build_tsym t =
+  let m = t.m in
+  let cpos = Array.make m 0 in
+  for k = 0 to m - 1 do
+    cpos.(t.cperm.(k)) <- k
+  done;
+  let transpose (cols : int array array) =
+    let ptr = Array.make (m + 1) 0 in
+    for k = 0 to m - 1 do
+      let rs = cols.(k) in
+      for e = 0 to Array.length rs - 1 do
+        ptr.(rs.(e) + 1) <- ptr.(rs.(e) + 1) + 1
+      done
+    done;
+    for i = 0 to m - 1 do
+      ptr.(i + 1) <- ptr.(i + 1) + ptr.(i)
+    done;
+    let ind = Array.make ptr.(m) 0 in
+    let fill = Array.copy ptr in
+    for k = 0 to m - 1 do
+      let rs = cols.(k) in
+      for e = 0 to Array.length rs - 1 do
+        let i = rs.(e) in
+        ind.(fill.(i)) <- k;
+        fill.(i) <- fill.(i) + 1
+      done
+    done;
+    (ptr, ind)
+  in
+  let usucc_ptr, usucc_ind = transpose t.urows in
+  let lsucc_ptr, lsucc_ind = transpose t.lrows in
+  { cpos; usucc_ptr; usucc_ind; lsucc_ptr; lsucc_ind }
+
+let tsym t =
+  match t.tsym with
+  | Some s -> s
+  | None ->
+      let s = build_tsym t in
+      t.tsym <- Some s;
+      s
+
+(** Workspace for the sparse solves: a timestamped value accumulator (so
+    the per-solve reset is O(touched), never O(m)), reach lists, a DFS
+    stack with its own visit stamps, and dense scratch for the fallback
+    path.  One [swork] serves any number of factorizations of the same
+    dimension; it is single-owner mutable state (one per solver call). *)
+type swork = {
+  sv : float array;  (** stamped values *)
+  sstamp : int array;
+  mutable sepoch : int;
+  r1 : int array;  (** first-stage reach list *)
+  r2 : int array;  (** second-stage reach list *)
+  dstack : int array;
+  vis : int array;
+  mutable vepoch : int;
+  db : float array;  (** dense RHS for the fallback, kept all-zero *)
+  ds : float array;  (** dense scratch for the fallback *)
+}
+
+let make_swork m =
+  {
+    sv = Array.make m 0.0;
+    sstamp = Array.make m (-1);
+    sepoch = 0;
+    r1 = Array.make m 0;
+    r2 = Array.make m 0;
+    dstack = Array.make m 0;
+    vis = Array.make m (-1);
+    vepoch = 0;
+    db = Array.make m 0.0;
+    ds = Array.make m 0.0;
+  }
+
+(* Sort the first [n] entries of [a] ascending, in place.  The reach
+   sets must be processed in pivot order for the numeric passes to
+   perform the same floating-point operations, in the same order, as the
+   dense sweeps. *)
+(* Sparse triangular solves stay worthwhile until the result fills in;
+   past a quarter of the dimension the dense sweep's streaming access
+   wins and the symbolic pass is pure overhead. *)
+let reach_cutoff m = 8 + (m / 4)
+
+(* Reachability over [adj] (array-of-arrays adjacency) from the seeds
+   already placed in [out.(0 .. nseeds-1)].  Grows [out] into the full
+   closure and returns its size, or [-1] once it exceeds [cutoff]
+   (caller falls back to the dense kernel).  A fresh visit epoch is used
+   per call; seeds must be distinct. *)
+let reach_arr sw (adj : int array array) ~nseeds ~(out : int array) ~cutoff =
+  sw.vepoch <- sw.vepoch + 1;
+  let ep = sw.vepoch in
+  let cnt = ref nseeds and top = ref 0 and over = ref false in
+  for s = 0 to nseeds - 1 do
+    sw.vis.(out.(s)) <- ep;
+    sw.dstack.(s) <- out.(s)
+  done;
+  top := nseeds;
+  while !top > 0 && not !over do
+    decr top;
+    let k = sw.dstack.(!top) in
+    let a = adj.(k) in
+    for e = 0 to Array.length a - 1 do
+      let i = a.(e) in
+      if sw.vis.(i) <> ep then begin
+        sw.vis.(i) <- ep;
+        if !cnt >= cutoff then over := true
+        else begin
+          out.(!cnt) <- i;
+          sw.dstack.(!top) <- i;
+          incr top;
+          incr cnt
+        end
+      end
+    done
+  done;
+  if !over then -1 else !cnt
+
+(* Same, over a (ptr, ind) compressed adjacency. *)
+let reach_ptr sw (ptr : int array) (ind : int array) ~nseeds ~(out : int array)
+    ~cutoff =
+  sw.vepoch <- sw.vepoch + 1;
+  let ep = sw.vepoch in
+  let cnt = ref nseeds and top = ref 0 and over = ref false in
+  for s = 0 to nseeds - 1 do
+    sw.vis.(out.(s)) <- ep;
+    sw.dstack.(s) <- out.(s)
+  done;
+  top := nseeds;
+  while !top > 0 && not !over do
+    decr top;
+    let k = sw.dstack.(!top) in
+    for e = ptr.(k) to ptr.(k + 1) - 1 do
+      let i = ind.(e) in
+      if sw.vis.(i) <> ep then begin
+        sw.vis.(i) <- ep;
+        if !cnt >= cutoff then over := true
+        else begin
+          out.(!cnt) <- i;
+          sw.dstack.(!top) <- i;
+          incr top;
+          incr cnt
+        end
+      end
+    done
+  done;
+  if !over then -1 else !cnt
+
+(** [solve_sp t sw ~nb ~bidx ~b ~x ~xind] solves [B x = b] for a sparse
+    right-hand side: [b] is a dense array whose nonzeros are exactly at
+    the [nb] distinct original-row indices [bidx.(0 .. nb-1)].
+
+    Returns [-1] when the result filled in past the density cutoff — the
+    solve then ran the dense kernel and every entry of [x] is valid
+    (exactly as {!solve}).  Otherwise returns the nonzero count [n]:
+    [xind.(0 .. n-1)] holds the (sorted, ascending) column positions of
+    all possibly-nonzero entries of [x], [x] is written only there, and
+    entries of [x] outside the list are untouched — callers keep [x]
+    all-zero between solves, which makes the reset O(n).
+
+    Numerics match {!solve} bit for bit on the nonzero pattern: the
+    sparse path performs the same operations in the same order and only
+    skips positions the dense sweep would compute as (signed) zero. *)
+let solve_sp t sw ~nb ~(bidx : int array) ~(b : float array) ~(x : float array)
+    ~(xind : int array) =
+  let m = t.m in
+  let cutoff = reach_cutoff m in
+  let dense () =
+    for s = 0 to nb - 1 do
+      sw.db.(bidx.(s)) <- b.(bidx.(s))
+    done;
+    solve t ~b:sw.db ~x ~scratch:sw.ds;
+    for s = 0 to nb - 1 do
+      sw.db.(bidx.(s)) <- 0.0
+    done;
+    -1
+  in
+  if nb >= cutoff then dense ()
+  else begin
+    (* Stage-1 reach: closure of the seed positions under L's columns. *)
+    for s = 0 to nb - 1 do
+      sw.r1.(s) <- t.pos.(bidx.(s))
+    done;
+    let n1 = reach_arr sw t.lrows ~nseeds:nb ~out:sw.r1 ~cutoff in
+    if n1 < 0 then dense ()
+    else begin
+      (* Stage-2 reach: closure of stage 1 under U's columns. *)
+      Array.blit sw.r1 0 sw.r2 0 n1;
+      let n2 = reach_arr sw t.urows ~nseeds:n1 ~out:sw.r2 ~cutoff in
+      if n2 < 0 then dense ()
+      else begin
+        sort_prefix sw.r1 n1;
+        sort_prefix sw.r2 n2;
+        sw.sepoch <- sw.sepoch + 1;
+        let ep = sw.sepoch in
+        for e = 0 to n2 - 1 do
+          let k = sw.r2.(e) in
+          sw.sv.(k) <- 0.0;
+          sw.sstamp.(k) <- ep
+        done;
+        for s = 0 to nb - 1 do
+          let i = bidx.(s) in
+          sw.sv.(t.pos.(i)) <- b.(i)
+        done;
+        (* z = L^{-1} P b over the stage-1 reach, ascending. *)
+        for e = 0 to n1 - 1 do
+          let k = sw.r1.(e) in
+          let zk = sw.sv.(k) in
+          if zk <> 0.0 then begin
+            let rs = t.lrows.(k) and vs = t.lvals.(k) in
+            for q = 0 to Array.length rs - 1 do
+              sw.sv.(rs.(q)) <- sw.sv.(rs.(q)) -. (vs.(q) *. zk)
+            done
+          end
+        done;
+        (* Back substitution over the stage-2 reach, descending. *)
+        for e = n2 - 1 downto 0 do
+          let k = sw.r2.(e) in
+          let xk = sw.sv.(k) /. t.udiag.(k) in
+          x.(t.cperm.(k)) <- xk;
+          xind.(e) <- t.cperm.(k);
+          if xk <> 0.0 then begin
+            let rs = t.urows.(k) and vs = t.uvals.(k) in
+            for q = 0 to Array.length rs - 1 do
+              sw.sv.(rs.(q)) <- sw.sv.(rs.(q)) -. (vs.(q) *. xk)
+            done
+          end
+        done;
+        sort_prefix xind n2;
+        n2
+      end
+    end
+  end
+
+(** [solve_t_sp t sw ~nc ~cidx ~c ~y ~yind] solves [B^T y = c] for a
+    sparse right-hand side: [c] dense with nonzeros exactly at the [nc]
+    distinct basis positions [cidx.(0 .. nc-1)].  Same contract as
+    {!solve_sp}: [-1] means the dense kernel ran and all of [y] is
+    valid; otherwise [yind] lists the (sorted) original-row indices of
+    the possibly-nonzero entries of [y]. *)
+let solve_t_sp t sw ~nc ~(cidx : int array) ~(c : float array)
+    ~(y : float array) ~(yind : int array) =
+  let m = t.m in
+  let cutoff = reach_cutoff m in
+  let dense () =
+    for s = 0 to nc - 1 do
+      sw.db.(cidx.(s)) <- c.(cidx.(s))
+    done;
+    solve_t t ~c:sw.db ~y ~scratch:sw.ds;
+    for s = 0 to nc - 1 do
+      sw.db.(cidx.(s)) <- 0.0
+    done;
+    -1
+  in
+  if nc >= cutoff then dense ()
+  else begin
+    let ts = tsym t in
+    (* Stage-1 reach: nonzeros of c (mapped to pivot positions) spread
+       through U^T along the transpose structure. *)
+    for s = 0 to nc - 1 do
+      sw.r1.(s) <- ts.cpos.(cidx.(s))
+    done;
+    let n1 = reach_ptr sw ts.usucc_ptr ts.usucc_ind ~nseeds:nc ~out:sw.r1 ~cutoff in
+    if n1 < 0 then dense ()
+    else begin
+      Array.blit sw.r1 0 sw.r2 0 n1;
+      let n2 =
+        reach_ptr sw ts.lsucc_ptr ts.lsucc_ind ~nseeds:n1 ~out:sw.r2 ~cutoff
+      in
+      if n2 < 0 then dense ()
+      else begin
+        sort_prefix sw.r1 n1;
+        sort_prefix sw.r2 n2;
+        sw.sepoch <- sw.sepoch + 1;
+        let ep = sw.sepoch in
+        for e = 0 to n2 - 1 do
+          let k = sw.r2.(e) in
+          sw.sv.(k) <- 0.0;
+          sw.sstamp.(k) <- ep
+        done;
+        for s = 0 to nc - 1 do
+          let j = cidx.(s) in
+          sw.sv.(ts.cpos.(j)) <- c.(j)
+        done;
+        (* U^T w = c: forward gather over the stage-1 reach.  Gathered
+           positions outside the reach read as exact zero through the
+           stamp — the dense sweep computes (signed) zero there. *)
+        for e = 0 to n1 - 1 do
+          let k = sw.r1.(e) in
+          let acc = ref sw.sv.(k) in
+          let rs = t.urows.(k) and vs = t.uvals.(k) in
+          for q = 0 to Array.length rs - 1 do
+            let i = rs.(q) in
+            let wi = if sw.sstamp.(i) = ep then sw.sv.(i) else 0.0 in
+            acc := !acc -. (vs.(q) *. wi)
+          done;
+          sw.sv.(k) <- !acc /. t.udiag.(k)
+        done;
+        (* L^T v = w: backward gather over the stage-2 reach. *)
+        for e = n2 - 1 downto 0 do
+          let k = sw.r2.(e) in
+          let acc = ref sw.sv.(k) in
+          let rs = t.lrows.(k) and vs = t.lvals.(k) in
+          for q = 0 to Array.length rs - 1 do
+            let i = rs.(q) in
+            let vi = if sw.sstamp.(i) = ep then sw.sv.(i) else 0.0 in
+            acc := !acc -. (vs.(q) *. vi)
+          done;
+          sw.sv.(k) <- !acc;
+          y.(t.p.(k)) <- !acc;
+          yind.(e) <- t.p.(k)
+        done;
+        sort_prefix yind n2;
+        n2
+      end
+    end
+  end

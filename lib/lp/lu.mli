@@ -8,6 +8,17 @@
     usable factorization is always produced; callers repair their basis
     from [replaced]. *)
 
+type tsym = {
+  cpos : int array;  (** inverse of [cperm] *)
+  usucc_ptr : int array;
+  usucc_ind : int array;
+      (** structure-only transpose of [urows]: successors of each pivot
+          position in the U^T forward solve *)
+  lsucc_ptr : int array;
+  lsucc_ind : int array;  (** likewise for [lrows] / the L^T solve *)
+}
+(** Symbolic transpose structure, built lazily for {!solve_t_sp}. *)
+
 type t = {
   m : int;
   p : int array;  (** [p.(k)] = original row pivoted at step [k] *)
@@ -23,14 +34,22 @@ type t = {
   replaced : (int * int) list;
       (** [(col, row)]: basis column [col] was singular and stands
           replaced by the unit column of original row [row] *)
+  mutable tsym : tsym option;
+      (** lazily-built transpose structure for the sparse BTRAN *)
 }
 
 val nnz : t -> int
 (** Stored entries in both factors (including unit diagonals). *)
 
-val factor : m:int -> (int -> (int -> float -> unit) -> unit) -> t
+val factor :
+  ?symbolic:bool -> m:int -> (int -> (int -> float -> unit) -> unit) -> t
 (** [factor ~m col_iter] factorizes the [m]×[m] matrix whose [k]-th
-    column is enumerated by [col_iter k f]. *)
+    column is enumerated by [col_iter k f].  [symbolic] (default [true])
+    selects Gilbert–Peierls reachability for the per-column elimination;
+    [~symbolic:false] scans every prior column instead — same floating
+    point operations in the same order, so the factors are bitwise
+    identical either way (it exists as the measurable pre-hypersparse
+    baseline). *)
 
 val solve : t -> b:float array -> x:float array -> scratch:float array -> unit
 (** Solve [B x = b].  [b] is indexed by original rows, [x] by basis
@@ -40,3 +59,56 @@ val solve_t :
   t -> c:float array -> y:float array -> scratch:float array -> unit
 (** Solve [B^T y = c].  [c] is indexed by basis position, [y] by original
     rows. *)
+
+(** {2 Hypersparse right-hand-side solves}
+
+    Gilbert–Peierls symbolic reachability over the L/U dependency DAG:
+    the triangular sweeps visit only positions reachable from the RHS
+    nonzeros, with timestamped accumulators instead of O(m) clears, and
+    fall back to the dense kernels above when the reach set fills in. *)
+
+type swork
+(** Reusable workspace for {!solve_sp}/{!solve_t_sp}: timestamped value
+    accumulator, reach lists, DFS stack, and dense fallback scratch.
+    One per concurrent solver; valid across factorizations of the same
+    dimension. *)
+
+val make_swork : int -> swork
+(** [make_swork m] allocates workspace for dimension [m]. *)
+
+val sort_prefix : int array -> int -> unit
+(** [sort_prefix a n] sorts [a.(0 .. n-1)] ascending, in place. *)
+
+val solve_sp :
+  t ->
+  swork ->
+  nb:int ->
+  bidx:int array ->
+  b:float array ->
+  x:float array ->
+  xind:int array ->
+  int
+(** [solve_sp t sw ~nb ~bidx ~b ~x ~xind] solves [B x = b] where [b] is
+    dense with nonzeros exactly at the [nb] distinct original-row
+    indices [bidx.(0 .. nb-1)].  Returns [-1] if the dense kernel ran
+    (result filled in past the density cutoff; all of [x] is valid), or
+    the support size [n]: [xind.(0 .. n-1)] lists (sorted ascending) the
+    positions of all possibly-nonzero entries of [x], and [x] is written
+    only there.  Callers must keep [x] all-zero outside the returned
+    support between calls.  On the sparse path the numerics are bitwise
+    identical to {!solve} at every listed position. *)
+
+val solve_t_sp :
+  t ->
+  swork ->
+  nc:int ->
+  cidx:int array ->
+  c:float array ->
+  y:float array ->
+  yind:int array ->
+  int
+(** [solve_t_sp t sw ~nc ~cidx ~c ~y ~yind] solves [B^T y = c] with the
+    same contract as {!solve_sp}: [c] has nonzeros exactly at basis
+    positions [cidx.(0 .. nc-1)]; returns [-1] (dense ran) or the
+    support size with [yind] listing the original-row indices of [y]'s
+    possibly-nonzero entries. *)

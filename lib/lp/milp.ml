@@ -63,6 +63,9 @@ let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
   let nodes = Atomic.make 0 in
   let relaxation = ref Float.nan in
   let status = ref Infeasible in
+  (* Every node relaxation shares [p]'s constraint matrix (nodes differ
+     only in bounds), so one symbolic analysis serves the whole tree. *)
+  let analysis = Revised.make_analysis p in
   let solve_node n =
     Atomic.incr nodes;
     Putil.Obs.span ~cat:"milp"
@@ -70,7 +73,7 @@ let solve ?pool ?(max_nodes = 100_000) ?(int_tol = 1e-6) ?(gap = 1e-9)
       "node"
       (fun () ->
         Revised.solve ~max_iter:lp_max_iter ~lb:n.n_lb ~ub:n.n_ub ?warm:n.n_warm
-          p)
+          ~analysis p)
   in
   (* Both children of a branching are independent LP solves over the
      shared read-only problem (bounds are per-node copies); with a

@@ -286,9 +286,11 @@ let fixed_objective (p : Model.problem) (r : reduction) =
     responsibility; {!Core.Event_lp.prepare} checks that every power row
     survived).  [warm] is a {e reduced-space} basis from a previous
     [solve_reduction] on the same reduction; the returned result's
-    [basis] field is likewise in the reduced space. *)
-let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm (p : Model.problem)
-    (r : reduction) : Revised.result =
+    [basis] field is likewise in the reduced space.  [analysis] is a
+    {!Revised.make_analysis} of the {e reduced} problem, reusable
+    because bound/RHS-only re-solves never change the reduced matrix. *)
+let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm ?analysis
+    (p : Model.problem) (r : reduction) : Revised.result =
   let red_rhs =
     match rhs with
     | None -> None
@@ -302,7 +304,8 @@ let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm (p : Model.problem)
         Some b
   in
   let res =
-    Revised.solve ?max_iter ?feas_tol ?opt_tol ?rhs:red_rhs ?warm r.problem
+    Revised.solve ?max_iter ?feas_tol ?opt_tol ?rhs:red_rhs ?warm ?analysis
+      r.problem
   in
   let x =
     match res.Revised.status with

@@ -35,6 +35,7 @@ val solve_reduction :
   ?opt_tol:float ->
   ?rhs:float array ->
   ?warm:Revised.basis ->
+  ?analysis:Revised.analysis ->
   Model.problem ->
   reduction ->
   Revised.result
@@ -44,7 +45,9 @@ val solve_reduction :
     {e original-space} row RHS (each kept row's reduced RHS is patched by
     the delta); only sound when the changed rows were kept by the
     reduction and cannot alter any reduction decision.  [warm] and the
-    returned [basis] field are in the {e reduced} space of [r]. *)
+    returned [basis] field are in the {e reduced} space of [r], as is
+    [analysis] (a {!Revised.make_analysis} of [r]'s reduced problem,
+    valid across bound/RHS-only re-solves). *)
 
 val solve :
   ?max_iter:int -> ?feas_tol:float -> ?opt_tol:float -> Model.problem ->

@@ -58,6 +58,39 @@ let inf = Float.infinity
 
 exception Warm_fallback
 
+(* Runtime knobs, read once per solve so tests can flip them between
+   calls.  Flags follow the repo convention: "0"/"false"/"off"/"no"
+   disable, anything else enables. *)
+let env_flag name default =
+  match Sys.getenv_opt name with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | Some _ -> true
+  | None -> default
+
+(* Devex candidate-list pricing (POWERLIM_DEVEX=0 restores the classic
+   Dantzig loop bit for bit). *)
+let devex_enabled () = env_flag "POWERLIM_DEVEX" true
+
+(* Hypersparse FTRAN/BTRAN (POWERLIM_HYPERSPARSE=0 forces the dense
+   kernels; simplexbench uses it to measure the pre-change baseline). *)
+let hypersparse_enabled () = env_flag "POWERLIM_HYPERSPARSE" true
+
+(* Eta-file length that triggers refactorization (POWERLIM_ETA_LIMIT,
+   default 64). *)
+let eta_limit () =
+  match Sys.getenv_opt "POWERLIM_ETA_LIMIT" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 64)
+  | None -> 64
+
+type analysis = { arows : Sparse.Csc.rows }
+(** Symbolic analysis of a problem's constraint matrix, reusable across
+    solves that change only bounds/RHS (cap sweeps, branch-and-bound
+    children).  Immutable after construction, so one value may be shared
+    freely across pool domains. *)
+
+let make_analysis (p : Model.problem) = { arows = Sparse.Csc.rows p.a }
+
 (* Trivial path for models without constraints. *)
 let solve_unconstrained (p : Model.problem) lo hi =
   let x = Array.make p.nv 0.0 in
@@ -81,9 +114,12 @@ let solve_unconstrained (p : Model.problem) lo hi =
   }
 
 let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
-    ?rhs ?warm (p : Model.problem) : result =
+    ?rhs ?warm ?analysis (p : Model.problem) : result =
   let t_solve0 = Unix.gettimeofday () in
   let nv = p.nv and m = p.nr in
+  let eta_max = eta_limit () in
+  let hyper = hypersparse_enabled () in
+  let devex = devex_enabled () in
   let lb_s = match lb with Some a -> a | None -> p.lb in
   let ub_s = match ub with Some a -> a | None -> p.ub in
   let rhs_s = match rhs with Some a -> a | None -> p.row_rhs in
@@ -213,11 +249,46 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       and lu_nnz_total = ref 0
       and n_factor = ref 0 in
       let clock () = if stats_on then Sys.time () else 0.0 in
-      let lu = ref (Lu.factor ~m (fun k f -> col_iter basis.(k) f)) in
+      let lu = ref (Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f)) in
       let etas = ref [] (* newest first *) in
       let n_etas = ref 0 in
       let scratch = Array.make m 0.0 in
       let bwork = Array.make m 0.0 in
+      (* --- hypersparse kernel state ------------------------------------
+         [w] and [rho] (declared below) carry a support list alongside the
+         dense array: [w_n = -1] means the whole array is valid (a dense
+         kernel wrote it), [w_n >= 0] means entries outside
+         [w_ind.(0 .. w_n-1)] are exactly zero.  The arrays are kept
+         all-zero outside the support between uses, so clearing costs
+         O(support).  [sb] is the shared sparse right-hand-side scratch
+         (kept all-zero between uses), with stamped membership so builds
+         that hit a row twice record it once. *)
+      let sw = Lu.make_swork m in
+      let w_ind = Array.make m 0 in
+      let w_n = ref 0 in
+      let w_in = Array.make m (-1) in
+      let w_epoch = ref 0 in
+      let rho_ind = Array.make m 0 in
+      let rho_n = ref 0 in
+      let sb = Array.make m 0.0 in
+      let sb_ind = Array.make m 0 in
+      let sb_in = Array.make m (-1) in
+      let sb_epoch = ref 0 in
+      let c_ftran_sp = ref 0
+      and c_ftran_dn = ref 0
+      and c_btran_sp = ref 0
+      and c_btran_dn = ref 0
+      and c_devex_resets = ref 0
+      and c_refreshes = ref 0 in
+      (* Adaptive dense/sparse switching: the reachability probe costs
+         real work even when it aborts at the cutoff, so after [af_trip]
+         consecutive dense fallbacks a kernel goes straight to the dense
+         path for the next [af_hold] calls before probing sparsity
+         again.  Both paths produce bitwise-identical vectors, so the
+         policy only ever moves time. *)
+      let af_trip = 4 and af_hold = 64 in
+      let ft_fail = ref 0 and ft_skip = ref 0 in
+      let bt_fail = ref 0 and bt_skip = ref 0 in
       let recompute_x_basic () =
         Array.blit rhs_s 0 bwork 0 m;
         for j = 0 to ntot () - 1 do
@@ -232,7 +303,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       let rec refactorize depth =
         if depth > 4 then failwith "Revised: unable to repair singular basis";
         let t0 = clock () in
-        let f = Lu.factor ~m (fun k f -> col_iter basis.(k) f) in
+        let f = Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f) in
         t_factor := !t_factor +. clock () -. t0;
         incr n_factor;
         lu_nnz_total := !lu_nnz_total + Lu.nnz f;
@@ -261,21 +332,124 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       in
       refactorize 0;
       recompute_x_basic ();
-      let ftran j (w : float array) =
+      (* The simplex work vectors, with support state for the sparse
+         kernels (see above). *)
+      let w = Array.make m 0.0 in
+      let rho = Array.make m 0.0 in
+      (* Apply the eta file (oldest first) to [w] in place.  On the
+         sparse path new support members appear only at eta rows/indices;
+         membership stamps keep the support list duplicate-free. *)
+      let apply_etas_to_w () =
+        if !w_n < 0 then
+          List.iter
+            (fun e ->
+              let t = w.(e.er) in
+              if t <> 0.0 then begin
+                w.(e.er) <- e.edia *. t;
+                for k = 0 to Array.length e.eidx - 1 do
+                  w.(e.eidx.(k)) <- w.(e.eidx.(k)) +. (e.evals.(k) *. t)
+                done
+              end)
+            (List.rev !etas)
+        else if !etas <> [] then begin
+          incr w_epoch;
+          let ep = !w_epoch in
+          for t2 = 0 to !w_n - 1 do
+            w_in.(w_ind.(t2)) <- ep
+          done;
+          List.iter
+            (fun e ->
+              let t = w.(e.er) in
+              if t <> 0.0 then begin
+                w.(e.er) <- e.edia *. t;
+                for k = 0 to Array.length e.eidx - 1 do
+                  let i = e.eidx.(k) in
+                  let add = e.evals.(k) *. t in
+                  if w_in.(i) = ep then w.(i) <- w.(i) +. add
+                  else if add <> 0.0 then begin
+                    w_in.(i) <- ep;
+                    w_ind.(!w_n) <- i;
+                    incr w_n;
+                    w.(i) <- add
+                  end
+                done
+              end)
+            (List.rev !etas)
+        end
+      in
+      (* Solve B w = sb (support [sb_ind.(0 .. nb-1)]) and apply the eta
+         file; [sb] is left for the caller to clear.  Keeps [w]'s support
+         state and the kernel counters. *)
+      let solve_into_w nb =
+        (match !w_n with
+        | -1 -> Array.fill w 0 m 0.0
+        | n ->
+            for t2 = 0 to n - 1 do
+              w.(w_ind.(t2)) <- 0.0
+            done);
+        let skipping = !ft_skip > 0 in
+        let r =
+          if skipping then begin
+            decr ft_skip;
+            Array.fill bwork 0 m 0.0;
+            for s2 = 0 to nb - 1 do
+              let i = sb_ind.(s2) in
+              bwork.(i) <- sb.(i)
+            done;
+            Lu.solve !lu ~b:bwork ~x:w ~scratch;
+            -1
+          end
+          else Lu.solve_sp !lu sw ~nb ~bidx:sb_ind ~b:sb ~x:w ~xind:w_ind
+        in
+        if r < 0 then begin
+          w_n := -1;
+          incr c_ftran_dn;
+          if not skipping then begin
+            incr ft_fail;
+            if !ft_fail >= af_trip then begin
+              ft_fail := 0;
+              ft_skip := af_hold
+            end
+          end
+        end
+        else begin
+          w_n := r;
+          incr c_ftran_sp;
+          ft_fail := 0
+        end;
+        apply_etas_to_w ();
+        (* The ratio test and eta extraction scan the support in
+           ascending row order so magnitude ties resolve exactly as the
+           dense 0..m-1 loops do. *)
+        if !w_n >= 0 then Lu.sort_prefix w_ind !w_n
+      in
+      let ftran j =
         let t0 = clock () in
-        Array.fill bwork 0 m 0.0;
-        col_iter j (fun i v -> bwork.(i) <- bwork.(i) +. v);
-        Lu.solve !lu ~b:bwork ~x:w ~scratch;
-        List.iter
-          (fun e ->
-            let t = w.(e.er) in
-            if t <> 0.0 then begin
-              w.(e.er) <- e.edia *. t;
-              for k = 0 to Array.length e.eidx - 1 do
-                w.(e.eidx.(k)) <- w.(e.eidx.(k)) +. (e.evals.(k) *. t)
-              done
-            end)
-          (List.rev !etas);
+        if not hyper then begin
+          Array.fill bwork 0 m 0.0;
+          col_iter j (fun i v -> bwork.(i) <- bwork.(i) +. v);
+          Lu.solve !lu ~b:bwork ~x:w ~scratch;
+          w_n := -1;
+          incr c_ftran_dn;
+          apply_etas_to_w ()
+        end
+        else begin
+          incr sb_epoch;
+          let ep = !sb_epoch in
+          let nb = ref 0 in
+          col_iter j (fun i v ->
+              if sb_in.(i) <> ep then begin
+                sb_in.(i) <- ep;
+                sb_ind.(!nb) <- i;
+                incr nb
+              end;
+              sb.(i) <- sb.(i) +. v);
+          let nb0 = !nb in
+          solve_into_w nb0;
+          for s2 = 0 to nb0 - 1 do
+            sb.(sb_ind.(s2)) <- 0.0
+          done
+        end;
         t_ftran := !t_ftran +. clock () -. t0
       in
       let btran (cb : float array) (y : float array) =
@@ -290,45 +464,234 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
             cb.(e.er) <- !s)
           !etas;
         Lu.solve_t !lu ~c:cb ~y ~scratch;
+        incr c_btran_dn;
         t_btran := !t_btran +. clock () -. t0
+      in
+      let cb = Array.make m 0.0 in
+      (* Unit-RHS BTRAN: rho = row r of B^-1, the pivot-row solve shared
+         by the dual simplex and devex pricing.  Sparse path applies the
+         eta transposes to a stamped sparse vector (positions outside the
+         support read as the exact zeros the dense pass holds there),
+         then runs the reachability-based transpose solve. *)
+      let btran_unit r (rho : float array) =
+        if not hyper then begin
+          Array.fill cb 0 m 0.0;
+          cb.(r) <- 1.0;
+          btran cb rho;
+          rho_n := -1
+        end
+        else begin
+          let t0 = clock () in
+          incr sb_epoch;
+          let ep = !sb_epoch in
+          let nc = ref 1 in
+          sb_ind.(0) <- r;
+          sb_in.(r) <- ep;
+          sb.(r) <- 1.0;
+          List.iter
+            (fun e ->
+              let s = ref (e.edia *. sb.(e.er)) in
+              for k = 0 to Array.length e.eidx - 1 do
+                s := !s +. (e.evals.(k) *. sb.(e.eidx.(k)))
+              done;
+              let s = !s in
+              if sb_in.(e.er) = ep then sb.(e.er) <- s
+              else if s <> 0.0 then begin
+                sb_in.(e.er) <- ep;
+                sb_ind.(!nc) <- e.er;
+                incr nc;
+                sb.(e.er) <- s
+              end)
+            !etas;
+          (match !rho_n with
+          | -1 -> Array.fill rho 0 m 0.0
+          | n ->
+              for t2 = 0 to n - 1 do
+                rho.(rho_ind.(t2)) <- 0.0
+              done);
+          let skipping = !bt_skip > 0 in
+          let res =
+            if skipping then begin
+              decr bt_skip;
+              Array.fill cb 0 m 0.0;
+              for s2 = 0 to !nc - 1 do
+                let i = sb_ind.(s2) in
+                cb.(i) <- sb.(i)
+              done;
+              Lu.solve_t !lu ~c:cb ~y:rho ~scratch;
+              -1
+            end
+            else
+              Lu.solve_t_sp !lu sw ~nc:!nc ~cidx:sb_ind ~c:sb ~y:rho
+                ~yind:rho_ind
+          in
+          for s2 = 0 to !nc - 1 do
+            sb.(sb_ind.(s2)) <- 0.0
+          done;
+          if res < 0 then begin
+            rho_n := -1;
+            incr c_btran_dn;
+            if not skipping then begin
+              incr bt_fail;
+              if !bt_fail >= af_trip then begin
+                bt_fail := 0;
+                bt_skip := af_hold
+              end
+            end
+          end
+          else begin
+            rho_n := res;
+            incr c_btran_sp;
+            bt_fail := 0
+          end;
+          t_btran := !t_btran +. clock () -. t0
+        end
       in
       let push_eta (w : float array) r =
         let wr = w.(r) in
-        let cnt = ref 0 in
-        for k = 0 to m - 1 do
-          if k <> r && Float.abs w.(k) > 1e-12 then incr cnt
-        done;
-        let eidx = Array.make !cnt 0 and evals = Array.make !cnt 0.0 in
-        let at = ref 0 in
-        for k = 0 to m - 1 do
-          if k <> r && Float.abs w.(k) > 1e-12 then begin
-            eidx.(!at) <- k;
-            evals.(!at) <- -.w.(k) /. wr;
-            incr at
-          end
-        done;
-        etas := { er = r; eidx; evals; edia = 1.0 /. wr } :: !etas;
-        incr n_etas
+        if !w_n < 0 then begin
+          let cnt = ref 0 in
+          for k = 0 to m - 1 do
+            if k <> r && Float.abs w.(k) > 1e-12 then incr cnt
+          done;
+          let eidx = Array.make !cnt 0 and evals = Array.make !cnt 0.0 in
+          let at = ref 0 in
+          for k = 0 to m - 1 do
+            if k <> r && Float.abs w.(k) > 1e-12 then begin
+              eidx.(!at) <- k;
+              evals.(!at) <- -.w.(k) /. wr;
+              incr at
+            end
+          done;
+          etas := { er = r; eidx; evals; edia = 1.0 /. wr } :: !etas;
+          incr n_etas
+        end
+        else begin
+          (* Same extraction restricted to the (sorted) support: entries
+             off the support are zero and fail the magnitude filter in
+             the dense scan too. *)
+          let cnt = ref 0 in
+          for t2 = 0 to !w_n - 1 do
+            let k = w_ind.(t2) in
+            if k <> r && Float.abs w.(k) > 1e-12 then incr cnt
+          done;
+          let eidx = Array.make !cnt 0 and evals = Array.make !cnt 0.0 in
+          let at = ref 0 in
+          for t2 = 0 to !w_n - 1 do
+            let k = w_ind.(t2) in
+            if k <> r && Float.abs w.(k) > 1e-12 then begin
+              eidx.(!at) <- k;
+              evals.(!at) <- -.w.(k) /. wr;
+              incr at
+            end
+          done;
+          etas := { er = r; eidx; evals; edia = 1.0 /. wr } :: !etas;
+          incr n_etas
+        end
       in
       (* --- simplex iterations ------------------------------------------ *)
       let cost = Array.make cap 0.0 in
-      let cb = Array.make m 0.0 in
       let y = Array.make m 0.0 in
-      let w = Array.make m 0.0 in
-      let rho = Array.make m 0.0 in
       let iters = ref 0 in
       let dual_pivots = ref 0 in
       let bound_flips = ref 0 in
       let bland = ref false in
       let degen = ref 0 in
       let price_cursor = ref 0 in
+      (* Row-major view of A, shared by dual-simplex pricing and the
+         devex pivot-row gather; reused across solves via [?analysis]
+         when the caller's matrix is unchanged. *)
+      let arows_l =
+        match analysis with
+        | Some a -> lazy a.arows
+        | None -> lazy (Sparse.Csc.rows p.a)
+      in
+      (* Touched-column workspace for pivot-row pricing (alpha = rho^T A
+         gathered over supp(rho)); stamped by iteration number, so one
+         gather per iteration needs no reset. *)
+      let alpha_acc = Array.make cap 0.0 in
+      let stamp = Array.make cap (-1) in
+      let touched = Array.make cap 0 in
+      (* Dual ratio-test candidates and pending bound flips, kept in
+         preallocated parallel arrays: the test runs every dual pivot,
+         and list-of-tuple sorting was a measurable allocation cost. *)
+      let dc_ratio = Array.make cap 0.0 in
+      let dc_alpha = Array.make cap 0.0 in
+      let dc_j = Array.make cap 0 in
+      let df_j = Array.make cap 0 in
+      let df_delta = Array.make cap 0.0 in
+      (* In-place quicksort of the candidate triples by (ratio asc,
+         pivot magnitude desc, column asc) — the same total order the
+         list sort used, so the sorted sequence is identical.  All keys
+         are non-negative finite floats and columns are distinct, so
+         plain [<] agrees with [Float.compare]. *)
+      let dc_lt (r1 : float) (a1 : float) (j1 : int) r2 a2 j2 =
+        r1 < r2 || (r1 = r2 && (a1 > a2 || (a1 = a2 && j1 < j2)))
+      in
+      let dc_swap i j =
+        let tr = dc_ratio.(i) in
+        dc_ratio.(i) <- dc_ratio.(j);
+        dc_ratio.(j) <- tr;
+        let ta = dc_alpha.(i) in
+        dc_alpha.(i) <- dc_alpha.(j);
+        dc_alpha.(j) <- ta;
+        let tj = dc_j.(i) in
+        dc_j.(i) <- dc_j.(j);
+        dc_j.(j) <- tj
+      in
+      let rec dc_sort lo_ hi_ =
+        if hi_ - lo_ >= 12 then begin
+          let mid = (lo_ + hi_) / 2 in
+          let pr = dc_ratio.(mid) and pa = dc_alpha.(mid) and pj = dc_j.(mid) in
+          let i = ref lo_ and j = ref hi_ in
+          while !i <= !j do
+            while dc_lt dc_ratio.(!i) dc_alpha.(!i) dc_j.(!i) pr pa pj do
+              incr i
+            done;
+            while dc_lt pr pa pj dc_ratio.(!j) dc_alpha.(!j) dc_j.(!j) do
+              decr j
+            done;
+            if !i <= !j then begin
+              dc_swap !i !j;
+              incr i;
+              decr j
+            end
+          done;
+          dc_sort lo_ !j;
+          dc_sort !i hi_
+        end
+        else
+          for k = lo_ + 1 to hi_ do
+            let r = dc_ratio.(k) and a = dc_alpha.(k) and j = dc_j.(k) in
+            let t = ref k in
+            while
+              !t > lo_
+              && dc_lt r a j dc_ratio.(!t - 1) dc_alpha.(!t - 1) dc_j.(!t - 1)
+            do
+              dc_ratio.(!t) <- dc_ratio.(!t - 1);
+              dc_alpha.(!t) <- dc_alpha.(!t - 1);
+              dc_j.(!t) <- dc_j.(!t - 1);
+              decr t
+            done;
+            dc_ratio.(!t) <- r;
+            dc_alpha.(!t) <- a;
+            dc_j.(!t) <- j
+          done
+      in
+      (* Devex reference-framework pricing state: [dx] incrementally
+         maintained reduced costs, [dw] devex weights, [cand] the
+         current candidate list. *)
+      let dx = Array.make (if devex then cap else 0) 0.0 in
+      let dw = Array.make (if devex then cap else 0) 1.0 in
+      let cand = Array.make (if devex then cap else 0) 0 in
+      let ncand = ref 0 in
       (* Expensive per-pivot invariant check, enabled via LP_PARANOID. *)
       let paranoid = Sys.getenv_opt "LP_PARANOID" <> None in
       let check_invariants () =
         if paranoid then begin
           let saved = Array.copy x_basic in
           let saved_etas = !etas and saved_n = !n_etas and saved_lu = !lu in
-          lu := Lu.factor ~m (fun k f -> col_iter basis.(k) f);
+          lu := Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f);
           etas := [];
           n_etas := 0;
           recompute_x_basic ();
@@ -376,13 +739,124 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
           lu := saved_lu
         end
       in
-      let run_phase () =
+      (* Ratio test plus bound-flip/pivot for entering column [je] moving
+         in direction [s].  Shared by classic and devex pricing.
+         [on_pivot ~r] runs after the leaving row [r] is chosen but
+         before any basis or eta mutation, so devex can price the pivot
+         row against the pre-pivot basis. *)
+      let enter_column ?(on_pivot = fun ~r:_ -> ()) je s =
+        let res = ref `Ok in
+        ftran je;
+        let tratio0 = clock () in
+        (* Two-pass Harris ratio test, scanned over [w]'s support (the
+           dense pass skips zero entries through the same magnitude
+           filter). *)
+        let sup_n = if !w_n < 0 then m else !w_n in
+        let theta_max = ref inf in
+        let t_flip =
+          if Float.is_finite lo.(je) && Float.is_finite hi.(je) then
+            hi.(je) -. lo.(je)
+          else inf
+        in
+        for ti = 0 to sup_n - 1 do
+          let k = if !w_n < 0 then ti else w_ind.(ti) in
+          let delta = s *. w.(k) in
+          if Float.abs delta > 1e-9 then begin
+            let b = basis.(k) in
+            if delta > 0.0 && Float.is_finite lo.(b) then begin
+              let sl0 = x_basic.(k) -. lo.(b) in
+              let slack = if sl0 > 0.0 then sl0 else 0.0 in
+              let r = (slack +. feas_tol) /. delta in
+              if r < !theta_max then theta_max := r
+            end
+            else if delta < 0.0 && Float.is_finite hi.(b) then begin
+              let sl0 = hi.(b) -. x_basic.(k) in
+              let slack = if sl0 > 0.0 then sl0 else 0.0 in
+              let r = (slack +. feas_tol) /. -.delta in
+              if r < !theta_max then theta_max := r
+            end
+          end
+        done;
+        if !theta_max = inf && t_flip = inf then res := `Unbounded
+        else begin
+          (* pass 2: among blocking candidates within theta_max pick the
+             largest pivot magnitude *)
+          let leave = ref (-1) and lmag = ref 0.0 and lt = ref inf in
+          for ti = 0 to sup_n - 1 do
+            let k = if !w_n < 0 then ti else w_ind.(ti) in
+            let delta = s *. w.(k) in
+            if Float.abs delta > 1e-9 then begin
+              let b = basis.(k) in
+              (* slack < 0 encodes "not blocking" — real slacks are
+                 clamped non-negative, so no option allocation needed *)
+              let slack =
+                if delta > 0.0 && Float.is_finite lo.(b) then begin
+                  let sl0 = x_basic.(k) -. lo.(b) in
+                  if sl0 > 0.0 then sl0 else 0.0
+                end
+                else if delta < 0.0 && Float.is_finite hi.(b) then begin
+                  let sl0 = hi.(b) -. x_basic.(k) in
+                  if sl0 > 0.0 then sl0 else 0.0
+                end
+                else -1.0
+              in
+              if slack >= 0.0 then begin
+                let r = slack /. Float.abs delta in
+                if r <= !theta_max && Float.abs delta > !lmag then begin
+                  leave := k;
+                  lmag := Float.abs delta;
+                  lt := r
+                end
+              end
+            end
+          done;
+          let t_leave = if !leave >= 0 then !lt else inf in
+          (if t_flip < t_leave then begin
+             (* bound flip: no basis change *)
+             for ti = 0 to sup_n - 1 do
+               let k = if !w_n < 0 then ti else w_ind.(ti) in
+               x_basic.(k) <- x_basic.(k) -. (s *. t_flip *. w.(k))
+             done;
+             nb_at.(je) <- (if nb_at.(je) = 'l' then 'u' else 'l');
+             if paranoid then
+               Printf.eprintf "LP_PARANOID: iter %d flip j=%d t=%g\n%!" !iters
+                 je t_flip;
+             check_invariants ();
+             if t_flip <= 1e-10 then incr degen else degen := 0
+           end
+           else if !leave < 0 then res := `Unbounded
+           else begin
+             let r = !leave in
+             let t = t_leave in
+             on_pivot ~r;
+             for ti = 0 to sup_n - 1 do
+               let k = if !w_n < 0 then ti else w_ind.(ti) in
+               x_basic.(k) <- x_basic.(k) -. (s *. t *. w.(k))
+             done;
+             let entering_val = nbval je +. (s *. t) in
+             let leaving = basis.(r) in
+             where.(leaving) <- -1;
+             nb_at.(leaving) <- (if s *. w.(r) > 0.0 then 'l' else 'u');
+             basis.(r) <- je;
+             where.(je) <- r;
+             x_basic.(r) <- entering_val;
+             push_eta w r;
+             check_invariants ();
+             if t <= 1e-10 then incr degen else degen := 0
+           end);
+          if !degen > 200 + m then bland := true
+          else if !degen = 0 then bland := false;
+          t_ratio := !t_ratio +. clock () -. tratio0
+        end;
+        !res
+      in
+      let run_phase_classic () =
         let outcome = ref `Run in
         while !outcome = `Run do
           if !iters >= max_iter then outcome := `Iter_limit
           else begin
             incr iters;
-            if !n_etas >= 64 then refactorize 0;
+            if !n_etas >= eta_max then refactorize 0;
             for k = 0 to m - 1 do
               cb.(k) <- cost.(basis.(k))
             done;
@@ -454,99 +928,317 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
             t_price := !t_price +. clock () -. tprice0;
             if !best_j < 0 then outcome := `Phase_done
             else begin
-              let je = !best_j and s = !best_dir in
-              ftran je w;
-              let tratio0 = clock () in
-              (* Two-pass Harris ratio test. *)
-              let theta_max = ref inf in
-              let t_flip =
-                if Float.is_finite lo.(je) && Float.is_finite hi.(je) then
-                  hi.(je) -. lo.(je)
-                else inf
-              in
-              for k = 0 to m - 1 do
-                let delta = s *. w.(k) in
-                if Float.abs delta > 1e-9 then begin
-                  let b = basis.(k) in
-                  if delta > 0.0 && Float.is_finite lo.(b) then begin
-                    let slack = max 0.0 (x_basic.(k) -. lo.(b)) in
-                    let r = (slack +. feas_tol) /. delta in
-                    if r < !theta_max then theta_max := r
-                  end
-                  else if delta < 0.0 && Float.is_finite hi.(b) then begin
-                    let slack = max 0.0 (hi.(b) -. x_basic.(k)) in
-                    let r = (slack +. feas_tol) /. -.delta in
-                    if r < !theta_max then theta_max := r
-                  end
-                end
-              done;
-              if !theta_max = inf && t_flip = inf then outcome := `Unbounded
-              else begin
-                (* pass 2: among blocking candidates within theta_max pick
-                   the largest pivot magnitude *)
-                let leave = ref (-1) and lmag = ref 0.0 and lt = ref inf in
-                for k = 0 to m - 1 do
-                  let delta = s *. w.(k) in
-                  if Float.abs delta > 1e-9 then begin
-                    let b = basis.(k) in
-                    let slack =
-                      if delta > 0.0 && Float.is_finite lo.(b) then
-                        Some (max 0.0 (x_basic.(k) -. lo.(b)))
-                      else if delta < 0.0 && Float.is_finite hi.(b) then
-                        Some (max 0.0 (hi.(b) -. x_basic.(k)))
-                      else None
-                    in
-                    match slack with
-                    | Some sl ->
-                        let r = sl /. Float.abs delta in
-                        if r <= !theta_max && Float.abs delta > !lmag
-                        then begin
-                          leave := k;
-                          lmag := Float.abs delta;
-                          lt := r
-                        end
-                    | None -> ()
-                  end
-                done;
-                let t_leave = if !leave >= 0 then !lt else inf in
-                if t_flip < t_leave then begin
-                  (* bound flip: no basis change *)
-                  for k = 0 to m - 1 do
-                    x_basic.(k) <- x_basic.(k) -. (s *. t_flip *. w.(k))
-                  done;
-                  nb_at.(je) <- (if nb_at.(je) = 'l' then 'u' else 'l');
-                  if paranoid then
-                    Printf.eprintf "LP_PARANOID: iter %d flip j=%d t=%g\n%!"
-                      !iters je t_flip;
-                  check_invariants ();
-                  if t_flip <= 1e-10 then incr degen else degen := 0
-                end
-                else if !leave < 0 then outcome := `Unbounded
-                else begin
-                  let r = !leave in
-                  let t = t_leave in
-                  for k = 0 to m - 1 do
-                    x_basic.(k) <- x_basic.(k) -. (s *. t *. w.(k))
-                  done;
-                  let entering_val = nbval je +. (s *. t) in
-                  let leaving = basis.(r) in
-                  where.(leaving) <- -1;
-                  nb_at.(leaving) <- (if s *. w.(r) > 0.0 then 'l' else 'u');
-                  basis.(r) <- je;
-                  where.(je) <- r;
-                  x_basic.(r) <- entering_val;
-                  push_eta w r;
-                  check_invariants ();
-                  if t <= 1e-10 then incr degen else degen := 0
+              match enter_column !best_j !best_dir with
+              | `Unbounded -> outcome := `Unbounded
+              | `Ok -> ()
+            end
+          end
+        done;
+        !outcome
+      in
+      (* --- devex candidate-list pricing --------------------------------
+         Reduced costs [dx] are maintained incrementally (a pivot with
+         dual step theta moves d_j by -theta * alpha_j, and alpha is
+         gathered over the pivot row's support only), so iterations skip
+         both the per-iteration BTRAN and the full matrix re-pricing.
+         Entering picks maximize d_j^2 / dw_j over a candidate list;
+         when the list runs dry it is refreshed from the maintained
+         costs, and optimality is only ever declared after an exact
+         recompute reproduces the classic full-scan test.  Degeneracy
+         falls back to Bland's rule exactly as the classic loop does. *)
+      let recompute_dx () =
+        for k = 0 to m - 1 do
+          cb.(k) <- cost.(basis.(k))
+        done;
+        btran cb y;
+        let total = ntot () in
+        for j = 0 to total - 1 do
+          dx.(j) <- (if where.(j) >= 0 then 0.0 else cost.(j) -. col_dot j y)
+        done
+      in
+      (* Rebuild the candidate list: the [cand_k] best eligible columns
+         by devex score (score-desc, index-asc — a total order, so the
+         kept set never depends on scan order).  A bounded min-heap
+         keyed on the worst kept candidate selects the top [cand_k] in
+         O(n log k) without allocating. *)
+      let cand_k = max 16 (min 512 ((nv + m) / 8)) in
+      let hs = Array.make (if devex then cand_k else 0) 0.0 in
+      let hj = Array.make (if devex then cand_k else 0) 0 in
+      let refresh_candidates () =
+        incr c_refreshes;
+        let total = ntot () in
+        let hn = ref 0 in
+        (* 'worse' = lower score, then higher column index *)
+        let worse (s1 : float) (j1 : int) s2 j2 =
+          s1 < s2 || (s1 = s2 && j1 > j2)
+        in
+        let hswap a b =
+          let ts = hs.(a) in
+          hs.(a) <- hs.(b);
+          hs.(b) <- ts;
+          let tj = hj.(a) in
+          hj.(a) <- hj.(b);
+          hj.(b) <- tj
+        in
+        let sift_up k0 =
+          let k = ref k0 in
+          while
+            !k > 0
+            && worse hs.(!k) hj.(!k) hs.((!k - 1) / 2) hj.((!k - 1) / 2)
+          do
+            hswap !k ((!k - 1) / 2);
+            k := (!k - 1) / 2
+          done
+        in
+        let sift_down () =
+          let i = ref 0 in
+          let moving = ref true in
+          while !moving do
+            let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+            let w = ref !i in
+            if l < !hn && worse hs.(l) hj.(l) hs.(!w) hj.(!w) then w := l;
+            if r < !hn && worse hs.(r) hj.(r) hs.(!w) hj.(!w) then w := r;
+            if !w = !i then moving := false
+            else begin
+              hswap !i !w;
+              i := !w
+            end
+          done
+        in
+        for j = 0 to total - 1 do
+          if where.(j) < 0 && lo.(j) < hi.(j) then begin
+            let d = dx.(j) in
+            let tol = opt_tol *. (1.0 +. Float.abs cost.(j)) in
+            let ok =
+              match nb_at.(j) with
+              | 'l' -> d < -.tol
+              | 'u' -> d > tol
+              | _ -> d < -.tol || d > tol
+            in
+            if ok then begin
+              let sc = d *. d /. dw.(j) in
+              if !hn < cand_k then begin
+                hs.(!hn) <- sc;
+                hj.(!hn) <- j;
+                sift_up !hn;
+                incr hn
+              end
+              else if worse hs.(0) hj.(0) sc j then begin
+                hs.(0) <- sc;
+                hj.(0) <- j;
+                sift_down ()
+              end
+            end
+          end
+        done;
+        ncand := !hn;
+        Array.blit hj 0 cand 0 !hn
+      in
+      (* Best still-eligible candidate from the list, by current scores;
+         returns (-1, _) when the list has gone stale or empty. *)
+      let pick_candidate () =
+        let best_j = ref (-1) and best_sc = ref 0.0 and best_dir = ref 1.0 in
+        for c = 0 to !ncand - 1 do
+          let j = cand.(c) in
+          if where.(j) < 0 && lo.(j) < hi.(j) then begin
+            let d = dx.(j) in
+            let tol = opt_tol *. (1.0 +. Float.abs cost.(j)) in
+            let dir =
+              match nb_at.(j) with
+              | 'l' -> if d < -.tol then 1.0 else 0.0
+              | 'u' -> if d > tol then -1.0 else 0.0
+              | _ -> if d < -.tol then 1.0 else if d > tol then -1.0 else 0.0
+            in
+            if dir <> 0.0 then begin
+              let sc = d *. d /. dw.(j) in
+              if
+                sc > !best_sc
+                || (sc = !best_sc && !best_j >= 0 && j < !best_j)
+              then begin
+                best_j := j;
+                best_sc := sc;
+                best_dir := dir
+              end
+            end
+          end
+        done;
+        (!best_j, !best_dir)
+      in
+      let devex_reset () =
+        Array.fill dw 0 (Array.length dw) 1.0;
+        incr c_devex_resets
+      in
+      (* Pivot hook: update [dx] and the devex weights from the pivot
+         row.  Runs pre-pivot (je still nonbasic, basis.(r) still
+         basic); alpha_je equals w.(r). *)
+      let d_stale = ref true in
+      let devex_update je ~r =
+        let wr = w.(r) in
+        if Float.abs wr < 1e-9 then d_stale := true
+        else begin
+          let theta = dx.(je) /. wr in
+          let gq = if dw.(je) > 1.0 then dw.(je) else 1.0 in
+          let wr2 = wr *. wr in
+          btran_unit r rho;
+          let arows = Lazy.force arows_l in
+          let ntouched = ref 0 in
+          let touch j =
+            if stamp.(j) <> !iters then begin
+              stamp.(j) <- !iters;
+              alpha_acc.(j) <- 0.0;
+              touched.(!ntouched) <- j;
+              incr ntouched
+            end
+          in
+          let rsup_n = if !rho_n < 0 then m else !rho_n in
+          for rt = 0 to rsup_n - 1 do
+            let i = if !rho_n < 0 then rt else rho_ind.(rt) in
+            let ri = rho.(i) in
+            if Float.abs ri > 1e-12 then begin
+              let js = nv + i in
+              touch js;
+              alpha_acc.(js) <- alpha_acc.(js) +. ri;
+              for k = arows.Sparse.Csc.rowptr.(i)
+                  to arows.Sparse.Csc.rowptr.(i + 1) - 1
+              do
+                let j = arows.Sparse.Csc.colind.(k) in
+                touch j;
+                alpha_acc.(j) <-
+                  alpha_acc.(j) +. (ri *. arows.Sparse.Csc.rvalues.(k))
+              done
+            end
+          done;
+          for tk = 0 to !ntouched - 1 do
+            let j = touched.(tk) in
+            if where.(j) < 0 then begin
+              let a = alpha_acc.(j) in
+              dx.(j) <- dx.(j) -. (theta *. a);
+              let wj = a *. a /. wr2 *. gq in
+              if wj > dw.(j) then dw.(j) <- wj
+            end
+          done;
+          (* Artificial columns are unit columns, invisible to the CSR
+             gather. *)
+          for k2 = 0 to !nart - 1 do
+            let aj = nv + m + k2 in
+            if where.(aj) < 0 then begin
+              let a = art_sig.(k2) *. rho.(art_row.(k2)) in
+              if a <> 0.0 then begin
+                dx.(aj) <- dx.(aj) -. (theta *. a);
+                let wj = a *. a /. wr2 *. gq in
+                if wj > dw.(aj) then dw.(aj) <- wj
+              end
+            end
+          done;
+          dx.(je) <- 0.0;
+          let b = basis.(r) in
+          dx.(b) <- -.theta;
+          dw.(b) <- (let v = gq /. wr2 in
+                     if v > 1.0 then v else 1.0);
+          if gq > 1e8 || dw.(b) > 1e8 then devex_reset ()
+        end
+      in
+      let run_phase_devex () =
+        let outcome = ref `Run in
+        d_stale := true;
+        devex_reset ();
+        (* the phase-entry framework reset is bookkeeping, not a
+           degeneracy event *)
+        decr c_devex_resets;
+        while !outcome = `Run do
+          if !iters >= max_iter then outcome := `Iter_limit
+          else begin
+            incr iters;
+            (* Refactorization replaces the eta file but leaves the basis
+               — and therefore the reduced costs — untouched, so the
+               incrementally maintained [dx] stays valid.  Numerical
+               drift is caught by the exact optimality certification. *)
+            if !n_etas >= eta_max then refactorize 0;
+            if !bland then begin
+              (* Bland's rule on exact reduced costs, as the classic
+                 loop: lowest-index eligible column enters. *)
+              recompute_dx ();
+              let total = ntot () in
+              let je = ref (-1) and s = ref 1.0 in
+              let j = ref 0 in
+              while !j < total && !je < 0 do
+                let jj = !j in
+                if where.(jj) < 0 && lo.(jj) < hi.(jj) then begin
+                  let d = dx.(jj) in
+                  let tol = opt_tol *. (1.0 +. Float.abs cost.(jj)) in
+                  match nb_at.(jj) with
+                  | 'l' ->
+                      if d < -.tol then begin
+                        je := jj;
+                        s := 1.0
+                      end
+                  | 'u' ->
+                      if d > tol then begin
+                        je := jj;
+                        s := -1.0
+                      end
+                  | _ ->
+                      if d < -.tol then begin
+                        je := jj;
+                        s := 1.0
+                      end
+                      else if d > tol then begin
+                        je := jj;
+                        s := -1.0
+                      end
                 end;
-                if !degen > 200 + m then bland := true
-                else if !degen = 0 then bland := false;
-                t_ratio := !t_ratio +. clock () -. tratio0
+                incr j
+              done;
+              if !je < 0 then outcome := `Phase_done
+              else begin
+                d_stale := true;
+                match enter_column !je !s with
+                | `Unbounded -> outcome := `Unbounded
+                | `Ok -> ()
+              end
+            end
+            else begin
+              let tprice0 = clock () in
+              if !d_stale then begin
+                recompute_dx ();
+                d_stale := false;
+                refresh_candidates ()
+              end;
+              let je, s =
+                let je, s = pick_candidate () in
+                if je >= 0 then (je, s)
+                else begin
+                  refresh_candidates ();
+                  let je, s = pick_candidate () in
+                  if je >= 0 then (je, s)
+                  else begin
+                    (* exact certification: only the classic full-scan
+                       test on freshly computed reduced costs may end
+                       the phase *)
+                    recompute_dx ();
+                    d_stale := false;
+                    refresh_candidates ();
+                    pick_candidate ()
+                  end
+                end
+              in
+              t_price := !t_price +. clock () -. tprice0;
+              if je < 0 then outcome := `Phase_done
+              else begin
+                match enter_column ~on_pivot:(devex_update je) je s with
+                | `Unbounded -> outcome := `Unbounded
+                | `Ok -> ()
               end
             end
           end
         done;
         !outcome
+      in
+      (* Devex reference weights are calibrated to the phase objective;
+         the phase-1 artificial objective is so degenerate that devex
+         mostly churns there, so phase 1 always prices classically. *)
+      let run_phase ?(p1 = false) () =
+        if devex && not p1 then run_phase_devex () else run_phase_classic ()
       in
       (* --- dual simplex (warm re-solves) -------------------------------
          Invariant: nonbasic reduced costs are dual-feasible (repaired on
@@ -563,10 +1255,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
            supp(rho) only, so each iteration costs the fill of the pivot
            row rather than a full-matrix scan.  [stamp]/[touched] give
            O(touched) reset between iterations. *)
-        let arows = Sparse.Csc.rows p.a in
-        let alpha_acc = Array.make (nv + m) 0.0 in
-        let stamp = Array.make (nv + m) (-1) in
-        let touched = Array.make (nv + m) 0 in
+        let arows = Lazy.force arows_l in
         (* Reduced costs are maintained incrementally: a pivot with dual
            step theta only moves d_j by -theta * alpha_j, and alpha is
            zero outside the gathered columns.  Entries for basic columns
@@ -594,7 +1283,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
           else begin
             incr iters;
             incr dual_pivots;
-            if !n_etas >= 64 then begin
+            if !n_etas >= eta_max then begin
               refactorize 0;
               recompute_d ()
             end;
@@ -619,9 +1308,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
               (* sigma: direction the leaving basic must move *)
               let sigma = if !below then 1.0 else -1.0 in
               (* rho = row r of B^-1 *)
-              Array.fill cb 0 m 0.0;
-              cb.(r) <- 1.0;
-              btran cb rho;
+              btran_unit r rho;
               let tprice0 = clock () in
               (* Entering candidates: nonbasic j whose move in its feasible
                  direction drives x_B(r) toward the violated bound, ranked
@@ -636,7 +1323,9 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                   incr ntouched
                 end
               in
-              for i = 0 to m - 1 do
+              let rsup_n = if !rho_n < 0 then m else !rho_n in
+              for rt = 0 to rsup_n - 1 do
+                let i = if !rho_n < 0 then rt else rho_ind.(rt) in
                 let ri = rho.(i) in
                 if Float.abs ri > 1e-12 then begin
                   let js = nv + i in
@@ -652,7 +1341,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                   done
                 end
               done;
-              let cands = ref [] in
+              let nc = ref 0 in
               for tk = 0 to !ntouched - 1 do
                 let j = touched.(tk) in
                 if where.(j) < 0 && lo.(j) < hi.(j) then begin
@@ -664,114 +1353,130 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                       | 'u' -> sigma *. alpha > 0.0
                       | _ -> true
                     in
-                    if eligible then
-                      let ratio = Float.abs d.(j) /. Float.abs alpha in
-                      cands := (ratio, Float.abs alpha, j) :: !cands
+                    if eligible then begin
+                      dc_ratio.(!nc) <- Float.abs d.(j) /. Float.abs alpha;
+                      dc_alpha.(!nc) <- Float.abs alpha;
+                      dc_j.(!nc) <- j;
+                      incr nc
+                    end
                   end
                 end
               done;
               t_price := !t_price +. clock () -. tprice0;
-              match !cands with
-              | [] ->
-                  (* no column can relieve the violation: the bound system
-                     is primal infeasible *)
-                  outcome := `Primal_infeasible
-              | cands0 ->
-                  let tratio0 = clock () in
-                  (* smallest dual ratio first; larger pivot, then lower
-                     column index, breaks ties — a total order, so the
-                     pick does not depend on gather order *)
-                  let sorted =
-                    List.sort
-                      (fun (r1, a1, j1) (r2, a2, j2) ->
-                        match Float.compare r1 r2 with
-                        | 0 -> (
-                            match Float.compare a2 a1 with
-                            | 0 -> compare j1 j2
-                            | c -> c)
-                        | c -> c)
-                      cands0
-                  in
-                  (* Bound-flip ratio test: a boxed candidate whose full
-                     flip removes less than the remaining violation is
-                     flipped outright (no pivot); the walk stops at the
-                     first candidate that would overshoot.  The flips only
-                     change nonbasic values, so their combined effect on
-                     x_basic is applied with a single solve
-                     (B^-1 sum_j delta_j a_j) after the walk. *)
-                  let remaining = ref !viol in
-                  let flipped = ref [] in
-                  let rec walk = function
-                    | [] -> []
-                    | [ c ] -> [ c ]
-                    | ((_, a, j) :: rest) as l ->
-                        let range = hi.(j) -. lo.(j) in
-                        if
-                          Float.is_finite range
-                          && nb_at.(j) <> 'f'
-                          && (a *. range) < !remaining -. feas_tol
-                        then begin
-                          let delta =
-                            if nb_at.(j) = 'l' then range else -.range
-                          in
-                          flipped := (j, delta) :: !flipped;
-                          nb_at.(j) <- (if nb_at.(j) = 'l' then 'u' else 'l');
-                          incr bound_flips;
-                          remaining := !remaining -. (a *. range);
-                          walk rest
-                        end
-                        else l
-                  in
-                  let tail = walk sorted in
-                  (* Harris-style second pass: the strict minimum ratio
-                     often rides a tiny |alpha|, and t = viol / alpha then
-                     throws the entering variable far past its opposite
-                     bound — the violation migrates instead of shrinking.
-                     Admit every candidate whose reduced cost would go
-                     infeasible by at most dtol at the head's ratio and
-                     enter the one with the largest pivot; the closing
-                     primal run repairs the bounded slack. *)
-                  let je =
-                    match tail with
-                    | [] -> assert false
-                    | (r_e, a_e, j_e) :: rest ->
-                        let dtol = 1e-7 in
-                        let best_a = ref a_e and best_j = ref j_e in
-                        List.iter
-                          (fun (rt, a, j) ->
-                            if a > !best_a && (rt *. a) -. (r_e *. a) <= dtol
-                            then begin
-                              best_a := a;
-                              best_j := j
-                            end)
-                          rest;
-                        !best_j
-                  in
-                  (match !flipped with
-                  | [] -> ()
-                  | flips ->
-                      Array.fill bwork 0 m 0.0;
-                      List.iter
-                        (fun (j, delta) ->
-                          col_iter j (fun i v ->
-                              bwork.(i) <- bwork.(i) +. (delta *. v)))
-                        flips;
-                      Lu.solve !lu ~b:bwork ~x:w ~scratch;
-                      List.iter
-                        (fun e ->
-                          let t = w.(e.er) in
-                          if t <> 0.0 then begin
-                            w.(e.er) <- e.edia *. t;
-                            for k = 0 to Array.length e.eidx - 1 do
-                              w.(e.eidx.(k)) <-
-                                w.(e.eidx.(k)) +. (e.evals.(k) *. t)
-                            done
-                          end)
-                        (List.rev !etas);
-                      for k = 0 to m - 1 do
-                        x_basic.(k) <- x_basic.(k) -. w.(k)
-                      done);
-                  ftran je w;
+              if !nc = 0 then
+                (* no column can relieve the violation: the bound system
+                   is primal infeasible *)
+                outcome := `Primal_infeasible
+              else begin
+                let nc = !nc in
+                let tratio0 = clock () in
+                (* smallest dual ratio first; larger pivot, then lower
+                   column index, breaks ties — a total order, so the
+                   pick does not depend on gather order *)
+                dc_sort 0 (nc - 1);
+                (* Bound-flip ratio test: a boxed candidate whose full
+                   flip removes less than the remaining violation is
+                   flipped outright (no pivot); the walk stops at the
+                   first candidate that would overshoot (and never flips
+                   the last candidate).  The flips only change nonbasic
+                   values, so their combined effect on x_basic is applied
+                   with a single solve (B^-1 sum_j delta_j a_j) after the
+                   walk. *)
+                let remaining = ref !viol in
+                let nflip = ref 0 in
+                let tpos = ref 0 in
+                let walking = ref true in
+                while !walking && !tpos < nc - 1 do
+                  let j = dc_j.(!tpos) and a = dc_alpha.(!tpos) in
+                  let range = hi.(j) -. lo.(j) in
+                  if
+                    Float.is_finite range
+                    && nb_at.(j) <> 'f'
+                    && (a *. range) < !remaining -. feas_tol
+                  then begin
+                    let delta = if nb_at.(j) = 'l' then range else -.range in
+                    df_j.(!nflip) <- j;
+                    df_delta.(!nflip) <- delta;
+                    incr nflip;
+                    nb_at.(j) <- (if nb_at.(j) = 'l' then 'u' else 'l');
+                    incr bound_flips;
+                    remaining := !remaining -. (a *. range);
+                    incr tpos
+                  end
+                  else walking := false
+                done;
+                (* Harris-style second pass: the strict minimum ratio
+                   often rides a tiny |alpha|, and t = viol / alpha then
+                   throws the entering variable far past its opposite
+                   bound — the violation migrates instead of shrinking.
+                   Admit every candidate whose reduced cost would go
+                   infeasible by at most dtol at the head's ratio and
+                   enter the one with the largest pivot; the closing
+                   primal run repairs the bounded slack. *)
+                let je =
+                  let r_e = dc_ratio.(!tpos) in
+                  let dtol = 1e-7 in
+                  let best_a = ref dc_alpha.(!tpos)
+                  and best_j = ref dc_j.(!tpos) in
+                  for q = !tpos + 1 to nc - 1 do
+                    let a = dc_alpha.(q) in
+                    if a > !best_a && (dc_ratio.(q) *. a) -. (r_e *. a) <= dtol
+                    then begin
+                      best_a := a;
+                      best_j := dc_j.(q)
+                    end
+                  done;
+                  !best_j
+                in
+                (if !nflip > 0 then
+                   (* flips are applied newest-first, matching the
+                      prepend order the list implementation used, so the
+                      accumulation order (and its rounding) is
+                      unchanged *)
+                   if not hyper then begin
+                     Array.fill bwork 0 m 0.0;
+                     for f = !nflip - 1 downto 0 do
+                       let j = df_j.(f) and delta = df_delta.(f) in
+                       col_iter j (fun i v ->
+                           bwork.(i) <- bwork.(i) +. (delta *. v))
+                     done;
+                     Lu.solve !lu ~b:bwork ~x:w ~scratch;
+                     w_n := -1;
+                     incr c_ftran_dn;
+                     apply_etas_to_w ();
+                     for k = 0 to m - 1 do
+                       x_basic.(k) <- x_basic.(k) -. w.(k)
+                     done
+                   end
+                   else begin
+                     (* combined flip delta is sparse: build it on the
+                        stamped scratch (columns may share rows) and
+                        update x_basic over the solve's support *)
+                     incr sb_epoch;
+                     let ep = !sb_epoch in
+                     let nb = ref 0 in
+                     for f = !nflip - 1 downto 0 do
+                       let j = df_j.(f) and delta = df_delta.(f) in
+                       col_iter j (fun i v ->
+                           if sb_in.(i) <> ep then begin
+                             sb_in.(i) <- ep;
+                             sb_ind.(!nb) <- i;
+                             incr nb
+                           end;
+                           sb.(i) <- sb.(i) +. (delta *. v))
+                     done;
+                     let nb0 = !nb in
+                     solve_into_w nb0;
+                     for s2 = 0 to nb0 - 1 do
+                       sb.(sb_ind.(s2)) <- 0.0
+                     done;
+                     let sup_n = if !w_n < 0 then m else !w_n in
+                     for ti = 0 to sup_n - 1 do
+                       let k = if !w_n < 0 then ti else w_ind.(ti) in
+                       x_basic.(k) <- x_basic.(k) -. w.(k)
+                     done
+                   end);
+                  ftran je;
                   if Float.abs w.(r) < 1e-8 then begin
                     (* numerically unusable pivot: rebuild the
                        factorization once and retry the iteration *)
@@ -791,7 +1496,9 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                     let b = basis.(r) in
                     let bound = if !below then lo.(b) else hi.(b) in
                     let t = (x_basic.(r) -. bound) /. w.(r) in
-                    for k = 0 to m - 1 do
+                    let sup_n = if !w_n < 0 then m else !w_n in
+                    for ti = 0 to sup_n - 1 do
+                      let k = if !w_n < 0 then ti else w_ind.(ti) in
                       x_basic.(k) <- x_basic.(k) -. (t *. w.(k))
                     done;
                     (* dual step: d_j -= theta * alpha_j, nonzero only on
@@ -815,6 +1522,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                     check_invariants ()
                   end;
                   t_ratio := !t_ratio +. clock () -. tratio0
+              end
             end
           end
         done;
@@ -829,7 +1537,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
             for k = 0 to !nart - 1 do
               cost.(nv + m + k) <- 1.0
             done;
-            (match run_phase () with
+            (match run_phase ~p1:true () with
             | `Phase_done ->
                 let infeas = ref 0.0 in
                 for k = 0 to m - 1 do
@@ -965,7 +1673,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
          by refactorizing, and recompute the primal point from the fresh
          factors. *)
       if !status = Optimal then begin
-        Array.sort compare basis;
+        Array.sort Int.compare basis;
         for k = 0 to m - 1 do
           where.(basis.(k)) <- k
         done;
@@ -978,7 +1686,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
            %!"
           !iters !t_factor !n_factor
           (if !n_factor > 0 then !lu_nnz_total / !n_factor else 0)
-          !t_ftran !t_btran !t_price !t_ratio 64;
+          !t_ftran !t_btran !t_price !t_ratio eta_max;
       let x = Array.make nv 0.0 in
       for j = 0 to nv - 1 do
         if where.(j) >= 0 then x.(j) <- x_basic.(where.(j)) else x.(j) <- nbval j
@@ -1018,6 +1726,9 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
         ~iterations:!iters ~dual:!dual_pivots ~flips:!bound_flips
         ~factors:!n_factor
         ~wall:(Unix.gettimeofday () -. t_solve0);
+      Stats.note_kernels ~ftran_sp:!c_ftran_sp ~ftran_dn:!c_ftran_dn
+        ~btran_sp:!c_btran_sp ~btran_dn:!c_btran_dn ~resets:!c_devex_resets
+        ~refreshes:!c_refreshes;
       {
         status = !status;
         objective = Model.objective_value p x;
@@ -1043,8 +1754,8 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
             attempt None)
   end
 
-let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm (p : Model.problem) :
-    result =
+let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis
+    (p : Model.problem) : result =
   Putil.Obs.span ~cat:"lp"
     ~args:
       [
@@ -1053,4 +1764,5 @@ let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm (p : Model.problem) :
         ("cols", string_of_int p.nv);
       ]
     "revised.solve"
-    (fun () -> solve_impl ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm p)
+    (fun () ->
+      solve_impl ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis p)

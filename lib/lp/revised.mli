@@ -1,9 +1,14 @@
 (** Bounded-variable revised simplex with sparse basis factorization
     ({!Lu}) and product-form (eta) updates.
 
-    Pricing is Dantzig's rule over a rotating partial-pricing window,
-    with an automatic switch to (full-scan) Bland's rule after a run of
-    degenerate pivots; the ratio test is a two-pass Harris test.
+    FTRAN/BTRAN run hypersparse by default: the triangular solves visit
+    only the symbolic reachability set of the right-hand side's nonzeros
+    ({!Lu.solve_sp}/{!Lu.solve_t_sp}), with an adaptive fallback to the
+    dense kernels when the result fills in.  Pricing is devex
+    reference-framework pricing over a candidate list (incrementally
+    maintained reduced costs; optimality certified by an exact full
+    scan), with an automatic switch to (full-scan) Bland's rule after a
+    run of degenerate pivots; the ratio test is a two-pass Harris test.
     Infeasible starting points are repaired by a phase-1 objective over
     artificial variables.
 
@@ -14,12 +19,16 @@
     instead of the cold phase-1/2 path.  Any irreparable warm state falls
     back to a cold solve, so warm calls are never less robust.
 
-    Environment knobs: [LP_PARANOID] enables expensive per-pivot
+    Environment knobs: [POWERLIM_DEVEX=0] restores the classic Dantzig
+    partial-pricing loop (bit-identical to the pre-devex solver);
+    [POWERLIM_HYPERSPARSE=0] forces the dense FTRAN/BTRAN kernels;
+    [POWERLIM_ETA_LIMIT] (default 64) sets the eta-file length that
+    triggers refactorization.  [LP_PARANOID] enables expensive per-pivot
     invariant checks (each pivot verified against a fresh factorization);
     [LP_DUMP_BASIS=<path>] dumps the first offending basis;
     [LP_STATS] prints a per-solve phase-time breakdown to stderr.
-    Aggregate counters (cold/warm solves, primal/dual pivots, wall time)
-    are accumulated in {!Stats}. *)
+    Aggregate counters (cold/warm solves, primal/dual pivots, kernel
+    sparse/dense splits, wall time) are accumulated in {!Stats}. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
@@ -47,6 +56,15 @@ type result = {
           exists (e.g. constraint-free models) *)
 }
 
+type analysis
+(** Symbolic analysis of a problem's constraint matrix (row-major view
+    used by pivot-row pricing).  Build once with {!make_analysis} and
+    pass to every [solve] of the same matrix — cap sweeps and
+    branch-and-bound children change only bounds/RHS, so the analysis
+    stays valid.  Immutable: safe to share across pool domains. *)
+
+val make_analysis : Model.problem -> analysis
+
 val solve :
   ?max_iter:int ->
   ?feas_tol:float ->
@@ -55,6 +73,7 @@ val solve :
   ?ub:float array ->
   ?rhs:float array ->
   ?warm:basis ->
+  ?analysis:analysis ->
   Model.problem ->
   result
 (** [solve p] minimizes [p].  [lb]/[ub]/[rhs] override the structural
@@ -63,4 +82,6 @@ val solve :
     from a previous solve of the same problem shape ([nv]/[nr]
     unchanged); it is repaired against the current bounds and re-solved
     with the dual simplex, falling back to a cold solve when repair is
-    impossible.  [max_iter <= 0] selects a size-dependent default. *)
+    impossible.  [analysis] reuses a {!make_analysis} of [p] (matrix
+    unchanged) instead of rebuilding it per solve.  [max_iter <= 0]
+    selects a size-dependent default. *)

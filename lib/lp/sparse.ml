@@ -39,14 +39,17 @@ module Coo = struct
 
   let add t i j v =
     if i < 0 || j < 0 then invalid_arg "Coo.add: negative index";
+    (* Dimensions grow for every recorded coordinate, including explicit
+       zeros: a builder whose last row or column holds only 0.0 entries
+       must still freeze to a CSC of the full logical shape. *)
+    if i >= t.nrows then t.nrows <- i + 1;
+    if j >= t.ncols then t.ncols <- j + 1;
     if v <> 0.0 then begin
       ensure_capacity t (t.nnz + 1);
       t.rows.(t.nnz) <- i;
       t.cols.(t.nnz) <- j;
       t.vals.(t.nnz) <- v;
-      t.nnz <- t.nnz + 1;
-      if i >= t.nrows then t.nrows <- i + 1;
-      if j >= t.ncols then t.ncols <- j + 1
+      t.nnz <- t.nnz + 1
     end
 
   let nnz t = t.nnz

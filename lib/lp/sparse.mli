@@ -10,7 +10,9 @@ module Coo : sig
   val create : ?capacity:int -> unit -> t
 
   val add : t -> int -> int -> float -> unit
-  (** [add t i j v] records entry [(i, j) = v].  Exact zeros are dropped.
+  (** [add t i j v] records entry [(i, j) = v].  Exact zeros are dropped
+      from storage but still grow the logical dimensions, so a trailing
+      all-zero row or column survives the freeze to {!Csc.t}.
       Raises [Invalid_argument] on negative indices. *)
 
   val nnz : t -> int

@@ -18,6 +18,12 @@ type snapshot = {
   dual_pivots : int;
   bound_flips : int;  (** dual-ratio-test flips (no basis change) *)
   factorizations : int;
+  ftran_sparse : int;  (** FTRANs served by the hypersparse kernel *)
+  ftran_dense : int;  (** FTRANs that fell back to (or forced) dense *)
+  btran_sparse : int;
+  btran_dense : int;
+  devex_resets : int;  (** devex reference-framework re-initializations *)
+  cand_refreshes : int;  (** full pricing scans rebuilding the candidate list *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -28,6 +34,12 @@ let pivots = Atomic.make 0
 let dual_pivots = Atomic.make 0
 let bound_flips = Atomic.make 0
 let factorizations = Atomic.make 0
+let ftran_sparse = Atomic.make 0
+let ftran_dense = Atomic.make 0
+let btran_sparse = Atomic.make 0
+let btran_dense = Atomic.make 0
+let devex_resets = Atomic.make 0
+let cand_refreshes = Atomic.make 0
 let wall_ns = Atomic.make 0
 
 let reset () =
@@ -41,6 +53,12 @@ let reset () =
       dual_pivots;
       bound_flips;
       factorizations;
+      ftran_sparse;
+      ftran_dense;
+      btran_sparse;
+      btran_dense;
+      devex_resets;
+      cand_refreshes;
       wall_ns;
     ]
 
@@ -54,6 +72,16 @@ let note_solve ~warm ~iterations ~dual ~flips ~factors ~wall =
   ignore (Atomic.fetch_and_add bound_flips flips);
   ignore (Atomic.fetch_and_add factorizations factors);
   ignore (Atomic.fetch_and_add wall_ns (int_of_float (wall *. 1e9)))
+
+(* Kernel-level counters are accumulated locally per solve (the hot
+   loops must not touch shared cache lines) and flushed here once. *)
+let note_kernels ~ftran_sp ~ftran_dn ~btran_sp ~btran_dn ~resets ~refreshes =
+  ignore (Atomic.fetch_and_add ftran_sparse ftran_sp);
+  ignore (Atomic.fetch_and_add ftran_dense ftran_dn);
+  ignore (Atomic.fetch_and_add btran_sparse btran_sp);
+  ignore (Atomic.fetch_and_add btran_dense btran_dn);
+  ignore (Atomic.fetch_and_add devex_resets resets);
+  ignore (Atomic.fetch_and_add cand_refreshes refreshes)
 
 let snapshot () =
   let solves = Atomic.get solves
@@ -70,6 +98,12 @@ let snapshot () =
     dual_pivots;
     bound_flips = Atomic.get bound_flips;
     factorizations = Atomic.get factorizations;
+    ftran_sparse = Atomic.get ftran_sparse;
+    ftran_dense = Atomic.get ftran_dense;
+    btran_sparse = Atomic.get btran_sparse;
+    btran_dense = Atomic.get btran_dense;
+    devex_resets = Atomic.get devex_resets;
+    cand_refreshes = Atomic.get cand_refreshes;
     wall_s = Float.of_int (Atomic.get wall_ns) *. 1e-9;
   }
 
@@ -89,6 +123,12 @@ let () =
           ("dual_pivots", Putil.Obs.Int s.dual_pivots);
           ("bound_flips", Putil.Obs.Int s.bound_flips);
           ("factorizations", Putil.Obs.Int s.factorizations);
+          ("ftran_sparse", Putil.Obs.Int s.ftran_sparse);
+          ("ftran_dense", Putil.Obs.Int s.ftran_dense);
+          ("btran_sparse", Putil.Obs.Int s.btran_sparse);
+          ("btran_dense", Putil.Obs.Int s.btran_dense);
+          ("devex_resets", Putil.Obs.Int s.devex_resets);
+          ("cand_refreshes", Putil.Obs.Int s.cand_refreshes);
           ("wall_s", Putil.Obs.Float s.wall_s);
         ])
 

@@ -16,6 +16,12 @@ type snapshot = {
   dual_pivots : int;
   bound_flips : int;  (** dual-ratio-test flips (no basis change) *)
   factorizations : int;
+  ftran_sparse : int;  (** FTRANs served by the hypersparse kernel *)
+  ftran_dense : int;  (** FTRANs that fell back to (or forced) dense *)
+  btran_sparse : int;
+  btran_dense : int;
+  devex_resets : int;  (** devex reference-framework re-initializations *)
+  cand_refreshes : int;  (** full pricing scans rebuilding the candidate list *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -35,3 +41,15 @@ val note_solve :
   factors:int ->
   wall:float ->
   unit
+
+val note_kernels :
+  ftran_sp:int ->
+  ftran_dn:int ->
+  btran_sp:int ->
+  btran_dn:int ->
+  resets:int ->
+  refreshes:int ->
+  unit
+(** Flush per-solve kernel/pricing tallies (sparse-vs-dense FTRAN/BTRAN
+    counts, devex resets, candidate-list refreshes) into the process
+    counters in one shot, keeping atomics off the solver hot loops. *)

@@ -1011,10 +1011,11 @@ let prop_mps_roundtrip =
 
 (* A structured LP shaped like the paper's event formulation, large enough
    to exercise refactorization. *)
-let test_revised_chain_large () =
-  let n = 120 in
+(* v_0 .. v_n: event times; d_i in [1,3] chosen by a blend variable —
+   the same time-chained shape as the event LPs, reused by the env-knob
+   tests below because it runs enough pivots to hit the eta limit. *)
+let chain_model n =
   let m = Lp.Model.create () in
-  (* v_0 .. v_n: event times; d_i in [1,3] chosen by a blend variable *)
   let v = Array.init (n + 1) (fun i -> Lp.Model.add_var m (Printf.sprintf "v%d" i)) in
   let blend = Array.init n (fun i -> Lp.Model.add_var m ~ub:1.0 (Printf.sprintf "c%d" i)) in
   Lp.Model.add_constr m [ (1.0, v.(0)) ] Lp.Model.Eq 0.0;
@@ -1032,11 +1033,197 @@ let test_revised_chain_large () =
     Lp.Model.Le
     (Float.of_int n /. 2.0);
   Lp.Model.set_obj m v.(n) 1.0;
-  let p = Lp.Model.compile m in
+  Lp.Model.compile m
+
+let test_revised_chain_large () =
+  let n = 120 in
+  let p = chain_model n in
   let r = Lp.Revised.solve p in
   Alcotest.(check bool) "optimal" true (r.Lp.Revised.status = Lp.Revised.Optimal);
   (* optimum: n/2 tasks at duration 1, n/2 at 3 -> makespan 2n *)
   check_float "objective" (2.0 *. Float.of_int n) r.Lp.Revised.objective
+
+(* ------------------------------------------------------------------ *)
+(* Hypersparse kernels and solver env knobs                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coo_zero_grows_dims () =
+  let c = Lp.Sparse.Coo.create () in
+  Lp.Sparse.Coo.add c 0 0 1.0;
+  (* an explicit zero carries no storage but must still grow the shape *)
+  Lp.Sparse.Coo.add c 4 6 0.0;
+  let m = Lp.Sparse.Csc.of_coo c in
+  Alcotest.(check int) "nrows" 5 m.Lp.Sparse.Csc.nrows;
+  Alcotest.(check int) "ncols" 7 m.Lp.Sparse.Csc.ncols;
+  Alcotest.(check int) "nnz" 1 (Lp.Sparse.Csc.nnz m)
+
+(* The sparse triangular solves must agree with the dense kernels to the
+   last bit: [Revised] mixes the two paths freely (per-call cutoffs and
+   adaptive switching), so any divergence would break the determinism
+   guarantee.  Repeated solves share one [swork] to expose stale-stamp
+   leaks between calls. *)
+let lu_sparse_vs_dense m density seed =
+  let rng = Random.State.make [| seed |] in
+  let a = random_sparse_matrix rng m density in
+  let col_iter k f =
+    for i = 0 to m - 1 do
+      if a.(i).(k) <> 0.0 then f i a.(i).(k)
+    done
+  in
+  let lu = Lp.Lu.factor ~m col_iter in
+  let sw = Lp.Lu.make_swork m in
+  let scratch = Array.make m 0.0 in
+  let b = Array.make m 0.0 in
+  let xs = Array.make m 0.0 and xind = Array.make m 0 in
+  let xd = Array.make m 0.0 in
+  let xs_n = ref (-1) in
+  let seen = Array.make m false in
+  for trial = 0 to 19 do
+    (* sparse rhs with up to 3 distinct nonzero positions *)
+    let bidx = Array.make 3 0 in
+    let nb = ref 0 in
+    for t = 0 to trial mod 3 do
+      let i = ((trial * 13) + (t * 17)) mod m in
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        bidx.(!nb) <- i;
+        incr nb;
+        b.(i) <- 1.5 +. Float.of_int ((i + t) mod 4)
+      end
+    done;
+    (* clear the previous solve's support, per the solve_sp contract *)
+    (match !xs_n with
+    | -1 -> Array.fill xs 0 m 0.0
+    | n ->
+        for t = 0 to n - 1 do
+          xs.(xind.(t)) <- 0.0
+        done);
+    let r = Lp.Lu.solve_sp lu sw ~nb:!nb ~bidx ~b ~x:xs ~xind in
+    xs_n := r;
+    Lp.Lu.solve lu ~b ~x:xd ~scratch;
+    for k = 0 to m - 1 do
+      if xs.(k) <> xd.(k) then
+        Alcotest.failf "solve_sp diverges at %d: %h vs %h (trial %d, r %d)"
+          k xs.(k) xd.(k) trial r
+    done;
+    (* transpose solve through the same workspace *)
+    let ys = Array.make m 0.0 and yind = Array.make m 0 in
+    let yd = Array.make m 0.0 in
+    let rt = Lp.Lu.solve_t_sp lu sw ~nc:!nb ~cidx:bidx ~c:b ~y:ys ~yind in
+    Lp.Lu.solve_t lu ~c:b ~y:yd ~scratch;
+    for k = 0 to m - 1 do
+      if ys.(k) <> yd.(k) then
+        Alcotest.failf "solve_t_sp diverges at %d: %h vs %h (trial %d, r %d)"
+          k ys.(k) yd.(k) trial rt
+    done;
+    for t = 0 to !nb - 1 do
+      seen.(bidx.(t)) <- false;
+      b.(bidx.(t)) <- 0.0
+    done
+  done
+
+let test_lu_sp_hypersparse () = lu_sparse_vs_dense 80 0.03 11
+let test_lu_sp_mixed () = lu_sparse_vs_dense 60 0.1 7
+let test_lu_sp_dense_fallback () = lu_sparse_vs_dense 30 0.6 5
+
+(* Both elimination strategies in [factor] perform the same FP
+   operations in the same order, so the factors they build must be
+   bitwise identical. *)
+let test_lu_factor_symbolic_identical () =
+  for seed = 0 to 4 do
+    let m = 40 in
+    let rng = Random.State.make [| 100 + seed |] in
+    let a = random_sparse_matrix rng m 0.15 in
+    let col_iter k f =
+      for i = 0 to m - 1 do
+        if a.(i).(k) <> 0.0 then f i a.(i).(k)
+      done
+    in
+    let f_sym = Lp.Lu.factor ~m col_iter in
+    let f_scan = Lp.Lu.factor ~symbolic:false ~m col_iter in
+    let b = Array.init m (fun i -> Float.of_int ((i + seed) mod 7) -. 3.0) in
+    let x1 = Array.make m 0.0 and x2 = Array.make m 0.0 in
+    let scratch = Array.make m 0.0 in
+    Lp.Lu.solve f_sym ~b ~x:x1 ~scratch;
+    Lp.Lu.solve f_scan ~b ~x:x2 ~scratch;
+    for k = 0 to m - 1 do
+      if x1.(k) <> x2.(k) then
+        Alcotest.failf "symbolic factor diverges at %d: %h vs %h (seed %d)"
+          k x1.(k) x2.(k) seed
+    done
+  done
+
+(* Scoped env override: [restore] is the value put back afterwards when
+   the variable was unset before (putenv cannot unset), chosen to match
+   each knob's documented default. *)
+let with_env kvs f =
+  let saved =
+    List.map (fun (k, _, restore) -> (k, Sys.getenv_opt k, restore)) kvs
+  in
+  List.iter (fun (k, v, _) -> Unix.putenv k v) kvs;
+  Fun.protect f ~finally:(fun () ->
+      List.iter
+        (fun (k, old, restore) ->
+          Unix.putenv k (Option.value old ~default:restore))
+        saved)
+
+(* Differential oracle across the solver's env knobs: the default path
+   (hypersparse kernels + devex pricing) may pivot differently from the
+   dense + Dantzig path, but statuses must agree and optimal objectives
+   must match to 1e-9. *)
+let prop_env_differential =
+  QCheck.Test.make ~count:100
+    ~name:"hypersparse+devex agrees with dense+dantzig"
+    QCheck.(make (fun rng -> random_feasible_model rng))
+    (fun p ->
+      let r_new = Lp.Revised.solve p in
+      let r_old =
+        with_env
+          [
+            ("POWERLIM_HYPERSPARSE", "0", "1"); ("POWERLIM_DEVEX", "0", "1");
+          ]
+          (fun () -> Lp.Revised.solve p)
+      in
+      if r_old.Lp.Revised.status <> r_new.Lp.Revised.status then
+        QCheck.Test.fail_reportf "status mismatch: %a vs %a"
+          Lp.Revised.pp_status r_old.Lp.Revised.status Lp.Revised.pp_status
+          r_new.Lp.Revised.status
+      else
+        match r_old.Lp.Revised.status with
+        | Lp.Revised.Optimal ->
+            let d =
+              Float.abs (r_old.Lp.Revised.objective -. r_new.Lp.Revised.objective)
+              /. (1.0 +. Float.abs r_old.Lp.Revised.objective)
+            in
+            if d > 1e-9 then
+              QCheck.Test.fail_reportf "objectives differ by %g: %g vs %g" d
+                r_old.Lp.Revised.objective r_new.Lp.Revised.objective
+            else true
+        | _ -> true)
+
+(* POWERLIM_ETA_LIMIT moves the refactorization points (and hence FP
+   rounding along the pivot path) but never the answer. *)
+let test_eta_limit_sanity () =
+  let p = chain_model 120 in
+  let r0 = Lp.Revised.solve p in
+  List.iter
+    (fun limit ->
+      let r =
+        with_env
+          [ ("POWERLIM_ETA_LIMIT", limit, "64") ]
+          (fun () -> Lp.Revised.solve p)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimal at eta limit %s" limit)
+        true
+        (r.Lp.Revised.status = Lp.Revised.Optimal);
+      let d =
+        Float.abs (r.Lp.Revised.objective -. r0.Lp.Revised.objective)
+        /. (1.0 +. Float.abs r0.Lp.Revised.objective)
+      in
+      if d > 1e-7 then
+        Alcotest.failf "eta limit %s moved the objective by %g" limit d)
+    [ "4"; "16"; "256" ]
 
 let suite =
   [
@@ -1044,6 +1231,8 @@ let suite =
       [
         Alcotest.test_case "coo to csc" `Quick test_coo_to_csc;
         Alcotest.test_case "csc mult" `Quick test_csc_mult;
+        Alcotest.test_case "explicit zero grows dims" `Quick
+          test_coo_zero_grows_dims;
       ] );
     ( "lp.lu",
       [
@@ -1054,6 +1243,14 @@ let suite =
         Alcotest.test_case "exact cancellation" `Quick test_lu_exact_cancellation;
         Alcotest.test_case "permutation" `Quick test_lu_permutation;
         Alcotest.test_case "singular replaced" `Quick test_lu_singular_replaced;
+        Alcotest.test_case "sparse solves bitwise (hypersparse)" `Quick
+          test_lu_sp_hypersparse;
+        Alcotest.test_case "sparse solves bitwise (mixed)" `Quick
+          test_lu_sp_mixed;
+        Alcotest.test_case "sparse solves bitwise (dense fallback)" `Quick
+          test_lu_sp_dense_fallback;
+        Alcotest.test_case "symbolic factor bitwise" `Quick
+          test_lu_factor_symbolic_identical;
       ] );
     ( "lp.model",
       [ Alcotest.test_case "compile and feasible" `Quick test_model_compile ] );
@@ -1074,6 +1271,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_differential_feasible;
         QCheck_alcotest.to_alcotest prop_differential_large;
         QCheck_alcotest.to_alcotest prop_duality;
+        QCheck_alcotest.to_alcotest prop_env_differential;
+        Alcotest.test_case "eta limit sanity" `Quick test_eta_limit_sanity;
       ] );
     ( "lp.mps",
       [
