@@ -63,6 +63,7 @@ let experiments =
     ("micro", fun config -> Experiments.Micro.run ~config ppf);
     ("parbench", fun config -> Experiments.Parbench.run ~config ppf);
     ("warmbench", fun config -> Experiments.Warmbench.run ~config ppf);
+    ("editbench", fun config -> Experiments.Editbench.run ~config ppf);
     ("simplexbench", fun config -> Experiments.Simplexbench.run ~config ppf);
     ("cachebench", fun config -> Experiments.Cachebench.run ~config ppf);
   ]

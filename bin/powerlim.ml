@@ -363,6 +363,109 @@ let export_cmd =
     Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ mps_t
           $ trace_t $ records_t)
 
+(* ---- what-if: structural re-solve under domain edits --------------- *)
+
+(* TID:POINT:DUR:POW, e.g. --perturb-task 17:2:0.034:91.5 *)
+let perturb_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ tid; point; duration; power ] -> (
+        try
+          Ok
+            (Core.Event_lp.Perturb_task
+               {
+                 tid = int_of_string (String.trim tid);
+                 point = int_of_string (String.trim point);
+                 duration = float_of_string (String.trim duration);
+                 power = float_of_string (String.trim power);
+               })
+        with Failure _ -> Error (`Msg (Printf.sprintf "bad perturbation %S" s)))
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad perturbation %S (expected TID:POINT:DUR:POW)" s))
+  in
+  Arg.conv (parse, Core.Event_lp.pp_domain_edit)
+
+let what_if_cmd =
+  let run app ranks iters seed cap fail_sockets drop_ranks perturbs trace_out
+      stats_json =
+    with_obs trace_out stats_json @@ fun () ->
+    let _, sc = setup app ranks iters seed in
+    let job_cap = cap *. Float.of_int ranks in
+    let edits =
+      List.map (fun r -> Core.Event_lp.Fail_socket r) fail_sockets
+      @ List.map (fun r -> Core.Event_lp.Drop_rank r) drop_ranks
+      @ perturbs
+    in
+    if edits = [] then begin
+      Fmt.epr
+        "what-if: no edits given (use --fail-socket, --drop-rank and/or \
+         --perturb-task)@.";
+      exit 2
+    end;
+    (* The prepared handle must keep the full column space
+       (~presolve:false) so the base optimal basis can be mapped across
+       the structural edits. *)
+    let pz = Pipeline.Stages.prepare ~presolve:false sc ~power_cap:job_cap in
+    let base, basis = Core.Event_lp.solve_prepared pz ~power_cap:job_cap in
+    (match base with
+    | Core.Event_lp.Schedule s ->
+        Fmt.pr "baseline : %.4f s at %.0f W (%.0f W x %d sockets)@."
+          s.Core.Event_lp.objective job_cap cap ranks
+    | Core.Event_lp.Infeasible -> Fmt.pr "baseline : infeasible@."
+    | Core.Event_lp.Solver_failure m -> Fmt.pr "baseline : solver failure: %s@." m);
+    List.iter (fun e -> Fmt.pr "edit     : %a@." Core.Event_lp.pp_domain_edit e)
+      edits;
+    (* POWERLIM_WARM=0 forces the cold path; the incremental re-solve is
+       exact (cold fallback on any ill-conditioned basis mapping), so
+       stdout is byte-identical either way. *)
+    let warm = if Experiments.Common.warm_default () then basis else None in
+    match Core.Event_lp.edit_prepared ?warm pz edits with
+    | Core.Event_lp.Schedule s, _, _ ->
+        Fmt.pr "what-if  : %.4f s (LP: %d rows, %d cols)@."
+          s.Core.Event_lp.objective s.Core.Event_lp.stats.Core.Event_lp.rows
+          s.Core.Event_lp.stats.Core.Event_lp.cols;
+        (* pivot counts differ between the incremental and cold paths;
+           keep them off stdout so POWERLIM_WARM never changes output *)
+        Fmt.epr "what-if: %d simplex iterations@."
+          s.Core.Event_lp.stats.Core.Event_lp.iterations;
+        (match base with
+        | Core.Event_lp.Schedule b ->
+            let d = s.Core.Event_lp.objective -. b.Core.Event_lp.objective in
+            Fmt.pr "delta    : %+.4f s (%+.2f%%)@." d
+              (100.0 *. d /. b.Core.Event_lp.objective)
+        | _ -> ())
+    | Core.Event_lp.Infeasible, _, _ ->
+        Fmt.pr "what-if  : infeasible under the edited scenario@."
+    | Core.Event_lp.Solver_failure m, _, _ ->
+        Fmt.pr "what-if  : solver failure: %s@." m
+  in
+  let fail_socket_t =
+    Arg.(value & opt_all int [] & info [ "fail-socket" ] ~docv:"RANK"
+           ~doc:"Pin every task of RANK to its most frugal configuration \
+                 (the socket loses its DVFS/thread headroom).  Repeatable.")
+  in
+  let drop_rank_t =
+    Arg.(value & opt_all int [] & info [ "drop-rank" ] ~docv:"RANK"
+           ~doc:"Remove RANK's tasks from the optimization entirely.  \
+                 Repeatable.")
+  in
+  let perturb_t =
+    Arg.(value & opt_all perturb_conv [] & info [ "perturb-task" ]
+           ~docv:"TID:POINT:DUR:POW"
+           ~doc:"Overwrite frontier point POINT of task TID with the given \
+                 (duration, power) — e.g. a measured profile correction.  \
+                 Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "what-if"
+       ~doc:"Re-solve the LP bound incrementally under structural edits \
+             (socket failures, dropped ranks, profile perturbations).")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t
+          $ fail_socket_t $ drop_rank_t $ perturb_t $ trace_out_t
+          $ stats_json_t)
+
 let gantt_cmd =
   let run app ranks iters seed cap method_ width =
     let g, sc = setup app ranks iters seed in
@@ -409,5 +512,5 @@ let () =
        (Cmd.group (Cmd.info "powerlim" ~version:"1.0.0" ~doc)
           [
             bound_cmd; compare_cmd; sweep_cmd; frontier_cmd; flow_cmd;
-            trace_cmd; solve_trace_cmd; export_cmd; gantt_cmd;
+            trace_cmd; solve_trace_cmd; export_cmd; what_if_cmd; gantt_cmd;
           ]))

@@ -305,6 +305,217 @@ let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
   in
   (outcome_of ~mode pz.psc b r, r.Lp.Revised.basis)
 
+(* ------------------------------------------------------------------ *)
+(* Structural what-if edits                                            *)
+(* ------------------------------------------------------------------ *)
+
+type domain_edit =
+  | Fail_socket of int
+  | Drop_rank of int
+  | Perturb_task of { tid : int; point : int; duration : float; power : float }
+
+let pp_domain_edit ppf = function
+  | Fail_socket r -> Fmt.pf ppf "fail-socket %d" r
+  | Drop_rank r -> Fmt.pf ppf "drop-rank %d" r
+  | Perturb_task { tid; point; duration; power } ->
+      Fmt.pf ppf "perturb-task %d:%d to (%g s, %g W)" tid point duration power
+
+let check_rank (sc : Scenario.t) r what =
+  let n = sc.Scenario.graph.Dag.Graph.nranks in
+  if r < 0 || r >= n then
+    invalid_arg
+      (Printf.sprintf "Event_lp.%s: rank %d outside 0..%d" what r (n - 1))
+
+(* Mirror the edits on the scenario itself, so blends, duals, digests and
+   cache keys all see the edited world.  Frontier arrays are copied, never
+   mutated — scenarios share hull arrays across tasks and builds. *)
+let edit_scenario (sc : Scenario.t) (des : domain_edit list) : Scenario.t =
+  let frontiers = Array.copy sc.Scenario.frontiers in
+  let each_rank_task r f =
+    Array.iteri
+      (fun tid (t : Dag.Graph.task) -> if t.Dag.Graph.rank = r then f tid)
+      sc.Scenario.graph.Dag.Graph.tasks
+  in
+  List.iter
+    (fun de ->
+      match de with
+      | Fail_socket r ->
+          check_rank sc r "edit_scenario";
+          (* socket stuck in its most frugal state: hull collapses to the
+             slowest point *)
+          each_rank_task r (fun tid ->
+              if Array.length frontiers.(tid) > 1 then
+                frontiers.(tid) <- [| frontiers.(tid).(0) |])
+      | Drop_rank r ->
+          check_rank sc r "edit_scenario";
+          each_rank_task r (fun tid -> frontiers.(tid) <- [||])
+      | Perturb_task { tid; point; duration; power } ->
+          let nt = Array.length frontiers in
+          if tid < 0 || tid >= nt then
+            invalid_arg
+              (Printf.sprintf "Event_lp.edit_scenario: task %d outside 0..%d"
+                 tid (nt - 1));
+          let f = frontiers.(tid) in
+          if point < 0 || point >= Array.length f then
+            invalid_arg
+              (Printf.sprintf
+                 "Event_lp.edit_scenario: point %d outside task %d's frontier"
+                 point tid);
+          if not (Float.is_finite duration && Float.is_finite power)
+             || duration <= 0.0 || power <= 0.0
+          then
+            invalid_arg
+              "Event_lp.edit_scenario: perturbed (duration, power) must be \
+               finite and positive";
+          let f' = Array.copy f in
+          f'.(point) <- { f.(point) with Pareto.Point.duration; power };
+          frontiers.(tid) <- f')
+    des;
+  { sc with Scenario.frontiers }
+
+(* Compile domain edits to elementary LP edits against [p].  Rows and
+   columns are located by the names [build] gave them ("conv%d",
+   "prec_t%d", "pow%d", "c%d_%d"), re-resolved against the evolving
+   problem after every elementary edit — names survive index shifts,
+   indices do not. *)
+let compile_edits_problem (sc : Scenario.t) (p : Lp.Model.problem)
+    (des : domain_edit list) : Lp.Edit.t list =
+  let find names n name =
+    let rec go i =
+      if i >= n then None
+      else if String.equal names.(i) name then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let acc = ref [] and cur = ref p in
+  let emit e =
+    acc := e :: !acc;
+    cur := Lp.Edit.apply !cur [ e ]
+  in
+  let find_row name =
+    let p = !cur in
+    find p.Lp.Model.row_names p.Lp.Model.nr name
+  in
+  let find_col name =
+    let p = !cur in
+    find p.Lp.Model.var_names p.Lp.Model.nv name
+  in
+  let each_rank_task r f =
+    Array.iteri
+      (fun tid (t : Dag.Graph.task) -> if t.Dag.Graph.rank = r then f tid)
+      sc.Scenario.graph.Dag.Graph.tasks
+  in
+  List.iter
+    (fun de ->
+      match de with
+      | Fail_socket r ->
+          check_rank sc r "compile_edits";
+          each_rank_task r (fun tid ->
+              (* pin every weight but the most frugal one to zero *)
+              let k = ref 1 in
+              let continue = ref true in
+              while !continue do
+                match find_col (Printf.sprintf "c%d_%d" tid !k) with
+                | Some col ->
+                    emit (Lp.Edit.Set_bounds { col; lb = 0.0; ub = 0.0 });
+                    incr k
+                | None -> continue := false
+              done)
+      | Drop_rank r ->
+          check_rank sc r "compile_edits";
+          each_rank_task r (fun tid ->
+              (match find_row (Printf.sprintf "conv%d" tid) with
+              | Some row -> emit (Lp.Edit.Remove_row row)
+              | None -> ());
+              let k = ref 0 in
+              let continue = ref true in
+              while !continue do
+                match find_col (Printf.sprintf "c%d_%d" tid !k) with
+                | Some col ->
+                    emit (Lp.Edit.Remove_col col);
+                    incr k
+                | None -> continue := false
+              done)
+      | Perturb_task { tid; point; duration; power } ->
+          if not (Float.is_finite duration && Float.is_finite power)
+             || duration <= 0.0 || power <= 0.0
+          then
+            invalid_arg
+              "Event_lp.compile_edits: perturbed (duration, power) must be \
+               finite and positive";
+          let col =
+            match find_col (Printf.sprintf "c%d_%d" tid point) with
+            | Some col -> col
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Event_lp.compile_edits: no weight variable c%d_%d" tid
+                     point)
+          in
+          (match find_row (Printf.sprintf "prec_t%d" tid) with
+          | Some row -> emit (Lp.Edit.Set_entry { row; col; coef = -.duration })
+          | None -> ());
+          (* every power row carrying this configuration gets its new
+             wattage; classify the column's rows by name prefix *)
+          let prows = ref [] in
+          let pc = !cur in
+          Lp.Sparse.Csc.iter_col pc.Lp.Model.a col (fun i _ ->
+              let n = pc.Lp.Model.row_names.(i) in
+              if String.length n >= 3 && String.sub n 0 3 = "pow" then
+                prows := i :: !prows);
+          List.iter
+            (fun row -> emit (Lp.Edit.Set_entry { row; col; coef = power }))
+            (List.rev !prows))
+    des;
+  List.rev !acc
+
+let compile_edits (pz : prepared) (des : domain_edit list) : Lp.Edit.t list =
+  compile_edits_problem pz.psc pz.pbuilt.problem des
+
+let prepared_problem (pz : prepared) = pz.pbuilt.problem
+
+(* Incremental structural re-solve: compile the edits, map the supplied
+   basis across them (bordered updates inside {!Lp.Edit}), dual-repair,
+   and rebuild a prepared handle for the edited world so further caps —
+   or further edits — can be chained. *)
+let edit_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
+    (des : domain_edit list) :
+    outcome * prepared * Lp.Revised.basis option =
+  let b = pz.pbuilt in
+  let edits = compile_edits_problem pz.psc b.problem des in
+  (* a reduced-space basis cannot be mapped across full-space edits *)
+  let warm = match pz.resolution with `Full -> warm | `Reduced _ | `Each -> None in
+  let p', r = Lp.Edit.resolve ~max_iter ?warm b.problem edits in
+  let cmap = Lp.Edit.col_map b.problem edits in
+  let rmap = Lp.Edit.row_map b.problem edits in
+  let v_vars = Array.map (fun v -> cmap.(v)) b.v_vars in
+  let c_vars =
+    Array.map
+      (fun vars ->
+        if Array.exists (fun v -> cmap.(v) < 0) vars then [||]
+        else Array.map (fun v -> cmap.(v)) vars)
+      b.c_vars
+  in
+  let meta =
+    List.filter_map
+      (fun (row, vx) -> if rmap.(row) >= 0 then Some (rmap.(row), vx) else None)
+      b.meta
+  in
+  let built' =
+    { problem = p'; v_vars; c_vars; meta; n_power_rows = List.length meta }
+  in
+  let sc' = edit_scenario pz.psc des in
+  let pz' =
+    {
+      psc = sc';
+      pbuilt = built';
+      resolution = `Full;
+      panalysis = Some (Lp.Revised.make_analysis p');
+    }
+  in
+  (outcome_of ~mode sc' built' r, pz', r.Lp.Revised.basis)
+
 let solve ?(mode = Continuous) ?(max_iter = 0) ?(reduce_slack = true)
     ?(presolve = true) ?init (sc : Scenario.t) ~power_cap : outcome =
   let pz = prepare ~reduce_slack ~presolve ?init sc ~power_cap in

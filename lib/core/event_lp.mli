@@ -94,6 +94,64 @@ val solve_prepared :
     cold phase-1/2.  Returns the outcome and the final basis to thread
     into the next cap ([None] when no reusable basis exists). *)
 
+(** {2 Structural what-if edits}
+
+    Domain-level perturbations of a prepared model — the interactive
+    "what happens if" layer: each compiles to a list of elementary
+    {!Lp.Edit} operations on the prepared LP, so the re-solve can map
+    the previous optimal basis across the structural change (bordered
+    updates) and dual-repair instead of solving from scratch. *)
+
+type domain_edit =
+  | Fail_socket of int
+      (** rank's socket loses its DVFS/thread headroom: every task on
+          the rank is pinned to its most frugal frontier point *)
+  | Drop_rank of int
+      (** remove the rank's tasks from the optimization entirely
+          (weight variables and convexity rows deleted; the precedence
+          arcs remain as pure message delays) *)
+  | Perturb_task of { tid : int; point : int; duration : float; power : float }
+      (** overwrite one frontier point's (duration, power) — e.g. a
+          measured correction to a task's profile *)
+
+val pp_domain_edit : Format.formatter -> domain_edit -> unit
+
+val edit_scenario : Scenario.t -> domain_edit list -> Scenario.t
+(** The edited world as a scenario: frontiers truncated ([Fail_socket]),
+    emptied ([Drop_rank]) or point-patched ([Perturb_task]).  Raises
+    [Invalid_argument] on an out-of-range rank/task/point or a
+    non-positive perturbed duration/power.  Because {!Scenario.digest}
+    hashes frontiers, the edited scenario re-keys every cache stage, and
+    an exact inverse edit restores the original key. *)
+
+val compile_edits : prepared -> domain_edit list -> Lp.Edit.t list
+(** The elementary LP edits a domain-edit list compiles to against this
+    prepared model (rows/columns located by name, sequentially
+    re-resolved as the shape evolves).  Exposed for tests and
+    benchmarks; {!edit_prepared} calls it internally. *)
+
+val prepared_problem : prepared -> Lp.Model.problem
+(** The prepared model's full compiled problem (the space {!compile_edits}
+    indices refer to). *)
+
+val edit_prepared :
+  ?mode:mode ->
+  ?max_iter:int ->
+  ?warm:Lp.Revised.basis ->
+  prepared ->
+  domain_edit list ->
+  outcome * prepared * Lp.Revised.basis option
+(** [edit_prepared pz edits ~warm] applies the edits and re-solves
+    incrementally: [warm] (a basis from {!solve_prepared} on this same
+    handle) is mapped across the structural changes and dual-repaired;
+    on any singular/ill-conditioned mapping the solve silently falls
+    back to cold, so the result is always exactly the edited problem's
+    optimum.  Returns the outcome, a new prepared handle for the edited
+    world (chainable: further caps via {!solve_prepared}, further edits
+    via [edit_prepared]), and the final basis.  A warm basis is only
+    usable when the handle was prepared with [~presolve:false] (the
+    basis must live in the full space); otherwise it is ignored. *)
+
 val solve_refined :
   ?rounds:int ->
   ?mode:mode ->

@@ -40,16 +40,21 @@ let make ?(socket_seed = 7) ?(variability = 0.04) (graph : Dag.Graph.t) : t =
   in
   { graph; sockets; frontiers; socket_seed; variability }
 
-(* Structural identity: the graph plus every parameter the socket fleet
-   and frontiers were derived from.  The frontiers themselves are a pure
-   function of (graph, sockets, default machine params) and are not
-   re-hashed. *)
+(* Structural identity: the graph, every parameter the socket fleet was
+   drawn from, and the frontiers themselves.  Freshly-built scenarios
+   derive their frontiers purely from (graph, sockets, default machine
+   params), but what-if edits ({!Event_lp.edit_scenario}) perturb
+   frontiers independently of those inputs — so the hulls carry their
+   own weight in the digest, and an edited scenario can never collide
+   with its parent in the artifact cache.  Exact inverse edits restore
+   the exact hull bytes and therefore the original digest. *)
 let digest_fold h t =
   Dag.Graph.digest_fold h t.graph;
   Putil.Hashing.int h t.socket_seed;
   Putil.Hashing.float h t.variability;
   Putil.Hashing.int h (Array.length t.sockets);
-  Array.iter (Machine.Socket.digest_fold h) t.sockets
+  Array.iter (Machine.Socket.digest_fold h) t.sockets;
+  Array.iter (Pareto.Frontier.digest_fold h) t.frontiers
 
 let digest t =
   let h = Putil.Hashing.create () in
@@ -62,6 +67,8 @@ let equal a b =
   && Array.length a.sockets = Array.length b.sockets
   && Array.for_all2 Machine.Socket.equal a.sockets b.sockets
   && Dag.Graph.equal a.graph b.graph
+  (* graphs equal ⇒ task counts equal, so for_all2 cannot raise *)
+  && Array.for_all2 Pareto.Frontier.equal a.frontiers b.frontiers
 
 (** Smallest job power at which every task can run at all: the sum over
     ranks of the most frugal frontier point of the rank's hungriest task

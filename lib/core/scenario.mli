@@ -25,8 +25,11 @@ val equal : t -> t -> bool
 val digest_fold : Putil.Hashing.t -> t -> unit
 
 val digest : t -> string
-(** Hex digest of the scenario's structure — graph, socket fleet, seed
-    and variability — the scenario's content-derived cache key. *)
+(** Hex digest of the scenario's structure — graph, socket fleet, seed,
+    variability and every task frontier — the scenario's content-derived
+    cache key.  Frontiers are hashed directly (not just their inputs) so
+    a what-if edit ({!Event_lp.edit_scenario}) always re-keys, and an
+    exact inverse edit restores the original key. *)
 
 val min_job_power : t -> float
 (** Smallest job power at which every task can run at all; below it the

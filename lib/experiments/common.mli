@@ -56,6 +56,12 @@ val run_point_prepared :
     (warm-started from [warm] when given) and return the point with the
     final basis to thread into the next cap. *)
 
+val warm_default : unit -> bool
+(** The process-wide warm-start switch: [true] unless [POWERLIM_WARM] is
+    set to [0]/[false]/[off]/[no].  Consulted by {!run_sweep} and by the
+    [powerlim what-if] re-solve path, both of which print byte-identical
+    output either way. *)
+
 val run_sweep : ?pool:Putil.Pool.t -> ?warm:bool -> setup -> sweep
 (** Runs the Static/Conductor/LP-replay triples over [config.caps] on
     [pool] (the shared default pool when omitted), preserving the cap

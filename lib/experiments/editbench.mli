@@ -1,0 +1,10 @@
+(** Structural-edit benchmark: the what-if re-solve path
+    ({!Core.Event_lp.edit_prepared} / {!Lp.Edit.resolve}) timed against
+    cold solves of the same edited problems, over a suite of single
+    domain edits (frontier perturbations, a socket failure, a dropped
+    rank).  Merges an ["edits"] section into [BENCH_warmstart.json]
+    (schema in EXPERIMENTS.md) and fails — non-zero exit — when any
+    incremental objective disagrees with its cold counterpart beyond
+    1e-9 relative. *)
+
+val run : ?config:Common.config -> Format.formatter -> unit

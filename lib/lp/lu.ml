@@ -697,3 +697,38 @@ let solve_t_sp t sw ~nc ~(cidx : int array) ~(c : float array)
       end
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Bordered basis updates                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Growing a factorized basis B by one bordered row/column, or shrinking
+   it by one row together with one basis column, reduces to triangular
+   solves against the existing factors: the Schur-complement pivot of
+   the bordered system is the eta diagonal the grown factorization would
+   pivot on, and the unit solves below expose, position by position, the
+   pivot magnitude available to each candidate pairing of a deletion.
+   Lp.Edit uses these to map a basis across structural edits; a tiny
+   pivot means the paired update would be singular and the caller falls
+   back to a cold solve. *)
+
+let unit_ftran t ~row =
+  let x = Array.make t.m 0.0 and b = Array.make t.m 0.0 in
+  let scratch = Array.make t.m 0.0 in
+  b.(row) <- 1.0;
+  solve t ~b ~x ~scratch;
+  x
+
+let unit_btran t ~pos =
+  let y = Array.make t.m 0.0 and c = Array.make t.m 0.0 in
+  let scratch = Array.make t.m 0.0 in
+  c.(pos) <- 1.0;
+  solve_t t ~c ~y ~scratch;
+  y
+
+let bordered_pivot t ~col ~row ~d =
+  let b = Array.make t.m 0.0 in
+  List.iter (fun (i, v) -> b.(i) <- b.(i) +. v) col;
+  let x = Array.make t.m 0.0 and scratch = Array.make t.m 0.0 in
+  solve t ~b ~x ~scratch;
+  List.fold_left (fun acc (k, v) -> acc -. (v *. x.(k))) d row

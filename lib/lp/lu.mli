@@ -112,3 +112,31 @@ val solve_t_sp :
     positions [cidx.(0 .. nc-1)]; returns [-1] (dense ran) or the
     support size with [yind] listing the original-row indices of [y]'s
     possibly-nonzero entries. *)
+
+(** {2 Bordered basis updates}
+
+    Kernels behind {!Edit}'s structural warm starts: evaluating a
+    one-row/one-column growth or shrink of a factorized basis without
+    refactorizing.  Each is one triangular solve against the existing
+    factors; the returned magnitudes are the pivots the updated
+    factorization would have, so a caller rejects (falls back cold) any
+    pairing whose pivot is numerically tiny. *)
+
+val unit_ftran : t -> row:int -> float array
+(** [unit_ftran t ~row] = [B⁻¹ e_row], indexed by basis position: the
+    bordered pivot column for deleting original row [row].  [|x.(k)|] is
+    the pivot magnitude available for pairing the row deletion with the
+    removal of basis position [k]. *)
+
+val unit_btran : t -> pos:int -> float array
+(** [unit_btran t ~pos] = [B⁻ᵀ e_pos], indexed by original row: the
+    bordered pivot row for deleting the basis column at position [pos].
+    [|y.(r)|] is the pivot available for standing row [r]'s slack in for
+    the deleted column. *)
+
+val bordered_pivot :
+  t -> col:(int * float) list -> row:(int * float) list -> d:float -> float
+(** [bordered_pivot t ~col ~row ~d] is the Schur-complement pivot
+    [d - r ⋅ B⁻¹ c] of the bordered matrix [[B c]; [rᵀ d]]: the diagonal
+    a one-row-one-column growth would pivot on.  [col] is indexed by
+    original row, [row] by basis position. *)

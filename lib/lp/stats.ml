@@ -24,6 +24,10 @@ type snapshot = {
   btran_dense : int;
   devex_resets : int;  (** devex reference-framework re-initializations *)
   cand_refreshes : int;  (** full pricing scans rebuilding the candidate list *)
+  edit_solves : int;  (** incremental re-solves through {!Edit.resolve} *)
+  edit_warm : int;  (** edit re-solves whose basis mapping succeeded *)
+  edit_fallbacks : int;
+      (** edit re-solves that abandoned the mapping and went cold *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -40,6 +44,9 @@ let btran_sparse = Atomic.make 0
 let btran_dense = Atomic.make 0
 let devex_resets = Atomic.make 0
 let cand_refreshes = Atomic.make 0
+let edit_solves = Atomic.make 0
+let edit_warm = Atomic.make 0
+let edit_fallbacks = Atomic.make 0
 let wall_ns = Atomic.make 0
 
 let reset () =
@@ -59,10 +66,18 @@ let reset () =
       btran_dense;
       devex_resets;
       cand_refreshes;
+      edit_solves;
+      edit_warm;
+      edit_fallbacks;
       wall_ns;
     ]
 
 let note_fallback () = ignore (Atomic.fetch_and_add warm_fallbacks 1)
+
+let note_edit ~warm ~fallback =
+  ignore (Atomic.fetch_and_add edit_solves 1);
+  if warm then ignore (Atomic.fetch_and_add edit_warm 1);
+  if fallback then ignore (Atomic.fetch_and_add edit_fallbacks 1)
 
 let note_solve ~warm ~iterations ~dual ~flips ~factors ~wall =
   ignore (Atomic.fetch_and_add solves 1);
@@ -104,6 +119,9 @@ let snapshot () =
     btran_dense = Atomic.get btran_dense;
     devex_resets = Atomic.get devex_resets;
     cand_refreshes = Atomic.get cand_refreshes;
+    edit_solves = Atomic.get edit_solves;
+    edit_warm = Atomic.get edit_warm;
+    edit_fallbacks = Atomic.get edit_fallbacks;
     wall_s = Float.of_int (Atomic.get wall_ns) *. 1e-9;
   }
 
@@ -129,6 +147,9 @@ let () =
           ("btran_dense", Putil.Obs.Int s.btran_dense);
           ("devex_resets", Putil.Obs.Int s.devex_resets);
           ("cand_refreshes", Putil.Obs.Int s.cand_refreshes);
+          ("edit_solves", Putil.Obs.Int s.edit_solves);
+          ("edit_warm", Putil.Obs.Int s.edit_warm);
+          ("edit_fallbacks", Putil.Obs.Int s.edit_fallbacks);
           ("wall_s", Putil.Obs.Float s.wall_s);
         ])
 

@@ -22,6 +22,10 @@ type snapshot = {
   btran_dense : int;
   devex_resets : int;  (** devex reference-framework re-initializations *)
   cand_refreshes : int;  (** full pricing scans rebuilding the candidate list *)
+  edit_solves : int;  (** incremental re-solves through {!Edit.resolve} *)
+  edit_warm : int;  (** edit re-solves whose basis mapping succeeded *)
+  edit_fallbacks : int;
+      (** edit re-solves that abandoned the mapping and went cold *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -32,6 +36,11 @@ val pp : Format.formatter -> snapshot -> unit
 (** {2 Internal increment API (used by {!Revised})} *)
 
 val note_fallback : unit -> unit
+
+val note_edit : warm:bool -> fallback:bool -> unit
+(** Count one {!Edit.resolve}: [warm] when the basis mapping succeeded
+    and seeded the solve, [fallback] when a warm start was requested but
+    the mapping was abandoned for a cold solve. *)
 
 val note_solve :
   warm:bool ->

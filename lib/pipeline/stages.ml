@@ -76,3 +76,12 @@ let prepare ?(reduce_slack = true) ?(presolve = true) sc ~power_cap =
   Putil.Cache.find_or_build prepare_cache key (fun () ->
       build_span ~stage:"stage:prepare" ~key (fun () ->
           Core.Event_lp.prepare ~reduce_slack ~presolve sc ~power_cap))
+
+(* What-if edits re-key through the edited scenario: Scenario.digest
+   hashes the frontiers themselves, so any domain edit perturbs the
+   digest and a stale prepared model can never be served, while the
+   exact inverse edit hashes back to the original key. *)
+let edit_key ?(reduce_slack = true) ?(presolve = true) sc edits ~power_cap =
+  prepare_key ~reduce_slack ~presolve
+    (Core.Event_lp.edit_scenario sc edits)
+    ~power_cap

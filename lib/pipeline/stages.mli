@@ -69,3 +69,17 @@ val prepare :
     {!Core.Event_lp.solve_prepared}'s RHS patching as before.  Prepared
     models are read-only during re-solves, so sharing one across
     domains is safe. *)
+
+val edit_key :
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
+  Core.Scenario.t ->
+  Core.Event_lp.domain_edit list ->
+  power_cap:float ->
+  Key.t
+(** Key of the preparation stage for the {e edited} scenario
+    ([prepare_key (Core.Event_lp.edit_scenario sc edits)]).  Since
+    {!Core.Scenario.digest} hashes every task frontier, an edited
+    scenario always derives a fresh key (no stale prepared artifact can
+    be served), and re-applying the exact inverse edit derives the
+    original key again. *)

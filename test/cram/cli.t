@@ -21,6 +21,20 @@ The frontier has the Table 1 shape (reduced threads only at 1.2 GHz):
   1.2GHz/2thr: 3.553s at 20.62W
   1.2GHz/3thr: 2.474s at 21.94W
 
+A structural what-if maps the baseline basis across the edit and
+dual-repairs (byte-identical to the cold path, POWERLIM_WARM=0):
+
+  $ ../../bin/powerlim.exe what-if --app comd --ranks 4 --iters 2 --cap 35 --drop-rank 3 2>/dev/null
+  baseline : 1.9723 s at 140 W (35 W x 4 sockets)
+  edit     : drop-rank 3
+  what-if  : 1.6345 s (LP: 23 rows, 136 cols)
+  delta    : -0.3378 s (-17.13%)
+  $ POWERLIM_WARM=0 ../../bin/powerlim.exe what-if --app comd --ranks 4 --iters 2 --cap 35 --drop-rank 3 2>/dev/null
+  baseline : 1.9723 s at 140 W (35 W x 4 sockets)
+  edit     : drop-rank 3
+  what-if  : 1.6345 s (LP: 23 rows, 136 cols)
+  delta    : -0.3378 s (-17.13%)
+
 Exporting the LP as MPS produces a parseable file:
 
   $ ../../bin/powerlim.exe export --app comd --ranks 4 --iters 2 --cap 35 --mps comd.mps

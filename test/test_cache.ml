@@ -238,6 +238,70 @@ let test_sweep_identical_cache_on_off () =
   Alcotest.(check string) "byte-identical output" (render_arm false)
     (render_arm true)
 
+(* What-if edits must never be served a stale prepared artifact: the
+   scenario digest hashes every task frontier, so an edited scenario
+   derives a fresh preparation key, and the exact inverse edit derives
+   the original key again. *)
+let test_edit_key_rekeys_and_inverts () =
+  with_enabled false (fun () ->
+      let sc =
+        Pipeline.Stages.scenario
+          (Pipeline.Stages.Synthetic (Workloads.Apps.CoMD, params ()))
+      in
+      let tid =
+        let found = ref (-1) in
+        Array.iteri
+          (fun i f -> if !found < 0 && Array.length f > 1 then found := i)
+          sc.Core.Scenario.frontiers;
+        if !found < 0 then Alcotest.fail "no multi-point frontier";
+        !found
+      in
+      let f = sc.Core.Scenario.frontiers.(tid) in
+      let k = Array.length f / 2 in
+      let pt = f.(k) in
+      let perturb =
+        Core.Event_lp.Perturb_task
+          {
+            tid;
+            point = k;
+            duration = pt.Pareto.Point.duration *. 1.1;
+            power = pt.Pareto.Point.power;
+          }
+      in
+      let inverse =
+        Core.Event_lp.Perturb_task
+          {
+            tid;
+            point = k;
+            duration = pt.Pareto.Point.duration;
+            power = pt.Pareto.Point.power;
+          }
+      in
+      let cap = 160.0 in
+      let k0 = Pipeline.Stages.prepare_key sc ~power_cap:cap in
+      let ke = Pipeline.Stages.edit_key sc [ perturb ] ~power_cap:cap in
+      Alcotest.(check bool) "edited scenario derives a fresh key" false
+        (Pipeline.Key.equal k0 ke);
+      let sc' = Core.Event_lp.edit_scenario sc [ perturb ] in
+      Alcotest.(check bool) "edit_key = prepare_key of the edited scenario"
+        true
+        (Pipeline.Key.equal ke (Pipeline.Stages.prepare_key sc' ~power_cap:cap));
+      Alcotest.(check bool) "inverse edit restores the original key" true
+        (Pipeline.Key.equal k0
+           (Pipeline.Stages.edit_key sc' [ inverse ] ~power_cap:cap));
+      Alcotest.(check bool) "build flags still distinguish keys" false
+        (Pipeline.Key.equal ke
+           (Pipeline.Stages.edit_key ~presolve:false sc [ perturb ]
+              ~power_cap:cap));
+      Alcotest.(check bool) "fail-socket re-keys" false
+        (Pipeline.Key.equal k0
+           (Pipeline.Stages.edit_key sc [ Core.Event_lp.Fail_socket 0 ]
+              ~power_cap:cap));
+      Alcotest.(check bool) "drop-rank re-keys" false
+        (Pipeline.Key.equal k0
+           (Pipeline.Stages.edit_key sc [ Core.Event_lp.Drop_rank 0 ]
+              ~power_cap:cap)))
+
 let suite =
   [
     ( "util.cache",
@@ -261,5 +325,7 @@ let suite =
           test_frontiers_physically_shared;
         Alcotest.test_case "sweep identical cache on/off" `Slow
           test_sweep_identical_cache_on_off;
+        Alcotest.test_case "edit keys re-key and invert" `Quick
+          test_edit_key_rekeys_and_inverts;
       ] );
   ]

@@ -113,6 +113,42 @@ let test_extensions () =
   check_contains out "balancer";
   check_contains out "lp_refined_s"
 
+(* Pinned fixture for the degenerate-warm-start rule: a cap whose power
+   duals are all zero (the cap does not constrain the schedule) is
+   re-solved cold by the sweep chain, so warm and cold sweeps publish
+   bit-identical points.  400 W/socket is far above any CoMD task's
+   draw, so the loose cap is guaranteed unconstraining; the fallback is
+   then observable as exactly one extra (cold) solve in the warm arm's
+   counters. *)
+let test_degenerate_duals_cold_fallback () =
+  let config =
+    { tiny with Experiments.Common.caps = [ 35.0; 400.0 ] }
+  in
+  let s = Experiments.Common.make_setup config Workloads.Apps.CoMD in
+  let arm warm =
+    Lp.Stats.reset ();
+    let sw = Experiments.Common.run_sweep ~warm s in
+    (sw, Lp.Stats.snapshot ())
+  in
+  let sw_cold, st_cold = arm false in
+  let sw_warm, st_warm = arm true in
+  Alcotest.(check int) "cold arm never warm-starts" 0
+    st_cold.Lp.Stats.warm_solves;
+  Alcotest.(check bool) "warm arm attempted a warm start" true
+    (st_warm.Lp.Stats.warm_solves >= 1);
+  Alcotest.(check int) "zero-dual fallback re-solves exactly once"
+    (st_cold.Lp.Stats.solves + 1)
+    st_warm.Lp.Stats.solves;
+  List.iter2
+    (fun (a : Experiments.Common.point) (b : Experiments.Common.point) ->
+      Alcotest.(check bool) "schedulable flags agree"
+        a.Experiments.Common.schedulable b.Experiments.Common.schedulable;
+      Alcotest.(check bool) "lp span bit-identical warm vs cold" true
+        (Int64.equal
+           (Int64.bits_of_float a.Experiments.Common.lp_span)
+           (Int64.bits_of_float b.Experiments.Common.lp_span)))
+    sw_cold.Experiments.Common.points sw_warm.Experiments.Common.points
+
 let suite =
   [
     ( "experiments",
@@ -125,5 +161,7 @@ let suite =
         Alcotest.test_case "fig12" `Quick test_fig12;
         Alcotest.test_case "overheads" `Quick test_overheads;
         Alcotest.test_case "extensions" `Quick test_extensions;
+        Alcotest.test_case "degenerate duals re-solve cold" `Slow
+          test_degenerate_duals_cold_fallback;
       ] );
   ]

@@ -792,6 +792,49 @@ let test_milp_child_iter_limit () =
     (full.Lp.Milp.status = Lp.Milp.Optimal);
   check_float "full objective" (-2.0) full.Lp.Milp.objective
 
+(* Pin the budget boundary.  [max_nodes] only interrupts a search whose
+   frontier is still open, so statuses are monotone in the budget: below
+   some threshold the search is inconclusive ([Node_limit]), at and
+   above it the proof completes ([Optimal]) — and an Optimal at budget k
+   can never regress at budget k+1.  A budget equal to the full node
+   count always suffices. *)
+let test_milp_node_budget_boundary () =
+  let p = milp_limits_model () in
+  let full = Lp.Milp.solve ~int_tol:0.3 p in
+  Alcotest.(check bool) "full search optimal" true
+    (full.Lp.Milp.status = Lp.Milp.Optimal);
+  Alcotest.(check bool) "search is multi-node" true (full.Lp.Milp.nodes > 1);
+  let first_opt = ref 0 in
+  for k = 1 to full.Lp.Milp.nodes do
+    let r = Lp.Milp.solve ~int_tol:0.3 ~max_nodes:k p in
+    match r.Lp.Milp.status with
+    | Lp.Milp.Optimal ->
+        if !first_opt = 0 then first_opt := k;
+        check_float "proved objective" (-2.0) r.Lp.Milp.objective
+    | Lp.Milp.Node_limit ->
+        if !first_opt <> 0 then
+          Alcotest.failf "budget %d regressed to Node_limit after Optimal at %d"
+            k !first_opt
+    | _ -> Alcotest.fail "unexpected status under a node budget"
+  done;
+  Alcotest.(check bool) "a too-small budget is inconclusive" true
+    (!first_opt > 1);
+  Alcotest.(check bool) "the full node count always suffices" true
+    (!first_opt > 0 && !first_opt <= full.Lp.Milp.nodes)
+
+(* The root relaxation hitting its own iteration limit is inconclusive
+   before any incumbent can exist: [Node_limit] with a NaN objective. *)
+let test_milp_root_iter_limit () =
+  let p = milp_limits_model () in
+  let root = Lp.Revised.solve p in
+  Alcotest.(check bool) "root needs more than two pivots" true
+    (root.Lp.Revised.iterations > 2);
+  let r = Lp.Milp.solve ~int_tol:0.3 ~lp_max_iter:2 p in
+  Alcotest.(check bool) "root Iter_limit propagates as Node_limit" true
+    (r.Lp.Milp.status = Lp.Milp.Node_limit);
+  Alcotest.(check bool) "no incumbent to report" true
+    (Float.is_nan r.Lp.Milp.objective)
+
 (* ------------------------------------------------------------------ *)
 (* Warm starts                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -1225,6 +1268,290 @@ let test_eta_limit_sanity () =
         Alcotest.failf "eta limit %s moved the objective by %g" limit d)
     [ "4"; "16"; "256" ]
 
+(* ------------------------------------------------------------------ *)
+(* Structural edits (Lp.Edit)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* min -x - 2y, x,y in [0,4], x + y <= 5, y <= 2.5: unique optimum at
+   (2.5, 2.5), objective -7.5. *)
+let edit_base_model () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:0.0 ~ub:4.0 ~obj:(-1.0) "x" in
+  let y = Lp.Model.add_var m ~lb:0.0 ~ub:4.0 ~obj:(-2.0) "y" in
+  Lp.Model.add_constr m ~name:"sum" [ (1.0, x); (1.0, y) ] Lp.Model.Le 5.0;
+  Lp.Model.add_constr m ~name:"ycap" [ (1.0, y) ] Lp.Model.Le 2.5;
+  Lp.Model.compile m
+
+let test_edit_apply_shapes () =
+  let p = edit_base_model () in
+  (* grow by a column and a row, then shrink both away again *)
+  let grown =
+    Lp.Edit.apply p
+      [
+        Lp.Edit.Add_col
+          { name = "z"; lb = 0.0; ub = 1.0; obj = -3.0; terms = [ (1.0, 0) ] };
+        Lp.Edit.Add_row
+          { name = "zcap"; terms = [ (1.0, 2) ]; sense = Lp.Model.Le; rhs = 0.5 };
+      ]
+  in
+  Alcotest.(check (pair int int)) "grown shape" (3, 3)
+    (grown.Lp.Model.nv, grown.Lp.Model.nr);
+  Alcotest.(check string) "new column named" "z" grown.Lp.Model.var_names.(2);
+  Alcotest.(check string) "new row named" "zcap" grown.Lp.Model.row_names.(2);
+  let r = Lp.Revised.solve grown in
+  (* z = 0.5 displaces 0.5 of x inside the sum row: -7.5 - 3*0.5 + 0.5 *)
+  check_float "grown objective" (-8.5) r.Lp.Revised.objective;
+  let shrunk = Lp.Edit.apply grown [ Lp.Edit.Remove_row 2; Lp.Edit.Remove_col 2 ] in
+  Alcotest.(check (pair int int)) "shrunk shape" (2, 2)
+    (shrunk.Lp.Model.nv, shrunk.Lp.Model.nr);
+  Alcotest.(check string) "row names compact" "ycap" shrunk.Lp.Model.row_names.(1);
+  check_float "shrunk objective restored" (-7.5)
+    (Lp.Revised.solve shrunk).Lp.Revised.objective;
+  (* coefficient surgery *)
+  let patched =
+    Lp.Edit.apply p
+      [
+        Lp.Edit.Set_rhs { row = 0; rhs = 4.5 };
+        Lp.Edit.Set_obj { col = 0; obj = -4.0 };
+        Lp.Edit.Set_bounds { col = 1; lb = 0.0; ub = 2.0 };
+      ]
+  in
+  (* x dominates: x = 4 (its bound), y = 0.5 fills the sum row *)
+  check_float "patched objective" (-17.0)
+    (Lp.Revised.solve patched).Lp.Revised.objective;
+  (* Set_entry 0 deletes the entry: y leaves the sum row *)
+  let deleted =
+    Lp.Edit.apply p [ Lp.Edit.Set_entry { row = 0; col = 1; coef = 0.0 } ]
+  in
+  Alcotest.(check int) "entry deleted" (Lp.Sparse.Csc.nnz p.Lp.Model.a - 1)
+    (Lp.Sparse.Csc.nnz deleted.Lp.Model.a);
+  check_float "deleted-entry objective" (-9.0)
+    (Lp.Revised.solve deleted).Lp.Revised.objective
+
+let test_edit_validation () =
+  let p = edit_base_model () in
+  let raises what edits =
+    match Lp.Edit.apply p edits with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  raises "row out of range" [ Lp.Edit.Remove_row 2 ];
+  raises "col out of range" [ Lp.Edit.Set_obj { col = 7; obj = 0.0 } ];
+  raises "crossed bounds"
+    [ Lp.Edit.Set_bounds { col = 0; lb = 1.0; ub = 0.0 } ];
+  raises "NaN coefficient"
+    [ Lp.Edit.Set_entry { row = 0; col = 0; coef = Float.nan } ];
+  raises "stale index after removal"
+    [ Lp.Edit.Remove_row 1; Lp.Edit.Set_rhs { row = 1; rhs = 0.0 } ]
+
+let test_edit_maps () =
+  let p = edit_base_model () in
+  let edits =
+    [
+      Lp.Edit.Add_col
+        { name = "z"; lb = 0.0; ub = 1.0; obj = 0.0; terms = [] };
+      Lp.Edit.Remove_col 0;
+      Lp.Edit.Remove_row 0;
+      Lp.Edit.Add_row
+        { name = "r"; terms = [ (1.0, 0) ]; sense = Lp.Model.Ge; rhs = 0.0 };
+    ]
+  in
+  Alcotest.(check (array int)) "col map" [| -1; 0 |] (Lp.Edit.col_map p edits);
+  Alcotest.(check (array int)) "row map" [| -1; 0 |] (Lp.Edit.row_map p edits);
+  (* surviving names travel with their indices *)
+  let pe = Lp.Edit.apply p edits in
+  Alcotest.(check string) "surviving col" "y" pe.Lp.Model.var_names.(0);
+  Alcotest.(check string) "surviving row" "ycap" pe.Lp.Model.row_names.(0)
+
+(* Single-edit warm re-solves must reproduce the cold objective to the
+   bit — the canonical basis extraction in [Revised] makes warm and cold
+   runs that terminate at the same (unique) optimal basis literally
+   indistinguishable.  This is the unit-scale version of the editbench
+   CI gate. *)
+let test_edit_warm_bit_identical () =
+  let p = edit_base_model () in
+  let r0 = Lp.Revised.solve p in
+  let b = Option.get r0.Lp.Revised.basis in
+  List.iter
+    (fun (what, edits) ->
+      let pe, rw = Lp.Edit.resolve ~warm:b p edits in
+      let rc = Lp.Revised.solve pe in
+      Alcotest.(check bool) (what ^ ": both optimal") true
+        (rw.Lp.Revised.status = Lp.Revised.Optimal
+        && rc.Lp.Revised.status = Lp.Revised.Optimal);
+      Alcotest.(check bool) (what ^ ": bit-identical objective") true
+        (Int64.equal
+           (Int64.bits_of_float rw.Lp.Revised.objective)
+           (Int64.bits_of_float rc.Lp.Revised.objective)))
+    [
+      ("rhs", [ Lp.Edit.Set_rhs { row = 0; rhs = 4.5 } ]);
+      ("bounds", [ Lp.Edit.Set_bounds { col = 0; lb = 0.0; ub = 3.0 } ]);
+      ("entry", [ Lp.Edit.Set_entry { row = 0; col = 0; coef = 2.0 } ]);
+      ( "added row",
+        [
+          Lp.Edit.Add_row
+            {
+              name = "cut";
+              terms = [ (1.0, 0); (2.0, 1) ];
+              sense = Lp.Model.Le;
+              rhs = 6.0;
+            };
+        ] );
+      ( "added col",
+        [
+          Lp.Edit.Add_col
+            { name = "z"; lb = 0.0; ub = 1.0; obj = -3.0; terms = [ (1.0, 0) ] };
+        ] );
+      ("removed row", [ Lp.Edit.Remove_row 1 ]);
+      ("removed col", [ Lp.Edit.Remove_col 0 ]);
+    ]
+
+(* The shrinking-friendly edit generator: edits are drawn as abstract
+   specs (constructor choice + raw ints/floats) and interpreted against
+   the evolving problem with index clamping, so ANY sublist of a failing
+   spec list is still a valid edit sequence — QCheck's stock list
+   shrinker applies directly, no custom invariant-preserving shrinker
+   needed. *)
+type edit_spec = { kind : int; ia : int; ib : int; fa : float; fb : float }
+
+let gen_edit_spec rng =
+  {
+    kind = QCheck.Gen.int_bound 7 rng;
+    ia = QCheck.Gen.int_bound 1000 rng;
+    ib = QCheck.Gen.int_bound 1000 rng;
+    fa = QCheck.Gen.float_range (-4.0) 4.0 rng;
+    fb = QCheck.Gen.float_range (-4.0) 4.0 rng;
+  }
+
+let interp_spec (p : Lp.Model.problem) s : Lp.Edit.t option =
+  let nv = p.Lp.Model.nv and nr = p.Lp.Model.nr in
+  let col = if nv = 0 then None else Some (s.ia mod nv) in
+  let row = if nr = 0 then None else Some (s.ib mod nr) in
+  match s.kind with
+  | 0 ->
+      let terms = match col with None -> [] | Some j -> [ (s.fa, j) ] in
+      let sense =
+        match s.ia mod 3 with
+        | 0 -> Lp.Model.Le
+        | 1 -> Lp.Model.Ge
+        | _ -> Lp.Model.Eq
+      in
+      Some (Lp.Edit.Add_row { name = "erow"; terms; sense; rhs = s.fb })
+  | 1 -> Option.map (fun r -> Lp.Edit.Remove_row r) row
+  | 2 ->
+      let terms = match row with None -> [] | Some i -> [ (s.fb, i) ] in
+      let ub =
+        if s.ib land 1 = 0 then Float.infinity else Float.abs s.fb +. 1.0
+      in
+      Some (Lp.Edit.Add_col { name = "ecol"; lb = 0.0; ub; obj = s.fa; terms })
+  | 3 -> if nv <= 1 then None else Option.map (fun j -> Lp.Edit.Remove_col j) col
+  | 4 ->
+      Option.map
+        (fun j ->
+          let lb = Float.min s.fa s.fb in
+          let ub =
+            if s.ia land 1 = 0 then Float.infinity else Float.max s.fa s.fb
+          in
+          Lp.Edit.Set_bounds { col = j; lb; ub })
+        col
+  | 5 -> Option.map (fun j -> Lp.Edit.Set_obj { col = j; obj = s.fa }) col
+  | 6 -> (
+      match (row, col) with
+      | Some r, Some c -> Some (Lp.Edit.Set_entry { row = r; col = c; coef = s.fa })
+      | _ -> None)
+  | _ -> Option.map (fun r -> Lp.Edit.Set_rhs { row = r; rhs = s.fb }) row
+
+let interp_specs p specs =
+  let rec go p acc = function
+    | [] -> List.rev acc
+    | s :: tl -> (
+        match interp_spec p s with
+        | None -> go p acc tl
+        | Some e -> go (Lp.Edit.apply p [ e ]) (e :: acc) tl)
+  in
+  go p [] specs
+
+let edit_case_arbitrary =
+  let print (p, specs) =
+    Fmt.str "%d vars x %d rows; edits: [%a]" p.Lp.Model.nv p.Lp.Model.nr
+      (Fmt.list ~sep:Fmt.semi Lp.Edit.pp)
+      (interp_specs p specs)
+  in
+  QCheck.make ~print
+    ~shrink:QCheck.Shrink.(pair nil (list ~shrink:nil))
+    QCheck.Gen.(
+      fun rng ->
+        let p = random_feasible_model rng in
+        let n = int_range 1 5 rng in
+        (p, list_size (return n) gen_edit_spec rng))
+
+(* The differential edit oracle: an incremental re-solve (basis mapped
+   across the structural edits, dual-repaired) must agree with a cold
+   solve of the edited problem on status — including edits that flip the
+   problem infeasible or unbounded — and on the objective to 1e-9. *)
+let prop_edit_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"incremental edit re-solve matches cold (status + 1e-9)"
+    edit_case_arbitrary
+    (fun (p, specs) ->
+      let edits = interp_specs p specs in
+      let r0 = Lp.Revised.solve p in
+      let pe, rw =
+        match (r0.Lp.Revised.status, r0.Lp.Revised.basis) with
+        | Lp.Revised.Optimal, Some b -> Lp.Edit.resolve ~warm:b p edits
+        | _ -> Lp.Edit.resolve p edits
+      in
+      let rc = Lp.Revised.solve pe in
+      if rc.Lp.Revised.status <> rw.Lp.Revised.status then
+        QCheck.Test.fail_reportf "status mismatch: cold %a incremental %a"
+          Lp.Revised.pp_status rc.Lp.Revised.status Lp.Revised.pp_status
+          rw.Lp.Revised.status
+      else
+        match rc.Lp.Revised.status with
+        | Lp.Revised.Optimal ->
+            if
+              Float.abs (rc.Lp.Revised.objective -. rw.Lp.Revised.objective)
+              > 1e-9 *. (1.0 +. Float.abs rc.Lp.Revised.objective)
+            then
+              QCheck.Test.fail_reportf
+                "objectives differ: cold %.12g incremental %.12g"
+                rc.Lp.Revised.objective rw.Lp.Revised.objective
+            else if not (Lp.Model.feasible ~tol:1e-6 pe rw.Lp.Revised.x) then
+              QCheck.Test.fail_report "incremental solution infeasible"
+            else true
+        | _ -> true)
+
+(* Index maps are consistent with apply: every surviving row/column
+   keeps its name at its mapped index. *)
+let prop_edit_maps_names =
+  QCheck.Test.make ~count:200 ~name:"edit maps track surviving names"
+    edit_case_arbitrary
+    (fun (p, specs) ->
+      let edits = interp_specs p specs in
+      let pe = Lp.Edit.apply p edits in
+      let cmap = Lp.Edit.col_map p edits in
+      let rmap = Lp.Edit.row_map p edits in
+      let ok = ref true in
+      Array.iteri
+        (fun j c ->
+          if
+            c >= 0
+            && not
+                 (String.equal p.Lp.Model.var_names.(j)
+                    pe.Lp.Model.var_names.(c))
+          then ok := false)
+        cmap;
+      Array.iteri
+        (fun i r ->
+          if
+            r >= 0
+            && not
+                 (String.equal p.Lp.Model.row_names.(i)
+                    pe.Lp.Model.row_names.(r))
+          then ok := false)
+        rmap;
+      !ok)
+
 let suite =
   [
     ( "lp.sparse",
@@ -1299,6 +1626,10 @@ let suite =
         Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
         Alcotest.test_case "node limit with incumbent" `Quick
           test_milp_node_limit_with_incumbent;
+        Alcotest.test_case "node budget boundary" `Quick
+          test_milp_node_budget_boundary;
+        Alcotest.test_case "root iteration limit" `Quick
+          test_milp_root_iter_limit;
         Alcotest.test_case "child iteration limit" `Quick
           test_milp_child_iter_limit;
         QCheck_alcotest.to_alcotest prop_milp_vs_bruteforce;
@@ -1308,5 +1639,16 @@ let suite =
       [
         Alcotest.test_case "rhs re-solve" `Quick test_warm_rhs_resolve;
         QCheck_alcotest.to_alcotest prop_warm_resolve;
+      ] );
+    ( "lp.edit",
+      [
+        Alcotest.test_case "apply shapes and objectives" `Quick
+          test_edit_apply_shapes;
+        Alcotest.test_case "validation" `Quick test_edit_validation;
+        Alcotest.test_case "index maps" `Quick test_edit_maps;
+        Alcotest.test_case "warm bit-identical to cold" `Quick
+          test_edit_warm_bit_identical;
+        QCheck_alcotest.to_alcotest prop_edit_oracle;
+        QCheck_alcotest.to_alcotest prop_edit_maps_names;
       ] );
   ]
