@@ -50,14 +50,27 @@ let initial_times ?(reduce_slack = true) (sc : Scenario.t) :
       ~msg:Dag.Schedule.default_msg
   else earliest
 
-(* Everything the model build produces that solve and export need. *)
+(* Everything the model build produces that solve and export need.
+   [col_bands]/[row_bands] tag every column and row with its temporal
+   stage (position in the initial schedule's event order) — the
+   staircase metadata {!Lp.Lu.factor} uses to keep factorization fill
+   inside the event-chain blocks.  Empty after structural edits, which
+   invalidate the stage assignment. *)
 type built = {
   problem : Lp.Model.problem;
   v_vars : Lp.Model.var array;  (* per vertex *)
   c_vars : Lp.Model.var array array;  (* per task, per frontier point *)
   meta : (int * int) list;  (* power rows: (row index, vertex) *)
   n_power_rows : int;
+  col_bands : int array;
+  row_bands : int array;
 }
+
+(* The bands pair in the shape {!Lp.Revised.solve} expects, or [None]
+   when the build carries no stage metadata. *)
+let bands_of (b : built) =
+  if Array.length b.col_bands = 0 then None
+  else Some (b.col_bands, b.row_bands)
 
 let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
   let g = sc.Scenario.graph in
@@ -68,6 +81,15 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
   in
   let events = Dag.Schedule.events g init in
   let m = Lp.Model.create () in
+  (* Temporal stage of each vertex: its position in the event order.
+     Rows and columns are banded by the stage of their earliest vertex;
+     row bands are recorded in constraint-addition order. *)
+  let vpos = Array.make nv 0 in
+  Array.iteri
+    (fun k vx -> vpos.(vx) <- k)
+    events.Dag.Schedule.order;
+  let rbands = ref [] in
+  let row_band band = rbands := band :: !rbands in
   (* vertex time variables; Init pinned to 0 (equation (2)) *)
   let v =
     Array.init nv (fun j ->
@@ -84,11 +106,13 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
   in
   Array.iteri
     (fun tid vars ->
-      if Array.length vars > 0 then
+      if Array.length vars > 0 then begin
+        row_band vpos.(g.Dag.Graph.tasks.(tid).Dag.Graph.t_src);
         Lp.Model.add_constr m
           ~name:(Printf.sprintf "conv%d" tid)
           (Array.to_list (Array.map (fun x -> (1.0, x)) vars))
-          Lp.Model.Eq 1.0)
+          Lp.Model.Eq 1.0
+      end)
     c;
   (* precedence (equation (3)): v_dst - v_src - sum d_k c_k >= delay *)
   Array.iteri
@@ -100,6 +124,7 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
              (fun k (p : Pareto.Point.t) -> (-.p.Pareto.Point.duration, c.(tid).(k)))
              f)
       in
+      row_band vpos.(t.Dag.Graph.t_src);
       Lp.Model.add_constr m
         ~name:(Printf.sprintf "prec_t%d" tid)
         ((1.0, v.(t.t_dst)) :: (-1.0, v.(t.t_src)) :: dur_terms)
@@ -108,6 +133,7 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
     g.Dag.Graph.tasks;
   Array.iter
     (fun (msg : Dag.Graph.message) ->
+      row_band vpos.(msg.Dag.Graph.m_src);
       Lp.Model.add_constr m
         [ (1.0, v.(msg.m_dst)); (-1.0, v.(msg.m_src)) ]
         Lp.Model.Ge
@@ -121,6 +147,7 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
     let ta = init.Dag.Schedule.vertex_time.(a)
     and tb = init.Dag.Schedule.vertex_time.(b) in
     let sense = if Float.abs (ta -. tb) < 1e-12 then Lp.Model.Eq else Lp.Model.Le in
+    row_band k;
     Lp.Model.add_constr m
       ~name:(Printf.sprintf "ord%d" k)
       [ (1.0, v.(a)); (-1.0, v.(b)) ]
@@ -150,6 +177,7 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
             nonzero
         in
         power_row_meta := (Lp.Model.nconstrs m, ord.(k)) :: !power_row_meta;
+        row_band k;
         Lp.Model.add_constr m
           ~name:(Printf.sprintf "pow%d" k)
           terms Lp.Model.Le power_cap
@@ -157,12 +185,24 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
     events.Dag.Schedule.active;
   (* objective (equation (1)): minimize the Finalize vertex time *)
   Lp.Model.set_obj m v.(g.Dag.Graph.finalize_v) 1.0;
+  let problem = Lp.Model.compile m in
+  (* Column stages: a vertex time lives at its event position, a
+     configuration weight at its task's start event. *)
+  let col_bands = Array.make problem.Lp.Model.nv 0 in
+  Array.iteri (fun j var -> col_bands.(var) <- vpos.(j)) v;
+  Array.iteri
+    (fun tid vars ->
+      let band = vpos.(g.Dag.Graph.tasks.(tid).Dag.Graph.t_src) in
+      Array.iter (fun var -> col_bands.(var) <- band) vars)
+    c;
   {
-    problem = Lp.Model.compile m;
+    problem;
     v_vars = v;
     c_vars = c;
     meta = List.rev !power_row_meta;
     n_power_rows = !power_rows;
+    col_bands;
+    row_bands = Array.of_list (List.rev !rbands);
   }
 
 (** The compiled LP in MPS format, for cross-checking against external
@@ -173,7 +213,7 @@ let to_mps ?reduce_slack (sc : Scenario.t) ~power_cap =
 
 (* Map a solver result back to the schedule domain. *)
 let outcome_of ~mode (sc : Scenario.t)
-    ({ problem = p; v_vars = v; c_vars = c; meta; n_power_rows } : built)
+    ({ problem = p; v_vars = v; c_vars = c; meta; n_power_rows; _ } : built)
     (r : Lp.Revised.result) : outcome =
   let nt = Dag.Graph.n_tasks sc.Scenario.graph in
   match r.Lp.Revised.status with
@@ -289,11 +329,12 @@ let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
       Some r
     end
   in
+  let bands = bands_of b in
   let r =
     match pz.resolution with
     | `Reduced red ->
         Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm
-          ?analysis:pz.panalysis p red
+          ?analysis:pz.panalysis ?bands p red
     | `Each ->
         let pp =
           match rhs with
@@ -301,7 +342,8 @@ let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
           | Some row_rhs -> { p with Lp.Model.row_rhs }
         in
         { (Lp.Presolve.solve ~max_iter pp) with Lp.Revised.basis = None }
-    | `Full -> Lp.Revised.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis p
+    | `Full ->
+        Lp.Revised.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis ?bands p
   in
   (outcome_of ~mode pz.psc b r, r.Lp.Revised.basis)
 
@@ -503,7 +545,16 @@ let edit_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
       b.meta
   in
   let built' =
-    { problem = p'; v_vars; c_vars; meta; n_power_rows = List.length meta }
+    {
+      problem = p';
+      v_vars;
+      c_vars;
+      meta;
+      n_power_rows = List.length meta;
+      (* structural edits invalidate the event-stage assignment *)
+      col_bands = [||];
+      row_bands = [||];
+    }
   in
   let sc' = edit_scenario pz.psc des in
   let pz' =

@@ -10,7 +10,9 @@
                     pricing (the pre-hypersparse solver);
     - [hypersparse] sparse kernels + symbolic factorization, Dantzig
                     pricing — must match the baseline bit for bit;
-    - [full]        sparse kernels + devex pricing (the default path).
+    - [full]        the default auto path: sparse kernels + devex
+                    pricing at scale, the dense eta-free path below the
+                    [POWERLIM_SMALL_LP] threshold.
 
     Asserts every mode agrees with the baseline objective to 1e-9 at
     every cap — the CI smoke step relies on the non-zero exit — and
@@ -26,29 +28,32 @@ let time f =
 
 let rel_diff a b = Float.abs (a -. b) /. Float.max 1.0 (Float.abs a)
 
-type mode = { m_name : string; hyper : bool; devex : bool }
+type mode = { m_name : string; hyper : string; devex : string }
 
+(* Knob values are env strings; "" counts as unset to the solver
+   ([Unix.putenv] cannot remove a variable), which hands the choice to
+   the small-instance auto mode. *)
 let modes =
   [
-    { m_name = "baseline"; hyper = false; devex = false };
-    { m_name = "hypersparse"; hyper = true; devex = false };
-    { m_name = "full"; hyper = true; devex = true };
+    { m_name = "baseline"; hyper = "0"; devex = "0" };
+    { m_name = "hypersparse"; hyper = "1"; devex = "0" };
+    { m_name = "full"; hyper = ""; devex = "" };
   ]
 
 (* The solver reads both knobs per solve, so flipping the process
-   environment between phases is enough; both flags default to on, so
-   restoring an unset variable to "1" is behaviour-preserving. *)
+   environment between phases is enough; restoring an originally unset
+   variable to "" keeps it auto, which is behaviour-preserving. *)
 let with_mode (m : mode) f =
   let saved =
     List.map
       (fun k -> (k, Sys.getenv_opt k))
       [ "POWERLIM_HYPERSPARSE"; "POWERLIM_DEVEX" ]
   in
-  Unix.putenv "POWERLIM_HYPERSPARSE" (if m.hyper then "1" else "0");
-  Unix.putenv "POWERLIM_DEVEX" (if m.devex then "1" else "0");
+  Unix.putenv "POWERLIM_HYPERSPARSE" m.hyper;
+  Unix.putenv "POWERLIM_DEVEX" m.devex;
   Fun.protect f ~finally:(fun () ->
       List.iter
-        (fun (k, old) -> Unix.putenv k (Option.value old ~default:"1"))
+        (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
         saved)
 
 type run = {
@@ -147,22 +152,122 @@ let rate sp dn =
   let t = sp + dn in
   if t = 0 then 0.0 else Float.of_int sp /. Float.of_int t
 
-(* Max relative objective difference vs the baseline mode, nan-aware:
-   both-infeasible caps agree by definition, a feasibility flip is an
-   instant gate failure. *)
-let max_obj_diff (base : run) (r : run) =
+(* Max relative objective difference between two per-cap objective
+   lists, nan-aware: both-infeasible caps agree by definition, a
+   feasibility flip is an instant gate failure. *)
+let max_objs_diff a_objs b_objs =
   List.fold_left2
     (fun acc a b ->
       if Float.is_nan a && Float.is_nan b then acc
       else if Float.is_nan a || Float.is_nan b then Float.infinity
       else Float.max acc (rel_diff a b))
-    0.0 base.objs r.objs
+    0.0 a_objs b_objs
 
-let write_json ~path ~(config : Common.config) ~caps results =
+let max_obj_diff (base : run) (r : run) = max_objs_diff base.objs r.objs
+
+(* --- size ladder ---------------------------------------------------
+   Cold solve + warm cap sweep on the default solver path at RANKS =
+   32/128/512/1024, best of [reps].  Rungs above [LADDER_RANKS]
+   (default: the harness RANKS) are skipped — CI smoke-runs the 32/128
+   rungs with [LADDER_RANKS=128], a paper-scale run sets 1024.  Rungs
+   always use 4 solver iterations: the growth measurement targets rank
+   scaling, and the mode-comparison sizes above already cover iteration
+   depth.  Each rung re-runs its sweep with the Forrest–Tomlin updates
+   disabled (POWERLIM_FT=0, the product-form eta path) and gates the
+   objectives at 1e-9; across rungs, cold-solve growth from 512 to 1024
+   ranks must stay below 4.5x — subquadratic in the doubling, the
+   wall-time shape the cluster-scale event LPs need. *)
+
+type rung = {
+  r_ranks : int;
+  r_iters : int;
+  r_cold_s : float;
+  r_sweep_s : float;
+  r_obj_diff : float;  (* default path vs POWERLIM_FT=0, max relative *)
+}
+
+let ladder_rungs = [ 32; 128; 512; 1024 ]
+let ladder_iters = 4
+let growth_limit = 4.5
+
+let ladder_max (config : Common.config) =
+  match Sys.getenv_opt "LADDER_RANKS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> config.Common.nranks)
+  | None -> config.Common.nranks
+
+let with_env k v f =
+  let saved = Sys.getenv_opt k in
+  Unix.putenv k v;
+  (* "" reads as unset to the solver; [Unix.putenv] cannot remove *)
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv k (Option.value saved ~default:""))
+
+let run_rung (config : Common.config) ranks : rung =
+  let cfg =
+    { config with Common.nranks = ranks; iterations = ladder_iters }
+  in
+  let s = Common.make_setup cfg Workloads.Apps.CoMD in
+  let caps = List.sort Float.compare cfg.Common.caps in
+  let nranks = Float.of_int ranks in
+  let tight = List.hd caps in
+  let loosest = List.fold_left Float.max Float.neg_infinity caps in
+  let sweep pz =
+    let prev = ref None in
+    List.map
+      (fun cap ->
+        let o, b =
+          Core.Event_lp.solve_prepared ?warm:!prev pz
+            ~power_cap:(cap *. nranks)
+        in
+        (match b with Some _ -> prev := b | None -> ());
+        objective o)
+      caps
+  in
+  let best_cold = ref Float.infinity
+  and best_sweep = ref Float.infinity
+  and objs = ref [] in
+  for _rep = 1 to reps do
+    let _, cold_s =
+      time (fun () -> Core.Event_lp.solve s.Common.sc ~power_cap:(tight *. nranks))
+    in
+    let pz = Core.Event_lp.prepare s.Common.sc ~power_cap:(loosest *. nranks) in
+    let o, sweep_s = time (fun () -> sweep pz) in
+    objs := o;
+    best_cold := Float.min !best_cold cold_s;
+    best_sweep := Float.min !best_sweep sweep_s
+  done;
+  let eta_objs =
+    with_env "POWERLIM_FT" "0" (fun () ->
+        let pz =
+          Core.Event_lp.prepare s.Common.sc ~power_cap:(loosest *. nranks)
+        in
+        sweep pz)
+  in
+  {
+    r_ranks = ranks;
+    r_iters = cfg.Common.iterations;
+    r_cold_s = !best_cold;
+    r_sweep_s = !best_sweep;
+    r_obj_diff = max_objs_diff !objs eta_objs;
+  }
+
+(* Growth ratio between the top two rungs, when both ran. *)
+let ladder_growth (ladder : rung list) =
+  match
+    ( List.find_opt (fun r -> r.r_ranks = 512) ladder,
+      List.find_opt (fun r -> r.r_ranks = 1024) ladder )
+  with
+  | Some a, Some b -> Some (b.r_cold_s /. a.r_cold_s)
+  | _ -> None
+
+let write_json ~path ~(config : Common.config) ~caps ~ladder results =
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"powerlim-simplexbench-v1\",\n";
+  pf "  \"schema\": \"powerlim-simplexbench-v2\",\n";
   pf "  \"ranks\": %d,\n" config.Common.nranks;
   pf "  \"iterations\": %d,\n" config.Common.iterations;
   pf "  \"caps_w\": [%s],\n"
@@ -203,7 +308,23 @@ let write_json ~path ~(config : Common.config) ~caps results =
       pf "      ]\n";
       pf "    }%s\n" (if i = nsizes - 1 then "" else ","))
     results;
-  pf "  ]\n";
+  pf "  ],\n";
+  pf "  \"ladder\": [\n";
+  let nrungs = List.length ladder in
+  List.iteri
+    (fun i r ->
+      pf "    {\n";
+      pf "      \"ranks\": %d,\n" r.r_ranks;
+      pf "      \"iterations\": %d,\n" r.r_iters;
+      pf "      \"cold_solve_s\": %.6f,\n" r.r_cold_s;
+      pf "      \"sweep_s\": %.6f,\n" r.r_sweep_s;
+      pf "      \"max_rel_objective_diff\": %.3e\n" r.r_obj_diff;
+      pf "    }%s\n" (if i = nrungs - 1 then "" else ","))
+    ladder;
+  pf "  ]%s\n"
+    (match ladder_growth ladder with
+    | None -> ""
+    | Some g -> Printf.sprintf ",\n  \"ladder_cold_growth_1024_over_512\": %.3f" g);
   pf "}\n";
   close_out oc
 
@@ -242,8 +363,26 @@ let run ?(config = Common.default_config) ppf =
         (sz, runs))
       (sizes config)
   in
+  let lmax = ladder_max config in
+  let ladder =
+    List.filter_map
+      (fun ranks ->
+        if ranks > lmax then None
+        else begin
+          let r = run_rung config ranks in
+          Fmt.pf ppf
+            "ladder %4d ranks: cold %8.3f s  sweep %8.3f s  obj diff vs \
+             eta-file %.1e@."
+            r.r_ranks r.r_cold_s r.r_sweep_s r.r_obj_diff;
+          Some r
+        end)
+      ladder_rungs
+  in
+  (match ladder_growth ladder with
+  | Some g -> Fmt.pf ppf "ladder cold-solve growth 1024/512: %.2fx@." g
+  | None -> ());
   let path = "BENCH_simplex.json" in
-  write_json ~path ~config ~caps results;
+  write_json ~path ~config ~caps ~ladder results;
   Fmt.pf ppf "wrote %s@." path;
   (* hard gate: neither the sparse kernels nor devex pricing may move
      any optimal objective (alternate vertices are fine, values are not) *)
@@ -259,4 +398,23 @@ let run ?(config = Common.default_config) ppf =
                  "simplexbench: %s/%s objectives differ from baseline (%g)"
                  sz.s_name name d))
         runs)
-    results
+    results;
+  (* ladder gates: Forrest–Tomlin updates may not move any sweep
+     objective, and doubling 512 -> 1024 ranks must stay subquadratic *)
+  List.iter
+    (fun r ->
+      if r.r_obj_diff > 1e-9 then
+        failwith
+          (Printf.sprintf
+             "simplexbench: ladder %d-rank objectives differ between FT and \
+              eta-file paths (%g)"
+             r.r_ranks r.r_obj_diff))
+    ladder;
+  match ladder_growth ladder with
+  | Some g when g >= growth_limit ->
+      failwith
+        (Printf.sprintf
+           "simplexbench: cold-solve growth 1024/512 = %.2fx >= %.1fx \
+            (superquadratic)"
+           g growth_limit)
+  | _ -> ()

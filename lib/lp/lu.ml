@@ -103,8 +103,15 @@ let sort_prefix (a : int array) n =
 
 (** [factor ~m col_iter] factorizes the [m]×[m] matrix whose [k]-th column
     is enumerated by [col_iter k f] (calling [f row value] for each
-    entry). *)
-let factor ?(symbolic = true) ~m col_iter0 =
+    entry).
+
+    [?bands] assigns each input column a staircase band (for the event
+    LP: the temporal stage of the basic variable).  Columns are then
+    pre-ordered band-major with the sparsest-first (Markowitz-style)
+    rule breaking ties within a band, which keeps fill confined to the
+    staircase blocks of chain-structured bases.  Without [?bands] the
+    ordering is exactly the historical sparsest-first one. *)
+let factor ?(symbolic = true) ?bands ~m col_iter0 =
   let pos = Array.make m (-1) in
   let p = Array.make m (-1) in
   (* static nonzero count per row and column of the input *)
@@ -117,14 +124,27 @@ let factor ?(symbolic = true) ~m col_iter0 =
           colcount.(k) <- colcount.(k) + 1
         end)
   done;
-  (* factor sparsest columns first: a cheap fill-reducing ordering *)
+  (* factor sparsest columns first: a cheap fill-reducing ordering;
+     with bands, band-major first so the staircase structure dominates *)
   let cperm = Array.init m Fun.id in
-  Array.sort
-    (fun a b ->
-      match Int.compare colcount.(a) colcount.(b) with
-      | 0 -> Int.compare a b
-      | c -> c)
-    cperm;
+  (match bands with
+  | None ->
+      Array.sort
+        (fun a b ->
+          match Int.compare colcount.(a) colcount.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        cperm
+  | Some (bd : int array) ->
+      Array.sort
+        (fun a b ->
+          match Int.compare bd.(a) bd.(b) with
+          | 0 -> (
+              match Int.compare colcount.(a) colcount.(b) with
+              | 0 -> Int.compare a b
+              | c -> c)
+          | c -> c)
+        cperm);
   let col_iter k f = col_iter0 cperm.(k) f in
   let lrows = Array.make m [||] and lvals = Array.make m [||] in
   let urows = Array.make m [||] and uvals = Array.make m [||] in
@@ -732,3 +752,762 @@ let bordered_pivot t ~col ~row ~d =
   let x = Array.make t.m 0.0 and scratch = Array.make t.m 0.0 in
   solve t ~b ~x ~scratch;
   List.fold_left (fun acc (k, v) -> acc -. (v *. x.(k))) d row
+
+(* ------------------------------------------------------------------ *)
+(* Forrest–Tomlin updates                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Forrest–Tomlin update of a factorization: replacing basis column
+    [r] by an entering column [a] turns column [cpos r] of [U] into the
+    spike [s = E_n ⋯ E_1 L⁻¹ P a]; the spiked slot is cyclically
+    permuted to the border of the active order, and the old row of [U]
+    (now below the diagonal) is eliminated against the remaining rows.
+    The row operations are recorded as a {e row eta}
+    [E = I − Σ mu_c e_t e_cᵀ] applied between [L] and [U] in every
+    subsequent solve; unlike product-form column etas they create no
+    fill outside the eliminated row, so [U] stays sparse and banded on
+    staircase bases.
+
+    [L] (and the slot ↔ basis-position binding [cperm]) stay frozen;
+    [U] becomes dynamic: stored both column-wise (for the solves, so
+    that with zero updates the kernels replay {!solve}/{!solve_t} bit
+    for bit) and row-wise (for the border elimination).  Entry values
+    never change after insertion, so the two copies stay consistent by
+    construction.  The active elimination order is a doubly linked list
+    over slots with monotone integer keys ([okey]); moving a slot to
+    the border is O(1). *)
+module Ft = struct
+  (* Reusable m-sized workspace: one per solver, survives
+     refactorizations.  Single-owner mutable state, like [swork]. *)
+  type wsp = {
+    sw : swork;
+    okey : int array;  (** current elimination order key per slot *)
+    onext : int array;
+    oprev : int array;
+    spike : float array;
+        (** retained post-L post-eta intermediate of the last entering
+            column FTRAN — the Forrest–Tomlin spike; kept-zero outside
+            its support *)
+    spike_ind : int array;
+    mutable spike_n : int;  (** -1 = whole array valid (dense) *)
+    acc : float array;  (** border-row elimination accumulator *)
+    accst : int array;
+    mutable accep : int;
+    heap : int array;  (** pending border-row columns, min-heap on okey *)
+    hseen : int array;
+    mutable hepoch : int;
+  }
+
+  let make_wsp m =
+    {
+      sw = make_swork m;
+      okey = Array.make m 0;
+      onext = Array.make m (-1);
+      oprev = Array.make m (-1);
+      spike = Array.make m 0.0;
+      spike_ind = Array.make m 0;
+      spike_n = 0;
+      acc = Array.make m 0.0;
+      accst = Array.make m (-1);
+      accep = 0;
+      heap = Array.make m 0;
+      hseen = Array.make m (-1);
+      hepoch = 0;
+    }
+
+  type nonrec u = {
+    base : t;  (** frozen [L], row/column permutations, initial [U] *)
+    w : wsp;
+    cpos : int array;  (** inverse of [base.cperm] *)
+    ucol_n : int array;
+    ucol_i : int array array;  (** dynamic column [k] of U: row slots *)
+    ucol_v : float array array;
+    urow_n : int array;
+    urow_j : int array array;  (** dynamic row [k] of U: column slots *)
+    urow_v : float array array;
+    d : float array;  (** current U diagonal per slot *)
+    mutable ohead : int;
+    mutable otail : int;
+    mutable omax : int;
+    mutable ne : int;  (** number of row etas *)
+    mutable re_t : int array;  (** eliminated slot per eta *)
+    mutable re_ptr : int array;  (** [ne+1] offsets into [re_j]/[re_mu] *)
+    mutable re_j : int array;
+    mutable re_mu : float array;
+    mutable re_len : int;
+    mutable unnz : int;  (** current U nonzeros incl. diagonal *)
+    lnnz : int;
+    nnz0 : int;  (** factor nonzeros at [of_factor] time *)
+    mutable nupd : int;
+    mutable fill_hwm : float;  (** high-water fill ratio since of_factor *)
+  }
+
+  let push_entry (ni : int array) (ii : int array array)
+      (vv : float array array) s i v =
+    let n = ni.(s) in
+    if n >= Array.length ii.(s) then begin
+      let cap = Array.length ii.(s) in
+      let nc = if cap = 0 then 4 else cap * 2 in
+      let i2 = Array.make nc 0 and v2 = Array.make nc 0.0 in
+      Array.blit ii.(s) 0 i2 0 n;
+      Array.blit vv.(s) 0 v2 0 n;
+      ii.(s) <- i2;
+      vv.(s) <- v2
+    end;
+    ii.(s).(n) <- i;
+    vv.(s).(n) <- v;
+    ni.(s) <- n + 1
+
+  (* Remove the entry with index [i] from slot [s] (swap-with-last; the
+     in-slot entry order is free, both copies are read in stored order
+     by sparse and dense kernels alike). *)
+  let remove_entry (ni : int array) (ii : int array array)
+      (vv : float array array) s i =
+    let n = ni.(s) in
+    let a = ii.(s) in
+    let k = ref (-1) in
+    for e = 0 to n - 1 do
+      if a.(e) = i then k := e
+    done;
+    if !k >= 0 then begin
+      let last = n - 1 in
+      a.(!k) <- a.(last);
+      vv.(s).(!k) <- vv.(s).(last);
+      ni.(s) <- last
+    end
+
+  let of_factor (w : wsp) (base : t) =
+    let m = base.m in
+    let cpos = (tsym base).cpos in
+    let ucol_n = Array.make m 0
+    and ucol_i = Array.make m [||]
+    and ucol_v = Array.make m [||] in
+    let urow_n = Array.make m 0
+    and urow_j = Array.make m [||]
+    and urow_v = Array.make m [||] in
+    let unnz = ref m and lnnz = ref 0 in
+    for k = 0 to m - 1 do
+      let n = Array.length base.urows.(k) in
+      ucol_n.(k) <- n;
+      ucol_i.(k) <- Array.copy base.urows.(k);
+      ucol_v.(k) <- Array.copy base.uvals.(k);
+      unnz := !unnz + n;
+      lnnz := !lnnz + Array.length base.lrows.(k)
+    done;
+    (* row-wise copy: columns visited ascending, so each row starts
+       sorted by column slot *)
+    for k = 0 to m - 1 do
+      let rs = base.urows.(k) and vs = base.uvals.(k) in
+      for e = 0 to Array.length rs - 1 do
+        push_entry urow_n urow_j urow_v rs.(e) k vs.(e)
+      done
+    done;
+    for k = 0 to m - 1 do
+      w.okey.(k) <- k;
+      w.onext.(k) <- (if k = m - 1 then -1 else k + 1);
+      w.oprev.(k) <- k - 1
+    done;
+    (* previous generation's spike support is stale *)
+    (if w.spike_n < 0 then Array.fill w.spike 0 m 0.0
+     else
+       for e = 0 to w.spike_n - 1 do
+         w.spike.(w.spike_ind.(e)) <- 0.0
+       done);
+    w.spike_n <- 0;
+    {
+      base;
+      w;
+      cpos;
+      ucol_n;
+      ucol_i;
+      ucol_v;
+      urow_n;
+      urow_j;
+      urow_v;
+      d = Array.copy base.udiag;
+      ohead = (if m = 0 then -1 else 0);
+      otail = m - 1;
+      omax = m - 1;
+      ne = 0;
+      re_t = Array.make 16 0;
+      re_ptr = Array.make 17 0;
+      re_j = Array.make 64 0;
+      re_mu = Array.make 64 0.0;
+      re_len = 0;
+      unnz = !unnz;
+      lnnz = !lnnz;
+      nnz0 = !unnz + !lnnz;
+      nupd = 0;
+      fill_hwm = 1.0;
+    }
+
+  let fill_ratio u =
+    if u.nnz0 = 0 then 1.0
+    else
+      float_of_int (u.lnnz + u.unnz + u.re_len) /. float_of_int u.nnz0
+
+  let fill_hwm u = u.fill_hwm
+  let nupdates u = u.nupd
+
+  (* --- solves ----------------------------------------------------- *)
+
+  (* Shared by the dense and sparse FTRAN: apply the row etas, oldest
+     first, to the post-L intermediate held in [z] (dense array). *)
+  let apply_etas_dense u (z : float array) =
+    for e = 0 to u.ne - 1 do
+      let t = u.re_t.(e) in
+      let acc = ref z.(t) in
+      for q = u.re_ptr.(e) to u.re_ptr.(e + 1) - 1 do
+        acc := !acc -. (u.re_mu.(q) *. z.(u.re_j.(q)))
+      done;
+      z.(t) <- !acc
+    done
+
+  (** [ftran_d u ~keep_spike ~b ~x ~scratch] solves [B x = b] against
+      the updated factors; same indexing contract as {!solve}.  With
+      zero updates it performs exactly the operations of {!solve}.
+      [keep_spike] retains the post-L post-eta intermediate for a
+      subsequent {!update} of the column just FTRANed. *)
+  let ftran_d u ~keep_spike ~(b : float array) ~(x : float array)
+      ~(scratch : float array) =
+    let base = u.base in
+    let m = base.m in
+    for k = 0 to m - 1 do
+      scratch.(k) <- b.(base.p.(k))
+    done;
+    for k = 0 to m - 1 do
+      let zk = scratch.(k) in
+      if zk <> 0.0 then begin
+        let rs = base.lrows.(k) and vs = base.lvals.(k) in
+        for e = 0 to Array.length rs - 1 do
+          scratch.(rs.(e)) <- scratch.(rs.(e)) -. (vs.(e) *. zk)
+        done
+      end
+    done;
+    apply_etas_dense u scratch;
+    if keep_spike then begin
+      Array.blit scratch 0 u.w.spike 0 m;
+      u.w.spike_n <- -1
+    end;
+    (* back substitution over the dynamic U, border-to-head order *)
+    let k = ref u.otail in
+    while !k >= 0 do
+      let s = !k in
+      let xk = scratch.(s) /. u.d.(s) in
+      x.(base.cperm.(s)) <- xk;
+      if xk <> 0.0 then begin
+        let n = u.ucol_n.(s) in
+        let rs = u.ucol_i.(s) and vs = u.ucol_v.(s) in
+        for e = 0 to n - 1 do
+          scratch.(rs.(e)) <- scratch.(rs.(e)) -. (vs.(e) *. xk)
+        done
+      end;
+      k := u.w.oprev.(s)
+    done
+
+  (** [btran_d u ~c ~y ~scratch] solves [Bᵀ y = c]; same indexing
+      contract as {!solve_t}, bitwise-identical to it at zero
+      updates. *)
+  let btran_d u ~(c : float array) ~(y : float array)
+      ~(scratch : float array) =
+    let base = u.base in
+    let m = base.m in
+    (* Uᵀ forward, active order, gather over dynamic columns *)
+    let k = ref u.ohead in
+    while !k >= 0 do
+      let s = !k in
+      let acc = ref c.(base.cperm.(s)) in
+      let n = u.ucol_n.(s) in
+      let rs = u.ucol_i.(s) and vs = u.ucol_v.(s) in
+      for e = 0 to n - 1 do
+        acc := !acc -. (vs.(e) *. scratch.(rs.(e)))
+      done;
+      scratch.(s) <- !acc /. u.d.(s);
+      k := u.w.onext.(s)
+    done;
+    (* row-eta transposes, newest first: y_c -= mu_c · y_t *)
+    for e = u.ne - 1 downto 0 do
+      let t = u.re_t.(e) in
+      let yt = scratch.(t) in
+      if yt <> 0.0 then
+        for q = u.re_ptr.(e) to u.re_ptr.(e + 1) - 1 do
+          scratch.(u.re_j.(q)) <- scratch.(u.re_j.(q)) -. (u.re_mu.(q) *. yt)
+        done
+    done;
+    (* Lᵀ backward, static slot order *)
+    for k = m - 1 downto 0 do
+      let acc = ref scratch.(k) in
+      let rs = base.lrows.(k) and vs = base.lvals.(k) in
+      for e = 0 to Array.length rs - 1 do
+        acc := !acc -. (vs.(e) *. scratch.(rs.(e)))
+      done;
+      scratch.(k) <- !acc
+    done;
+    for k = 0 to m - 1 do
+      y.(base.p.(k)) <- scratch.(k)
+    done
+
+  (* Reachability like [reach_arr], but over ragged dynamic adjacency
+     with explicit lengths. *)
+  let reach_dyn sw (ni : int array) (ii : int array array) ~nseeds
+      ~(out : int array) ~cutoff =
+    sw.vepoch <- sw.vepoch + 1;
+    let ep = sw.vepoch in
+    let cnt = ref nseeds and top = ref 0 and over = ref false in
+    for s = 0 to nseeds - 1 do
+      sw.vis.(out.(s)) <- ep;
+      sw.dstack.(s) <- out.(s)
+    done;
+    top := nseeds;
+    while !top > 0 && not !over do
+      decr top;
+      let k = sw.dstack.(!top) in
+      let a = ii.(k) and n = ni.(k) in
+      for e = 0 to n - 1 do
+        let i = a.(e) in
+        if sw.vis.(i) <> ep then begin
+          sw.vis.(i) <- ep;
+          if !cnt >= cutoff then over := true
+          else begin
+            out.(!cnt) <- i;
+            sw.dstack.(!top) <- i;
+            incr top;
+            incr cnt
+          end
+        end
+      done
+    done;
+    if !over then -1 else !cnt
+
+  (* Sort the first [n] entries of [a] ascending by [key.(·)], then used
+     forward (ascending) or backward (descending) by the numeric
+     passes.  Insertion sort: reach sets are small by construction. *)
+  let sort_prefix_key (a : int array) n (key : int array) =
+    for k = 1 to n - 1 do
+      let v = a.(k) in
+      let kv = key.(v) in
+      let m = ref k in
+      while !m > 0 && key.(a.(!m - 1)) > kv do
+        a.(!m) <- a.(!m - 1);
+        decr m
+      done;
+      a.(!m) <- v
+    done
+
+  (** Sparse-RHS FTRAN against the updated factors; contract of
+      {!solve_sp} ([-1] = dense kernel ran, all of [x] valid). *)
+  let ftran_sp u ~keep_spike ~nb ~(bidx : int array) ~(b : float array)
+      ~(x : float array) ~(xind : int array) =
+    let base = u.base in
+    let m = base.m in
+    let w = u.w in
+    let sw = w.sw in
+    let cutoff = reach_cutoff m in
+    let dense () =
+      for s = 0 to nb - 1 do
+        sw.db.(bidx.(s)) <- b.(bidx.(s))
+      done;
+      ftran_d u ~keep_spike ~b:sw.db ~x ~scratch:sw.ds;
+      for s = 0 to nb - 1 do
+        sw.db.(bidx.(s)) <- 0.0
+      done;
+      -1
+    in
+    if nb >= cutoff then dense ()
+    else begin
+      for s = 0 to nb - 1 do
+        sw.r1.(s) <- base.pos.(bidx.(s))
+      done;
+      let n1 = reach_arr sw base.lrows ~nseeds:nb ~out:sw.r1 ~cutoff in
+      if n1 < 0 then dense ()
+      else begin
+        sort_prefix sw.r1 n1;
+        sw.sepoch <- sw.sepoch + 1;
+        let ep = sw.sepoch in
+        for e = 0 to n1 - 1 do
+          let k = sw.r1.(e) in
+          sw.sv.(k) <- 0.0;
+          sw.sstamp.(k) <- ep
+        done;
+        for s = 0 to nb - 1 do
+          let i = bidx.(s) in
+          sw.sv.(base.pos.(i)) <- b.(i)
+        done;
+        (* z = L⁻¹ P b over the reach, ascending slots *)
+        for e = 0 to n1 - 1 do
+          let k = sw.r1.(e) in
+          let zk = sw.sv.(k) in
+          if zk <> 0.0 then begin
+            let rs = base.lrows.(k) and vs = base.lvals.(k) in
+            for q = 0 to Array.length rs - 1 do
+              sw.sv.(rs.(q)) <- sw.sv.(rs.(q)) -. (vs.(q) *. zk)
+            done
+          end
+        done;
+        (* row etas, oldest first; the support grows with each
+           activated target slot.  A gather runs exactly when the dense
+           sweep would combine a nonzero — skipped ones only reproduce
+           (signed) zeros. *)
+        Array.blit sw.r1 0 sw.r2 0 n1;
+        let nsup = ref n1 in
+        for e = 0 to u.ne - 1 do
+          let t = u.re_t.(e) in
+          let tmem = sw.sstamp.(t) = ep in
+          let need = ref tmem in
+          (if not !need then
+             let q = ref u.re_ptr.(e) in
+             let stop = u.re_ptr.(e + 1) in
+             while (not !need) && !q < stop do
+               let j = u.re_j.(!q) in
+               if sw.sstamp.(j) = ep && sw.sv.(j) <> 0.0 then need := true;
+               incr q
+             done);
+          if !need then begin
+            if not tmem then begin
+              sw.sv.(t) <- 0.0;
+              sw.sstamp.(t) <- ep;
+              sw.r2.(!nsup) <- t;
+              incr nsup
+            end;
+            let acc = ref sw.sv.(t) in
+            for q = u.re_ptr.(e) to u.re_ptr.(e + 1) - 1 do
+              let j = u.re_j.(q) in
+              let zj = if sw.sstamp.(j) = ep then sw.sv.(j) else 0.0 in
+              acc := !acc -. (u.re_mu.(q) *. zj)
+            done;
+            sw.sv.(t) <- !acc
+          end
+        done;
+        if keep_spike then begin
+          (if w.spike_n < 0 then Array.fill w.spike 0 m 0.0
+           else
+             for e = 0 to w.spike_n - 1 do
+               w.spike.(w.spike_ind.(e)) <- 0.0
+             done);
+          for e = 0 to !nsup - 1 do
+            let k = sw.r2.(e) in
+            w.spike.(k) <- sw.sv.(k);
+            w.spike_ind.(e) <- k
+          done;
+          w.spike_n <- !nsup
+        end;
+        (* closure under the dynamic U columns *)
+        let n2 = reach_dyn sw u.ucol_n u.ucol_i ~nseeds:!nsup ~out:sw.r2 ~cutoff in
+        if n2 < 0 then dense ()
+        else begin
+          for e = !nsup to n2 - 1 do
+            let k = sw.r2.(e) in
+            sw.sv.(k) <- 0.0;
+            sw.sstamp.(k) <- ep
+          done;
+          sort_prefix_key sw.r2 n2 w.okey;
+          (* back substitution, descending active order *)
+          for e = n2 - 1 downto 0 do
+            let k = sw.r2.(e) in
+            let xk = sw.sv.(k) /. u.d.(k) in
+            x.(base.cperm.(k)) <- xk;
+            xind.(e) <- base.cperm.(k);
+            if xk <> 0.0 then begin
+              let n = u.ucol_n.(k) in
+              let rs = u.ucol_i.(k) and vs = u.ucol_v.(k) in
+              for q = 0 to n - 1 do
+                sw.sv.(rs.(q)) <- sw.sv.(rs.(q)) -. (vs.(q) *. xk)
+              done
+            end
+          done;
+          sort_prefix xind n2;
+          n2
+        end
+      end
+    end
+
+  (** Sparse-RHS BTRAN against the updated factors; contract of
+      {!solve_t_sp}. *)
+  let btran_sp u ~nc ~(cidx : int array) ~(c : float array)
+      ~(y : float array) ~(yind : int array) =
+    let base = u.base in
+    let m = base.m in
+    let w = u.w in
+    let sw = w.sw in
+    let cutoff = reach_cutoff m in
+    let dense () =
+      for s = 0 to nc - 1 do
+        sw.db.(cidx.(s)) <- c.(cidx.(s))
+      done;
+      btran_d u ~c:sw.db ~y ~scratch:sw.ds;
+      for s = 0 to nc - 1 do
+        sw.db.(cidx.(s)) <- 0.0
+      done;
+      -1
+    in
+    if nc >= cutoff then dense ()
+    else begin
+      (* Uᵀ reach: a nonzero at slot i spreads to every column k whose
+         dynamic column holds row i — i.e. along the dynamic rows. *)
+      for s = 0 to nc - 1 do
+        sw.r1.(s) <- u.cpos.(cidx.(s))
+      done;
+      let n1 = reach_dyn sw u.urow_n u.urow_j ~nseeds:nc ~out:sw.r1 ~cutoff in
+      if n1 < 0 then dense ()
+      else begin
+        sort_prefix_key sw.r1 n1 w.okey;
+        sw.sepoch <- sw.sepoch + 1;
+        let ep = sw.sepoch in
+        for e = 0 to n1 - 1 do
+          let k = sw.r1.(e) in
+          sw.sv.(k) <- 0.0;
+          sw.sstamp.(k) <- ep
+        done;
+        for s = 0 to nc - 1 do
+          let j = cidx.(s) in
+          sw.sv.(u.cpos.(j)) <- c.(j)
+        done;
+        (* Uᵀ w = c: forward gather, ascending active order *)
+        for e = 0 to n1 - 1 do
+          let k = sw.r1.(e) in
+          let acc = ref sw.sv.(k) in
+          let n = u.ucol_n.(k) in
+          let rs = u.ucol_i.(k) and vs = u.ucol_v.(k) in
+          for q = 0 to n - 1 do
+            let i = rs.(q) in
+            let wi = if sw.sstamp.(i) = ep then sw.sv.(i) else 0.0 in
+            acc := !acc -. (vs.(q) *. wi)
+          done;
+          sw.sv.(k) <- !acc /. u.d.(k)
+        done;
+        (* row-eta transposes, newest first (scatter) *)
+        Array.blit sw.r1 0 sw.r2 0 n1;
+        let nsup = ref n1 in
+        for e = u.ne - 1 downto 0 do
+          let t = u.re_t.(e) in
+          if sw.sstamp.(t) = ep && sw.sv.(t) <> 0.0 then begin
+            let yt = sw.sv.(t) in
+            for q = u.re_ptr.(e) to u.re_ptr.(e + 1) - 1 do
+              let j = u.re_j.(q) in
+              if sw.sstamp.(j) <> ep then begin
+                sw.sv.(j) <- 0.0;
+                sw.sstamp.(j) <- ep;
+                sw.r2.(!nsup) <- j;
+                incr nsup
+              end;
+              sw.sv.(j) <- sw.sv.(j) -. (u.re_mu.(q) *. yt)
+            done
+          end
+        done;
+        (* Lᵀ closure over the static transpose structure *)
+        let ts = tsym base in
+        let n2 =
+          reach_ptr sw ts.lsucc_ptr ts.lsucc_ind ~nseeds:!nsup ~out:sw.r2
+            ~cutoff
+        in
+        if n2 < 0 then dense ()
+        else begin
+          for e = !nsup to n2 - 1 do
+            let k = sw.r2.(e) in
+            sw.sv.(k) <- 0.0;
+            sw.sstamp.(k) <- ep
+          done;
+          sort_prefix sw.r2 n2;
+          for e = n2 - 1 downto 0 do
+            let k = sw.r2.(e) in
+            let acc = ref sw.sv.(k) in
+            let rs = base.lrows.(k) and vs = base.lvals.(k) in
+            for q = 0 to Array.length rs - 1 do
+              let i = rs.(q) in
+              let vi = if sw.sstamp.(i) = ep then sw.sv.(i) else 0.0 in
+              acc := !acc -. (vs.(q) *. vi)
+            done;
+            sw.sv.(k) <- !acc;
+            y.(base.p.(k)) <- !acc;
+            yind.(e) <- base.p.(k)
+          done;
+          sort_prefix yind n2;
+          n2
+        end
+      end
+    end
+
+  (* --- the update itself ------------------------------------------ *)
+
+  let grow_eta u need =
+    if u.ne >= Array.length u.re_t then begin
+      let nc = 2 * Array.length u.re_t in
+      let t2 = Array.make nc 0 and p2 = Array.make (nc + 1) 0 in
+      Array.blit u.re_t 0 t2 0 u.ne;
+      Array.blit u.re_ptr 0 p2 0 (u.ne + 1);
+      u.re_t <- t2;
+      u.re_ptr <- p2
+    end;
+    while u.re_len + need > Array.length u.re_j do
+      let nc = 2 * Array.length u.re_j in
+      let j2 = Array.make nc 0 and m2 = Array.make nc 0.0 in
+      Array.blit u.re_j 0 j2 0 u.re_len;
+      Array.blit u.re_mu 0 m2 0 u.re_len;
+      u.re_j <- j2;
+      u.re_mu <- m2
+    done
+
+  (** [update u ~pos ~wr] replaces the basis column at position [pos]
+      by the column whose FTRAN (with [keep_spike:true]) was just
+      computed; [wr] is that FTRAN's value at [pos] (the simplex pivot
+      element).  Returns [false] — leaving [u] unusable, the caller
+      must refactorize — when the new border diagonal is tiny or fails
+      the 1e-9 certification against the determinant identity
+      [d = wr · u_tt]. *)
+  let update u ~pos:r ~wr =
+    let w = u.w in
+    let t = u.cpos.(r) in
+    (* drop the replaced column t: its entries leave the rows *)
+    (let n = u.ucol_n.(t) in
+     let rs = u.ucol_i.(t) in
+     for e = 0 to n - 1 do
+       remove_entry u.urow_n u.urow_j u.urow_v rs.(e) t
+     done;
+     u.unnz <- u.unnz - n;
+     u.ucol_n.(t) <- 0);
+    (* gather the surviving row t (the border row) and drop it from the
+       column storage *)
+    w.accep <- w.accep + 1;
+    let ep = w.accep in
+    w.hepoch <- w.hepoch + 1;
+    let hep = w.hepoch in
+    let hn = ref 0 in
+    let okey = w.okey in
+    let hpush c =
+      if w.hseen.(c) <> hep then begin
+        w.hseen.(c) <- hep;
+        let i = ref !hn in
+        incr hn;
+        w.heap.(!i) <- c;
+        let kc = okey.(c) in
+        let continue = ref true in
+        while !continue && !i > 0 do
+          let par = (!i - 1) / 2 in
+          if okey.(w.heap.(par)) > kc then begin
+            w.heap.(!i) <- w.heap.(par);
+            w.heap.(par) <- c;
+            i := par
+          end
+          else continue := false
+        done
+      end
+    in
+    let hpop () =
+      let top = w.heap.(0) in
+      decr hn;
+      let last = w.heap.(!hn) in
+      w.heap.(0) <- last;
+      let kl = okey.(last) in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        let r = l + 1 in
+        let s = ref !i in
+        if l < !hn && okey.(w.heap.(l)) < okey.(w.heap.(!s)) then s := l;
+        if r < !hn && okey.(w.heap.(r)) < okey.(w.heap.(!s)) then s := r;
+        if !s <> !i then begin
+          w.heap.(!i) <- w.heap.(!s);
+          w.heap.(!s) <- last;
+          ignore kl;
+          i := !s
+        end
+        else continue := false
+      done;
+      top
+    in
+    (let n = u.urow_n.(t) in
+     let js = u.urow_j.(t) and vs = u.urow_v.(t) in
+     for e = 0 to n - 1 do
+       let c = js.(e) in
+       w.acc.(c) <- vs.(e);
+       w.accst.(c) <- ep;
+       hpush c;
+       remove_entry u.ucol_n u.ucol_i u.ucol_v c t
+     done;
+     u.unnz <- u.unnz - n;
+     u.urow_n.(t) <- 0);
+    (* eliminate the border row against the remaining rows, ascending
+       active order; row operations fill only the border row itself *)
+    let dold = u.d.(t) in
+    let dref = ref w.spike.(t) in
+    let eta_start = u.re_len in
+    while !hn > 0 do
+      let c = hpop () in
+      let utc = if w.accst.(c) = ep then w.acc.(c) else 0.0 in
+      if utc <> 0.0 then begin
+        let mu = utc /. u.d.(c) in
+        grow_eta u 1;
+        u.re_j.(u.re_len) <- c;
+        u.re_mu.(u.re_len) <- mu;
+        u.re_len <- u.re_len + 1;
+        let n = u.urow_n.(c) in
+        let js = u.urow_j.(c) and vs = u.urow_v.(c) in
+        for e = 0 to n - 1 do
+          let c' = js.(e) in
+          if w.accst.(c') <> ep then begin
+            w.acc.(c') <- 0.0;
+            w.accst.(c') <- ep
+          end;
+          w.acc.(c') <- w.acc.(c') -. (mu *. vs.(e));
+          hpush c'
+        done;
+        dref := !dref -. (mu *. w.spike.(c))
+      end
+    done;
+    let d = !dref in
+    let expect = wr *. dold in
+    let scale = Float.max 1.0 (Float.max (Float.abs expect) (Float.abs d)) in
+    if d = 0.0 || Float.abs (d -. expect) > 1e-9 *. scale then begin
+      u.re_len <- eta_start;
+      false
+    end
+    else begin
+      (if u.re_len > eta_start then begin
+         u.re_t.(u.ne) <- t;
+         u.re_ptr.(u.ne + 1) <- u.re_len;
+         u.ne <- u.ne + 1
+       end);
+      (* install the spike as the new border column *)
+      (if w.spike_n < 0 then begin
+         let cnt = ref 0 in
+         for i = 0 to u.base.m - 1 do
+           if i <> t && w.spike.(i) <> 0.0 then begin
+             push_entry u.ucol_n u.ucol_i u.ucol_v t i w.spike.(i);
+             push_entry u.urow_n u.urow_j u.urow_v i t w.spike.(i);
+             incr cnt
+           end
+         done;
+         u.unnz <- u.unnz + !cnt
+       end
+       else begin
+         let cnt = ref 0 in
+         for e = 0 to w.spike_n - 1 do
+           let i = w.spike_ind.(e) in
+           if i <> t && w.spike.(i) <> 0.0 then begin
+             push_entry u.ucol_n u.ucol_i u.ucol_v t i w.spike.(i);
+             push_entry u.urow_n u.urow_j u.urow_v i t w.spike.(i);
+             incr cnt
+           end
+         done;
+         u.unnz <- u.unnz + !cnt
+       end);
+      u.d.(t) <- d;
+      (* move slot t to the border of the active order *)
+      if u.otail <> t then begin
+        let pr = w.oprev.(t) and nx = w.onext.(t) in
+        if pr >= 0 then w.onext.(pr) <- nx else u.ohead <- nx;
+        if nx >= 0 then w.oprev.(nx) <- pr;
+        w.onext.(u.otail) <- t;
+        w.oprev.(t) <- u.otail;
+        w.onext.(t) <- -1;
+        u.otail <- t
+      end;
+      u.omax <- u.omax + 1;
+      okey.(t) <- u.omax;
+      u.nupd <- u.nupd + 1;
+      let fr = fill_ratio u in
+      if fr > u.fill_hwm then u.fill_hwm <- fr;
+      true
+    end
+end

@@ -42,14 +42,22 @@ val nnz : t -> int
 (** Stored entries in both factors (including unit diagonals). *)
 
 val factor :
-  ?symbolic:bool -> m:int -> (int -> (int -> float -> unit) -> unit) -> t
+  ?symbolic:bool ->
+  ?bands:int array ->
+  m:int ->
+  (int -> (int -> float -> unit) -> unit) ->
+  t
 (** [factor ~m col_iter] factorizes the [m]×[m] matrix whose [k]-th
     column is enumerated by [col_iter k f].  [symbolic] (default [true])
     selects Gilbert–Peierls reachability for the per-column elimination;
     [~symbolic:false] scans every prior column instead — same floating
     point operations in the same order, so the factors are bitwise
     identical either way (it exists as the measurable pre-hypersparse
-    baseline). *)
+    baseline).  [?bands] assigns each input column a staircase band;
+    columns are then pre-ordered band-major with sparsest-first
+    (Markowitz-style) tie-breaking within a band, confining fill to the
+    staircase blocks of chain-structured bases.  Omitting [?bands]
+    reproduces the historical sparsest-first ordering exactly. *)
 
 val solve : t -> b:float array -> x:float array -> scratch:float array -> unit
 (** Solve [B x = b].  [b] is indexed by original rows, [x] by basis
@@ -140,3 +148,84 @@ val bordered_pivot :
     [d - r ⋅ B⁻¹ c] of the bordered matrix [[B c]; [rᵀ d]]: the diagonal
     a one-row-one-column growth would pivot on.  [col] is indexed by
     original row, [row] by basis position. *)
+
+(** {2 Forrest–Tomlin updates}
+
+    Replacing a basis column turns one column of [U] into the FTRANed
+    spike; the spiked slot is cyclically permuted to the border of the
+    active elimination order and its old row of [U] is eliminated
+    against the remaining rows, recording the multipliers as a {e row
+    eta} applied between [L] and [U].  Row etas create no fill outside
+    the eliminated row, so [U] stays sparse where product-form column
+    etas accrete it — the refactorization trigger becomes a fill ratio,
+    not an update count.  With zero updates every kernel replays
+    {!solve}/{!solve_t} (and their sparse variants) bit for bit. *)
+module Ft : sig
+  type wsp
+  (** Reusable m-sized workspace; one per concurrent solver, valid
+      across refactorizations of the same dimension. *)
+
+  type u
+  (** An updatable factorization: a frozen {!t} plus dynamic U storage,
+      the active elimination order, and the row-eta file. *)
+
+  val make_wsp : int -> wsp
+
+  val of_factor : wsp -> t -> u
+  (** Wrap a fresh factorization.  The base [t] is not mutated and
+      remains independently usable; [wsp] becomes owned by the returned
+      [u] until the next [of_factor] on the same workspace. *)
+
+  val fill_ratio : u -> float
+  (** (L + dynamic U + row-eta nonzeros) / nonzeros at [of_factor]
+      time; the refactorization trigger compares this against the
+      [POWERLIM_REFACTOR] limit. *)
+
+  val fill_hwm : u -> float
+  (** High-water [fill_ratio] since [of_factor]. *)
+
+  val nupdates : u -> int
+
+  val update : u -> pos:int -> wr:float -> bool
+  (** [update u ~pos ~wr] replaces the basis column at position [pos]
+      by the column whose FTRAN ([keep_spike:true]) was just computed;
+      [wr] is that FTRAN's value at [pos] (the pivot element).  Returns
+      [false] — leaving [u] unusable, the caller must refactorize —
+      when the new border diagonal is zero or fails the 1e-9
+      certification against the determinant identity [d = wr · u_tt]. *)
+
+  val ftran_d :
+    u ->
+    keep_spike:bool ->
+    b:float array ->
+    x:float array ->
+    scratch:float array ->
+    unit
+  (** Dense FTRAN; contract of {!solve}.  [keep_spike] retains the
+      post-L post-eta intermediate for a subsequent {!update}. *)
+
+  val btran_d :
+    u -> c:float array -> y:float array -> scratch:float array -> unit
+  (** Dense BTRAN; contract of {!solve_t}. *)
+
+  val ftran_sp :
+    u ->
+    keep_spike:bool ->
+    nb:int ->
+    bidx:int array ->
+    b:float array ->
+    x:float array ->
+    xind:int array ->
+    int
+  (** Sparse-RHS FTRAN; contract of {!solve_sp}. *)
+
+  val btran_sp :
+    u ->
+    nc:int ->
+    cidx:int array ->
+    c:float array ->
+    y:float array ->
+    yind:int array ->
+    int
+  (** Sparse-RHS BTRAN; contract of {!solve_t_sp}. *)
+end

@@ -31,11 +31,119 @@ type reduction = {
   subst_order : int list;
       (** substituted variables, oldest first; restore applies them
           newest-first *)
+  row_scale : float array;
+      (** per reduced row: the equilibration factor its scaled row was
+          multiplied by (all 1.0 when scaling is off) *)
+  col_scale : float array;
+      (** per reduced column: original x = col_scale * scaled x *)
 }
 
 type outcome = Reduced of reduction | Proven_infeasible
 
 let tol = 1e-9
+
+(* Row/column geometric-mean equilibration (POWERLIM_SCALE=0 disables).
+   Scale factors are rounded to powers of two, so applying and removing
+   them only shifts exponents: the solution reported in original units
+   is bit-for-bit the unscaling of the solved point, and RHS deltas
+   patched through [solve_reduction] distribute exactly. *)
+let scale_enabled () =
+  match Sys.getenv_opt "POWERLIM_SCALE" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | Some _ | None -> true
+
+(* Alternate row and column passes on the log2 magnitudes until every
+   rounded geometric mean is 2^0 (or the pass budget runs out); each
+   side's factor is the power of two nearest the reciprocal mean of its
+   current scaled magnitudes.  Integer columns keep factor 1 — scaling
+   them would re-grid their domain. *)
+let equilibrate (p : Model.problem) : float array * float array =
+  let nr = p.Model.nr and nv = p.Model.nv in
+  let a = p.Model.a in
+  let colptr = a.Sparse.Csc.colptr
+  and rowind = a.Sparse.Csc.rowind
+  and values = a.Sparse.Csc.values in
+  let nnz = colptr.(nv) in
+  let lg = Array.make nnz 0.0 in
+  for k = 0 to nnz - 1 do
+    let v = Float.abs values.(k) in
+    lg.(k) <- (if v > 0.0 then Float.log2 v else 0.0)
+  done;
+  let er = Array.make nr 0 and ec = Array.make nv 0 in
+  let rsum = Array.make nr 0.0 and rcnt = Array.make nr 0 in
+  let clamp e = if e > 512 then 512 else if e < -512 then -512 else e in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < 10 do
+    incr passes;
+    Stats.note_scale_pass ();
+    changed := false;
+    Array.fill rsum 0 nr 0.0;
+    Array.fill rcnt 0 nr 0;
+    for j = 0 to nv - 1 do
+      for k = colptr.(j) to colptr.(j + 1) - 1 do
+        if values.(k) <> 0.0 then begin
+          let i = rowind.(k) in
+          rsum.(i) <- rsum.(i) +. lg.(k) +. Float.of_int (ec.(j) + er.(i));
+          rcnt.(i) <- rcnt.(i) + 1
+        end
+      done
+    done;
+    for i = 0 to nr - 1 do
+      if rcnt.(i) > 0 then begin
+        let adj =
+          -Float.to_int (Float.round (rsum.(i) /. Float.of_int rcnt.(i)))
+        in
+        if adj <> 0 then begin
+          er.(i) <- clamp (er.(i) + adj);
+          changed := true
+        end
+      end
+    done;
+    for j = 0 to nv - 1 do
+      if not p.Model.integer.(j) then begin
+        let s = ref 0.0 and c = ref 0 in
+        for k = colptr.(j) to colptr.(j + 1) - 1 do
+          if values.(k) <> 0.0 then begin
+            s := !s +. lg.(k) +. Float.of_int (ec.(j) + er.(rowind.(k)));
+            incr c
+          end
+        done;
+        if !c > 0 then begin
+          let adj = -Float.to_int (Float.round (!s /. Float.of_int !c)) in
+          if adj <> 0 then begin
+            ec.(j) <- clamp (ec.(j) + adj);
+            changed := true
+          end
+        end
+      end
+    done
+  done;
+  ( Array.map (fun e -> Float.ldexp 1.0 e) er,
+    Array.map (fun e -> Float.ldexp 1.0 e) ec )
+
+(* The scaled problem shares the matrix structure; only values, bounds,
+   objective and RHS change.  With x = C x': A' = R A C, b' = R b,
+   obj' = C obj, bounds' = bounds / C. *)
+let apply_scaling (p : Model.problem) (rs : float array) (cs : float array) :
+    Model.problem =
+  let a = p.Model.a in
+  let nv = p.Model.nv in
+  let colptr = a.Sparse.Csc.colptr in
+  let values = Array.copy a.Sparse.Csc.values in
+  for j = 0 to nv - 1 do
+    for k = colptr.(j) to colptr.(j + 1) - 1 do
+      values.(k) <- values.(k) *. rs.(a.Sparse.Csc.rowind.(k)) *. cs.(j)
+    done
+  done;
+  {
+    p with
+    Model.a = { a with Sparse.Csc.values };
+    lb = Array.mapi (fun j v -> v /. cs.(j)) p.Model.lb;
+    ub = Array.mapi (fun j v -> v /. cs.(j)) p.Model.ub;
+    obj = Array.mapi (fun j v -> v *. cs.(j)) p.Model.obj;
+    row_rhs = Array.mapi (fun i v -> v *. rs.(i)) p.Model.row_rhs;
+  }
 
 (* Tighten [lo, hi] with a new bound pair; returns None on conflict. *)
 let tighten (lo, hi) lo' hi' =
@@ -233,23 +341,40 @@ let reduce (p : Model.problem) : outcome =
         Model.add_constr m ~name:p.Model.row_names.(i) terms
           p.Model.row_sense.(i) rhs.(i))
       kept_rows;
+    let problem = Model.compile m in
+    let scale =
+      scale_enabled () && problem.Model.nr > 0 && problem.Model.nv > 0
+    in
+    let row_scale, col_scale =
+      if scale then equilibrate problem
+      else
+        (Array.make problem.Model.nr 1.0, Array.make problem.Model.nv 1.0)
+    in
+    let problem =
+      if scale then apply_scaling problem row_scale col_scale else problem
+    in
     Reduced
       {
-        problem = Model.compile m;
+        problem;
         keep_vars;
         state;
         kept_rows;
         dropped_rows = nr - Array.length kept_rows;
         dropped_cols = nv - Array.length keep_vars;
         subst_order = List.rev !subst_order;
+        row_scale;
+        col_scale;
       }
   end
 
-(** Map a reduced-space solution back to the original variables. *)
+(** Map a reduced-space solution back to the original variables.  [x] is
+    in the {e scaled} reduced space (as returned by solving
+    [r.problem]); unscaling by a power of two is exact, so the original
+    units come out bit-for-bit. *)
 let restore (r : reduction) (x : float array) : float array =
   let nv = Array.length r.state in
   let out = Array.make nv Float.nan in
-  Array.iteri (fun k j -> out.(j) <- x.(k)) r.keep_vars;
+  Array.iteri (fun k j -> out.(j) <- r.col_scale.(k) *. x.(k)) r.keep_vars;
   Array.iteri
     (fun j st -> match st with Fixed v -> out.(j) <- v | _ -> ())
     r.state;
@@ -289,8 +414,18 @@ let fixed_objective (p : Model.problem) (r : reduction) =
     [basis] field is likewise in the reduced space.  [analysis] is a
     {!Revised.make_analysis} of the {e reduced} problem, reusable
     because bound/RHS-only re-solves never change the reduced matrix. *)
-let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm ?analysis
+let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm ?analysis ?bands
     (p : Model.problem) (r : reduction) : Revised.result =
+  (* Staircase bands arrive in the original space; surviving columns
+     and rows keep their stage index. *)
+  let red_bands =
+    match bands with
+    | None -> None
+    | Some (cb, rb) ->
+        Some
+          ( Array.map (fun j -> cb.(j)) r.keep_vars,
+            Array.map (fun i -> rb.(i)) r.kept_rows )
+  in
   let red_rhs =
     match rhs with
     | None -> None
@@ -299,13 +434,13 @@ let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm ?analysis
         Array.iteri
           (fun k i ->
             let delta = new_rhs.(i) -. p.Model.row_rhs.(i) in
-            if delta <> 0.0 then b.(k) <- b.(k) +. delta)
+            if delta <> 0.0 then b.(k) <- b.(k) +. (r.row_scale.(k) *. delta))
           r.kept_rows;
         Some b
   in
   let res =
     Revised.solve ?max_iter ?feas_tol ?opt_tol ?rhs:red_rhs ?warm ?analysis
-      r.problem
+      ?bands:red_bands r.problem
   in
   let x =
     match res.Revised.status with
@@ -313,11 +448,16 @@ let solve_reduction ?max_iter ?feas_tol ?opt_tol ?rhs ?warm ?analysis
     | _ -> Array.make p.Model.nv 0.0
   in
   let y = Array.make p.Model.nr 0.0 in
-  Array.iteri (fun k i -> y.(i) <- res.Revised.y.(k)) r.kept_rows;
+  (* duals unscale opposite to the primal: y = R y', dj = dj' / C *)
+  Array.iteri
+    (fun k i -> y.(i) <- r.row_scale.(k) *. res.Revised.y.(k))
+    r.kept_rows;
+  let dj = Array.mapi (fun k d -> d /. r.col_scale.(k)) res.Revised.dj in
   {
     res with
     Revised.x;
     y;
+    dj;
     objective =
       (match res.Revised.status with
       | Revised.Optimal -> Model.objective_value p x

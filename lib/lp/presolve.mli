@@ -1,7 +1,12 @@
 (** LP presolve: fixed-variable substitution, empty/singleton-row
     elimination, doubleton-equality substitution and empty-column fixing,
-    applied to fixpoint before the simplex.  See the implementation
-    header for the reduction list. *)
+    applied to fixpoint before the simplex, followed by power-of-two
+    geometric-mean row/column equilibration of the reduced problem
+    ([POWERLIM_SCALE=0] disables).  Scale factors are powers of two, so
+    the scaling transformation and its inverse are bitwise exact:
+    results are reported in original units with no rounding introduced
+    by scaling itself.  See the implementation header for the reduction
+    list. *)
 
 type vstate =
   | Kept
@@ -17,6 +22,11 @@ type reduction = {
   dropped_rows : int;
   dropped_cols : int;
   subst_order : int list;  (** substituted variables, oldest first *)
+  row_scale : float array;
+      (** per reduced row: power-of-two equilibration factor the scaled
+          row was multiplied by (all 1.0 with [POWERLIM_SCALE=0]) *)
+  col_scale : float array;
+      (** per reduced column: original x = col_scale * scaled x *)
 }
 
 type outcome = Reduced of reduction | Proven_infeasible
@@ -24,7 +34,10 @@ type outcome = Reduced of reduction | Proven_infeasible
 val reduce : Model.problem -> outcome
 
 val restore : reduction -> float array -> float array
-(** Map a reduced-space solution back to the original variables. *)
+(** Map a reduced-space solution back to the original variables.  The
+    input lives in the {e scaled} reduced space (what solving
+    [r.problem] yields); since equilibration factors are powers of two,
+    the original-unit values are exact. *)
 
 val fixed_objective : Model.problem -> reduction -> float
 (** Objective contribution of the variables presolve fixed outright. *)
@@ -36,6 +49,7 @@ val solve_reduction :
   ?rhs:float array ->
   ?warm:Revised.basis ->
   ?analysis:Revised.analysis ->
+  ?bands:int array * int array ->
   Model.problem ->
   reduction ->
   Revised.result
@@ -47,7 +61,10 @@ val solve_reduction :
     reduction and cannot alter any reduction decision.  [warm] and the
     returned [basis] field are in the {e reduced} space of [r], as is
     [analysis] (a {!Revised.make_analysis} of [r]'s reduced problem,
-    valid across bound/RHS-only re-solves). *)
+    valid across bound/RHS-only re-solves).  [bands] is an
+    {e original-space} [(col_bands, row_bands)] staircase-stage pair
+    (see {!Revised.solve}); surviving columns and rows keep their
+    stage index through the reduction. *)
 
 val solve :
   ?max_iter:int -> ?feas_tol:float -> ?opt_tol:float -> Model.problem ->

@@ -76,12 +76,66 @@ let devex_enabled () = env_flag "POWERLIM_DEVEX" true
 let hypersparse_enabled () = env_flag "POWERLIM_HYPERSPARSE" true
 
 (* Eta-file length that triggers refactorization (POWERLIM_ETA_LIMIT,
-   default 64). *)
+   default 64).  Only governs the legacy product-form path; in
+   Forrest–Tomlin mode it survives as a deprecated alias for the
+   update-count cap (see [ft_update_cap]). *)
 let eta_limit () =
   match Sys.getenv_opt "POWERLIM_ETA_LIMIT" with
   | Some s -> (
       match int_of_string_opt s with Some n when n > 0 -> n | _ -> 64)
   | None -> 64
+
+(* Forrest–Tomlin row-eta basis updates (POWERLIM_FT=0 restores the
+   product-form column-eta file). *)
+let ft_enabled () = env_flag "POWERLIM_FT" true
+
+(* Fill ratio — (L + dynamic U + row etas) / nonzeros at factorization —
+   that triggers refactorization in Forrest–Tomlin mode
+   (POWERLIM_REFACTOR, default 2.0). *)
+let refactor_limit () =
+  match Sys.getenv_opt "POWERLIM_REFACTOR" with
+  | Some s -> (
+      match float_of_string_opt s with Some f when f > 1.0 -> f | _ -> 3.0)
+  | None -> 3.0
+
+(* Absolute update-count backstop between refactorizations in FT mode:
+   the fill ratio is the primary trigger, the cap bounds numerical
+   drift on fill-free update chains.  POWERLIM_ETA_LIMIT, when set,
+   overrides it (deprecated alias; the first use reports both effective
+   knobs on stderr). *)
+let eta_limit_warned = ref false
+
+let ft_update_cap ~refac_lim =
+  match Sys.getenv_opt "POWERLIM_ETA_LIMIT" with
+  | Some s ->
+      let n =
+        match int_of_string_opt s with Some n when n > 0 -> n | _ -> 256
+      in
+      if not !eta_limit_warned then begin
+        eta_limit_warned := true;
+        Printf.eprintf
+          "powerlim: POWERLIM_ETA_LIMIT is deprecated with Forrest-Tomlin \
+           updates; treating it as the update-count cap (%d).  \
+           Refactorization is primarily triggered by POWERLIM_REFACTOR \
+           (fill ratio, currently %g).\n\
+           %!"
+          n refac_lim
+      end;
+      n
+  | None -> 256
+
+(* Below this row count the reachability probes, support bookkeeping
+   and devex candidate machinery cost more than the dense classic loop
+   they avoid, so small instances auto-select dense kernels and classic
+   pricing (Forrest–Tomlin stays on — the update itself is cheaper than
+   a product-form eta at any size).  Explicitly set
+   POWERLIM_HYPERSPARSE / POWERLIM_DEVEX still win, so kernel tests and
+   the benchmark baselines keep their meaning on small instances. *)
+let small_lp_threshold () =
+  match Sys.getenv_opt "POWERLIM_SMALL_LP" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 160)
+  | None -> 160
 
 type analysis = { arows : Sparse.Csc.rows }
 (** Symbolic analysis of a problem's constraint matrix, reusable across
@@ -114,12 +168,27 @@ let solve_unconstrained (p : Model.problem) lo hi =
   }
 
 let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
-    ?rhs ?warm ?analysis (p : Model.problem) : result =
+    ?rhs ?warm ?analysis ?bands (p : Model.problem) : result =
   let t_solve0 = Unix.gettimeofday () in
   let nv = p.nv and m = p.nr in
   let eta_max = eta_limit () in
-  let hyper = hypersparse_enabled () in
-  let devex = devex_enabled () in
+  let ftmode = ft_enabled () in
+  let refac_lim = refactor_limit () in
+  let ft_cap = if ftmode then ft_update_cap ~refac_lim else max_int in
+  let small = m > 0 && m <= small_lp_threshold () in
+  (* An empty value counts as unset: [Unix.putenv] cannot remove a
+     variable, so in-process benchmarks set "" to hand the choice back
+     to the auto mode. *)
+  let env_explicit k =
+    match Sys.getenv_opt k with None | Some "" -> false | Some _ -> true
+  in
+  let hyper =
+    if env_explicit "POWERLIM_HYPERSPARSE" then hypersparse_enabled ()
+    else not small
+  in
+  let devex =
+    if env_explicit "POWERLIM_DEVEX" then devex_enabled () else not small
+  in
   let lb_s = match lb with Some a -> a | None -> p.lb in
   let ub_s = match ub with Some a -> a | None -> p.ub in
   let rhs_s = match rhs with Some a -> a | None -> p.row_rhs in
@@ -249,9 +318,45 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       and lu_nnz_total = ref 0
       and n_factor = ref 0 in
       let clock () = if stats_on then Sys.time () else 0.0 in
-      let lu = ref (Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f)) in
+      (* Staircase bands: the caller supplies per-structural-column and
+         per-row stage indices; each factorization maps them onto the
+         current basis (slacks and artificials inherit their row's
+         band) so [Lu.factor] can order band-major. *)
+      let basis_bands =
+        match bands with
+        | None -> None
+        | Some (cb, rb) ->
+            if Array.length cb <> nv || Array.length rb <> m then
+              invalid_arg "Revised.solve: bands arrays mismatch problem";
+            let band j =
+              if j < nv then cb.(j)
+              else if j < nv + m then rb.(j - nv)
+              else rb.(art_row.(j - nv - m))
+            in
+            Some (fun () -> Array.init m (fun k -> band basis.(k)))
+      in
+      let factor_basis () =
+        match basis_bands with
+        | None -> Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f)
+        | Some mk ->
+            Lu.factor ~symbolic:hyper ~bands:(mk ()) ~m (fun k f ->
+                col_iter basis.(k) f)
+      in
+      let lu = ref (factor_basis ()) in
       let etas = ref [] (* newest first *) in
       let n_etas = ref 0 in
+      (* Forrest–Tomlin state: [ft] wraps the current factorization with
+         updatable U storage.  Rebuilt (cheaply — the workspace is
+         reused) at every refactorization; [None] only before the first
+         one.  The eta file stays empty in FT mode, so every
+         [apply_etas_to_w] and eta-transpose loop below is a no-op. *)
+      let ftw = Lu.Ft.make_wsp (if ftmode then m else 0) in
+      let ft : Lu.Ft.u option ref = ref None in
+      let c_ft_updates = ref 0 in
+      let fill_max = ref 0.0 in
+      let ft_u () =
+        match !ft with Some u -> u | None -> assert false
+      in
       let scratch = Array.make m 0.0 in
       let bwork = Array.make m 0.0 in
       (* --- hypersparse kernel state ------------------------------------
@@ -298,20 +403,28 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
               col_iter j (fun i a -> bwork.(i) <- bwork.(i) -. (a *. v))
           end
         done;
-        Lu.solve !lu ~b:bwork ~x:x_basic ~scratch
+        match !ft with
+        | Some u -> Lu.Ft.ftran_d u ~keep_spike:false ~b:bwork ~x:x_basic ~scratch
+        | None -> Lu.solve !lu ~b:bwork ~x:x_basic ~scratch
       in
       let rec refactorize depth =
         if depth > 4 then failwith "Revised: unable to repair singular basis";
         let t0 = clock () in
-        let f = Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f) in
+        let f = factor_basis () in
         t_factor := !t_factor +. clock () -. t0;
         incr n_factor;
         lu_nnz_total := !lu_nnz_total + Lu.nnz f;
         etas := [];
         n_etas := 0;
+        (match !ft with
+        | Some u ->
+            if Lu.Ft.fill_hwm u > !fill_max then fill_max := Lu.Ft.fill_hwm u;
+            ft := None
+        | None -> ());
         match f.Lu.replaced with
         | [] ->
             lu := f;
+            if ftmode then ft := Some (Lu.Ft.of_factor ftw f);
             recompute_x_basic ()
         | reps ->
             List.iter
@@ -329,6 +442,17 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                 where.(slack) <- kpos)
               reps;
             refactorize (depth + 1)
+      in
+      (* Refactorization trigger, checked at every loop top: fill ratio
+         (plus the update-count backstop) in FT mode, eta-file length on
+         the legacy path. *)
+      let need_refactor () =
+        if not ftmode then !n_etas >= eta_max
+        else
+          match !ft with
+          | None -> true
+          | Some u ->
+              Lu.Ft.nupdates u >= ft_cap || Lu.Ft.fill_ratio u > refac_lim
       in
       refactorize 0;
       recompute_x_basic ();
@@ -380,7 +504,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       (* Solve B w = sb (support [sb_ind.(0 .. nb-1)]) and apply the eta
          file; [sb] is left for the caller to clear.  Keeps [w]'s support
          state and the kernel counters. *)
-      let solve_into_w nb =
+      let solve_into_w ?(keep_spike = false) nb =
         (match !w_n with
         | -1 -> Array.fill w 0 m 0.0
         | n ->
@@ -396,10 +520,17 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
               let i = sb_ind.(s2) in
               bwork.(i) <- sb.(i)
             done;
-            Lu.solve !lu ~b:bwork ~x:w ~scratch;
+            (match !ft with
+            | Some u -> Lu.Ft.ftran_d u ~keep_spike ~b:bwork ~x:w ~scratch
+            | None -> Lu.solve !lu ~b:bwork ~x:w ~scratch);
             -1
           end
-          else Lu.solve_sp !lu sw ~nb ~bidx:sb_ind ~b:sb ~x:w ~xind:w_ind
+          else
+            match !ft with
+            | Some u ->
+                Lu.Ft.ftran_sp u ~keep_spike ~nb ~bidx:sb_ind ~b:sb ~x:w
+                  ~xind:w_ind
+            | None -> Lu.solve_sp !lu sw ~nb ~bidx:sb_ind ~b:sb ~x:w ~xind:w_ind
         in
         if r < 0 then begin
           w_n := -1;
@@ -423,12 +554,14 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
            dense 0..m-1 loops do. *)
         if !w_n >= 0 then Lu.sort_prefix w_ind !w_n
       in
-      let ftran j =
+      let ftran ?(keep_spike = false) j =
         let t0 = clock () in
         if not hyper then begin
           Array.fill bwork 0 m 0.0;
           col_iter j (fun i v -> bwork.(i) <- bwork.(i) +. v);
-          Lu.solve !lu ~b:bwork ~x:w ~scratch;
+          (match !ft with
+          | Some u -> Lu.Ft.ftran_d u ~keep_spike ~b:bwork ~x:w ~scratch
+          | None -> Lu.solve !lu ~b:bwork ~x:w ~scratch);
           w_n := -1;
           incr c_ftran_dn;
           apply_etas_to_w ()
@@ -445,7 +578,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
               end;
               sb.(i) <- sb.(i) +. v);
           let nb0 = !nb in
-          solve_into_w nb0;
+          solve_into_w ~keep_spike nb0;
           for s2 = 0 to nb0 - 1 do
             sb.(sb_ind.(s2)) <- 0.0
           done
@@ -463,7 +596,9 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
             done;
             cb.(e.er) <- !s)
           !etas;
-        Lu.solve_t !lu ~c:cb ~y ~scratch;
+        (match !ft with
+        | Some u -> Lu.Ft.btran_d u ~c:cb ~y ~scratch
+        | None -> Lu.solve_t !lu ~c:cb ~y ~scratch);
         incr c_btran_dn;
         t_btran := !t_btran +. clock () -. t0
       in
@@ -518,12 +653,19 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                 let i = sb_ind.(s2) in
                 cb.(i) <- sb.(i)
               done;
-              Lu.solve_t !lu ~c:cb ~y:rho ~scratch;
+              (match !ft with
+              | Some u -> Lu.Ft.btran_d u ~c:cb ~y:rho ~scratch
+              | None -> Lu.solve_t !lu ~c:cb ~y:rho ~scratch);
               -1
             end
             else
-              Lu.solve_t_sp !lu sw ~nc:!nc ~cidx:sb_ind ~c:sb ~y:rho
-                ~yind:rho_ind
+              match !ft with
+              | Some u ->
+                  Lu.Ft.btran_sp u ~nc:!nc ~cidx:sb_ind ~c:sb ~y:rho
+                    ~yind:rho_ind
+              | None ->
+                  Lu.solve_t_sp !lu sw ~nc:!nc ~cidx:sb_ind ~c:sb ~y:rho
+                    ~yind:rho_ind
           in
           for s2 = 0 to !nc - 1 do
             sb.(sb_ind.(s2)) <- 0.0
@@ -689,12 +831,21 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       let paranoid = Sys.getenv_opt "LP_PARANOID" <> None in
       let check_invariants () =
         if paranoid then begin
+          (* Recompute the basic point from a local fresh factorization
+             — the live [lu]/[etas]/[ft] state is never touched, so the
+             check composes with the Forrest–Tomlin workspace (whose
+             single [wsp] cannot back two factorizations at once). *)
           let saved = Array.copy x_basic in
-          let saved_etas = !etas and saved_n = !n_etas and saved_lu = !lu in
-          lu := Lu.factor ~symbolic:hyper ~m (fun k f -> col_iter basis.(k) f);
-          etas := [];
-          n_etas := 0;
-          recompute_x_basic ();
+          let f = factor_basis () in
+          Array.blit rhs_s 0 bwork 0 m;
+          for j = 0 to ntot () - 1 do
+            if where.(j) < 0 then begin
+              let v = nbval j in
+              if v <> 0.0 then
+                col_iter j (fun i a -> bwork.(i) <- bwork.(i) -. (a *. v))
+            end
+          done;
+          Lu.solve f ~b:bwork ~x:x_basic ~scratch;
           let drift = ref 0.0 in
           for k = 0 to m - 1 do
             let d = Float.abs (x_basic.(k) -. saved.(k)) in
@@ -721,7 +872,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                replaced %d\n\
                %!"
               !iters !drift rmax
-              (List.length !lu.Lu.replaced);
+              (List.length f.Lu.replaced);
             (match Sys.getenv_opt "LP_DUMP_BASIS" with
             | Some path when not (Sys.file_exists path) ->
                 let oc = open_out path in
@@ -733,11 +884,21 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                 close_out oc
             | _ -> ())
           end;
-          Array.blit saved 0 x_basic 0 m;
-          etas := saved_etas;
-          n_etas := saved_n;
-          lu := saved_lu
+          Array.blit saved 0 x_basic 0 m
         end
+      in
+      (* Record the just-executed pivot at position [r] in the working
+         factorization: a Forrest–Tomlin update (consuming the spike
+         kept by the entering column's FTRAN) or a product-form eta.  An
+         FT refusal — zero or uncertified border diagonal — leaves the
+         updated state unusable, and the basis arrays already reflect
+         the pivot, so refactorizing from the basis is the exact
+         recovery. *)
+      let pivot_update (w : float array) r =
+        if not ftmode then push_eta w r
+        else if not (Lu.Ft.update (ft_u ()) ~pos:r ~wr:w.(r)) then
+          refactorize 0
+        else incr c_ft_updates
       in
       (* Ratio test plus bound-flip/pivot for entering column [je] moving
          in direction [s].  Shared by classic and devex pricing.
@@ -746,7 +907,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
          row against the pre-pivot basis. *)
       let enter_column ?(on_pivot = fun ~r:_ -> ()) je s =
         let res = ref `Ok in
-        ftran je;
+        ftran ~keep_spike:true je;
         let tratio0 = clock () in
         (* Two-pass Harris ratio test, scanned over [w]'s support (the
            dense pass skips zero entries through the same magnitude
@@ -840,7 +1001,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
              basis.(r) <- je;
              where.(je) <- r;
              x_basic.(r) <- entering_val;
-             push_eta w r;
+             pivot_update w r;
              check_invariants ();
              if t <= 1e-10 then incr degen else degen := 0
            end);
@@ -856,7 +1017,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
           if !iters >= max_iter then outcome := `Iter_limit
           else begin
             incr iters;
-            if !n_etas >= eta_max then refactorize 0;
+            if need_refactor () then refactorize 0;
             for k = 0 to m - 1 do
               cb.(k) <- cost.(basis.(k))
             done;
@@ -1153,7 +1314,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                — and therefore the reduced costs — untouched, so the
                incrementally maintained [dx] stays valid.  Numerical
                drift is caught by the exact optimality certification. *)
-            if !n_etas >= eta_max then refactorize 0;
+            if need_refactor () then refactorize 0;
             if !bland then begin
               (* Bland's rule on exact reduced costs, as the classic
                  loop: lowest-index eligible column enters. *)
@@ -1283,7 +1444,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
           else begin
             incr iters;
             incr dual_pivots;
-            if !n_etas >= eta_max then begin
+            if need_refactor () then begin
               refactorize 0;
               recompute_d ()
             end;
@@ -1440,7 +1601,11 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                        col_iter j (fun i v ->
                            bwork.(i) <- bwork.(i) +. (delta *. v))
                      done;
-                     Lu.solve !lu ~b:bwork ~x:w ~scratch;
+                     (match !ft with
+                     | Some u ->
+                         Lu.Ft.ftran_d u ~keep_spike:false ~b:bwork ~x:w
+                           ~scratch
+                     | None -> Lu.solve !lu ~b:bwork ~x:w ~scratch);
                      w_n := -1;
                      incr c_ftran_dn;
                      apply_etas_to_w ();
@@ -1476,7 +1641,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                        x_basic.(k) <- x_basic.(k) -. w.(k)
                      done
                    end);
-                  ftran je;
+                  ftran ~keep_spike:true je;
                   if Float.abs w.(r) < 1e-8 then begin
                     (* numerically unusable pivot: rebuild the
                        factorization once and retry the iteration *)
@@ -1518,7 +1683,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
                     basis.(r) <- je;
                     where.(je) <- r;
                     x_basic.(r) <- entering_val;
-                    push_eta w r;
+                    pivot_update w r;
                     check_invariants ()
                   end;
                   t_ratio := !t_ratio +. clock () -. tratio0
@@ -1679,14 +1844,23 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
         done;
         refactorize 0
       end;
+      (match !ft with
+      | Some u ->
+          if Lu.Ft.fill_hwm u > !fill_max then fill_max := Lu.Ft.fill_hwm u
+      | None -> ());
       if stats_on then
         Printf.eprintf
           "LP_STATS: iters=%d factor=%.2fs (%d, avg nnz %d) ftran=%.2fs \
-           btran=%.2fs price=%.2fs ratio+update=%.2fs etas_max=%d\n\
+           btran=%.2fs price=%.2fs ratio+update=%.2fs %s\n\
            %!"
           !iters !t_factor !n_factor
           (if !n_factor > 0 then !lu_nnz_total / !n_factor else 0)
-          !t_ftran !t_btran !t_price !t_ratio eta_max;
+          !t_ftran !t_btran !t_price !t_ratio
+          (if ftmode then
+             Printf.sprintf "ft_updates=%d fill_max=%.2f cap=%d limit=%g%s"
+               !c_ft_updates !fill_max ft_cap refac_lim
+               (if small then " mode=small-dense" else "")
+           else Printf.sprintf "etas_max=%d" eta_max);
       let x = Array.make nv 0.0 in
       for j = 0 to nv - 1 do
         if where.(j) >= 0 then x.(j) <- x_basic.(where.(j)) else x.(j) <- nbval j
@@ -1729,6 +1903,8 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
       Stats.note_kernels ~ftran_sp:!c_ftran_sp ~ftran_dn:!c_ftran_dn
         ~btran_sp:!c_btran_sp ~btran_dn:!c_btran_dn ~resets:!c_devex_resets
         ~refreshes:!c_refreshes;
+      Stats.note_ft ~updates:!c_ft_updates ~fill_max:!fill_max
+        ~small_dense:(if small then 1 else 0);
       {
         status = !status;
         objective = Model.objective_value p x;
@@ -1754,7 +1930,7 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
             attempt None)
   end
 
-let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis
+let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis ?bands
     (p : Model.problem) : result =
   Putil.Obs.span ~cat:"lp"
     ~args:
@@ -1765,4 +1941,5 @@ let solve ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis
       ]
     "revised.solve"
     (fun () ->
-      solve_impl ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis p)
+      solve_impl ?max_iter ?feas_tol ?opt_tol ?lb ?ub ?rhs ?warm ?analysis
+        ?bands p)

@@ -74,6 +74,7 @@ val solve :
   ?rhs:float array ->
   ?warm:basis ->
   ?analysis:analysis ->
+  ?bands:int array * int array ->
   Model.problem ->
   result
 (** [solve p] minimizes [p].  [lb]/[ub]/[rhs] override the structural
@@ -83,5 +84,11 @@ val solve :
     unchanged); it is repaired against the current bounds and re-solved
     with the dual simplex, falling back to a cold solve when repair is
     impossible.  [analysis] reuses a {!make_analysis} of [p] (matrix
-    unchanged) instead of rebuilding it per solve.  [max_iter <= 0]
-    selects a size-dependent default. *)
+    unchanged) instead of rebuilding it per solve.  [bands] is a
+    [(col_bands, row_bands)] pair of staircase stage indices (lengths
+    [nv] and [nr]); every factorization orders the basis band-major
+    with Markowitz tie-breaking within a band ({!Lu.factor}'s [?bands]),
+    slack and artificial columns inheriting their row's band.  Purely a
+    fill-reducing hint: results are unaffected beyond roundoff-level
+    pivot ordering.  [max_iter <= 0] selects a size-dependent
+    default. *)

@@ -28,6 +28,11 @@ type snapshot = {
   edit_warm : int;  (** edit re-solves whose basis mapping succeeded *)
   edit_fallbacks : int;
       (** edit re-solves that abandoned the mapping and went cold *)
+  ft_updates : int;  (** Forrest–Tomlin basis updates applied *)
+  refactorizations : int;  (** alias of [factorizations] *)
+  fill_ratio_max : float;  (** worst Forrest–Tomlin fill ratio (process max) *)
+  scale_passes : int;  (** equilibration passes run by {!Presolve} *)
+  small_dense_solves : int;  (** solves on the small-instance dense path *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -47,7 +52,20 @@ let cand_refreshes = Atomic.make 0
 let edit_solves = Atomic.make 0
 let edit_warm = Atomic.make 0
 let edit_fallbacks = Atomic.make 0
+let ft_updates = Atomic.make 0
+let scale_passes = Atomic.make 0
+let small_dense_solves = Atomic.make 0
 let wall_ns = Atomic.make 0
+
+(* Float max over pool domains: CAS retry loop.  [compare_and_set]
+   compares the boxed float physically, and the expected value is the
+   very box [get] returned, so the loop is exact. *)
+let fill_ratio_max_a = Atomic.make 0.0
+
+let rec note_fill_ratio f =
+  let cur = Atomic.get fill_ratio_max_a in
+  if f > cur && not (Atomic.compare_and_set fill_ratio_max_a cur f) then
+    note_fill_ratio f
 
 let reset () =
   List.iter
@@ -69,8 +87,12 @@ let reset () =
       edit_solves;
       edit_warm;
       edit_fallbacks;
+      ft_updates;
+      scale_passes;
+      small_dense_solves;
       wall_ns;
-    ]
+    ];
+  Atomic.set fill_ratio_max_a 0.0
 
 let note_fallback () = ignore (Atomic.fetch_and_add warm_fallbacks 1)
 
@@ -98,6 +120,13 @@ let note_kernels ~ftran_sp ~ftran_dn ~btran_sp ~btran_dn ~resets ~refreshes =
   ignore (Atomic.fetch_and_add devex_resets resets);
   ignore (Atomic.fetch_and_add cand_refreshes refreshes)
 
+let note_ft ~updates ~fill_max ~small_dense =
+  ignore (Atomic.fetch_and_add ft_updates updates);
+  ignore (Atomic.fetch_and_add small_dense_solves small_dense);
+  note_fill_ratio fill_max
+
+let note_scale_pass () = ignore (Atomic.fetch_and_add scale_passes 1)
+
 let snapshot () =
   let solves = Atomic.get solves
   and warm_solves = Atomic.get warm_solves
@@ -122,6 +151,11 @@ let snapshot () =
     edit_solves = Atomic.get edit_solves;
     edit_warm = Atomic.get edit_warm;
     edit_fallbacks = Atomic.get edit_fallbacks;
+    ft_updates = Atomic.get ft_updates;
+    refactorizations = Atomic.get factorizations;
+    fill_ratio_max = Atomic.get fill_ratio_max_a;
+    scale_passes = Atomic.get scale_passes;
+    small_dense_solves = Atomic.get small_dense_solves;
     wall_s = Float.of_int (Atomic.get wall_ns) *. 1e-9;
   }
 
@@ -150,6 +184,11 @@ let () =
           ("edit_solves", Putil.Obs.Int s.edit_solves);
           ("edit_warm", Putil.Obs.Int s.edit_warm);
           ("edit_fallbacks", Putil.Obs.Int s.edit_fallbacks);
+          ("ft_updates", Putil.Obs.Int s.ft_updates);
+          ("refactorizations", Putil.Obs.Int s.refactorizations);
+          ("fill_ratio_max", Putil.Obs.Float s.fill_ratio_max);
+          ("scale_passes", Putil.Obs.Int s.scale_passes);
+          ("small_dense_solves", Putil.Obs.Int s.small_dense_solves);
           ("wall_s", Putil.Obs.Float s.wall_s);
         ])
 

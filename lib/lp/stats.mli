@@ -26,6 +26,17 @@ type snapshot = {
   edit_warm : int;  (** edit re-solves whose basis mapping succeeded *)
   edit_fallbacks : int;
       (** edit re-solves that abandoned the mapping and went cold *)
+  ft_updates : int;  (** Forrest–Tomlin basis updates applied *)
+  refactorizations : int;
+      (** alias of [factorizations] under the Forrest–Tomlin trigger
+          vocabulary; every factorization after the first per attempt
+          replaces an update file *)
+  fill_ratio_max : float;
+      (** worst Forrest–Tomlin fill ratio observed (process max) *)
+  scale_passes : int;
+      (** geometric-mean equilibration passes run by {!Presolve} *)
+  small_dense_solves : int;
+      (** solves routed through the small-instance dense classic path *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -62,3 +73,11 @@ val note_kernels :
 (** Flush per-solve kernel/pricing tallies (sparse-vs-dense FTRAN/BTRAN
     counts, devex resets, candidate-list refreshes) into the process
     counters in one shot, keeping atomics off the solver hot loops. *)
+
+val note_ft : updates:int -> fill_max:float -> small_dense:int -> unit
+(** Flush one solve's Forrest–Tomlin tallies: update count, worst fill
+    ratio seen (folded into the process max), and whether the solve ran
+    on the small-instance dense path. *)
+
+val note_scale_pass : unit -> unit
+(** Count one equilibration pass (called by {!Presolve}). *)

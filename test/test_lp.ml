@@ -97,6 +97,134 @@ let test_lu_small () = lu_roundtrip 5 0.5 42
 let test_lu_medium () = lu_roundtrip 60 0.1 7
 let test_lu_dense () = lu_roundtrip 25 0.9 3
 
+(* --- Forrest–Tomlin updates --------------------------------------- *)
+
+(* Random column replacements against a live matrix copy: after each
+   certified update the FT kernels must agree with a full
+   refactorization of the explicitly modified matrix, and with zero
+   updates they must replay the base kernels bit for bit. *)
+let ft_update_roundtrip m density nupd seed =
+  let rng = Random.State.make [| seed |] in
+  let a = random_sparse_matrix rng m density in
+  let col_iter k f =
+    for i = 0 to m - 1 do
+      if a.(i).(k) <> 0.0 then f i a.(i).(k)
+    done
+  in
+  let lu = Lp.Lu.factor ~m col_iter in
+  let wsp = Lp.Lu.Ft.make_wsp m in
+  let ft = ref (Lp.Lu.Ft.of_factor wsp lu) in
+  let x = Array.make m 0.0
+  and x' = Array.make m 0.0
+  and scratch = Array.make m 0.0 in
+  (* zero updates: bitwise identity with the base kernels *)
+  let b0 = Array.init m (fun i -> Float.of_int ((i * 7 mod 11) - 5)) in
+  Lp.Lu.solve lu ~b:b0 ~x ~scratch;
+  Lp.Lu.Ft.ftran_d !ft ~keep_spike:false ~b:b0 ~x:x' ~scratch;
+  Alcotest.(check (array (float 0.0))) "ftran_d = solve at 0 updates" x x';
+  let y = Array.make m 0.0 and y' = Array.make m 0.0 in
+  Lp.Lu.solve_t lu ~c:b0 ~y ~scratch;
+  Lp.Lu.Ft.btran_d !ft ~c:b0 ~y:y' ~scratch;
+  Alcotest.(check (array (float 0.0))) "btran_d = solve_t at 0 updates" y y';
+  (* now a pivot sequence of random column replacements *)
+  let bdense = Array.make m 0.0 in
+  let done_upd = ref 0 and tries = ref 0 in
+  while !done_upd < nupd && !tries < 50 * nupd do
+    incr tries;
+    let r = QCheck.Gen.int_bound (m - 1) rng in
+    let col =
+      Array.init m (fun _ ->
+          if QCheck.Gen.float_bound_inclusive 1.0 rng < density then
+            QCheck.Gen.float_range (-2.0) 2.0 rng
+          else 0.0)
+    in
+    col.(r) <- col.(r) +. 2.0;
+    Array.iteri (fun i v -> bdense.(i) <- v) col;
+    Lp.Lu.Ft.ftran_d !ft ~keep_spike:true ~b:bdense ~x ~scratch;
+    if Float.abs x.(r) > 0.1 then
+      if Lp.Lu.Ft.update !ft ~pos:r ~wr:x.(r) then begin
+        incr done_upd;
+        for i = 0 to m - 1 do
+          a.(i).(r) <- col.(i)
+        done;
+        (* reference: full refactorization of the updated matrix *)
+        let lu2 = Lp.Lu.factor ~m col_iter in
+        let b = Array.init m (fun i -> Float.of_int ((i + !done_upd) mod 5) -. 2.0) in
+        Lp.Lu.solve lu2 ~b ~x:x' ~scratch;
+        Lp.Lu.Ft.ftran_d !ft ~keep_spike:false ~b ~x ~scratch;
+        for k = 0 to m - 1 do
+          if Float.abs (x.(k) -. x'.(k)) > 1e-7 then
+            Alcotest.failf "ftran after %d updates: %.12g vs %.12g at %d"
+              !done_upd x.(k) x'.(k) k
+        done;
+        (* sparse FTRAN agrees with dense on its support *)
+        Array.fill x 0 m 0.0;
+        let bidx = [| QCheck.Gen.int_bound (m - 1) rng |] in
+        Array.fill bdense 0 m 0.0;
+        bdense.(bidx.(0)) <- 1.5;
+        let xind = Array.make m 0 in
+        let n =
+          Lp.Lu.Ft.ftran_sp !ft ~keep_spike:false ~nb:1 ~bidx ~b:bdense ~x
+            ~xind
+        in
+        Lp.Lu.Ft.ftran_d !ft ~keep_spike:false ~b:bdense ~x:x' ~scratch;
+        (if n >= 0 then
+           for e = 0 to n - 1 do
+             let k = xind.(e) in
+             if x.(k) <> x'.(k) then
+               Alcotest.failf "ftran_sp bit-diff at %d: %h vs %h" k x.(k)
+                 x'.(k)
+           done
+         else
+           for k = 0 to m - 1 do
+             if x.(k) <> x'.(k) then
+               Alcotest.failf "ftran_sp dense-fallback diff at %d" k
+           done);
+        Array.fill x 0 m 0.0;
+        (if n >= 0 then for e = 0 to n - 1 do x.(xind.(e)) <- 0.0 done);
+        Array.fill bdense 0 m 0.0;
+        (* BTRAN agrees with the refactorized transpose solve *)
+        let c = Array.init m (fun i -> Float.of_int (i mod 3) -. 1.0) in
+        Lp.Lu.solve_t lu2 ~c ~y:y' ~scratch;
+        Lp.Lu.Ft.btran_d !ft ~c ~y ~scratch;
+        for i = 0 to m - 1 do
+          if Float.abs (y.(i) -. y'.(i)) > 1e-7 then
+            Alcotest.failf "btran after %d updates: %.12g vs %.12g at %d"
+              !done_upd y.(i) y'.(i) i
+        done;
+        (* sparse BTRAN bitwise vs dense FT BTRAN *)
+        let cidx = [| QCheck.Gen.int_bound (m - 1) rng |] in
+        let csp = Array.make m 0.0 in
+        csp.(cidx.(0)) <- -2.5;
+        let yind = Array.make m 0 in
+        Array.fill y 0 m 0.0;
+        let n = Lp.Lu.Ft.btran_sp !ft ~nc:1 ~cidx ~c:csp ~y ~yind in
+        Lp.Lu.Ft.btran_d !ft ~c:csp ~y:y' ~scratch;
+        if n >= 0 then
+          for e = 0 to n - 1 do
+            let i = yind.(e) in
+            if y.(i) <> y'.(i) then
+              Alcotest.failf "btran_sp bit-diff at %d: %h vs %h" i y.(i)
+                y'.(i)
+          done
+      end
+      else begin
+        (* refused update: refactorize and carry on, like the solver *)
+        for i = 0 to m - 1 do
+          a.(i).(r) <- col.(i)
+        done;
+        ft := Lp.Lu.Ft.of_factor wsp (Lp.Lu.factor ~m col_iter);
+        incr done_upd
+      end
+  done;
+  if !done_upd < nupd then
+    Alcotest.failf "only %d/%d updates applied" !done_upd nupd
+
+let test_ft_small () = ft_update_roundtrip 6 0.5 8 11
+let test_ft_medium () = ft_update_roundtrip 40 0.15 25 23
+let test_ft_dense () = ft_update_roundtrip 18 0.8 12 5
+let test_ft_many () = ft_update_roundtrip 30 0.2 60 91
+
 let test_lu_identity () =
   let m = 4 in
   let lu = Lp.Lu.factor ~m (fun k f -> f k 1.0) in
@@ -1244,6 +1372,131 @@ let prop_env_differential =
             else true
         | _ -> true)
 
+(* Differential oracle over the factorization-update strategies: the
+   Forrest–Tomlin path (default), the product-form eta file
+   (POWERLIM_FT=0) and full refactorization after every pivot
+   (POWERLIM_FT=0 + POWERLIM_ETA_LIMIT=1 — the slow exact reference)
+   must agree on status everywhere and on optimal objectives to 1e-9.
+   [random_model] includes infeasible and unbounded instances, so the
+   phase-1 and dual paths run under every strategy too. *)
+let prop_ft_differential =
+  QCheck.Test.make ~count:200
+    ~name:"FT, eta-file and full-refactorization paths agree"
+    QCheck.(make (fun rng -> random_model rng))
+    (fun p ->
+      let solve_with kvs = with_env kvs (fun () -> Lp.Revised.solve p) in
+      let r_ft = solve_with [ ("POWERLIM_FT", "1", "") ] in
+      let r_eta = solve_with [ ("POWERLIM_FT", "0", "") ] in
+      let r_full =
+        solve_with [ ("POWERLIM_FT", "0", ""); ("POWERLIM_ETA_LIMIT", "1", "") ]
+      in
+      let pairs = [ ("eta", r_eta); ("refactor", r_full) ] in
+      List.for_all
+        (fun (tag, (r : Lp.Revised.result)) ->
+          if r.Lp.Revised.status <> r_ft.Lp.Revised.status then
+            QCheck.Test.fail_reportf "FT vs %s status: %a vs %a" tag
+              Lp.Revised.pp_status r_ft.Lp.Revised.status Lp.Revised.pp_status
+              r.Lp.Revised.status
+          else
+            match r.Lp.Revised.status with
+            | Lp.Revised.Optimal ->
+                let d =
+                  Float.abs (r.Lp.Revised.objective -. r_ft.Lp.Revised.objective)
+                  /. (1.0 +. Float.abs r.Lp.Revised.objective)
+                in
+                if d > 1e-9 then
+                  QCheck.Test.fail_reportf "FT vs %s objective differs by %g"
+                    tag d
+                else true
+            | _ -> true)
+        pairs)
+
+(* Equilibration round-trip.  Two claims, at different strengths:
+
+   (1) The scaling transformation itself is bitwise exact: factors are
+   powers of two, so dividing every scaled coefficient / RHS back by
+   its factors (and multiplying bounds) recovers the unscaled reduced
+   problem bit for bit — the "scale-aware extraction" guarantee.  The
+   reduction decisions themselves cannot differ, since scaling is
+   applied after the presolve fixpoint.
+
+   (2) The solved answers agree: scaling may legitimately change the
+   pivot {e path} (magnitude-based pivot and ratio comparisons see
+   different exponents), so the full re-solve is gated at an exact
+   status match and 1e-9 relative on the objective, with the restored
+   point feasible in the original units.  (On the event LP the paths
+   coincide and CI byte-diffs enforce full output identity.) *)
+let prop_scaling_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"power-of-two scaling round-trips exactly and preserves optima"
+    QCheck.(make (fun rng -> random_feasible_model rng))
+    (fun p ->
+      let reduce_scale v =
+        with_env [ ("POWERLIM_SCALE", v, "") ] (fun () -> Lp.Presolve.reduce p)
+      in
+      (match (reduce_scale "1", reduce_scale "0") with
+      | Lp.Presolve.Reduced a, Lp.Presolve.Reduced b ->
+          if
+            a.Lp.Presolve.keep_vars <> b.Lp.Presolve.keep_vars
+            || a.Lp.Presolve.kept_rows <> b.Lp.Presolve.kept_rows
+          then QCheck.Test.fail_report "scaling changed reduction decisions";
+          let pa = a.Lp.Presolve.problem and pb = b.Lp.Presolve.problem in
+          let rs = a.Lp.Presolve.row_scale and cs = a.Lp.Presolve.col_scale in
+          let ca = pa.Lp.Model.a and cb = pb.Lp.Model.a in
+          for j = 0 to pa.Lp.Model.nv - 1 do
+            for k = ca.Lp.Sparse.Csc.colptr.(j)
+                to ca.Lp.Sparse.Csc.colptr.(j + 1) - 1 do
+              let i = ca.Lp.Sparse.Csc.rowind.(k) in
+              let back =
+                ca.Lp.Sparse.Csc.values.(k) /. (rs.(i) *. cs.(j))
+              in
+              if back <> cb.Lp.Sparse.Csc.values.(k) then
+                QCheck.Test.fail_reportf
+                  "matrix entry (%d,%d) does not round-trip: %h vs %h" i j
+                  back cb.Lp.Sparse.Csc.values.(k)
+            done;
+            let lb = pa.Lp.Model.lb.(j) *. cs.(j)
+            and ub = pa.Lp.Model.ub.(j) *. cs.(j)
+            and ob = pa.Lp.Model.obj.(j) /. cs.(j) in
+            if
+              lb <> pb.Lp.Model.lb.(j)
+              || ub <> pb.Lp.Model.ub.(j)
+              || ob <> pb.Lp.Model.obj.(j)
+            then
+              QCheck.Test.fail_reportf "column %d data does not round-trip" j
+          done;
+          for i = 0 to pa.Lp.Model.nr - 1 do
+            if pa.Lp.Model.row_rhs.(i) /. rs.(i) <> pb.Lp.Model.row_rhs.(i)
+            then QCheck.Test.fail_reportf "rhs %d does not round-trip" i
+          done
+      | Lp.Presolve.Proven_infeasible, Lp.Presolve.Proven_infeasible -> ()
+      | _ -> QCheck.Test.fail_report "scaling changed the reduce outcome");
+      let solve_scale v =
+        with_env [ ("POWERLIM_SCALE", v, "") ] (fun () -> Lp.Presolve.solve p)
+      in
+      let r_on = solve_scale "1" in
+      let r_off = solve_scale "0" in
+      if r_on.Lp.Revised.status <> r_off.Lp.Revised.status then
+        QCheck.Test.fail_reportf "status mismatch: %a vs %a"
+          Lp.Revised.pp_status r_on.Lp.Revised.status Lp.Revised.pp_status
+          r_off.Lp.Revised.status
+      else begin
+        (match r_on.Lp.Revised.status with
+        | Lp.Revised.Optimal ->
+            let d =
+              Float.abs (r_on.Lp.Revised.objective -. r_off.Lp.Revised.objective)
+              /. (1.0 +. Float.abs r_off.Lp.Revised.objective)
+            in
+            if d > 1e-9 then
+              QCheck.Test.fail_reportf "objectives differ by %g: %h vs %h" d
+                r_on.Lp.Revised.objective r_off.Lp.Revised.objective;
+            if not (Lp.Model.feasible ~tol:1e-6 p r_on.Lp.Revised.x) then
+              QCheck.Test.fail_report
+                "restored scaled solution infeasible in original units"
+        | _ -> ());
+        true
+      end)
+
 (* POWERLIM_ETA_LIMIT moves the refactorization points (and hence FP
    rounding along the pivot path) but never the answer. *)
 let test_eta_limit_sanity () =
@@ -1578,6 +1831,10 @@ let suite =
           test_lu_sp_dense_fallback;
         Alcotest.test_case "symbolic factor bitwise" `Quick
           test_lu_factor_symbolic_identical;
+        Alcotest.test_case "ft updates small" `Quick test_ft_small;
+        Alcotest.test_case "ft updates medium" `Quick test_ft_medium;
+        Alcotest.test_case "ft updates dense" `Quick test_ft_dense;
+        Alcotest.test_case "ft updates long sequence" `Quick test_ft_many;
       ] );
     ( "lp.model",
       [ Alcotest.test_case "compile and feasible" `Quick test_model_compile ] );
@@ -1599,6 +1856,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_differential_large;
         QCheck_alcotest.to_alcotest prop_duality;
         QCheck_alcotest.to_alcotest prop_env_differential;
+        QCheck_alcotest.to_alcotest prop_ft_differential;
         Alcotest.test_case "eta limit sanity" `Quick test_eta_limit_sanity;
       ] );
     ( "lp.mps",
@@ -1617,6 +1875,7 @@ let suite =
         Alcotest.test_case "doubleton chain" `Quick test_presolve_doubleton_chain;
         Alcotest.test_case "doubleton bounds" `Quick test_presolve_doubleton_bound_transfer;
         QCheck_alcotest.to_alcotest prop_presolve_equivalent;
+        QCheck_alcotest.to_alcotest prop_scaling_roundtrip;
       ] );
     ( "lp.milp",
       [
