@@ -60,6 +60,8 @@ let experiments =
     ("ablations", fun config -> Experiments.Ablations.run ~config ppf);
     ("extensions", fun config -> Experiments.Extensions.run ~config ppf);
     ("scaling", fun config -> Experiments.Scaling.run ~config ppf);
+    ("energy", fun config -> Experiments.Energy.run ~config ppf);
+    ("energybench", fun config -> Experiments.Energybench.run ~config ppf);
     ("micro", fun config -> Experiments.Micro.run ~config ppf);
     ("parbench", fun config -> Experiments.Parbench.run ~config ppf);
     ("warmbench", fun config -> Experiments.Warmbench.run ~config ppf);
@@ -113,10 +115,12 @@ let () =
       (* LP solver and pipeline-cache counters per experiment, on stderr
          with the timings (cached-sweep consumers legitimately report
          zero solves) *)
-      Fmt.epr "[%s: %.2f s | lp: %a | cache: %a]@." n
+      Fmt.epr "[%s: %.2f s | lp: %a | cache: %a | sim: %d runs %.0f J]@." n
         (Unix.gettimeofday () -. t0)
         Lp.Stats.pp (Lp.Stats.snapshot ())
-        Putil.Cache.pp_totals ())
+        Putil.Cache.pp_totals ()
+        (Simulate.Engine.sim_runs ())
+        (Simulate.Engine.sim_energy_j ()))
     names;
   Option.iter
     (fun path ->

@@ -466,6 +466,78 @@ let what_if_cmd =
           $ fail_socket_t $ drop_rank_t $ perturb_t $ trace_out_t
           $ stats_json_t)
 
+let energy_cmd =
+  let run app ranks iters seed cap deadline trace_out stats_json =
+    with_obs trace_out stats_json @@ fun () ->
+    let config =
+      {
+        Experiments.Common.default_config with
+        Experiments.Common.nranks = ranks;
+        iterations = iters;
+        seed;
+      }
+    in
+    let s = Experiments.Common.make_setup config app in
+    let sc = s.Experiments.Common.sc in
+    let job_cap = cap *. Float.of_int ranks in
+    match deadline with
+    | Some deadline -> (
+        match
+          Core.Event_lp.solve
+            ~objective:(Core.Objective.Energy_under_deadline { deadline })
+            sc ~power_cap:job_cap
+        with
+        | Core.Event_lp.Schedule sched ->
+            let v = Core.Replay.validate sc sched ~power_cap:job_cap in
+            Fmt.pr
+              "energy bound: %.1f J (makespan %.4f s under deadline %.4f s, \
+               %.0f W/socket)@."
+              sched.Core.Event_lp.objective sched.Core.Event_lp.makespan
+              deadline cap;
+            Fmt.pr
+              "replay: %.1f J (gap %.2f%%), %.4f s, max sustained power %.1f \
+               W, within cap: %b@."
+              v.Core.Replay.replay_energy v.Core.Replay.obj_gap_pct
+              v.Core.Replay.replay_makespan v.Core.Replay.max_power
+              v.Core.Replay.within_cap;
+            let rr = Core.Replay.reclaim sc sched in
+            Fmt.pr "reclaim: %d tasks stretched, %.1f J shaved (%.2f%% of \
+                    %.1f J)@."
+              rr.Core.Replay.tasks_stretched rr.Core.Replay.reclaimed_j
+              rr.Core.Replay.reclaimed_pct rr.Core.Replay.base_energy_j;
+            if not v.Core.Replay.within_cap then begin
+              report_cap_violation v ~job_cap;
+              exit 1
+            end
+        | Core.Event_lp.Infeasible ->
+            Fmt.pr "infeasible: no schedule meets %.4f s at %.0f W/socket@."
+              deadline cap
+        | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m)
+    | None ->
+        let es = Experiments.Common.run_deadline_sweep s ~cap in
+        if Float.is_nan es.Experiments.Common.makespan_bound then
+          Fmt.pr "cap infeasible: no schedule fits %.0f W/socket@." cap
+        else begin
+          Fmt.pr "%s at %.0f W/socket, deadlines as multiples of T*:@."
+            (Workloads.Apps.app_name app) cap;
+          Experiments.Energy.pp_sweep Fmt.stdout es
+        end
+  in
+  let deadline_t =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
+           ~doc:"Absolute deadline, seconds.  When omitted, sweep the \
+                 energy objective over deadlines at multiples of the \
+                 makespan bound T* and report replay plus slack \
+                 reclamation for every point.")
+  in
+  Cmd.v
+    (Cmd.info "energy"
+       ~doc:"Minimize energy under a deadline (single deadline or a \
+             deadline sweep), with replay validation and slack \
+             reclamation.")
+    Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ deadline_t
+          $ trace_out_t $ stats_json_t)
+
 let gantt_cmd =
   let run app ranks iters seed cap method_ width =
     let g, sc = setup app ranks iters seed in
@@ -474,6 +546,7 @@ let gantt_cmd =
       match method_ with
       | "static" -> Some (Runtime.Static.run sc ~job_cap)
       | "conductor" -> Some (Runtime.Conductor.run sc ~job_cap)
+      | "redistrib" -> Some (Runtime.Redistrib.run sc ~job_cap)
       | "balancer" -> Some (Runtime.Balancer.run sc ~job_cap)
       | "adagio" -> Some (Runtime.Adagio.run sc)
       | "lp" -> (
@@ -484,7 +557,9 @@ let gantt_cmd =
               Fmt.pr "lp: infeasible at this cap@.";
               None)
       | m ->
-          Fmt.epr "unknown method %S (static|conductor|balancer|adagio|lp)@." m;
+          Fmt.epr
+            "unknown method %S (static|conductor|redistrib|balancer|adagio|lp)@."
+            m;
           exit 2
     in
     match result with
@@ -496,7 +571,8 @@ let gantt_cmd =
   in
   let method_t =
     Arg.(value & opt string "lp" & info [ "method" ] ~docv:"M"
-           ~doc:"Policy to render: static, conductor, balancer, adagio or lp.")
+           ~doc:"Policy to render: static, conductor, redistrib, balancer, \
+                 adagio or lp.")
   in
   let width_t =
     Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS"
@@ -511,6 +587,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "powerlim" ~version:"1.0.0" ~doc)
           [
-            bound_cmd; compare_cmd; sweep_cmd; frontier_cmd; flow_cmd;
-            trace_cmd; solve_trace_cmd; export_cmd; what_if_cmd; gantt_cmd;
+            bound_cmd; compare_cmd; sweep_cmd; energy_cmd; frontier_cmd;
+            flow_cmd; trace_cmd; solve_trace_cmd; export_cmd; what_if_cmd;
+            gantt_cmd;
           ]))

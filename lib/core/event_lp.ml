@@ -17,7 +17,17 @@ type mode = Continuous | Discrete_rounded
 type stats = { rows : int; cols : int; iterations : int; power_rows : int }
 
 type schedule = {
-  objective : float;  (** LP makespan (lower bound on achievable time) *)
+  objective : float;
+      (** value of the active objective: the LP makespan (seconds) under
+          {!Objective.Makespan_under_cap}, the LP energy (joules) under
+          {!Objective.Energy_under_deadline} *)
+  makespan : float;
+      (** the schedule's makespan in seconds, whatever the objective
+          (identical to [objective] in makespan mode) *)
+  lp_energy : float;
+      (** total task energy of the LP solution, [sum power x duration]
+          over the chosen blends, joules (identical to [objective] in
+          energy mode) *)
   vertex_time : float array;
   blends : Pareto.Frontier.blend array;  (** per tid; [] for zero tasks *)
   power_duals : (int * float) array;
@@ -25,6 +35,7 @@ type schedule = {
           saved per extra watt of budget at that event) — the shadow
           prices of equation (11), nonzero exactly where power binds *)
   mode : mode;
+  objective_mode : Objective.mode;
   stats : stats;
 }
 
@@ -62,6 +73,8 @@ type built = {
   c_vars : Lp.Model.var array array;  (* per task, per frontier point *)
   meta : (int * int) list;  (* power rows: (row index, vertex) *)
   n_power_rows : int;
+  deadline_row : int option;  (* the energy mode's makespan bound row *)
+  objective : Objective.mode;
   col_bands : int array;
   row_bands : int array;
 }
@@ -72,7 +85,9 @@ let bands_of (b : built) =
   if Array.length b.col_bands = 0 then None
   else Some (b.col_bands, b.row_bands)
 
-let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
+let build ?(reduce_slack = true) ?init
+    ?(objective = Objective.Makespan_under_cap) (sc : Scenario.t) ~power_cap :
+    built =
   let g = sc.Scenario.graph in
   let nv = Dag.Graph.n_vertices g in
   let nt = Dag.Graph.n_tasks g in
@@ -97,12 +112,21 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
           Lp.Model.add_var m ~lb:0.0 ~ub:0.0 (Printf.sprintf "v%d" j)
         else Lp.Model.add_var m (Printf.sprintf "v%d" j))
   in
-  (* configuration weights (equations (6), (9)) *)
+  (* configuration weights (equations (6), (9)); in energy mode they
+     carry the objective — a weight's cost is its configuration's task
+     energy, so the blended objective is [sum power x duration] *)
+  let energy_mode = Objective.is_energy objective in
   let c =
     Array.init nt (fun tid ->
         let f = sc.Scenario.frontiers.(tid) in
         Array.init (Array.length f) (fun k ->
-            Lp.Model.add_var m ~lb:0.0 ~ub:1.0 (Printf.sprintf "c%d_%d" tid k)))
+            let obj =
+              if energy_mode then
+                Some (f.(k).Pareto.Point.power *. f.(k).Pareto.Point.duration)
+              else None
+            in
+            Lp.Model.add_var m ~lb:0.0 ~ub:1.0 ?obj
+              (Printf.sprintf "c%d_%d" tid k)))
   in
   Array.iteri
     (fun tid vars ->
@@ -183,8 +207,23 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
           terms Lp.Model.Le power_cap
       end)
     events.Dag.Schedule.active;
-  (* objective (equation (1)): minimize the Finalize vertex time *)
-  Lp.Model.set_obj m v.(g.Dag.Graph.finalize_v) 1.0;
+  (* objective: equation (1) minimizes the Finalize vertex time; the
+     energy variant instead bounds it by the deadline (one extra row,
+     appended after the power rows so every shared row index coincides
+     across modes) and minimizes the energy carried on the weights *)
+  let deadline_row =
+    match objective with
+    | Objective.Makespan_under_cap ->
+        Lp.Model.set_obj m v.(g.Dag.Graph.finalize_v) 1.0;
+        None
+    | Objective.Energy_under_deadline { deadline } ->
+        let row = Lp.Model.nconstrs m in
+        row_band vpos.(g.Dag.Graph.finalize_v);
+        Lp.Model.add_constr m ~name:"deadline"
+          [ (1.0, v.(g.Dag.Graph.finalize_v)) ]
+          Lp.Model.Le deadline;
+        Some row
+  in
   let problem = Lp.Model.compile m in
   (* Column stages: a vertex time lives at its event position, a
      configuration weight at its task's start event. *)
@@ -201,18 +240,22 @@ let build ?(reduce_slack = true) ?init (sc : Scenario.t) ~power_cap : built =
     c_vars = c;
     meta = List.rev !power_row_meta;
     n_power_rows = !power_rows;
+    deadline_row;
+    objective;
     col_bands;
     row_bands = Array.of_list (List.rev !rbands);
   }
 
 (** The compiled LP in MPS format, for cross-checking against external
     solvers. *)
-let to_mps ?reduce_slack (sc : Scenario.t) ~power_cap =
-  let b = build ?reduce_slack sc ~power_cap in
+let to_mps ?reduce_slack ?objective (sc : Scenario.t) ~power_cap =
+  let b = build ?reduce_slack ?objective sc ~power_cap in
   Lp.Mps.to_string ~name:"powerlim-event-lp" b.problem
 
-(* Map a solver result back to the schedule domain. *)
-let outcome_of ~mode (sc : Scenario.t)
+(* Map a solver result back to the schedule domain.  [objective] is the
+   mode of the solve being reported — usually the build-time mode, but
+   per-deadline re-solves of an energy handle pass the patched one. *)
+let outcome_of ~mode ~objective (sc : Scenario.t)
     ({ problem = p; v_vars = v; c_vars = c; meta; n_power_rows; _ } : built)
     (r : Lp.Revised.result) : outcome =
   let nt = Dag.Graph.n_tasks sc.Scenario.graph in
@@ -247,13 +290,46 @@ let outcome_of ~mode (sc : Scenario.t)
         List.map (fun (row, vertex) -> (vertex, -.r.Lp.Revised.y.(row))) meta
         |> Array.of_list
       in
+      (* In makespan mode the objective IS the makespan (bit-for-bit);
+         energy mode reads the makespan off the Finalize column and its
+         objective already is the blended energy.  The cross-mode energy
+         is summed from the raw weights, canonically from the solver's
+         own objective when it is the energy. *)
+      let makespan =
+        match objective with
+        | Objective.Makespan_under_cap -> r.Lp.Revised.objective
+        | Objective.Energy_under_deadline _ ->
+            x.(v.(sc.Scenario.graph.Dag.Graph.finalize_v))
+      in
+      let lp_energy =
+        match objective with
+        | Objective.Energy_under_deadline _ -> r.Lp.Revised.objective
+        | Objective.Makespan_under_cap ->
+            let e = ref 0.0 in
+            Array.iteri
+              (fun tid vars ->
+                let f = sc.Scenario.frontiers.(tid) in
+                let n = min (Array.length f) (Array.length vars) in
+                for k = 0 to n - 1 do
+                  let p = f.(k) in
+                  e :=
+                    !e
+                    +. p.Pareto.Point.power *. p.Pareto.Point.duration
+                       *. x.(vars.(k))
+                done)
+              c;
+            !e
+      in
       Schedule
         {
           objective = r.Lp.Revised.objective;
+          makespan;
+          lp_energy;
           vertex_time = Array.map (fun var -> x.(var)) v;
           blends = Array.init nt blend_of;
           power_duals;
           mode;
+          objective_mode = objective;
           stats =
             {
               rows = p.Lp.Model.nr;
@@ -284,9 +360,9 @@ type prepared = {
          re-presolves per cap, so there is nothing stable to analyze. *)
 }
 
-let prepare ?(reduce_slack = true) ?(presolve = true) ?init (sc : Scenario.t)
-    ~power_cap : prepared =
-  let b = build ~reduce_slack ?init sc ~power_cap in
+let prepare ?(reduce_slack = true) ?(presolve = true) ?init ?objective
+    (sc : Scenario.t) ~power_cap : prepared =
+  let b = build ~reduce_slack ?init ?objective sc ~power_cap in
   let resolution =
     if not presolve then `Full
     else
@@ -297,8 +373,15 @@ let prepare ?(reduce_slack = true) ?(presolve = true) ?init (sc : Scenario.t)
           Array.iter
             (fun i -> kept.(i) <- true)
             red.Lp.Presolve.kept_rows;
-          if List.for_all (fun (row, _) -> kept.(row)) b.meta then
-            `Reduced red
+          (* RHS patching through a cached reduction is only sound when
+             every row we patch survived it — the power rows, and in
+             energy mode the deadline row too *)
+          if
+            List.for_all (fun (row, _) -> kept.(row)) b.meta
+            && (match b.deadline_row with
+               | None -> true
+               | Some row -> kept.(row))
+          then `Reduced red
           else `Each
   in
   let panalysis =
@@ -309,6 +392,30 @@ let prepare ?(reduce_slack = true) ?(presolve = true) ?init (sc : Scenario.t)
     | `Each -> None
   in
   { psc = sc; pbuilt = b; resolution; panalysis }
+
+(* The shared re-solve engine: run the prepared model under an optional
+   original-space RHS override, reporting the outcome under [objective]. *)
+let run_prepared ~mode ~max_iter ~objective ?warm (pz : prepared) rhs :
+    outcome * Lp.Revised.basis option =
+  let b = pz.pbuilt in
+  let p = b.problem in
+  let bands = bands_of b in
+  let r =
+    match pz.resolution with
+    | `Reduced red ->
+        Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm
+          ?analysis:pz.panalysis ?bands p red
+    | `Each ->
+        let pp =
+          match rhs with
+          | None -> p
+          | Some row_rhs -> { p with Lp.Model.row_rhs }
+        in
+        { (Lp.Presolve.solve ~max_iter pp) with Lp.Revised.basis = None }
+    | `Full ->
+        Lp.Revised.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis ?bands p
+  in
+  (outcome_of ~mode ~objective pz.psc b r, r.Lp.Revised.basis)
 
 let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
     ~power_cap : outcome * Lp.Revised.basis option =
@@ -329,23 +436,33 @@ let solve_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
       Some r
     end
   in
-  let bands = bands_of b in
-  let r =
-    match pz.resolution with
-    | `Reduced red ->
-        Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm
-          ?analysis:pz.panalysis ?bands p red
-    | `Each ->
-        let pp =
-          match rhs with
-          | None -> p
-          | Some row_rhs -> { p with Lp.Model.row_rhs }
-        in
-        { (Lp.Presolve.solve ~max_iter pp) with Lp.Revised.basis = None }
-    | `Full ->
-        Lp.Revised.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis ?bands p
+  run_prepared ~mode ~max_iter ~objective:b.objective ?warm pz rhs
+
+let solve_prepared_deadline ?(mode = Continuous) ?(max_iter = 0) ?warm
+    (pz : prepared) ~deadline : outcome * Lp.Revised.basis option =
+  let b = pz.pbuilt in
+  let p = b.problem in
+  let row =
+    match b.deadline_row with
+    | Some row -> row
+    | None ->
+        invalid_arg
+          "Event_lp.solve_prepared_deadline: handle was prepared under the \
+           makespan objective (no deadline row)"
   in
-  (outcome_of ~mode pz.psc b r, r.Lp.Revised.basis)
+  if not (Float.is_finite deadline) then
+    invalid_arg "Event_lp.solve_prepared_deadline: deadline must be finite";
+  let rhs =
+    if p.Lp.Model.row_rhs.(row) = deadline then None
+    else begin
+      let r = Array.copy p.Lp.Model.row_rhs in
+      r.(row) <- deadline;
+      Some r
+    end
+  in
+  run_prepared ~mode ~max_iter
+    ~objective:(Objective.Energy_under_deadline { deadline })
+    ?warm pz rhs
 
 (* ------------------------------------------------------------------ *)
 (* Structural what-if edits                                            *)
@@ -551,6 +668,11 @@ let edit_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
       c_vars;
       meta;
       n_power_rows = List.length meta;
+      deadline_row =
+        (match b.deadline_row with
+        | Some row when rmap.(row) >= 0 -> Some rmap.(row)
+        | Some _ | None -> None);
+      objective = b.objective;
       (* structural edits invalidate the event-stage assignment *)
       col_bands = [||];
       row_bands = [||];
@@ -565,11 +687,119 @@ let edit_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
       panalysis = Some (Lp.Revised.make_analysis p');
     }
   in
-  (outcome_of ~mode sc' built' r, pz', r.Lp.Revised.basis)
+  (outcome_of ~mode ~objective:b.objective sc' built' r, pz', r.Lp.Revised.basis)
+
+(* Objective-mode switch on a prepared handle, expressed in the edit
+   language so the previous mode's optimal basis warm-starts the new
+   mode's solve: the objective swap is a [Set_obj] list and the deadline
+   row is added/removed as a structural edit, whose basis mapping
+   {!Lp.Edit.resolve} already knows how to carry (the makespan optimum
+   is primal feasible for the energy LP whenever its own makespan meets
+   the deadline, so the dual repair is usually a handful of pivots). *)
+let switch_objective ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
+    (objective : Objective.mode) :
+    outcome * prepared * Lp.Revised.basis option =
+  let b = pz.pbuilt in
+  let p = b.problem in
+  let g = pz.psc.Scenario.graph in
+  let fin_col = b.v_vars.(g.Dag.Graph.finalize_v) in
+  match (b.objective, objective) with
+  | Objective.Makespan_under_cap, Objective.Makespan_under_cap ->
+      let o, basis = run_prepared ~mode ~max_iter ~objective ?warm pz None in
+      (o, pz, basis)
+  | ( Objective.Energy_under_deadline _,
+      Objective.Energy_under_deadline { deadline } ) ->
+      (* same mode: a deadline change is only an RHS patch *)
+      let o, basis = solve_prepared_deadline ~mode ~max_iter ?warm pz ~deadline in
+      (o, pz, basis)
+  | Objective.Makespan_under_cap, Objective.Energy_under_deadline _
+  | Objective.Energy_under_deadline _, Objective.Makespan_under_cap ->
+      let target_obj =
+        let obj = Array.make p.Lp.Model.nv 0.0 in
+        (match objective with
+        | Objective.Makespan_under_cap -> obj.(fin_col) <- 1.0
+        | Objective.Energy_under_deadline _ ->
+            Array.iteri
+              (fun tid vars ->
+                let f = pz.psc.Scenario.frontiers.(tid) in
+                let n = min (Array.length f) (Array.length vars) in
+                for k = 0 to n - 1 do
+                  obj.(vars.(k)) <-
+                    f.(k).Pareto.Point.power *. f.(k).Pareto.Point.duration
+                done)
+              b.c_vars);
+        obj
+      in
+      let row_edits =
+        match (b.deadline_row, objective) with
+        | None, Objective.Energy_under_deadline { deadline } ->
+            [
+              Lp.Edit.Add_row
+                {
+                  name = "deadline";
+                  terms = [ (1.0, fin_col) ];
+                  sense = Lp.Model.Le;
+                  rhs = deadline;
+                };
+            ]
+        | Some row, Objective.Makespan_under_cap -> [ Lp.Edit.Remove_row row ]
+        | (None, Objective.Makespan_under_cap
+          | Some _, Objective.Energy_under_deadline _) ->
+            (* unreachable under the outer match *)
+            []
+      in
+      let edits = Lp.Edit.set_objective p target_obj @ row_edits in
+      (* a reduced-space basis cannot be mapped across full-space edits *)
+      let warm =
+        match pz.resolution with `Full -> warm | `Reduced _ | `Each -> None
+      in
+      let p', r = Lp.Edit.resolve ~max_iter ?warm p edits in
+      Lp.Stats.note_mode_switch ();
+      let rmap = Lp.Edit.row_map p edits in
+      let meta = List.map (fun (row, vx) -> (rmap.(row), vx)) b.meta in
+      let deadline_row' =
+        match objective with
+        | Objective.Makespan_under_cap -> None
+        | Objective.Energy_under_deadline _ -> Some (p'.Lp.Model.nr - 1)
+      in
+      (* columns are untouched and the structural change is one appended
+         or removed trailing row, so the stage metadata carries over *)
+      let row_bands' =
+        if Array.length b.row_bands = 0 then [||]
+        else
+          match (b.deadline_row, deadline_row') with
+          | None, Some _ ->
+              Array.append b.row_bands [| b.col_bands.(fin_col) |]
+          | Some row, None ->
+              Array.init
+                (Array.length b.row_bands - 1)
+                (fun i -> if i < row then b.row_bands.(i) else b.row_bands.(i + 1))
+          | (None, None | Some _, Some _) -> b.row_bands
+      in
+      let built' =
+        {
+          b with
+          problem = p';
+          meta;
+          deadline_row = deadline_row';
+          objective;
+          row_bands = row_bands';
+        }
+      in
+      let pz' =
+        {
+          pz with
+          pbuilt = built';
+          resolution = `Full;
+          panalysis = Some (Lp.Revised.make_analysis p');
+        }
+      in
+      (outcome_of ~mode ~objective pz.psc built' r, pz', r.Lp.Revised.basis)
 
 let solve ?(mode = Continuous) ?(max_iter = 0) ?(reduce_slack = true)
-    ?(presolve = true) ?init (sc : Scenario.t) ~power_cap : outcome =
-  let pz = prepare ~reduce_slack ~presolve ?init sc ~power_cap in
+    ?(presolve = true) ?init ?objective (sc : Scenario.t) ~power_cap : outcome
+    =
+  let pz = prepare ~reduce_slack ~presolve ?init ?objective sc ~power_cap in
   fst (solve_prepared ~mode ~max_iter pz ~power_cap)
 
 (** Event-order refinement (an extension beyond the paper): the fixed
@@ -596,7 +826,7 @@ let solve_refined ?(rounds = 2) ?(mode = Continuous) ?max_iter ?reduce_slack
           let times =
             {
               Dag.Schedule.vertex_time = s.vertex_time;
-              makespan = s.objective;
+              makespan = s.makespan;
             }
           in
           go (n + 1) best_outcome best_obj (Some times)

@@ -20,7 +20,17 @@ type mode =
 type stats = { rows : int; cols : int; iterations : int; power_rows : int }
 
 type schedule = {
-  objective : float;  (** LP makespan: the performance upper bound *)
+  objective : float;
+      (** value of the active objective: the LP makespan (seconds) under
+          {!Objective.Makespan_under_cap}, the LP energy (joules) under
+          {!Objective.Energy_under_deadline} *)
+  makespan : float;
+      (** the schedule's makespan in seconds, whatever the objective
+          (identical to [objective] in makespan mode) *)
+  lp_energy : float;
+      (** total task energy of the LP solution, [sum power x duration]
+          over the chosen blends, joules (identical to [objective] in
+          energy mode) *)
   vertex_time : float array;
   blends : Pareto.Frontier.blend array;  (** per tid; [] for zero tasks *)
   power_duals : (int * float) array;
@@ -28,6 +38,7 @@ type schedule = {
           saved per extra watt of budget at that event) — the shadow
           prices of equation (11), nonzero exactly where power binds *)
   mode : mode;
+  objective_mode : Objective.mode;  (** the mode this schedule optimizes *)
   stats : stats;
 }
 
@@ -42,7 +53,12 @@ val initial_times : ?reduce_slack:bool -> Scenario.t -> Dag.Schedule.times
     Section 3.3 modification: off-critical tasks are slowed as much as
     possible without extending the makespan. *)
 
-val to_mps : ?reduce_slack:bool -> Scenario.t -> power_cap:float -> string
+val to_mps :
+  ?reduce_slack:bool ->
+  ?objective:Objective.mode ->
+  Scenario.t ->
+  power_cap:float ->
+  string
 (** The compiled LP in MPS format (see {!Lp.Mps}), for cross-checking
     against external solvers. *)
 
@@ -52,13 +68,19 @@ val solve :
   ?reduce_slack:bool ->
   ?presolve:bool ->
   ?init:Dag.Schedule.times ->
+  ?objective:Objective.mode ->
   Scenario.t ->
   power_cap:float ->
   outcome
 (** [solve sc ~power_cap] builds and solves the LP.  [reduce_slack]
     selects the initial schedule (see {!initial_times}); [init]
     overrides it entirely (the event order is taken from these times);
-    [presolve] (default true) runs {!Lp.Presolve} before the simplex. *)
+    [presolve] (default true) runs {!Lp.Presolve} before the simplex.
+    [objective] (default {!Objective.Makespan_under_cap}) selects what
+    is optimized: the energy mode shares the whole constraint matrix
+    with the makespan mode — power rows stay at [power_cap] — plus one
+    appended row bounding the Finalize time by the deadline, and its
+    objective is the total task energy carried on the weight columns. *)
 
 type prepared
 (** A built-once event LP, ready for repeated power-cap re-solves.  The
@@ -72,13 +94,15 @@ val prepare :
   ?reduce_slack:bool ->
   ?presolve:bool ->
   ?init:Dag.Schedule.times ->
+  ?objective:Objective.mode ->
   Scenario.t ->
   power_cap:float ->
   prepared
 (** Build the model once at a reference cap.  The presolve reduction is
-    cached only when every power row survives it (a cap change must not
-    be able to alter a reduction decision); otherwise re-solves fall back
-    to a per-cap presolve. *)
+    cached only when every power row — and, in energy mode, the deadline
+    row — survives it (an RHS change must not be able to alter a
+    reduction decision); otherwise re-solves fall back to a per-cap
+    presolve. *)
 
 val solve_prepared :
   ?mode:mode ->
@@ -92,7 +116,40 @@ val solve_prepared :
     handle (the basis lives in the prepared model's — possibly reduced —
     space); the solver then runs the dual simplex from it instead of a
     cold phase-1/2.  Returns the outcome and the final basis to thread
-    into the next cap ([None] when no reusable basis exists). *)
+    into the next cap ([None] when no reusable basis exists).  Works in
+    either objective mode: on an energy handle this sweeps the cap at a
+    fixed deadline. *)
+
+val solve_prepared_deadline :
+  ?mode:mode ->
+  ?max_iter:int ->
+  ?warm:Lp.Revised.basis ->
+  prepared ->
+  deadline:float ->
+  outcome * Lp.Revised.basis option
+(** Re-solve an energy-mode prepared model at a new deadline (only the
+    deadline row's RHS is patched; the power rows keep their cap).
+    Bases thread across deadlines exactly as they do across caps in
+    {!solve_prepared}.  Raises [Invalid_argument] on a handle prepared
+    under the makespan objective. *)
+
+val switch_objective :
+  ?mode:mode ->
+  ?max_iter:int ->
+  ?warm:Lp.Revised.basis ->
+  prepared ->
+  Objective.mode ->
+  outcome * prepared * Lp.Revised.basis option
+(** Re-target a prepared handle at the other objective without
+    rebuilding: the objective swap compiles to {!Lp.Edit.Set_obj} edits
+    and the deadline row is added/removed structurally, so a basis from
+    the previous mode's optimum warm-starts the new mode's solve through
+    {!Lp.Edit.resolve}'s basis mapping.  Returns the outcome, a new
+    prepared handle for the target mode (chainable — further deadlines
+    via {!solve_prepared_deadline}, caps via {!solve_prepared}), and the
+    final basis.  As with {!edit_prepared}, a warm basis is only usable
+    on handles prepared with [~presolve:false].  Counted in
+    {!Lp.Stats} as an objective-mode switch. *)
 
 (** {2 Structural what-if edits}
 

@@ -1,0 +1,57 @@
+(** First-class optimization objectives for the event LP.
+
+    The paper's formulation minimizes makespan under a job power cap;
+    the related work (Aupy et al., "Reclaiming the energy of a
+    schedule") asks the dual question — minimize energy under a
+    deadline.  Both live on the {e same} constraint matrix: per-task
+    convexity, precedence, message and event-order rows are identical,
+    the power rows carry the cap in both modes, and the energy mode adds
+    exactly one row (the makespan bounded by the deadline) while moving
+    the objective from the Finalize vertex time to the per-configuration
+    energy [power x duration].  Everything downstream — presolve,
+    warm starts, the edit language, pipeline cache keys — treats the
+    mode as data, never as a baked-in assumption. *)
+
+type mode =
+  | Makespan_under_cap
+      (** minimize the Finalize vertex time; the power-row RHS is the
+          sweep variable (equation (1) of the paper) *)
+  | Energy_under_deadline of { deadline : float }
+      (** minimize [sum power x duration] over the chosen configuration
+          blends, subject to the makespan not exceeding [deadline]
+          (seconds); the deadline-row RHS is the sweep variable.  The
+          job power cap still applies at every event. *)
+
+let equal a b =
+  match (a, b) with
+  | Makespan_under_cap, Makespan_under_cap -> true
+  | Energy_under_deadline { deadline = d1 }, Energy_under_deadline { deadline = d2 }
+    ->
+      Int64.equal (Int64.bits_of_float d1) (Int64.bits_of_float d2)
+  | Makespan_under_cap, Energy_under_deadline _
+  | Energy_under_deadline _, Makespan_under_cap ->
+      false
+
+let is_energy = function
+  | Energy_under_deadline _ -> true
+  | Makespan_under_cap -> false
+
+let pp ppf = function
+  | Makespan_under_cap -> Fmt.string ppf "makespan-under-cap"
+  | Energy_under_deadline { deadline } ->
+      Fmt.pf ppf "energy-under-deadline(%g s)" deadline
+
+(** Unit label of the mode's objective value, for reports. *)
+let unit = function
+  | Makespan_under_cap -> "s"
+  | Energy_under_deadline _ -> "J"
+
+(** Canonical encoding for content-derived cache keys: the mode tag and
+    (in energy mode) the deadline.  Two prepared models in different
+    modes — or at different deadlines — must never share a pipeline
+    artifact, even though their matrices mostly coincide. *)
+let digest_fold h = function
+  | Makespan_under_cap -> Putil.Hashing.string h "obj:makespan"
+  | Energy_under_deadline { deadline } ->
+      Putil.Hashing.string h "obj:energy";
+      Putil.Hashing.float h deadline

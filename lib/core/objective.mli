@@ -1,0 +1,30 @@
+(** First-class optimization objectives for the event LP.
+
+    The paper's mode minimizes makespan under a job power cap; the
+    related-work mode (Aupy et al.) minimizes energy under a deadline.
+    Both share one constraint matrix — the energy mode adds exactly one
+    deadline row and swaps the objective vector — so warm starts and
+    structural edits carry across modes (see
+    {!Event_lp.switch_objective}). *)
+
+type mode =
+  | Makespan_under_cap
+      (** minimize the Finalize vertex time; the power-row RHS is the
+          sweep variable (equation (1) of the paper) *)
+  | Energy_under_deadline of { deadline : float }
+      (** minimize [sum power x duration] over the chosen configuration
+          blends, subject to the makespan not exceeding [deadline]
+          (seconds).  The job power cap still applies at every event. *)
+
+val equal : mode -> mode -> bool
+(** Tag and (bit-level) deadline equality. *)
+
+val is_energy : mode -> bool
+val pp : Format.formatter -> mode -> unit
+
+val unit : mode -> string
+(** Unit label of the objective value: ["s"] or ["J"]. *)
+
+val digest_fold : Putil.Hashing.t -> mode -> unit
+(** Feed the mode's canonical encoding to a hasher.  Cache keys include
+    it so artifacts never cross objective modes. *)

@@ -11,6 +11,13 @@ type validation = {
   power_cap : float;
   within_cap : bool;
   gap_pct : float;  (** replay vs LP makespan, percent *)
+  objective_mode : Objective.mode;
+  bound : float;  (** the LP optimum, in the objective's own unit *)
+  achieved : float;
+      (** the replay's value of the same objective: its makespan in
+          makespan mode, its total energy in energy mode *)
+  obj_gap_pct : float;  (** achieved vs bound, percent *)
+  replay_energy : float;  (** total replayed energy, joules, either mode *)
 }
 
 let same_point (a : Pareto.Point.t) (b : Pareto.Point.t) =
@@ -81,14 +88,128 @@ let validate ?(tol = 0.02) (sc : Scenario.t) (schedule : Event_lp.schedule)
   let max_power =
     Simulate.Engine.sustained_max_power ~ignore_below:1e-3 result
   in
+  (* [makespan] equals [objective] bit-for-bit in makespan mode, so the
+     historical makespan-relative fields are unchanged there. *)
+  let bound = schedule.Event_lp.objective in
+  let achieved =
+    match schedule.Event_lp.objective_mode with
+    | Objective.Makespan_under_cap -> result.Simulate.Engine.makespan
+    | Objective.Energy_under_deadline _ -> result.Simulate.Engine.energy
+  in
   {
     result;
-    lp_makespan = schedule.Event_lp.objective;
+    lp_makespan = schedule.Event_lp.makespan;
     replay_makespan = result.Simulate.Engine.makespan;
     max_power;
     power_cap;
     within_cap = max_power <= power_cap *. (1.0 +. tol) +. 1e-6;
     gap_pct =
-      ((result.Simulate.Engine.makespan /. schedule.Event_lp.objective) -. 1.0)
+      ((result.Simulate.Engine.makespan /. schedule.Event_lp.makespan) -. 1.0)
       *. 100.0;
+    objective_mode = schedule.Event_lp.objective_mode;
+    bound;
+    achieved;
+    obj_gap_pct = ((achieved /. bound) -. 1.0) *. 100.0;
+    replay_energy = result.Simulate.Engine.energy;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Slack reclamation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type reclaim_report = {
+  reclaimed : Event_lp.schedule;
+  tasks_stretched : int;
+  base_energy_j : float;
+  reclaimed_j : float;
+  reclaimed_pct : float;
+}
+
+let blend_energy (blend : Pareto.Frontier.blend) =
+  List.fold_left
+    (fun acc ((p : Pareto.Point.t), w) ->
+      acc +. (w *. p.Pareto.Point.duration *. p.Pareto.Point.power))
+    0.0 blend
+
+(** Slack reclamation (after Aupy et al.): with the LP's vertex times —
+    and hence the makespan and the event-order power argument — held
+    fixed, re-blend every task at the cheapest hull blend of duration
+    [min window slowest] and keep the result only when it strictly
+    lowers the task's energy (frontier energy [power x duration] need
+    not be monotone along the hull).  The slack is usually not a loose
+    precedence row: the simplex lands on vertices where every row is
+    tight, and pads a short task's conv row with {e non-adjacent} hull
+    points instead — same duration, more joules than the hull
+    interpolation.  Re-blending at the window moves the task onto (or
+    down) the hull, so no segment of the new blend draws more power
+    than the old blend's hottest segment: the cap can never become
+    violated, and the makespan is untouched by construction. *)
+let reclaim (sc : Scenario.t) (schedule : Event_lp.schedule) : reclaim_report =
+  let g = sc.Scenario.graph in
+  let vt = schedule.Event_lp.vertex_time in
+  let blends = Array.copy schedule.Event_lp.blends in
+  let stretched = ref 0 in
+  let base = ref 0.0 and saved = ref 0.0 in
+  Array.iteri
+    (fun tid (t : Dag.Graph.task) ->
+      let blend = blends.(tid) in
+      let f = sc.Scenario.frontiers.(tid) in
+      if blend <> [] && Array.length f > 0 then begin
+        let e0 = blend_energy blend in
+        base := !base +. e0;
+        let window =
+          vt.(t.Dag.Graph.t_dst) -. vt.(t.Dag.Graph.t_src)
+          -. g.Dag.Graph.vertices.(t.Dag.Graph.t_dst).Dag.Graph.delay
+        in
+        let dur = Pareto.Frontier.blend_duration blend in
+        let blend' =
+          match schedule.Event_lp.mode with
+          | Event_lp.Continuous ->
+              let target =
+                Float.min
+                  (Float.max dur window)
+                  (Pareto.Frontier.slowest f).Pareto.Point.duration
+              in
+              let power =
+                Pareto.Frontier.power_for_duration f ~duration:target
+              in
+              Pareto.Frontier.interpolate f ~power
+          | Event_lp.Discrete_rounded ->
+              (* single-configuration schedules stretch to the most
+                 frugal hull point that still fits the window; never to
+                 a faster (hotter) point, so the cap argument holds *)
+              let best = ref blend in
+              let best_e = ref e0 in
+              Array.iter
+                (fun (p : Pareto.Point.t) ->
+                  let e = p.Pareto.Point.duration *. p.Pareto.Point.power in
+                  if
+                    p.Pareto.Point.duration >= dur -. 1e-12
+                    && p.Pareto.Point.duration <= window
+                    && e < !best_e
+                  then begin
+                    best := [ (p, 1.0) ];
+                    best_e := e
+                  end)
+                f;
+              !best
+        in
+        let e1 = blend_energy blend' in
+        if e1 < e0 -. 1e-12 then begin
+          blends.(tid) <- blend';
+          incr stretched;
+          saved := !saved +. (e0 -. e1)
+        end
+      end)
+    g.Dag.Graph.tasks;
+  Lp.Stats.note_reclaim ~base_j:!base ~reclaimed_j:!saved;
+  let lp_energy =
+    Array.fold_left (fun acc b -> acc +. blend_energy b) 0.0 blends
+  in
+  {
+    reclaimed = { schedule with Event_lp.blends; lp_energy };
+    tasks_stretched = !stretched;
+    base_energy_j = !base;
+    reclaimed_j = !saved;
+    reclaimed_pct = (if !base > 0.0 then 100.0 *. !saved /. !base else 0.0);
   }

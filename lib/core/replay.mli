@@ -11,9 +11,43 @@ type validation = {
   power_cap : float;
   within_cap : bool;
   gap_pct : float;  (** replay vs LP makespan, percent *)
+  objective_mode : Objective.mode;
+  bound : float;  (** the LP optimum, in the objective's own unit *)
+  achieved : float;
+      (** the replay's value of the same objective: its makespan in
+          makespan mode, its total energy in energy mode *)
+  obj_gap_pct : float;  (** achieved vs bound, percent *)
+  replay_energy : float;  (** total replayed energy, joules, either mode *)
 }
 
 val policy : Scenario.t -> Event_lp.schedule -> Simulate.Policy.t
 
 val validate :
   ?tol:float -> Scenario.t -> Event_lp.schedule -> power_cap:float -> validation
+
+(** {2 Slack reclamation} *)
+
+type reclaim_report = {
+  reclaimed : Event_lp.schedule;
+      (** same vertex times, stretched blends, updated [lp_energy] *)
+  tasks_stretched : int;
+  base_energy_j : float;  (** task energy before the pass *)
+  reclaimed_j : float;
+  reclaimed_pct : float;  (** [100 * reclaimed_j / base_energy_j] *)
+}
+
+val blend_energy : Pareto.Frontier.blend -> float
+(** [sum weight x duration x power] over the blend, joules. *)
+
+val reclaim : Scenario.t -> Event_lp.schedule -> reclaim_report
+(** Slack reclamation (after Aupy et al.): holding the schedule's vertex
+    times — and hence its makespan and event-order power argument —
+    fixed, re-blend each task at the cheapest hull blend filling its
+    precedence window (capped at the frontier's slowest duration),
+    keeping a re-blend only when it strictly lowers that task's energy.
+    The slack is usually hidden {e inside} the blend — the simplex pads
+    short tasks with non-adjacent hull points at the window's exact
+    duration — rather than in a loose precedence row.  Never increases
+    the makespan, never raises any task segment's power (blends only
+    move onto or down the convex hull), and monotonically lowers total
+    energy.  Counted in {!Lp.Stats} as a reclaim pass. *)

@@ -80,6 +80,50 @@ val run_sweep : ?pool:Putil.Pool.t -> ?warm:bool -> setup -> sweep
     reads the shared immutable [setup]; all solver and simulator state is
     per-job. *)
 
+(** {2 Energy-under-deadline sweeps} *)
+
+val default_multipliers : float list
+(** The deadline grid, as multiples of the makespan bound at the cap. *)
+
+type energy_point = {
+  deadline : float;  (** seconds *)
+  multiplier : float;  (** deadline / makespan bound at the cap *)
+  feasible : bool;
+  lp_energy_j : float;  (** LP-optimal energy under the deadline *)
+  lp_makespan : float;  (** makespan of the energy-optimal schedule *)
+  replay_energy_j : float;  (** replayed energy before reclamation *)
+  reclaimed_energy_j : float;  (** replayed energy after reclamation *)
+  reclaimed_j : float;  (** joules the reclamation pass shaved (LP side) *)
+  reclaimed_pct : float;
+  tasks_stretched : int;
+  max_power : float;  (** worst sustained power of either replay *)
+  within_cap : bool;
+}
+
+type energy_sweep = {
+  esetup : setup;
+  cap : float;  (** watts per socket, fixed across the sweep *)
+  job_cap : float;
+  makespan_bound : float;  (** T*: the LP makespan optimum at the cap *)
+  bound_energy_j : float;  (** energy of that makespan-optimal schedule *)
+  epoints : energy_point list;
+}
+
+val run_deadline_sweep :
+  ?multipliers:float list -> setup -> cap:float -> energy_sweep
+(** Sweep the energy objective over deadlines [multiplier x T*] at a
+    fixed cap: one energy-mode {!Pipeline.Stages.prepare} shared by the
+    whole sweep, each deadline an RHS re-solve
+    ({!Core.Event_lp.solve_prepared_deadline}), each feasible point
+    replayed, slack-reclaimed, and replayed again.  Every point is
+    solved {e cold} on purpose: the energy objective leaves every
+    vertex-time column costless, so warm starts may land on alternate
+    optimal vertices and the replay would depend on warm history —
+    cold points are canonical and the output byte-identical under any
+    POWERLIM_WARM / POWERLIM_JOBS setting.  The warm fast path is
+    exercised and gated by the [energybench] harness.  [epoints] is
+    empty when the cap itself is infeasible. *)
+
 val figure_caps : Workloads.Apps.app -> float * float
 (** The power range each per-benchmark figure shows (the x-axes of the
     paper's Figures 11 and 13-15). *)

@@ -1,0 +1,104 @@
+(** Energy under a deadline: the objective-mode extension's experiment
+    family.  For every benchmark, sweep the energy-optimal LP over
+    deadlines (multiples of the makespan bound T* at a reference cap),
+    replay each schedule, run the slack-reclamation post-pass, and set
+    the results against the runtime policies (Static, Conductor and the
+    redistribution runtime) executing under the same cap — the policies
+    pay for their slack in watts, the LP converts it into joules. *)
+
+type app_result = {
+  app : Workloads.Apps.app;
+  cap : float;  (** watts per socket *)
+  es : Common.energy_sweep;
+  static_span : float;
+  static_energy : float;
+  conductor_span : float;
+  conductor_energy : float;
+  redistrib_span : float;
+  redistrib_energy : float;
+}
+
+type t = app_result list
+
+(* Reference cap per app: the midpoint of its figure's power range,
+   where the cap binds but every app is schedulable. *)
+let reference_cap app =
+  let lo, hi = Common.figure_caps app in
+  Float.round ((lo +. hi) /. 2.0)
+
+let compute_app (config : Common.config) app : app_result =
+  let s = Common.make_setup config app in
+  let cap = reference_cap app in
+  let job_cap = cap *. Float.of_int config.Common.nranks in
+  let es = Common.run_deadline_sweep s ~cap in
+  let st = Runtime.Static.run s.Common.sc ~job_cap in
+  let co = Runtime.Conductor.run s.Common.sc ~job_cap in
+  let rd = Runtime.Redistrib.run s.Common.sc ~job_cap in
+  {
+    app;
+    cap;
+    es;
+    static_span = st.Simulate.Engine.makespan;
+    static_energy = st.Simulate.Engine.energy;
+    conductor_span = co.Simulate.Engine.makespan;
+    conductor_energy = co.Simulate.Engine.energy;
+    redistrib_span = rd.Simulate.Engine.makespan;
+    redistrib_energy = rd.Simulate.Engine.energy;
+  }
+
+let compute ?pool ?(config = Common.default_config) () : t =
+  let pool =
+    match pool with Some p -> p | None -> Putil.Pool.get_default ()
+  in
+  Putil.Pool.parallel_map pool
+    (fun app ->
+      Putil.Obs.span ~cat:"sweep"
+        ~args:[ ("app", Workloads.Apps.app_name app) ]
+        "energy-app"
+        (fun () -> compute_app config app))
+    Workloads.Apps.all_apps
+
+let pp_j ppf v =
+  if Float.is_nan v then Fmt.string ppf "       -" else Fmt.pf ppf "%8.1f" v
+
+let pp_s ppf v =
+  if Float.is_nan v then Fmt.string ppf "      -" else Fmt.pf ppf "%7.4f" v
+
+let pp_sweep ppf (es : Common.energy_sweep) =
+  Fmt.pf ppf "makespan bound T* %.4f s, energy at T* %.1f J@."
+    es.Common.makespan_bound es.Common.bound_energy_j;
+  Fmt.pf ppf
+    "# deadline_x deadline_s lp_energy_j lp_makespan_s replay_j \
+     reclaimed_j reclaim_pct stretched cap_ok@.";
+  List.iter
+    (fun (p : Common.energy_point) ->
+      if p.Common.feasible then
+        Fmt.pf ppf "%6.2f %a %a %a %a %a %6.2f %5d %s@." p.Common.multiplier
+          pp_s p.Common.deadline pp_j p.Common.lp_energy_j pp_s
+          p.Common.lp_makespan pp_j p.Common.replay_energy_j pp_j
+          p.Common.reclaimed_energy_j p.Common.reclaimed_pct
+          p.Common.tasks_stretched
+          (if p.Common.within_cap then "ok" else "VIOLATED")
+      else
+        Fmt.pf ppf "%6.2f %a infeasible@." p.Common.multiplier pp_s
+          p.Common.deadline)
+    es.Common.epoints
+
+let render (r : app_result) ppf =
+  Common.header ppf
+    (Fmt.str "Energy under deadline: %s (%.0f W/socket)"
+       (Workloads.Apps.app_name r.app) r.cap);
+  if Float.is_nan r.es.Common.makespan_bound then
+    Fmt.pf ppf "cap infeasible: no schedule fits %.0f W/socket@." r.cap
+  else begin
+    pp_sweep ppf r.es;
+    Fmt.pf ppf
+      "policies at the cap: static %.4f s / %.1f J, conductor %.4f s / %.1f \
+       J, redistrib %.4f s / %.1f J@."
+      r.static_span r.static_energy r.conductor_span r.conductor_energy
+      r.redistrib_span r.redistrib_energy
+  end
+
+let run ?pool ?(config = Common.default_config) ppf =
+  let t = compute ?pool ~config () in
+  List.iter (fun r -> render r ppf) t

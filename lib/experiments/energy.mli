@@ -1,0 +1,32 @@
+(** Energy-under-deadline experiment family: per benchmark, the
+    energy-optimal LP over a deadline grid (multiples of the makespan
+    bound at a mid-figure reference cap), each schedule replayed, slack-
+    reclaimed and replayed again, next to the Static / Conductor /
+    redistribution runtimes executing under the same cap. *)
+
+type app_result = {
+  app : Workloads.Apps.app;
+  cap : float;  (** watts per socket *)
+  es : Common.energy_sweep;
+  static_span : float;
+  static_energy : float;
+  conductor_span : float;
+  conductor_energy : float;
+  redistrib_span : float;
+  redistrib_energy : float;
+}
+
+type t = app_result list
+
+val reference_cap : Workloads.Apps.app -> float
+(** Midpoint of the app's figure power range (see
+    {!Common.figure_caps}). *)
+
+val compute : ?pool:Putil.Pool.t -> ?config:Common.config -> unit -> t
+
+val pp_sweep : Format.formatter -> Common.energy_sweep -> unit
+(** The sweep table alone (T* line plus one row per deadline) — shared
+    with the [powerlim energy] subcommand. *)
+
+val render : app_result -> Format.formatter -> unit
+val run : ?pool:Putil.Pool.t -> ?config:Common.config -> Format.formatter -> unit

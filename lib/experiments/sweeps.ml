@@ -31,14 +31,14 @@ let fig9 (sweep : t) ppf =
     (String.concat " "
        (List.map (fun (a, _) -> Workloads.Apps.app_name a) sweep));
   let caps =
-    match sweep with (_, s) :: _ -> List.map (fun p -> p.Common.cap) s.Common.points | [] -> []
+    match sweep with (_, s) :: _ -> List.map (fun (p : Common.point) -> p.Common.cap) s.Common.points | [] -> []
   in
   List.iter
     (fun cap ->
       Fmt.pf ppf "%5.0f " cap;
       List.iter
         (fun (_, s) ->
-          let p = List.find (fun p -> p.Common.cap = cap) s.Common.points in
+          let p = List.find (fun (p : Common.point) -> p.Common.cap = cap) s.Common.points in
           Fmt.pf ppf " %a" Common.pp_pct
             (if p.Common.schedulable then p.Common.lp_vs_static else Float.nan))
         sweep;
@@ -53,14 +53,14 @@ let fig10 (sweep : t) ppf =
     (String.concat " "
        (List.map (fun (a, _) -> Workloads.Apps.app_name a) sweep));
   let caps =
-    match sweep with (_, s) :: _ -> List.map (fun p -> p.Common.cap) s.Common.points | [] -> []
+    match sweep with (_, s) :: _ -> List.map (fun (p : Common.point) -> p.Common.cap) s.Common.points | [] -> []
   in
   List.iter
     (fun cap ->
       Fmt.pf ppf "%5.0f " cap;
       List.iter
         (fun (_, s) ->
-          let p = List.find (fun p -> p.Common.cap = cap) s.Common.points in
+          let p = List.find (fun (p : Common.point) -> p.Common.cap = cap) s.Common.points in
           Fmt.pf ppf " %a" Common.pp_pct
             (if p.Common.schedulable then p.Common.lp_vs_conductor else Float.nan))
         sweep;

@@ -219,6 +219,29 @@ let apply_one (p : Model.problem) (e : t) : Model.problem =
 
 let apply p edits = List.fold_left apply_one p edits
 
+(* The minimal Set_obj list turning [p]'s objective into [obj]:
+   one edit per column whose coefficient actually changes (bit-level
+   comparison, so -0.0 vs 0.0 round-trips exactly).  This is how an
+   objective-mode switch (makespan <-> energy, {!Core.Event_lp}) is
+   expressed in the edit language: the basis mapping is trivial — no
+   structural change — and the dual simplex repairs the now-stale
+   reduced costs. *)
+let set_objective (p : Model.problem) (obj : float array) : t list =
+  if Array.length obj <> p.nv then
+    invalid_arg
+      (Printf.sprintf "Edit.set_objective: %d coefficients for %d columns"
+         (Array.length obj) p.nv);
+  let acc = ref [] in
+  for col = p.nv - 1 downto 0 do
+    if
+      not
+        (Int64.equal
+           (Int64.bits_of_float p.obj.(col))
+           (Int64.bits_of_float obj.(col)))
+    then acc := Set_obj { col; obj = obj.(col) } :: !acc
+  done;
+  !acc
+
 (* ------------------------------------------------------------------ *)
 (* index maps                                                          *)
 (* ------------------------------------------------------------------ *)

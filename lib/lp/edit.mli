@@ -51,6 +51,12 @@ val apply : Model.problem -> t list -> Model.problem
     [Invalid_argument] on an out-of-range index, [lb > ub], or a
     non-finite coefficient/RHS. *)
 
+val set_objective : Model.problem -> float array -> t list
+(** The minimal [Set_obj] list (one edit per changed coefficient,
+    bit-level comparison) turning [p]'s objective vector into the given
+    one — how an objective-mode switch is expressed in the edit
+    language.  Raises [Invalid_argument] on a length mismatch. *)
+
 val col_map : Model.problem -> t list -> int array
 (** [col_map p edits].(j) is the column index of [p]'s column [j] in
     [apply p edits], or [-1] when an edit removed it. *)

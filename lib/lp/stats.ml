@@ -33,6 +33,13 @@ type snapshot = {
   fill_ratio_max : float;  (** worst Forrest–Tomlin fill ratio (process max) *)
   scale_passes : int;  (** equilibration passes run by {!Presolve} *)
   small_dense_solves : int;  (** solves on the small-instance dense path *)
+  obj_mode_switches : int;
+      (** prepared handles switched between objective modes
+          ({!Core.Event_lp.switch_objective}) *)
+  reclaim_passes : int;  (** slack-reclamation post-passes run *)
+  reclaimed_joules_pct : float;
+      (** energy reclaimed by the slack passes, as a percentage of the
+          energy of the schedules they ran on (process aggregate) *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -55,6 +62,8 @@ let edit_fallbacks = Atomic.make 0
 let ft_updates = Atomic.make 0
 let scale_passes = Atomic.make 0
 let small_dense_solves = Atomic.make 0
+let obj_mode_switches = Atomic.make 0
+let reclaim_passes = Atomic.make 0
 let wall_ns = Atomic.make 0
 
 (* Float max over pool domains: CAS retry loop.  [compare_and_set]
@@ -66,6 +75,15 @@ let rec note_fill_ratio f =
   let cur = Atomic.get fill_ratio_max_a in
   if f > cur && not (Atomic.compare_and_set fill_ratio_max_a cur f) then
     note_fill_ratio f
+
+(* Float accumulators (joules reclaimed / joules seen by the reclaim
+   passes), same CAS-retry discipline as the fill-ratio max. *)
+let reclaimed_j_a = Atomic.make 0.0
+let reclaim_base_j_a = Atomic.make 0.0
+
+let rec atomic_add_float a x =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
 
 let reset () =
   List.iter
@@ -90,9 +108,13 @@ let reset () =
       ft_updates;
       scale_passes;
       small_dense_solves;
+      obj_mode_switches;
+      reclaim_passes;
       wall_ns;
     ];
-  Atomic.set fill_ratio_max_a 0.0
+  Atomic.set fill_ratio_max_a 0.0;
+  Atomic.set reclaimed_j_a 0.0;
+  Atomic.set reclaim_base_j_a 0.0
 
 let note_fallback () = ignore (Atomic.fetch_and_add warm_fallbacks 1)
 
@@ -126,6 +148,12 @@ let note_ft ~updates ~fill_max ~small_dense =
   note_fill_ratio fill_max
 
 let note_scale_pass () = ignore (Atomic.fetch_and_add scale_passes 1)
+let note_mode_switch () = ignore (Atomic.fetch_and_add obj_mode_switches 1)
+
+let note_reclaim ~base_j ~reclaimed_j =
+  ignore (Atomic.fetch_and_add reclaim_passes 1);
+  atomic_add_float reclaim_base_j_a base_j;
+  atomic_add_float reclaimed_j_a reclaimed_j
 
 let snapshot () =
   let solves = Atomic.get solves
@@ -156,6 +184,11 @@ let snapshot () =
     fill_ratio_max = Atomic.get fill_ratio_max_a;
     scale_passes = Atomic.get scale_passes;
     small_dense_solves = Atomic.get small_dense_solves;
+    obj_mode_switches = Atomic.get obj_mode_switches;
+    reclaim_passes = Atomic.get reclaim_passes;
+    reclaimed_joules_pct =
+      (let base = Atomic.get reclaim_base_j_a in
+       if base > 0.0 then 100.0 *. Atomic.get reclaimed_j_a /. base else 0.0);
     wall_s = Float.of_int (Atomic.get wall_ns) *. 1e-9;
   }
 
@@ -189,6 +222,9 @@ let () =
           ("fill_ratio_max", Putil.Obs.Float s.fill_ratio_max);
           ("scale_passes", Putil.Obs.Int s.scale_passes);
           ("small_dense_solves", Putil.Obs.Int s.small_dense_solves);
+          ("obj_mode_switches", Putil.Obs.Int s.obj_mode_switches);
+          ("reclaim_passes", Putil.Obs.Int s.reclaim_passes);
+          ("reclaimed_joules_pct", Putil.Obs.Float s.reclaimed_joules_pct);
           ("wall_s", Putil.Obs.Float s.wall_s);
         ])
 

@@ -37,6 +37,14 @@ type snapshot = {
       (** geometric-mean equilibration passes run by {!Presolve} *)
   small_dense_solves : int;
       (** solves routed through the small-instance dense classic path *)
+  obj_mode_switches : int;
+      (** prepared handles switched between objective modes
+          ({!Core.Event_lp.switch_objective}) *)
+  reclaim_passes : int;
+      (** slack-reclamation post-passes run ({!Core.Replay.reclaim}) *)
+  reclaimed_joules_pct : float;
+      (** energy the slack passes reclaimed, as a percentage of the
+          energy of the schedules they ran on (process aggregate) *)
   wall_s : float;  (** summed wall time inside {!Revised.solve} *)
 }
 
@@ -81,3 +89,11 @@ val note_ft : updates:int -> fill_max:float -> small_dense:int -> unit
 
 val note_scale_pass : unit -> unit
 (** Count one equilibration pass (called by {!Presolve}). *)
+
+val note_mode_switch : unit -> unit
+(** Count one objective-mode switch of a prepared event LP. *)
+
+val note_reclaim : base_j:float -> reclaimed_j:float -> unit
+(** Record one slack-reclamation pass: the energy of the schedule it
+    ran on and the joules it shaved off.  The snapshot exposes the
+    aggregate as [reclaimed_joules_pct]. *)

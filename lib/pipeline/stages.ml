@@ -60,28 +60,43 @@ let scenario ?(socket_seed = 7) ?(variability = 0.04) src =
 
 let frontier = Pareto.Frontier.convex_memo
 
-let prepare_key ?(reduce_slack = true) ?(presolve = true) sc ~power_cap =
+let prepare_key ?(reduce_slack = true) ?(presolve = true)
+    ?(objective = Core.Objective.Makespan_under_cap) sc ~power_cap =
   let h = Putil.Hashing.create () in
   Core.Scenario.digest_fold h sc;
   Putil.Hashing.bool h reduce_slack;
   Putil.Hashing.bool h presolve;
   Putil.Hashing.float h power_cap;
+  Core.Objective.digest_fold h objective;
   Key.v ~stage:"prepare" h
 
 let prepare_cache : Core.Event_lp.prepared Putil.Cache.t =
   Putil.Cache.create ~capacity:16 ~name:"prepare" ()
 
-let prepare ?(reduce_slack = true) ?(presolve = true) sc ~power_cap =
-  let key = Key.to_string (prepare_key ~reduce_slack ~presolve sc ~power_cap) in
+let prepare ?(reduce_slack = true) ?(presolve = true) ?objective sc ~power_cap
+    =
+  let key =
+    Key.to_string (prepare_key ~reduce_slack ~presolve ?objective sc ~power_cap)
+  in
   Putil.Cache.find_or_build prepare_cache key (fun () ->
       build_span ~stage:"stage:prepare" ~key (fun () ->
-          Core.Event_lp.prepare ~reduce_slack ~presolve sc ~power_cap))
+          Core.Event_lp.prepare ~reduce_slack ~presolve ?objective sc
+            ~power_cap))
 
 (* What-if edits re-key through the edited scenario: Scenario.digest
    hashes the frontiers themselves, so any domain edit perturbs the
    digest and a stale prepared model can never be served, while the
    exact inverse edit hashes back to the original key. *)
-let edit_key ?(reduce_slack = true) ?(presolve = true) sc edits ~power_cap =
-  prepare_key ~reduce_slack ~presolve
+let edit_key ?(reduce_slack = true) ?(presolve = true) ?objective sc edits
+    ~power_cap =
+  prepare_key ~reduce_slack ~presolve ?objective
     (Core.Event_lp.edit_scenario sc edits)
     ~power_cap
+
+(* Objective-mode switches re-key the same way: the target mode's key on
+   the unchanged scenario — what a cached handle for the switched world
+   would live under (the digest carries the deadline, so every deadline
+   is its own entry, exactly as every cap is). *)
+let switch_key ?(reduce_slack = true) ?(presolve = true) sc objective
+    ~power_cap =
+  prepare_key ~reduce_slack ~presolve ~objective sc ~power_cap

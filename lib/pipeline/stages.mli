@@ -52,13 +52,21 @@ val frontier :
 (** Frontier-enumeration stage ({!Pareto.Frontier.convex_memo}). *)
 
 val prepare_key :
-  ?reduce_slack:bool -> ?presolve:bool -> Core.Scenario.t -> power_cap:float -> Key.t
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
+  ?objective:Core.Objective.mode ->
+  Core.Scenario.t ->
+  power_cap:float ->
+  Key.t
 (** Key of the LP-preparation stage: the scenario's digest plus the
-    build flags and the reference cap the model is anchored at. *)
+    build flags, the reference cap the model is anchored at and the
+    objective mode (default {!Core.Objective.Makespan_under_cap}; an
+    energy mode's deadline is part of the digest). *)
 
 val prepare :
   ?reduce_slack:bool ->
   ?presolve:bool ->
+  ?objective:Core.Objective.mode ->
   Core.Scenario.t ->
   power_cap:float ->
   Core.Event_lp.prepared
@@ -66,13 +74,15 @@ val prepare :
     {!prepare_key}.  The reference cap is part of the key, so a cached
     model is reused only by solves that would have prepared at the very
     same cap — re-solves at other caps go through
-    {!Core.Event_lp.solve_prepared}'s RHS patching as before.  Prepared
-    models are read-only during re-solves, so sharing one across
-    domains is safe. *)
+    {!Core.Event_lp.solve_prepared}'s RHS patching as before (deadlines
+    likewise through {!Core.Event_lp.solve_prepared_deadline}).
+    Prepared models are read-only during re-solves, so sharing one
+    across domains is safe. *)
 
 val edit_key :
   ?reduce_slack:bool ->
   ?presolve:bool ->
+  ?objective:Core.Objective.mode ->
   Core.Scenario.t ->
   Core.Event_lp.domain_edit list ->
   power_cap:float ->
@@ -83,3 +93,15 @@ val edit_key :
     scenario always derives a fresh key (no stale prepared artifact can
     be served), and re-applying the exact inverse edit derives the
     original key again. *)
+
+val switch_key :
+  ?reduce_slack:bool ->
+  ?presolve:bool ->
+  Core.Scenario.t ->
+  Core.Objective.mode ->
+  power_cap:float ->
+  Key.t
+(** Key of the preparation stage for the same scenario re-targeted at
+    another objective mode ([prepare_key ~objective sc]) — where a
+    cached handle produced by {!Core.Event_lp.switch_objective} for that
+    mode would live.  Switching back derives the original key again. *)

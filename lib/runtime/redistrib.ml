@@ -1,0 +1,163 @@
+(** Redistribution-aware runtime (after Medhat et al.): usage-driven
+    power shifting between ranks.
+
+    Where {!Conductor} translates estimated slack into watts through
+    each donor rank's profiled frontier, this runtime trusts the power
+    {e meters} instead of the model: at every [MPI_Pcontrol] epoch it
+    measures each rank's actually drawn power, reclaims a fraction of
+    the budget the rank did not use (budget minus measured draw minus a
+    headroom), and grants the pooled watts to the ranks whose (noisy)
+    busy-time estimates mark them critical, proportionally to their
+    excess over the mean.  Watts no critical rank can absorb return
+    uniformly, so the job-level cap is conserved exactly.
+
+    The scheme is simpler than Conductor's — no frontier inversion, no
+    stretch targets — which makes it robust when profiles are wrong,
+    and an interesting foil for the energy objective: unused budget is
+    exactly the slack the LP's reclamation pass converts into energy
+    savings, so the two bound each other. *)
+
+type knobs = {
+  explore_iters : int;  (** iterations spent profiling, Static-like *)
+  reclaim_frac : float;
+      (** fraction of a rank's measured unused watts reclaimed per
+          epoch; 1.0 = take all of it at once (aggressive) *)
+  headroom_w : float;  (** watts every rank keeps above its measured draw *)
+  est_noise : float;  (** relative error on busy-time estimates *)
+  seed : int;
+}
+
+let default_knobs =
+  { explore_iters = 3; reclaim_frac = 0.7; headroom_w = 1.0; est_noise = 0.012; seed = 11 }
+
+type state = {
+  caps : float array;  (** current per-rank power budget *)
+  rng : Random.State.t;
+  mutable steps : int;
+}
+
+let cap_floor = 19.0 (* below this no configuration fits; never starve *)
+
+let decide (sc : Core.Scenario.t) (st : state) knobs
+    (ctx : Simulate.Policy.decide_ctx) : Simulate.Policy.decision =
+  let t = ctx.Simulate.Policy.task in
+  let cap = st.caps.(t.rank) in
+  let frontier = sc.Core.Scenario.frontiers.(t.tid) in
+  let blend =
+    if Array.length frontier = 0 then [ (Static.point_for sc ~cap t, 1.0) ]
+    else if t.iteration >= 0 && t.iteration < knobs.explore_iters then
+      [ (Static.point_for sc ~cap t, 1.0) ]
+    else
+      match Pareto.Frontier.best_under_power frontier ~budget:cap with
+      | None -> [ (Static.point_for sc ~cap t, 1.0) ]
+      | Some best -> [ (best, 1.0) ]
+  in
+  let switch =
+    match (ctx.Simulate.Policy.prev, blend) with
+    | Some prev, (p, _) :: _ ->
+        prev.Pareto.Point.freq <> p.Pareto.Point.freq
+        || prev.Pareto.Point.threads <> p.Pareto.Point.threads
+    | _ -> false
+  in
+  {
+    Simulate.Policy.blend;
+    overhead = (if switch then Machine.Overheads.conductor_per_task else 0.0);
+  }
+
+(* Highest power any task of [rank] could usefully consume. *)
+let rank_cap_max (sc : Core.Scenario.t) rank =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun tid f ->
+      if
+        Array.length f > 0
+        && sc.Core.Scenario.graph.Dag.Graph.tasks.(tid).Dag.Graph.rank = rank
+      then worst := max !worst (Pareto.Frontier.max_power f))
+    sc.Core.Scenario.frontiers;
+  !worst
+
+let observe (sc : Core.Scenario.t) (st : state) knobs
+    (obs : Simulate.Policy.observation) =
+  st.steps <- st.steps + 1;
+  if obs.Simulate.Policy.iteration >= knobs.explore_iters - 1 then begin
+    let n = Array.length st.caps in
+    let window = obs.Simulate.Policy.window in
+    if window > 0.0 then begin
+      (* noisy busy-time estimates mark the critical ranks *)
+      let est =
+        Array.map
+          (fun b ->
+            b
+            *. (1.0
+               +. (knobs.est_noise *. (Random.State.float st.rng 2.0 -. 1.0))))
+          obs.Simulate.Policy.rank_busy
+      in
+      let mean = Array.fold_left ( +. ) 0.0 est /. Float.of_int n in
+      (* reclaim: unused watts are whatever the meter says the rank did
+         not draw, beyond its headroom; donors are only ranks that also
+         have schedule slack, so a fully-busy rank is never squeezed *)
+      let freed = ref 0.0 in
+      for r = 0 to n - 1 do
+        if est.(r) < mean then begin
+          let used = obs.Simulate.Policy.rank_power.(r) in
+          let unused = st.caps.(r) -. used -. knobs.headroom_w in
+          if unused > 0.0 then begin
+            let give =
+              Float.min (knobs.reclaim_frac *. unused)
+                (st.caps.(r) -. cap_floor)
+            in
+            if give > 0.0 then begin
+              st.caps.(r) <- st.caps.(r) -. give;
+              freed := !freed +. give
+            end
+          end
+        end
+      done;
+      (* grant: critical ranks absorb the pool proportionally to their
+         estimated excess, bounded by what their frontiers can use *)
+      let excess = Array.map (fun e -> max 0.0 (e -. mean)) est in
+      let total_excess = Array.fold_left ( +. ) 0.0 excess in
+      let leftover = ref 0.0 in
+      if total_excess > 0.0 && !freed > 0.0 then
+        for r = 0 to n - 1 do
+          if excess.(r) > 0.0 then begin
+            let want = !freed *. excess.(r) /. total_excess in
+            let cap_max = rank_cap_max sc r in
+            let cap_max = if cap_max > 0.0 then cap_max else st.caps.(r) in
+            let grant = min want (max 0.0 (cap_max -. st.caps.(r))) in
+            st.caps.(r) <- st.caps.(r) +. grant;
+            leftover := !leftover +. (want -. grant)
+          end
+        done
+      else leftover := !freed;
+      (* watts nobody could absorb return uniformly: cap conserved *)
+      if !leftover > 1e-9 then begin
+        let share = !leftover /. Float.of_int n in
+        for r = 0 to n - 1 do
+          st.caps.(r) <- st.caps.(r) +. share
+        done
+      end
+    end
+  end
+
+(** Redistribution policy under [job_cap] watts for the whole job. *)
+let policy ?(knobs = default_knobs) (sc : Core.Scenario.t) ~job_cap :
+    Simulate.Policy.t =
+  let n = sc.Core.Scenario.graph.Dag.Graph.nranks in
+  let st =
+    {
+      caps = Array.make n (job_cap /. Float.of_int n);
+      rng = Random.State.make [| knobs.seed; 0x5ed |];
+      steps = 0;
+    }
+  in
+  {
+    Simulate.Policy.name = "redistrib";
+    decide = decide sc st knobs;
+    observe = observe sc st knobs;
+    pcontrol_overhead = Machine.Overheads.reallocation_per_step;
+  }
+
+(** Run an application under the redistribution runtime. *)
+let run ?knobs (sc : Core.Scenario.t) ~job_cap =
+  Simulate.Engine.run sc.Core.Scenario.graph (policy ?knobs sc ~job_cap)

@@ -1,0 +1,25 @@
+(** Redistribution-aware runtime (after Medhat et al.): at every
+    [MPI_Pcontrol] epoch, each rank's {e measured} unused watts (budget
+    minus drawn power minus a headroom) are pooled and granted to the
+    ranks whose noisy busy-time estimates mark them critical; watts
+    nobody can absorb return uniformly, conserving the job cap exactly.
+    Unlike {!Conductor}, no frontier model is inverted — the scheme is
+    purely usage-driven, which makes it robust to wrong profiles. *)
+
+type knobs = {
+  explore_iters : int;  (** iterations spent profiling, Static-like *)
+  reclaim_frac : float;
+      (** fraction of a rank's measured unused watts reclaimed per
+          epoch; 1.0 = take all of it at once (aggressive) *)
+  headroom_w : float;  (** watts every rank keeps above its measured draw *)
+  est_noise : float;  (** relative error on busy-time estimates *)
+  seed : int;
+}
+
+val default_knobs : knobs
+
+val policy :
+  ?knobs:knobs -> Core.Scenario.t -> job_cap:float -> Simulate.Policy.t
+
+val run :
+  ?knobs:knobs -> Core.Scenario.t -> job_cap:float -> Simulate.Engine.result

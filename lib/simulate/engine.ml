@@ -249,11 +249,34 @@ let run_impl ~slack_model ~idle_power ?release (g : Dag.Graph.t)
     energy = !energy;
   }
 
+(* Process-wide replay counters (atomic, shared across pool domains):
+   how many engine runs happened and how much energy they simulated.
+   Joules are accumulated in an integer atomic at millijoule resolution,
+   same pattern as {!Lp.Stats}'s nanosecond wall clock. *)
+let runs_n = Atomic.make 0
+let energy_mj = Atomic.make 0
+
+let sim_runs () = Atomic.get runs_n
+let sim_energy_j () = Float.of_int (Atomic.get energy_mj) *. 1e-3
+
+let () =
+  Putil.Obs.register_stats ~name:"simulate" (fun () ->
+      Putil.Obs.Assoc
+        [
+          ("runs", Putil.Obs.Int (sim_runs ()));
+          ("energy_j", Putil.Obs.Float (sim_energy_j ()));
+        ])
+
 let run ?(slack_model = `Task_power) ?(idle_power = 18.0) ?release g policy =
-  Putil.Obs.span ~cat:"simulate"
-    ~args:[ ("policy", policy.Policy.name) ]
-    "engine.run"
-    (fun () -> run_impl ~slack_model ~idle_power ?release g policy)
+  let r =
+    Putil.Obs.span ~cat:"simulate"
+      ~args:[ ("policy", policy.Policy.name) ]
+      "engine.run"
+      (fun () -> run_impl ~slack_model ~idle_power ?release g policy)
+  in
+  ignore (Atomic.fetch_and_add runs_n 1);
+  ignore (Atomic.fetch_and_add energy_mj (int_of_float (r.energy *. 1e3)));
+  r
 
 (** Maximum job power, excluding intervals shorter than [ignore_below]
     seconds (useful to separate transient configuration-switch spikes

@@ -46,3 +46,11 @@ val run :
 val sustained_max_power : ?ignore_below:float -> result -> float
 (** Maximum job power, ignoring intervals shorter than [ignore_below]
     seconds (separates switch transients from sustained violations). *)
+
+val sim_runs : unit -> int
+(** Process-wide count of {!run} calls (also in the ["simulate"] entry
+    of the {!Putil.Obs} stats registry). *)
+
+val sim_energy_j : unit -> float
+(** Process-wide total simulated energy across every {!run}, joules
+    (millijoule resolution). *)
