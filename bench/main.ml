@@ -68,6 +68,7 @@ let experiments =
     ("editbench", fun config -> Experiments.Editbench.run ~config ppf);
     ("simplexbench", fun config -> Experiments.Simplexbench.run ~config ppf);
     ("cachebench", fun config -> Experiments.Cachebench.run ~config ppf);
+    ("servebench", fun config -> Serve.Servebench.run ~config ppf);
   ]
 
 let () =

@@ -73,36 +73,18 @@ let with_obs trace_out stats_json run =
           stats_json);
   run ()
 
-(* Earliest sustained (>= 1 ms, matching Replay.validate's smoothing)
-   interval of the replayed power trace above the validation limit. *)
-let first_cap_violation (r : Simulate.Engine.result) ~limit =
-  let n = Array.length r.Simulate.Engine.trace in
-  let found = ref None in
-  Array.iteri
-    (fun i (t, p) ->
-      let t' =
-        if i + 1 < n then fst r.Simulate.Engine.trace.(i + 1)
-        else r.Simulate.Engine.makespan
-      in
-      if !found = None && t' -. t >= 1e-3 && p > limit then
-        found := Some (t, p))
-    r.Simulate.Engine.trace;
-  !found
+let report_cap_violation v ~job_cap =
+  Serve.Handlers.pp_cap_violation Fmt.stderr v ~job_cap
 
-let report_cap_violation (v : Core.Replay.validation) ~job_cap =
-  (* mirror of Replay.validate's within_cap test (tol = 0.02) *)
-  let limit = (job_cap *. 1.02) +. 1e-6 in
-  (match first_cap_violation v.Core.Replay.result ~limit with
-  | Some (t, p) ->
-      Fmt.epr
-        "error: replay exceeds the power cap: %.1f W at t=%.4f s, cap %.0f W \
-         (+2%% tolerance = %.1f W), excess %.1f W@."
-        p t job_cap limit (p -. limit)
-  | None ->
-      Fmt.epr
-        "error: replay exceeds the power cap: max sustained power %.1f W > \
-         %.0f W (+2%% tolerance)@."
-        v.Core.Replay.max_power job_cap)
+(* Shared renderers (Serve.Handlers) compute into strings so the daemon
+   can serve the same bytes; the CLI prints them and exits with the
+   handler's status. *)
+let emit_outcome (o : Serve.Handlers.outcome) =
+  print_string o.Serve.Handlers.out;
+  prerr_string o.Serve.Handlers.err;
+  flush stdout;
+  flush stderr;
+  if o.Serve.Handlers.status <> 0 then exit o.Serve.Handlers.status
 
 let setup app ranks iters seed =
   let params =
@@ -183,27 +165,7 @@ let sweep_cmd =
   let run ranks iters seed no_cache trace_out stats_json =
     with_obs trace_out stats_json @@ fun () ->
     if no_cache then Putil.Cache.set_enabled false;
-    let config =
-      {
-        Experiments.Common.default_config with
-        Experiments.Common.nranks = ranks;
-        iterations = iters;
-        seed;
-      }
-    in
-    (* pool size, wall time and cache traffic on stderr: stdout is
-       byte-identical at every POWERLIM_JOBS setting, cache on or off *)
-    Fmt.epr "pool: %d-way parallel (POWERLIM_JOBS=%s)@."
-      (Putil.Pool.parallelism (Putil.Pool.get_default ()))
-      (match Sys.getenv_opt "POWERLIM_JOBS" with Some s -> s | None -> "unset");
-    let t0 = Unix.gettimeofday () in
-    let sweep = Experiments.Sweeps.compute ~config () in
-    Fmt.epr "[sweep: %.2f s | cache: %a]@."
-      (Unix.gettimeofday () -. t0)
-      Putil.Cache.pp_totals ();
-    Experiments.Sweeps.fig9 sweep Fmt.stdout;
-    Experiments.Sweeps.fig10 sweep Fmt.stdout;
-    Experiments.Sweeps.summary sweep Fmt.stdout
+    emit_outcome (Serve.Handlers.sweep ~ranks ~iters ~seed ())
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run the full Static/Conductor/LP power sweep (figures 9-10).")
     Term.(const run $ ranks_t $ iters_t $ seed_t $ no_cache_t $ trace_out_t
@@ -321,9 +283,7 @@ let export_cmd =
     let job_cap = cap *. Float.of_int ranks in
     (match mps_out with
     | Some path ->
-        let oc = open_out path in
-        output_string oc (Core.Event_lp.to_mps sc ~power_cap:job_cap);
-        close_out oc;
+        Putil.Fileio.write path (Core.Event_lp.to_mps sc ~power_cap:job_cap);
         Fmt.pr "wrote event LP (MPS) to %s@." path
     | None -> ());
     match (trace_csv, records_csv) with
@@ -391,55 +351,13 @@ let what_if_cmd =
   let run app ranks iters seed cap fail_sockets drop_ranks perturbs trace_out
       stats_json =
     with_obs trace_out stats_json @@ fun () ->
-    let _, sc = setup app ranks iters seed in
-    let job_cap = cap *. Float.of_int ranks in
     let edits =
       List.map (fun r -> Core.Event_lp.Fail_socket r) fail_sockets
       @ List.map (fun r -> Core.Event_lp.Drop_rank r) drop_ranks
       @ perturbs
     in
-    if edits = [] then begin
-      Fmt.epr
-        "what-if: no edits given (use --fail-socket, --drop-rank and/or \
-         --perturb-task)@.";
-      exit 2
-    end;
-    (* The prepared handle must keep the full column space
-       (~presolve:false) so the base optimal basis can be mapped across
-       the structural edits. *)
-    let pz = Pipeline.Stages.prepare ~presolve:false sc ~power_cap:job_cap in
-    let base, basis = Core.Event_lp.solve_prepared pz ~power_cap:job_cap in
-    (match base with
-    | Core.Event_lp.Schedule s ->
-        Fmt.pr "baseline : %.4f s at %.0f W (%.0f W x %d sockets)@."
-          s.Core.Event_lp.objective job_cap cap ranks
-    | Core.Event_lp.Infeasible -> Fmt.pr "baseline : infeasible@."
-    | Core.Event_lp.Solver_failure m -> Fmt.pr "baseline : solver failure: %s@." m);
-    List.iter (fun e -> Fmt.pr "edit     : %a@." Core.Event_lp.pp_domain_edit e)
-      edits;
-    (* POWERLIM_WARM=0 forces the cold path; the incremental re-solve is
-       exact (cold fallback on any ill-conditioned basis mapping), so
-       stdout is byte-identical either way. *)
-    let warm = if Experiments.Common.warm_default () then basis else None in
-    match Core.Event_lp.edit_prepared ?warm pz edits with
-    | Core.Event_lp.Schedule s, _, _ ->
-        Fmt.pr "what-if  : %.4f s (LP: %d rows, %d cols)@."
-          s.Core.Event_lp.objective s.Core.Event_lp.stats.Core.Event_lp.rows
-          s.Core.Event_lp.stats.Core.Event_lp.cols;
-        (* pivot counts differ between the incremental and cold paths;
-           keep them off stdout so POWERLIM_WARM never changes output *)
-        Fmt.epr "what-if: %d simplex iterations@."
-          s.Core.Event_lp.stats.Core.Event_lp.iterations;
-        (match base with
-        | Core.Event_lp.Schedule b ->
-            let d = s.Core.Event_lp.objective -. b.Core.Event_lp.objective in
-            Fmt.pr "delta    : %+.4f s (%+.2f%%)@." d
-              (100.0 *. d /. b.Core.Event_lp.objective)
-        | _ -> ())
-    | Core.Event_lp.Infeasible, _, _ ->
-        Fmt.pr "what-if  : infeasible under the edited scenario@."
-    | Core.Event_lp.Solver_failure m, _, _ ->
-        Fmt.pr "what-if  : solver failure: %s@." m
+    emit_outcome
+      (Serve.Handlers.what_if ~app ~ranks ~iters ~seed ~cap ~edits ())
   in
   let fail_socket_t =
     Arg.(value & opt_all int [] & info [ "fail-socket" ] ~docv:"RANK"
@@ -469,59 +387,8 @@ let what_if_cmd =
 let energy_cmd =
   let run app ranks iters seed cap deadline trace_out stats_json =
     with_obs trace_out stats_json @@ fun () ->
-    let config =
-      {
-        Experiments.Common.default_config with
-        Experiments.Common.nranks = ranks;
-        iterations = iters;
-        seed;
-      }
-    in
-    let s = Experiments.Common.make_setup config app in
-    let sc = s.Experiments.Common.sc in
-    let job_cap = cap *. Float.of_int ranks in
-    match deadline with
-    | Some deadline -> (
-        match
-          Core.Event_lp.solve
-            ~objective:(Core.Objective.Energy_under_deadline { deadline })
-            sc ~power_cap:job_cap
-        with
-        | Core.Event_lp.Schedule sched ->
-            let v = Core.Replay.validate sc sched ~power_cap:job_cap in
-            Fmt.pr
-              "energy bound: %.1f J (makespan %.4f s under deadline %.4f s, \
-               %.0f W/socket)@."
-              sched.Core.Event_lp.objective sched.Core.Event_lp.makespan
-              deadline cap;
-            Fmt.pr
-              "replay: %.1f J (gap %.2f%%), %.4f s, max sustained power %.1f \
-               W, within cap: %b@."
-              v.Core.Replay.replay_energy v.Core.Replay.obj_gap_pct
-              v.Core.Replay.replay_makespan v.Core.Replay.max_power
-              v.Core.Replay.within_cap;
-            let rr = Core.Replay.reclaim sc sched in
-            Fmt.pr "reclaim: %d tasks stretched, %.1f J shaved (%.2f%% of \
-                    %.1f J)@."
-              rr.Core.Replay.tasks_stretched rr.Core.Replay.reclaimed_j
-              rr.Core.Replay.reclaimed_pct rr.Core.Replay.base_energy_j;
-            if not v.Core.Replay.within_cap then begin
-              report_cap_violation v ~job_cap;
-              exit 1
-            end
-        | Core.Event_lp.Infeasible ->
-            Fmt.pr "infeasible: no schedule meets %.4f s at %.0f W/socket@."
-              deadline cap
-        | Core.Event_lp.Solver_failure m -> Fmt.pr "solver failure: %s@." m)
-    | None ->
-        let es = Experiments.Common.run_deadline_sweep s ~cap in
-        if Float.is_nan es.Experiments.Common.makespan_bound then
-          Fmt.pr "cap infeasible: no schedule fits %.0f W/socket@." cap
-        else begin
-          Fmt.pr "%s at %.0f W/socket, deadlines as multiples of T*:@."
-            (Workloads.Apps.app_name app) cap;
-          Experiments.Energy.pp_sweep Fmt.stdout es
-        end
+    emit_outcome
+      (Serve.Handlers.energy ~app ~ranks ~iters ~seed ~cap ~deadline ())
   in
   let deadline_t =
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
@@ -581,6 +448,146 @@ let gantt_cmd =
   Cmd.v (Cmd.info "gantt" ~doc:"Render a policy's schedule as an ASCII Gantt chart.")
     Term.(const run $ app_t $ ranks_t $ iters_t $ seed_t $ cap_t $ method_t $ width_t)
 
+(* ---- serve: the persistent solving daemon -------------------------- *)
+
+let socket_t =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on (or connect to) a Unix domain socket at PATH.")
+
+let port_t =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Listen on (or connect to) TCP PORT instead of a Unix \
+               socket.  0 picks a free port (printed on stderr).")
+
+let host_t =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Host to bind or connect to with --port.")
+
+let address_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Ok (Serve.Daemon.Unix_socket path)
+  | None, Some port -> Ok (Serve.Daemon.Tcp (host, port))
+  | None, None -> Error "one of --socket or --port is required"
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+
+let serve_cmd =
+  let run socket port host store store_limit_mb cache_capacity =
+    match address_of socket port host with
+    | Error m ->
+        Fmt.epr "serve: %s@." m;
+        exit 2
+    | Ok address ->
+        let cfg =
+          {
+            Serve.Daemon.address;
+            store_root = store;
+            store_limit_bytes = store_limit_mb * 1024 * 1024;
+            cache_capacity;
+            pool = None;
+          }
+        in
+        let d = Serve.Daemon.start cfg in
+        Fmt.epr "powerlim serve: listening on %a (pool %d-way%s)@."
+          Serve.Daemon.pp_address (Serve.Daemon.address d)
+          (Putil.Pool.parallelism (Putil.Pool.get_default ()))
+          (match store with
+          | Some root -> Printf.sprintf ", store %s" root
+          | None -> ", no store");
+        Serve.Daemon.wait d
+  in
+  let store_t =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Persist responses (and pipeline graphs) in a \
+                 content-addressed artifact store under DIR; a restarted \
+                 daemon answers repeated requests from it.")
+  in
+  let store_limit_t =
+    Arg.(value & opt int 0 & info [ "store-limit-mb" ] ~docv:"MB"
+           ~doc:"Evict least-recently-used artifacts beyond MB megabytes \
+                 (0 = unbounded).")
+  in
+  let cache_capacity_t =
+    Arg.(value & opt int 64 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"In-memory response cache entries (evictions spill to the \
+                 store).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent solving daemon: newline-delimited JSON \
+             requests (sweep, energy, what-if, stats, shutdown) over a \
+             Unix or TCP socket, answered from a two-tier response cache \
+             backed by a crash-safe on-disk artifact store.")
+    Term.(const run $ socket_t $ port_t $ host_t $ store_t $ store_limit_t
+          $ cache_capacity_t)
+
+let request_cmd =
+  let run socket port host raw reqs =
+    match address_of socket port host with
+    | Error m ->
+        Fmt.epr "request: %s@." m;
+        exit 2
+    | Ok address ->
+        let reqs =
+          if reqs <> [] then reqs
+          else begin
+            (* no positional requests: read one JSON object per stdin line *)
+            let lines = ref [] in
+            (try
+               while true do
+                 lines := input_line stdin :: !lines
+               done
+             with End_of_file -> ());
+            List.rev !lines
+          end
+        in
+        let c = Serve.Client.connect_retry address in
+        let status = ref 0 in
+        List.iter
+          (fun line ->
+            match Serve.Json.of_string line with
+            | exception Serve.Json.Error m ->
+                Fmt.epr "request: bad JSON %S: %s@." line m;
+                exit 2
+            | j -> (
+                let resp = Serve.Client.request c j in
+                if raw then print_endline (Serve.Json.to_string resp)
+                else
+                  match Serve.Json.get_string "output" resp with
+                  | Some out ->
+                      (* transparent proxy of the CLI: same stdout, same
+                         stderr, same exit status as the offline command *)
+                      print_string out;
+                      Option.iter prerr_string
+                        (Serve.Json.get_string "err" resp);
+                      Option.iter
+                        (fun s -> if s <> 0 && !status = 0 then status := s)
+                        (Serve.Json.get_int "status" resp)
+                  | None -> print_endline (Serve.Json.to_string resp)))
+          reqs;
+        Serve.Client.close c;
+        flush stdout;
+        flush stderr;
+        if !status <> 0 then exit !status
+  in
+  let raw_t =
+    Arg.(value & flag & info [ "raw" ]
+           ~doc:"Print raw JSON response lines instead of unpacking \
+                 output/err/status.")
+  in
+  let reqs_t =
+    Arg.(value & pos_all string [] & info [] ~docv:"JSON"
+           ~doc:"Request objects, e.g. '{\"op\":\"sweep\",\"ranks\":8}'.  \
+                 With none given, requests are read from stdin, one per \
+                 line.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send requests to a running powerlim serve daemon and print \
+             the responses (by default exactly as the offline CLI would: \
+             response output to stdout, err to stderr, exit status \
+             propagated).")
+    Term.(const run $ socket_t $ port_t $ host_t $ raw_t $ reqs_t)
+
 let () =
   let doc = "Finding the limits of power-constrained application performance" in
   exit
@@ -589,5 +596,5 @@ let () =
           [
             bound_cmd; compare_cmd; sweep_cmd; energy_cmd; frontier_cmd;
             flow_cmd; trace_cmd; solve_trace_cmd; export_cmd; what_if_cmd;
-            gantt_cmd;
+            gantt_cmd; serve_cmd; request_cmd;
           ]))

@@ -63,5 +63,4 @@ let output ?times oc (g : Graph.t) =
   Printf.fprintf oc "}\n"
 
 let to_file ?times path g =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output ?times oc g)
+  Putil.Fileio.with_out path (fun oc -> output ?times oc g)

@@ -125,9 +125,7 @@ let write put (g : Graph.t) =
 
 let output oc g = write (output_string oc) g
 
-let to_file path g =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc g)
+let to_file path g = Putil.Fileio.with_out path (fun oc -> output oc g)
 
 let to_string g =
   let buf = Buffer.create 4096 in
@@ -137,6 +135,25 @@ let to_string g =
 exception Parse_error of int * string
 
 let parse_error line fmt = Fmt.kstr (fun s -> raise (Parse_error (line, s))) fmt
+
+(* Field-level parsers: raise [Failure] naming the record kind, field
+   and offending token (instead of the bare ["int_of_string"] the
+   stdlib converters give), which [of_lines] rethrows as [Parse_error]
+   with the line number. *)
+let int_field what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "bad integer for %s: %S" what s)
+
+let float_field what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "bad float for %s: %S" what s)
+
+let bool_field what s =
+  match bool_of_string_opt s with
+  | Some b -> b
+  | None -> failwith (Printf.sprintf "bad bool for %s: %S" what s)
 
 (** Parse a trace from a line sequence.  Raises {!Parse_error}. *)
 let of_lines (lines : string Seq.t) : Graph.t =
@@ -159,33 +176,34 @@ let of_lines (lines : string Seq.t) : Graph.t =
            caller always learns the offending line. *)
         try
           match String.split_on_char ' ' line with
-          | [ "ranks"; n ] -> nranks := int_of_string n
+          | [ "ranks"; n ] -> nranks := int_field "ranks count" n
           | "vertex" :: vid :: kind :: delay :: pcontrol :: ranks :: [] ->
               vertices :=
                 {
-                  Graph.vid = int_of_string vid;
+                  Graph.vid = int_field "vertex vid" vid;
                   kind = vkind_of_string kind;
-                  delay = float_of_string delay;
-                  pcontrol = bool_of_string pcontrol;
+                  delay = float_field "vertex delay" delay;
+                  pcontrol = bool_field "vertex pcontrol" pcontrol;
                   ranks =
-                    String.split_on_char ',' ranks |> List.map int_of_string;
+                    String.split_on_char ',' ranks
+                    |> List.map (int_field "vertex ranks");
                 }
                 :: !vertices
           | "task" :: tid :: rank :: src :: dst :: work :: serial :: cont
             :: mem :: iteration :: label :: [] ->
               tasks :=
                 {
-                  Graph.tid = int_of_string tid;
-                  rank = int_of_string rank;
-                  t_src = int_of_string src;
-                  t_dst = int_of_string dst;
+                  Graph.tid = int_field "task tid" tid;
+                  rank = int_field "task rank" rank;
+                  t_src = int_field "task src" src;
+                  t_dst = int_field "task dst" dst;
                   profile =
                     Machine.Profile.v
-                      ~serial_frac:(float_of_string serial)
-                      ~contention:(float_of_string cont)
-                      ~mem_bound:(float_of_string mem)
-                      (float_of_string work);
-                  iteration = int_of_string iteration;
+                      ~serial_frac:(float_field "task serial" serial)
+                      ~contention:(float_field "task contention" cont)
+                      ~mem_bound:(float_field "task mem" mem)
+                      (float_field "task work" work);
+                  iteration = int_field "task iteration" iteration;
                   label = decode_label label;
                 }
                 :: !tasks
@@ -193,12 +211,12 @@ let of_lines (lines : string Seq.t) : Graph.t =
             ->
               messages :=
                 {
-                  Graph.mid = int_of_string mid;
-                  m_src = int_of_string src;
-                  m_dst = int_of_string dst;
-                  src_rank = int_of_string src_rank;
-                  dst_rank = int_of_string dst_rank;
-                  bytes = int_of_string bytes;
+                  Graph.mid = int_field "message mid" mid;
+                  m_src = int_field "message src" src;
+                  m_dst = int_field "message dst" dst;
+                  src_rank = int_field "message src_rank" src_rank;
+                  dst_rank = int_field "message dst_rank" dst_rank;
+                  bytes = int_field "message bytes" bytes;
                 }
                 :: !messages
           | kw :: _ -> parse_error !lineno "unknown record %S" kw

@@ -37,7 +37,7 @@ let arm ~enabled src config =
 
 let write_json ~path ~(config : Common.config) ~cold_s ~cached_s
     ~(st : Putil.Cache.stats) ~max_diff =
-  let oc = open_out path in
+  Putil.Fileio.with_out path @@ fun oc ->
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
   pf "  \"schema\": \"powerlim-cachebench-v1\",\n";
@@ -53,8 +53,7 @@ let write_json ~path ~(config : Common.config) ~cold_s ~cached_s
   pf "  \"misses\": %d,\n" st.Putil.Cache.misses;
   pf "  \"evictions\": %d,\n" st.Putil.Cache.evictions;
   pf "  \"max_rel_objective_diff\": %.3e\n" max_diff;
-  pf "}\n";
-  close_out oc
+  pf "}\n"
 
 let run ?(config = Common.default_config) ppf =
   Common.header ppf "Pipeline cache benchmark (scenario -> prepare -> solve)";

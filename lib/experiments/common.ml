@@ -150,10 +150,7 @@ let run_point_prepared (s : setup) (pz : Core.Event_lp.prepared) ?warm ~cap ()
 
 (* Warm starts across the sweep are on by default; POWERLIM_WARM=0 turns
    them off (cold re-solves through the same prepared pipeline). *)
-let warm_default () =
-  match Sys.getenv_opt "POWERLIM_WARM" with
-  | Some ("0" | "false" | "off" | "no") -> false
-  | _ -> true
+let warm_default () = Putil.Env.flag "POWERLIM_WARM" ~default:true
 
 (* Each cap point is an independent solve+simulate job: [setup] (graph,
    scenario, frontiers) is immutable after construction, and every solver

@@ -167,9 +167,10 @@ let merge_section ~path section_lines =
         List.rev ((last ^ ",") :: rest)
     | _ -> lines
   in
-  let oc = open_out path in
-  List.iter (fun l -> output_string oc (l ^ "\n")) (lines @ section_lines @ [ "}" ]);
-  close_out oc
+  Putil.Fileio.with_out path (fun oc ->
+      List.iter
+        (fun l -> output_string oc (l ^ "\n"))
+        (lines @ section_lines @ [ "}" ]))
 
 let edits_section ~config ~cap cases =
   let b = Buffer.create 1024 in

@@ -142,7 +142,7 @@ let speedups cold other =
 
 let write_json ~path ~(config : Common.config) ~cap ~t_star ~deadlines ~cold
     ~warm ~switch ~reclaimed_pct =
-  let oc = open_out path in
+  Putil.Fileio.with_out path @@ fun oc ->
   let pf fmt = Printf.fprintf oc fmt in
   let side_json name (sd : side) =
     pf "  \"%s\": {\n" name;
@@ -178,8 +178,7 @@ let write_json ~path ~(config : Common.config) ~cap ~t_star ~deadlines ~cold
   pf "  \"max_rel_objective_diff_switch\": %.3e,\n"
     (max_rel_diff cold.objs switch.objs);
   pf "  \"reclaimed_joules_pct\": %.3f\n" reclaimed_pct;
-  pf "}\n";
-  close_out oc
+  pf "}\n"
 
 let run ?(config = Common.default_config) ppf =
   Common.header ppf "Energy-mode benchmark (deadline sweep, cold/warm/switch)";

@@ -264,7 +264,7 @@ let ladder_growth (ladder : rung list) =
   | _ -> None
 
 let write_json ~path ~(config : Common.config) ~caps ~ladder results =
-  let oc = open_out path in
+  Putil.Fileio.with_out path @@ fun oc ->
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
   pf "  \"schema\": \"powerlim-simplexbench-v2\",\n";
@@ -325,8 +325,7 @@ let write_json ~path ~(config : Common.config) ~caps ~ladder results =
     (match ladder_growth ladder with
     | None -> ""
     | Some g -> Printf.sprintf ",\n  \"ladder_cold_growth_1024_over_512\": %.3f" g);
-  pf "}\n";
-  close_out oc
+  pf "}\n"
 
 let run ?(config = Common.default_config) ppf =
   Common.header ppf "Simplex-kernel benchmark (hypersparse FTRAN/BTRAN + devex)";

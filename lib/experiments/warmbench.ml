@@ -95,7 +95,7 @@ let write_json ~path ~config ~caps ~sweep ~milp =
       wall_w, st_w =
     milp
   in
-  let oc = open_out path in
+  Putil.Fileio.with_out path @@ fun oc ->
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
   pf "  \"schema\": \"powerlim-warmbench-v1\",\n";
@@ -133,8 +133,7 @@ let write_json ~path ~config ~caps ~sweep ~milp =
     /. Float.max 1.0 (Float.of_int st_w.Lp.Stats.pivots));
   pf "    \"rel_objective_diff\": %.3e\n" (rel_diff obj_c obj_w);
   pf "  }\n";
-  pf "}\n";
-  close_out oc
+  pf "}\n"
 
 let run ?(config = Common.default_config) ppf =
   Common.header ppf "Warm-start benchmark (sweep re-solves + MILP nodes)";

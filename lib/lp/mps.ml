@@ -80,10 +80,7 @@ let to_string ?(name = "powerlim") (p : Model.problem) =
   Buffer.contents buf
 
 let to_file ?(name = "powerlim") path p =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> write (output_string oc) p ~name)
+  Putil.Fileio.with_out path (fun oc -> write (output_string oc) p ~name)
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)

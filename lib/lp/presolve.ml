@@ -47,10 +47,7 @@ let tol = 1e-9
    them only shifts exponents: the solution reported in original units
    is bit-for-bit the unscaling of the solved point, and RHS deltas
    patched through [solve_reduction] distribute exactly. *)
-let scale_enabled () =
-  match Sys.getenv_opt "POWERLIM_SCALE" with
-  | Some ("0" | "false" | "off" | "no") -> false
-  | Some _ | None -> true
+let scale_enabled () = Putil.Env.flag "POWERLIM_SCALE" ~default:true
 
 (* Alternate row and column passes on the log2 magnitudes until every
    rounded geometric mean is 2^0 (or the pass budget runs out); each

@@ -59,44 +59,34 @@ let inf = Float.infinity
 exception Warm_fallback
 
 (* Runtime knobs, read once per solve so tests can flip them between
-   calls.  Flags follow the repo convention: "0"/"false"/"off"/"no"
-   disable, anything else enables. *)
-let env_flag name default =
-  match Sys.getenv_opt name with
-  | Some ("0" | "false" | "off" | "no") -> false
-  | Some _ -> true
-  | None -> default
+   calls.  All parsing/validation lives in [Putil.Env]: a malformed or
+   out-of-range value warns once on stderr and falls back to the
+   default. *)
 
 (* Devex candidate-list pricing (POWERLIM_DEVEX=0 restores the classic
    Dantzig loop bit for bit). *)
-let devex_enabled () = env_flag "POWERLIM_DEVEX" true
+let devex_enabled () = Putil.Env.flag "POWERLIM_DEVEX" ~default:true
 
 (* Hypersparse FTRAN/BTRAN (POWERLIM_HYPERSPARSE=0 forces the dense
    kernels; simplexbench uses it to measure the pre-change baseline). *)
-let hypersparse_enabled () = env_flag "POWERLIM_HYPERSPARSE" true
+let hypersparse_enabled () = Putil.Env.flag "POWERLIM_HYPERSPARSE" ~default:true
 
 (* Eta-file length that triggers refactorization (POWERLIM_ETA_LIMIT,
    default 64).  Only governs the legacy product-form path; in
    Forrest–Tomlin mode it survives as a deprecated alias for the
    update-count cap (see [ft_update_cap]). *)
-let eta_limit () =
-  match Sys.getenv_opt "POWERLIM_ETA_LIMIT" with
-  | Some s -> (
-      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 64)
-  | None -> 64
+let eta_limit () = Putil.Env.int ~lo:1 "POWERLIM_ETA_LIMIT" ~default:64
 
 (* Forrest–Tomlin row-eta basis updates (POWERLIM_FT=0 restores the
    product-form column-eta file). *)
-let ft_enabled () = env_flag "POWERLIM_FT" true
+let ft_enabled () = Putil.Env.flag "POWERLIM_FT" ~default:true
 
 (* Fill ratio — (L + dynamic U + row etas) / nonzeros at factorization —
    that triggers refactorization in Forrest–Tomlin mode
-   (POWERLIM_REFACTOR, default 2.0). *)
+   (POWERLIM_REFACTOR, default 2.0; must exceed 1.0, the fill ratio of
+   a fresh factorization). *)
 let refactor_limit () =
-  match Sys.getenv_opt "POWERLIM_REFACTOR" with
-  | Some s -> (
-      match float_of_string_opt s with Some f when f > 1.0 -> f | _ -> 3.0)
-  | None -> 3.0
+  Putil.Env.float ~lo_exclusive:1.0 "POWERLIM_REFACTOR" ~default:2.0
 
 (* Absolute update-count backstop between refactorizations in FT mode:
    the fill ratio is the primary trigger, the cap bounds numerical
@@ -106,23 +96,21 @@ let refactor_limit () =
 let eta_limit_warned = ref false
 
 let ft_update_cap ~refac_lim =
-  match Sys.getenv_opt "POWERLIM_ETA_LIMIT" with
-  | Some s ->
-      let n =
-        match int_of_string_opt s with Some n when n > 0 -> n | _ -> 256
-      in
-      if not !eta_limit_warned then begin
-        eta_limit_warned := true;
-        Printf.eprintf
-          "powerlim: POWERLIM_ETA_LIMIT is deprecated with Forrest-Tomlin \
-           updates; treating it as the update-count cap (%d).  \
-           Refactorization is primarily triggered by POWERLIM_REFACTOR \
-           (fill ratio, currently %g).\n\
-           %!"
-          n refac_lim
-      end;
-      n
-  | None -> 256
+  if Putil.Env.explicit "POWERLIM_ETA_LIMIT" then begin
+    let n = Putil.Env.int ~lo:1 "POWERLIM_ETA_LIMIT" ~default:256 in
+    if not !eta_limit_warned then begin
+      eta_limit_warned := true;
+      Printf.eprintf
+        "powerlim: POWERLIM_ETA_LIMIT is deprecated with Forrest-Tomlin \
+         updates; treating it as the update-count cap (%d).  \
+         Refactorization is primarily triggered by POWERLIM_REFACTOR \
+         (fill ratio, currently %g).\n\
+         %!"
+        n refac_lim
+    end;
+    n
+  end
+  else 256
 
 (* Below this row count the reachability probes, support bookkeeping
    and devex candidate machinery cost more than the dense classic loop
@@ -132,10 +120,7 @@ let ft_update_cap ~refac_lim =
    POWERLIM_HYPERSPARSE / POWERLIM_DEVEX still win, so kernel tests and
    the benchmark baselines keep their meaning on small instances. *)
 let small_lp_threshold () =
-  match Sys.getenv_opt "POWERLIM_SMALL_LP" with
-  | Some s -> (
-      match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 160)
-  | None -> 160
+  Putil.Env.int ~lo:0 "POWERLIM_SMALL_LP" ~default:160
 
 type analysis = { arows : Sparse.Csc.rows }
 (** Symbolic analysis of a problem's constraint matrix, reusable across
@@ -176,18 +161,16 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
   let refac_lim = refactor_limit () in
   let ft_cap = if ftmode then ft_update_cap ~refac_lim else max_int in
   let small = m > 0 && m <= small_lp_threshold () in
-  (* An empty value counts as unset: [Unix.putenv] cannot remove a
-     variable, so in-process benchmarks set "" to hand the choice back
-     to the auto mode. *)
-  let env_explicit k =
-    match Sys.getenv_opt k with None | Some "" -> false | Some _ -> true
-  in
+  (* [Putil.Env.explicit] treats an empty value as unset: [Unix.putenv]
+     cannot remove a variable, so in-process benchmarks set "" to hand
+     the choice back to the auto mode. *)
   let hyper =
-    if env_explicit "POWERLIM_HYPERSPARSE" then hypersparse_enabled ()
+    if Putil.Env.explicit "POWERLIM_HYPERSPARSE" then hypersparse_enabled ()
     else not small
   in
   let devex =
-    if env_explicit "POWERLIM_DEVEX" then devex_enabled () else not small
+    if Putil.Env.explicit "POWERLIM_DEVEX" then devex_enabled ()
+    else not small
   in
   let lb_s = match lb with Some a -> a | None -> p.lb in
   let ub_s = match ub with Some a -> a | None -> p.ub in
@@ -875,13 +858,12 @@ let solve_impl ?(max_iter = 0) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7) ?lb ?ub
               (List.length f.Lu.replaced);
             (match Sys.getenv_opt "LP_DUMP_BASIS" with
             | Some path when not (Sys.file_exists path) ->
-                let oc = open_out path in
-                Printf.fprintf oc "%d\n" m;
-                for k = 0 to m - 1 do
-                  col_iter basis.(k) (fun i v ->
-                      Printf.fprintf oc "%d %d %.17g\n" i k v)
-                done;
-                close_out oc
+                Putil.Fileio.with_out path (fun oc ->
+                    Printf.fprintf oc "%d\n" m;
+                    for k = 0 to m - 1 do
+                      col_iter basis.(k) (fun i v ->
+                          Printf.fprintf oc "%d %d %.17g\n" i k v)
+                    done)
             | _ -> ())
           end;
           Array.blit saved 0 x_basic 0 m

@@ -65,6 +65,12 @@ type analysis
 
 val make_analysis : Model.problem -> analysis
 
+val refactor_limit : unit -> float
+(** Effective Forrest–Tomlin refactorization fill-ratio trigger:
+    [POWERLIM_REFACTOR] when set to a finite value [> 1.0], else the
+    default [2.0].  Exposed so tests can pin the documented default
+    against the code. *)
+
 val solve :
   ?max_iter:int ->
   ?feas_tol:float ->

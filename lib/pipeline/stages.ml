@@ -21,6 +21,22 @@ let source_key = function
 let graph_cache : Dag.Graph.t Putil.Cache.t =
   Putil.Cache.create ~capacity:32 ~name:"graph" ()
 
+(* Graphs round-trip exactly through the textual trace format (%.17g
+   floats), so the disk tier serves byte-equal artifacts.  Scenarios and
+   prepared LPs hold closures and solver state and stay memory-only. *)
+let attach_store store =
+  Putil.Cache.set_tier graph_cache
+    ~spill:(fun key g -> Putil.Disk_store.put store key (Dag.Trace_io.to_string g))
+    ~revive:(fun key ->
+      match Putil.Disk_store.get store key with
+      | None -> None
+      | Some s -> (
+          (* the store already digest-checks payloads; a parse failure
+             here means a schema change, which must read as a miss *)
+          try Some (Dag.Trace_io.of_string s)
+          with Dag.Trace_io.Parse_error _ | Failure _ -> None))
+    ()
+
 (* Span around an actual stage build (cache hits record nothing: the
    interesting wall time is the construction, and a hit costs nothing
    worth charting). *)

@@ -34,6 +34,14 @@ val graph : source -> Dag.Graph.t
 (** Graph-build stage: generate / parse / pass through the source's
     graph.  [Synthetic] and [Trace_file] builds are cached. *)
 
+val attach_store : Putil.Disk_store.t -> unit
+(** Connect the graph-build cache to a persistent tier: evicted graphs
+    spill to [store] (serialized through {!Dag.Trace_io}, an exact
+    round-trip) and misses consult it before rebuilding, so a restarted
+    process reuses graphs an earlier one computed.  Scenario and
+    prepared-LP artifacts hold closures and stay memory-only.  Calling
+    again replaces the tier. *)
+
 val scenario_key : ?socket_seed:int -> ?variability:float -> source -> Key.t
 (** Key of the scenario-assembly stage: {!source_key} plus the socket
     fleet's seed and variability (defaults as {!Core.Scenario.make}). *)

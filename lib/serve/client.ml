@@ -1,0 +1,70 @@
+(** Minimal blocking client for the serve protocol: connect, send
+    request lines, collect responses by id.  Used by the [powerlim
+    request] subcommand, the benchmark harness and the tests. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect (addr : Daemon.address) =
+  let fd, sockaddr =
+    match addr with
+    | Daemon.Unix_socket path ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Daemon.Tcp (host, port) ->
+        let inet =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback
+        in
+        (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, Unix.ADDR_INET (inet, port))
+  in
+  Unix.connect fd sockaddr;
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+(* Retry briefly: the daemon may still be binding when a launcher
+   connects right after forking it. *)
+let rec connect_retry ?(attempts = 50) addr =
+  match connect addr with
+  | c -> c
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when attempts > 1 ->
+      Unix.sleepf 0.1;
+      connect_retry ~attempts:(attempts - 1) addr
+
+let send_line c line =
+  output_string c.oc line;
+  if not (String.length line > 0 && line.[String.length line - 1] = '\n') then
+    output_char c.oc '\n';
+  flush c.oc
+
+let recv c =
+  match input_line c.ic with
+  | line -> Some (Json.of_string line)
+  | exception End_of_file -> None
+
+(* Send one request object (an [id] is added when missing) and wait for
+   the response with that id, buffering none: responses to other ids
+   raise, so use one [request] at a time per connection or match ids
+   yourself with [send_line]/[recv]. *)
+let counter = Atomic.make 0
+
+let request c j =
+  let id, j =
+    match Json.get_int "id" j with
+    | Some id -> (id, j)
+    | None ->
+        let id = Atomic.fetch_and_add counter 1 in
+        let fields =
+          match j with Putil.Obs.Assoc kvs -> kvs | _ -> raise (Json.Error "request must be an object")
+        in
+        (id, Putil.Obs.Assoc (("id", Putil.Obs.Int id) :: fields))
+  in
+  send_line c (Json.to_string j);
+  let await () =
+    match recv c with
+    | None -> raise (Json.Error "connection closed before response")
+    | Some resp ->
+        if Json.get_int "id" resp = Some id then resp
+        else raise (Json.Error "out-of-order response (one request at a time)")
+  in
+  await ()
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,25 @@
+(** Minimal blocking client for the serve protocol. *)
+
+type t
+
+val connect : Daemon.address -> t
+(** Raises [Unix.Unix_error] when nothing listens there. *)
+
+val connect_retry : ?attempts:int -> Daemon.address -> t
+(** {!connect}, retrying every 100 ms (default 50 attempts ~ 5 s) while
+    the socket does not exist yet or refuses — for clients racing a
+    freshly forked daemon. *)
+
+val send_line : t -> string -> unit
+(** Send one raw request line (a newline is appended if missing). *)
+
+val recv : t -> Putil.Obs.json option
+(** Read and parse the next response line; [None] at end of stream.
+    Raises {!Json.Error} on an unparseable response. *)
+
+val request : t -> Putil.Obs.json -> Putil.Obs.json
+(** Send one request object (adding a fresh [id] when absent) and block
+    for its response.  One outstanding request per connection; pipeline
+    manually with {!send_line}/{!recv} if you need more. *)
+
+val close : t -> unit

@@ -1,0 +1,44 @@
+(** Shared command bodies behind the CLI and the daemon.
+
+    Each handler renders into buffers and returns the exact stdout and
+    stderr bytes plus the exit status of the corresponding [powerlim]
+    subcommand — the CLI prints the strings and the daemon ships them
+    over the wire, so served responses are byte-identical to offline
+    runs by construction. *)
+
+type outcome = { out : string; err : string; status : int }
+
+val sweep : ranks:int -> iters:int -> seed:int -> unit -> outcome
+(** [powerlim sweep]: the full Static/Conductor/LP power sweep
+    (figures 9-10 plus summary). *)
+
+val energy :
+  app:Workloads.Apps.app ->
+  ranks:int ->
+  iters:int ->
+  seed:int ->
+  cap:float ->
+  deadline:float option ->
+  unit ->
+  outcome
+(** [powerlim energy]: minimize energy under one deadline ([Some d],
+    status 1 when the replay busts the cap) or sweep deadlines at
+    multiples of T* ([None]). *)
+
+val what_if :
+  app:Workloads.Apps.app ->
+  ranks:int ->
+  iters:int ->
+  seed:int ->
+  cap:float ->
+  edits:Core.Event_lp.domain_edit list ->
+  unit ->
+  outcome
+(** [powerlim what-if]: incremental structural re-solve under domain
+    edits (status 2 when [edits] is empty, matching the CLI). *)
+
+val pp_cap_violation :
+  Format.formatter -> Core.Replay.validation -> job_cap:float -> unit
+(** Diagnostic for a replay that exceeds the cap: earliest sustained
+    (>= 1 ms) violating interval, or the max sustained power.  Also
+    used by the [bound] subcommand. *)

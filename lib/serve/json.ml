@@ -1,0 +1,255 @@
+(** Minimal JSON reader for the serve wire protocol.
+
+    Parses into {!Putil.Obs.json} — the same value type the emitter in
+    {!Putil.Obs} renders — so a request can be parsed, inspected and
+    echoed without a second representation.  Covers full JSON: objects,
+    arrays, strings with escapes (including [\uXXXX], folded to bytes
+    as Latin-1 to mirror the emitter's escaping of raw bytes), numbers
+    (integers without exponent/fraction parse as [Int], everything else
+    as [Float]), [true]/[false]/[null].
+
+    No dependency beyond the stdlib: the container deliberately ships
+    no JSON package, and the protocol needs only this subset. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error "expected %C at offset %d, found %C" c st.pos c'
+  | None -> error "expected %C at offset %d, found end of input" c st.pos
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error "bad literal at offset %d" st.pos
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error "bad hex digit %C" c
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | None -> error "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  error "truncated \\u escape";
+                let v =
+                  (hex_digit st.src.[st.pos] * 4096)
+                  + (hex_digit st.src.[st.pos + 1] * 256)
+                  + (hex_digit st.src.[st.pos + 2] * 16)
+                  + hex_digit st.src.[st.pos + 3]
+                in
+                st.pos <- st.pos + 4;
+                (* code points <= 0xff fold to single bytes — the exact
+                   inverse of the emitter's Latin-1 \u escaping; higher
+                   planes encode as UTF-8 *)
+                if v <= 0xff then Buffer.add_char buf (Char.chr v)
+                else if v <= 0x7ff then begin
+                  Buffer.add_char buf (Char.chr (0xc0 lor (v lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xe0 lor (v lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((v lsr 6) land 0x3f)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+                end
+            | c -> error "bad escape \\%C" c));
+        loop ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let n = String.length st.src in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  while
+    st.pos < n
+    &&
+    match st.src.[st.pos] with
+    | '0' .. '9' -> true
+    | '.' | 'e' | 'E' | '+' | '-' ->
+        is_float := true;
+        true
+    | _ -> false
+  do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if s = "" || s = "-" then error "bad number at offset %d" start;
+  let float_or_fail s =
+    match float_of_string_opt s with
+    | Some f -> Putil.Obs.Float f
+    | None -> error "bad number %S at offset %d" s start
+  in
+  if !is_float then float_or_fail s
+  else
+    match int_of_string_opt s with
+    | Some i -> Putil.Obs.Int i
+    | None -> float_or_fail s
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error "empty input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Putil.Obs.Assoc []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (k, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ()
+          | Some '}' -> advance st
+          | _ -> error "expected ',' or '}' at offset %d" st.pos
+        in
+        members ();
+        Putil.Obs.Assoc (List.rev !fields)
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Putil.Obs.List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements ()
+          | Some ']' -> advance st
+          | _ -> error "expected ',' or ']' at offset %d" st.pos
+        in
+        elements ();
+        Putil.Obs.List (List.rev !items)
+      end
+  | Some '"' -> Putil.Obs.String (parse_string st)
+  | Some 't' -> literal st "true" (Putil.Obs.Bool true)
+  | Some 'f' -> literal st "false" (Putil.Obs.Bool false)
+  | Some 'n' -> literal st "null" Putil.Obs.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error "unexpected %C at offset %d" c st.pos
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then
+    error "trailing garbage at offset %d" st.pos;
+  v
+
+let to_string = Putil.Obs.json_to_string
+
+(* ---- typed accessors (raise {!Error} with the field name) --------- *)
+
+let member name = function
+  | Putil.Obs.Assoc kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let get_int name j =
+  match member name j with
+  | Some (Putil.Obs.Int i) -> Some i
+  | Some (Putil.Obs.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | Some _ -> error "field %S must be an integer" name
+  | None -> None
+
+let get_float name j =
+  match member name j with
+  | Some (Putil.Obs.Float f) -> Some f
+  | Some (Putil.Obs.Int i) -> Some (float_of_int i)
+  | Some _ -> error "field %S must be a number" name
+  | None -> None
+
+let get_string name j =
+  match member name j with
+  | Some (Putil.Obs.String s) -> Some s
+  | Some _ -> error "field %S must be a string" name
+  | None -> None
+
+let get_int_list name j =
+  match member name j with
+  | Some (Putil.Obs.List items) ->
+      List.map
+        (function
+          | Putil.Obs.Int i -> i
+          | _ -> error "field %S must be a list of integers" name)
+        items
+  | Some _ -> error "field %S must be a list of integers" name
+  | None -> []
+
+let get_list name j =
+  match member name j with
+  | Some (Putil.Obs.List items) -> items
+  | Some _ -> error "field %S must be a list" name
+  | None -> []

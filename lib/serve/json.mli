@@ -1,0 +1,25 @@
+(** Minimal JSON reader/writer for the serve wire protocol, built on
+    {!Putil.Obs.json} (one value type for parsing and emission; the
+    emitter is ASCII-safe, so responses survive any byte string). *)
+
+exception Error of string
+
+val of_string : string -> Putil.Obs.json
+(** Parse one complete JSON document.  Raises {!Error} on malformed
+    input or trailing garbage. *)
+
+val to_string : Putil.Obs.json -> string
+
+(** {2 Typed field accessors}
+
+    [get_* name j] reads field [name] of object [j]: [None] when the
+    field is absent (or [j] is not an object), raises {!Error} naming
+    the field when it is present with the wrong type.  List accessors
+    return [[]] for an absent field. *)
+
+val member : string -> Putil.Obs.json -> Putil.Obs.json option
+val get_int : string -> Putil.Obs.json -> int option
+val get_float : string -> Putil.Obs.json -> float option
+val get_string : string -> Putil.Obs.json -> string option
+val get_int_list : string -> Putil.Obs.json -> int list
+val get_list : string -> Putil.Obs.json -> Putil.Obs.json list

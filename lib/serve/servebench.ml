@@ -1,0 +1,289 @@
+(** Serve-path benchmark: cold vs warm request latency through a live
+    daemon, byte-identity of served responses against the offline
+    renderers, and disk-tier warmth across a daemon restart.  Writes
+    BENCH_serve.json and hard-gates the invariants. *)
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> Float.nan
+  | sorted ->
+      let n = List.length sorted in
+      let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+      (a +. b) /. 2.0
+
+let warm_rounds = 5
+
+type probe = {
+  p_name : string;
+  p_request : Putil.Obs.json;  (** without id; the client adds one *)
+  p_offline : unit -> Handlers.outcome;
+}
+
+let probes (config : Experiments.Common.config) =
+  let ranks = config.Experiments.Common.nranks in
+  let iters = config.Experiments.Common.iterations in
+  let seed = config.Experiments.Common.seed in
+  let app = Workloads.Apps.CoMD in
+  let cap = 40.0 in
+  let base =
+    [
+      ("ranks", Putil.Obs.Int ranks);
+      ("iters", Putil.Obs.Int iters);
+      ("seed", Putil.Obs.Int seed);
+    ]
+  in
+  [
+    {
+      p_name = "sweep";
+      p_request = Putil.Obs.Assoc (("op", Putil.Obs.String "sweep") :: base);
+      p_offline = (fun () -> Handlers.sweep ~ranks ~iters ~seed ());
+    };
+    {
+      p_name = "energy";
+      p_request =
+        Putil.Obs.Assoc
+          (("op", Putil.Obs.String "energy")
+          :: ("app", Putil.Obs.String "comd")
+          :: ("cap", Putil.Obs.Float cap)
+          :: ("deadline", Putil.Obs.Float 10.0)
+          :: base);
+      p_offline =
+        (fun () ->
+          Handlers.energy ~app ~ranks ~iters ~seed ~cap ~deadline:(Some 10.0)
+            ());
+    };
+    {
+      p_name = "what-if";
+      p_request =
+        Putil.Obs.Assoc
+          (("op", Putil.Obs.String "what-if")
+          :: ("app", Putil.Obs.String "comd")
+          :: ("cap", Putil.Obs.Float cap)
+          :: ("drop_ranks", Putil.Obs.List [ Putil.Obs.Int (ranks - 1) ])
+          :: base);
+      p_offline =
+        (fun () ->
+          Handlers.what_if ~app ~ranks ~iters ~seed ~cap
+            ~edits:[ Core.Event_lp.Drop_rank (ranks - 1) ]
+            ());
+    };
+  ]
+
+type sample = { output : string; status : int; cached : string; wall_ms : float }
+
+let ask client (p : probe) =
+  let t0 = Unix.gettimeofday () in
+  let resp = Client.request client p.p_request in
+  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  if Json.member "ok" resp <> Some (Putil.Obs.Bool true) then
+    failwith
+      (Printf.sprintf "servebench: request %s failed: %s" p.p_name
+         (Json.to_string resp));
+  {
+    output = Option.value ~default:"" (Json.get_string "output" resp);
+    status = Option.value ~default:(-1) (Json.get_int "status" resp);
+    cached = Option.value ~default:"?" (Json.get_string "cached" resp);
+    wall_ms;
+  }
+
+let mkdtemp prefix =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o700;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let write_json ~path ~(config : Experiments.Common.config) ~results
+    ~(ratios : (string * float) list) ~daemon1_stats ~daemon2_stats
+    ~identical ~restart_disk_hits =
+  Putil.Fileio.with_out path @@ fun oc ->
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"powerlim-servebench-v1\",\n";
+  pf "  \"ranks\": %d,\n" config.Experiments.Common.nranks;
+  pf "  \"iterations\": %d,\n" config.Experiments.Common.iterations;
+  pf "  \"warm_rounds\": %d,\n" warm_rounds;
+  pf "  \"requests\": [\n";
+  List.iteri
+    (fun i (name, (cold : sample), warm_ms, (disk : sample option)) ->
+      pf "    {\n";
+      pf "      \"op\": %S,\n" name;
+      pf "      \"cold_ms\": %.3f,\n" cold.wall_ms;
+      pf "      \"warm_median_ms\": %.3f,\n" warm_ms;
+      pf "      \"speedup\": %.1f,\n" (cold.wall_ms /. Float.max 1e-6 warm_ms);
+      pf "      \"restart_cached\": %s\n"
+        (match disk with Some d -> Printf.sprintf "%S" d.cached | None -> "null");
+      pf "    }%s\n" (if i < List.length results - 1 then "," else ""))
+    results;
+  pf "  ],\n";
+  let emit_stats name = function
+    | None -> pf "  \"%s\": null,\n" name
+    | Some (mem, disk, computed) ->
+        pf "  \"%s\": { \"mem_hits\": %d, \"disk_hits\": %d, \"computed\": %d },\n"
+          name mem disk computed
+  in
+  emit_stats "cold_warm_hit_rates" daemon1_stats;
+  emit_stats "restart_hit_rates" daemon2_stats;
+  pf "  \"median_speedup\": %.1f,\n" (median (List.map snd ratios));
+  pf "  \"restart_disk_hits\": %d,\n" restart_disk_hits;
+  pf "  \"byte_identical\": %b\n" identical;
+  pf "}\n"
+
+let hit_rates_of_stats resp =
+  match Json.member "stats" resp with
+  | Some stats ->
+      Some
+        ( Option.value ~default:0 (Json.get_int "mem_hits" stats),
+          Option.value ~default:0 (Json.get_int "disk_hits" stats),
+          Option.value ~default:0 (Json.get_int "computed" stats) )
+  | None -> None
+
+let run ?(config = Experiments.Common.default_config) ppf =
+  Experiments.Common.header ppf
+    "Serve benchmark (daemon latency, cache tiers, restart warmth)";
+  let was_enabled = Putil.Cache.enabled () in
+  Putil.Cache.set_enabled true;
+  let workdir = mkdtemp "powerlim-servebench" in
+  let store_root = Filename.concat workdir "store" in
+  let addr = Daemon.Unix_socket (Filename.concat workdir "serve.sock") in
+  let cfg =
+    { (Daemon.default_config addr) with Daemon.store_root = Some store_root }
+  in
+  let ps = probes config in
+  (* offline references first: rendered by the very functions the CLI
+     prints, on cold pipeline caches *)
+  Putil.Cache.clear_all ();
+  let offline = List.map (fun p -> (p.p_name, p.p_offline ())) ps in
+  (* --- daemon 1: cold then warm ------------------------------------- *)
+  Putil.Cache.clear_all ();
+  let d1 = Daemon.start cfg in
+  let c1 = Client.connect_retry (Daemon.address d1) in
+  let cold = List.map (fun p -> (p, ask c1 p)) ps in
+  let warm =
+    List.map
+      (fun p ->
+        let samples = List.init warm_rounds (fun _ -> ask c1 p) in
+        (p, samples))
+      ps
+  in
+  let stats1 =
+    hit_rates_of_stats
+      (Client.request c1 (Putil.Obs.Assoc [ ("op", Putil.Obs.String "stats") ]))
+  in
+  ignore
+    (Client.request c1 (Putil.Obs.Assoc [ ("op", Putil.Obs.String "shutdown") ]));
+  Client.close c1;
+  Daemon.wait d1;
+  (* --- daemon 2: same store, fresh memory --------------------------- *)
+  Putil.Cache.clear_all ();
+  let d2 = Daemon.start cfg in
+  let c2 = Client.connect_retry (Daemon.address d2) in
+  let restart = List.map (fun p -> (p.p_name, ask c2 p)) ps in
+  let stats2 =
+    hit_rates_of_stats
+      (Client.request c2 (Putil.Obs.Assoc [ ("op", Putil.Obs.String "stats") ]))
+  in
+  ignore
+    (Client.request c2 (Putil.Obs.Assoc [ ("op", Putil.Obs.String "shutdown") ]));
+  Client.close c2;
+  Daemon.wait d2;
+  Putil.Cache.set_enabled was_enabled;
+  Putil.Cache.clear_all ();
+  (* --- checks -------------------------------------------------------- *)
+  let identical = ref true in
+  List.iter
+    (fun (p, (s : sample)) ->
+      let o = List.assoc p.p_name offline in
+      if s.output <> o.Handlers.out || s.status <> o.Handlers.status then begin
+        identical := false;
+        Fmt.epr "servebench: served %s differs from offline (%d vs %d bytes)@."
+          p.p_name
+          (String.length s.output)
+          (String.length o.Handlers.out)
+      end)
+    cold;
+  List.iter
+    (fun (p, samples) ->
+      let o = List.assoc p.p_name offline in
+      List.iter
+        (fun (s : sample) ->
+          if s.output <> o.Handlers.out then begin
+            identical := false;
+            Fmt.epr "servebench: warm %s differs from offline@." p.p_name
+          end)
+        samples)
+    warm;
+  List.iter
+    (fun (name, (s : sample)) ->
+      let o = List.assoc name offline in
+      if s.output <> o.Handlers.out then begin
+        identical := false;
+        Fmt.epr "servebench: post-restart %s differs from offline@." name
+      end)
+    restart;
+  let restart_disk_hits =
+    List.length (List.filter (fun (_, s) -> s.cached = "disk") restart)
+  in
+  let ratios =
+    List.map2
+      (fun (p, (c : sample)) (_, samples) ->
+        let w = median (List.map (fun s -> s.wall_ms) samples) in
+        (p.p_name, c.wall_ms /. Float.max 1e-6 w))
+      cold warm
+  in
+  let results =
+    List.map2
+      (fun ((p : probe), c) (_, samples) ->
+        let w = median (List.map (fun (s : sample) -> s.wall_ms) samples) in
+        (p.p_name, c, w, List.assoc_opt p.p_name restart))
+      cold warm
+  in
+  (* --- report -------------------------------------------------------- *)
+  List.iter
+    (fun (name, (c : sample), w, (disk : sample option)) ->
+      Fmt.pf ppf "  %-8s cold %8.1f ms  warm %7.2f ms  (%.0fx)  restart: %s@."
+        name c.wall_ms w
+        (c.wall_ms /. Float.max 1e-6 w)
+        (match disk with Some d -> d.cached | None -> "-"))
+    results;
+  (match stats1 with
+  | Some (mem, disk, computed) ->
+      Fmt.pf ppf "  daemon 1: %d mem hits, %d disk hits, %d computed@." mem
+        disk computed
+  | None -> ());
+  (match stats2 with
+  | Some (mem, disk, computed) ->
+      Fmt.pf ppf "  daemon 2: %d mem hits, %d disk hits, %d computed@." mem
+        disk computed
+  | None -> ());
+  let med = median (List.map snd ratios) in
+  Fmt.pf ppf "  median repeated-request speedup: %.1fx; byte-identical: %b@."
+    med !identical;
+  let path = "BENCH_serve.json" in
+  write_json ~path ~config ~results ~ratios ~daemon1_stats:stats1
+    ~daemon2_stats:stats2 ~identical:!identical ~restart_disk_hits;
+  Fmt.pf ppf "wrote %s@." path;
+  rm_rf workdir;
+  (* hard gates *)
+  if not !identical then begin
+    Fmt.epr "servebench: served responses diverged from offline renderers@.";
+    exit 1
+  end;
+  if med < 2.0 then begin
+    Fmt.epr "servebench: repeated-request median speedup %.2fx < 2x@." med;
+    exit 1
+  end;
+  if restart_disk_hits = 0 then begin
+    Fmt.epr "servebench: no request hit the disk tier after restart@.";
+    exit 1
+  end

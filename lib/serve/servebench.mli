@@ -1,0 +1,12 @@
+(** Serve-path benchmark: cold vs warm request latency through a live
+    in-process daemon, byte-identity of served responses against the
+    offline renderers, and disk-tier warmth across a daemon restart.
+
+    Writes [BENCH_serve.json] with per-request latencies, per-daemon
+    hit rates and the gated invariants, then hard-gates (exit 1):
+    served output must equal offline output byte for byte, repeated
+    requests must be at least 2x faster than cold ones (median), and a
+    restarted daemon must answer at least one request from the disk
+    tier. *)
+
+val run : ?config:Experiments.Common.config -> Format.formatter -> unit

@@ -75,13 +75,7 @@ let records_to_string g r =
   Buffer.contents buf
 
 let trace_to_file path r =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> write_trace (output_string oc) r)
+  Putil.Fileio.with_out path (fun oc -> write_trace (output_string oc) r)
 
 let records_to_file path g r =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> write_records (output_string oc) g r)
+  Putil.Fileio.with_out path (fun oc -> write_records (output_string oc) g r)

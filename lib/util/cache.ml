@@ -1,11 +1,9 @@
 type stats = { hits : int; misses : int; evictions : int }
 
 (* POWERLIM_CACHE=0 disables caching process-wide (same spelling rules as
-   POWERLIM_WARM and POWERLIM_JOBS). *)
-let env_default () =
-  match Sys.getenv_opt "POWERLIM_CACHE" with
-  | Some ("0" | "false" | "off" | "no") -> false
-  | _ -> true
+   POWERLIM_WARM and POWERLIM_JOBS); a malformed value is rejected with
+   a once-per-process warning (see Env). *)
+let env_default () = Env.flag "POWERLIM_CACHE" ~default:true
 
 let enabled_flag = Atomic.make (env_default ())
 let enabled () = Atomic.get enabled_flag
@@ -21,6 +19,10 @@ type 'a t = {
   table : (string, 'a entry) Hashtbl.t;
   inflight : (string, unit) Hashtbl.t;
   mutable tick : int;  (** LRU clock, monotone under [mutex] *)
+  mutable spill : (string -> 'a -> unit) option;
+      (** next-tier write-back, called on eviction (outside [mutex]) *)
+  mutable revive : (string -> 'a option) option;
+      (** next-tier lookup, consulted on a miss before building *)
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
@@ -61,7 +63,7 @@ let clear t =
   Hashtbl.reset t.table;
   Mutex.unlock t.mutex
 
-let create ?(capacity = 64) ~name () =
+let create ?(capacity = 64) ?spill ?revive ~name () =
   let t =
     {
       name;
@@ -71,6 +73,8 @@ let create ?(capacity = 64) ~name () =
       table = Hashtbl.create 64;
       inflight = Hashtbl.create 8;
       tick = 0;
+      spill;
+      revive;
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       evictions = Atomic.make 0;
@@ -88,26 +92,46 @@ let create ?(capacity = 64) ~name () =
   Mutex.unlock registry_mutex;
   t
 
+let set_tier t ?spill ?revive () =
+  Mutex.lock t.mutex;
+  t.spill <- spill;
+  t.revive <- revive;
+  Mutex.unlock t.mutex
+
 (* Evict least-recently-used entries down to capacity.  O(n) scans, but
-   n <= capacity and eviction is rare relative to the work cached. *)
+   n <= capacity and eviction is rare relative to the work cached.
+   Under [mutex]; returns the evicted pairs so the caller can spill
+   them to the next tier after releasing the lock. *)
 let evict_locked t =
+  let victims = ref [] in
   while Hashtbl.length t.table > t.capacity do
     let victim = ref None in
     Hashtbl.iter
       (fun k e ->
         match !victim with
         | Some (_, age) when age <= e.last_use -> ()
-        | _ -> victim := Some (k, e.last_use))
+        | _ -> victim := Some ((k, e), e.last_use))
       t.table;
     match !victim with
-    | Some (k, _) ->
+    | Some ((k, e), _) ->
         Hashtbl.remove t.table k;
-        Atomic.incr t.evictions
+        Atomic.incr t.evictions;
+        victims := (k, e.value) :: !victims
     | None -> ()
-  done
+  done;
+  !victims
 
-let find_or_build t key build =
-  if not (enabled ()) then build ()
+(* Tier hooks are best-effort: a disk tier that cannot write (full or
+   removed directory) must degrade to "no disk tier", never fail the
+   solve that triggered the eviction. *)
+let spill_victims t victims =
+  match t.spill with
+  | None -> ()
+  | Some spill ->
+      List.iter (fun (k, v) -> try spill k v with _ -> ()) victims
+
+let find_or_build_where t key build =
+  if not (enabled ()) then (build (), `Built)
   else begin
     Mutex.lock t.mutex;
     let rec get () =
@@ -118,7 +142,7 @@ let find_or_build t key build =
           Atomic.incr t.hits;
           let v = e.value in
           Mutex.unlock t.mutex;
-          v
+          (v, `Hit)
       | None ->
           if Hashtbl.mem t.inflight key then begin
             (* Single-flight: another domain is building this key.  Wait
@@ -129,9 +153,20 @@ let find_or_build t key build =
           end
           else begin
             Hashtbl.replace t.inflight key ();
+            let revive = t.revive in
             Mutex.unlock t.mutex;
+            (* As the builder, consult the next tier first: a revived
+               value is a warm artifact (disk hit), not a rebuild. *)
             let v =
-              try build ()
+              try
+                match revive with
+                | Some revive -> (
+                    (* a failing tier reads as a miss, mirroring
+                       [spill_victims] *)
+                    match (try revive key with _ -> None) with
+                    | Some v -> (v, `Revived)
+                    | None -> (build (), `Built))
+                | None -> (build (), `Built)
               with e ->
                 let bt = Printexc.get_raw_backtrace () in
                 Mutex.lock t.mutex;
@@ -146,15 +181,20 @@ let find_or_build t key build =
             t.tick <- t.tick + 1;
             (match Hashtbl.find_opt t.table key with
             | Some e -> e.last_use <- t.tick  (* lost a race; keep theirs *)
-            | None -> Hashtbl.replace t.table key { value = v; last_use = t.tick });
-            evict_locked t;
+            | None ->
+                Hashtbl.replace t.table key
+                  { value = fst v; last_use = t.tick });
+            let victims = evict_locked t in
             Condition.broadcast t.landed;
             Mutex.unlock t.mutex;
+            spill_victims t victims;
             v
           end
     in
     get ()
   end
+
+let find_or_build t key build = fst (find_or_build_where t key build)
 
 let totals () =
   Mutex.lock registry_mutex;

@@ -35,16 +35,45 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 (** Process-wide override of {!enabled} (the [--no-cache] CLI flag). *)
 
-val create : ?capacity:int -> name:string -> unit -> 'a t
+val create :
+  ?capacity:int ->
+  ?spill:(string -> 'a -> unit) ->
+  ?revive:(string -> 'a option) ->
+  name:string ->
+  unit ->
+  'a t
 (** A new cache holding at most [capacity] (default 64, clamped to
     [>= 1]) entries.  [name] labels it in the registry ({!totals} spans
-    all created caches). *)
+    all created caches).
+
+    [spill] and [revive] connect a next (persistent) tier, typically
+    {!Disk_store} behind a serializer: an evicted entry is handed to
+    [spill] (outside the cache lock), and a miss consults [revive]
+    before running the builder — still single-flight, so N concurrent
+    requests for one key do at most one revive-or-build.  Both hooks
+    are best-effort: an exception from [spill] is swallowed and one
+    from [revive] reads as a miss, so a broken persistent tier degrades
+    to "no tier" rather than failing lookups. *)
+
+val set_tier :
+  'a t -> ?spill:(string -> 'a -> unit) -> ?revive:(string -> 'a option) ->
+  unit -> unit
+(** Replace both tier hooks (an omitted hook is removed).  Lets a
+    long-lived service attach its disk store to caches created at
+    module-initialization time. *)
 
 val find_or_build : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_build t key build] returns the cached value for [key],
     waiting out a concurrent in-flight build of the same key, or runs
     [build ()] and caches its result.  With caching disabled it simply
     runs [build ()] (and counts nothing). *)
+
+val find_or_build_where :
+  'a t -> string -> (unit -> 'a) -> 'a * [ `Hit | `Revived | `Built ]
+(** Like {!find_or_build}, also reporting where the value came from:
+    resident in this cache ([`Hit]), revived from the next tier
+    ([`Revived]) or built ([`Built]).  Both tier outcomes count as a
+    miss in this cache's counters — the disk tier keeps its own. *)
 
 val length : 'a t -> int
 (** Number of resident entries (always [<= capacity]). *)

@@ -1,0 +1,325 @@
+(** Content-addressed on-disk artifact store.  See disk_store.mli. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  puts : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+type entry = { file : string; size : int; mutable last_use : int }
+
+type t = {
+  sroot : string;
+  limit_bytes : int;  (** <= 0: unbounded *)
+  mutex : Mutex.t;
+  index : (string, entry) Hashtbl.t;  (** store key -> resident entry *)
+  mutable tick : int;
+  mutable total : int;  (** payload bytes resident, per the index *)
+  h_hits : int Atomic.t;
+  h_misses : int Atomic.t;
+  h_puts : int Atomic.t;
+  h_evictions : int Atomic.t;
+}
+
+(* ---- layout -------------------------------------------------------- *)
+
+(* One artifact per file.  The name is derived from the key: a
+   human-readable sanitized prefix (the pipeline stage) plus the MD5 of
+   the full key, so names are filesystem-safe and collision-free
+   without trusting the key's own spelling. *)
+let file_of_key key =
+  let stage =
+    match String.index_opt key ':' with
+    | Some i -> String.sub key 0 i
+    | None -> "artifact"
+  in
+  let sane =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c | _ -> '_')
+      (if String.length stage > 32 then String.sub stage 0 32 else stage)
+  in
+  Printf.sprintf "%s-%s.art" sane (Digest.to_hex (Digest.string key))
+
+let suffix = ".art"
+
+let has_suffix name =
+  let n = String.length name and m = String.length suffix in
+  n >= m && String.sub name (n - m) m = suffix
+
+(* Artifact framing: a magic line and the payload digest, then the
+   payload.  The rename-based write already prevents torn files under
+   the final name; the digest additionally rejects artifacts truncated
+   or corrupted by anything else (full disk at rename time, manual
+   editing), turning them into clean misses. *)
+let magic = "powerlim-store 1"
+
+let frame payload =
+  Printf.sprintf "%s\n%s\n%s" magic (Digest.to_hex (Digest.string payload))
+    payload
+
+let unframe s =
+  let fail = None in
+  match String.index_opt s '\n' with
+  | None -> fail
+  | Some i -> (
+      if String.sub s 0 i <> magic then fail
+      else
+        match String.index_from_opt s (i + 1) '\n' with
+        | None -> fail
+        | Some j ->
+            let digest = String.sub s (i + 1) (j - i - 1) in
+            let payload = String.sub s (j + 1) (String.length s - j - 1) in
+            if Digest.to_hex (Digest.string payload) = digest then Some payload
+            else fail)
+
+(* ---- registry (for the Obs stats provider) ------------------------ *)
+
+let registry : t list ref = ref []
+let registry_mutex = Mutex.create ()
+
+(* ---- lifecycle ----------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let path_of t file = Filename.concat t.sroot file
+
+let stats t =
+  Mutex.lock t.mutex;
+  let entries = Hashtbl.length t.index and bytes = t.total in
+  Mutex.unlock t.mutex;
+  {
+    hits = Atomic.get t.h_hits;
+    misses = Atomic.get t.h_misses;
+    puts = Atomic.get t.h_puts;
+    evictions = Atomic.get t.h_evictions;
+    entries;
+    bytes;
+  }
+
+(* Scan the root: sweep crash debris (temp files of interrupted writes),
+   index every artifact by size, and seed the LRU order from mtimes so
+   eviction across restarts still drops the coldest entries first. *)
+let open_ ?(limit_bytes = 0) ~root () =
+  mkdir_p root;
+  let t =
+    {
+      sroot = root;
+      limit_bytes;
+      mutex = Mutex.create ();
+      index = Hashtbl.create 64;
+      tick = 0;
+      total = 0;
+      h_hits = Atomic.make 0;
+      h_misses = Atomic.make 0;
+      h_puts = Atomic.make 0;
+      h_evictions = Atomic.make 0;
+    }
+  in
+  let files = try Sys.readdir root with Sys_error _ -> [||] in
+  let aged = ref [] in
+  Array.iter
+    (fun file ->
+      let path = Filename.concat root file in
+      if Fileio.is_temp file then (try Sys.remove path with Sys_error _ -> ())
+      else if has_suffix file then
+        match Unix.stat path with
+        | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+            aged := (file, st_size, st_mtime) :: !aged
+        | _ | (exception Unix.Unix_error _) -> ())
+    files;
+  List.iter
+    (fun (file, size, _) ->
+      t.tick <- t.tick + 1;
+      t.total <- t.total + size;
+      Hashtbl.replace t.index file { file; size; last_use = t.tick })
+    (List.sort
+       (fun (fa, _, ma) (fb, _, mb) ->
+         match Float.compare ma mb with 0 -> compare fa fb | c -> c)
+       !aged);
+  Mutex.lock registry_mutex;
+  registry := t :: !registry;
+  Mutex.unlock registry_mutex;
+  t
+
+let root t = t.sroot
+
+(* ---- eviction ------------------------------------------------------ *)
+
+(* Under [t.mutex].  Returns the file names to unlink; the caller
+   removes them after releasing the lock. *)
+let evict_locked t =
+  let victims = ref [] in
+  if t.limit_bytes > 0 then
+    while t.total > t.limit_bytes && Hashtbl.length t.index > 1 do
+      let oldest = ref None in
+      Hashtbl.iter
+        (fun _ e ->
+          match !oldest with
+          | Some o when o.last_use <= e.last_use -> ()
+          | _ -> oldest := Some e)
+        t.index;
+      match !oldest with
+      | Some e ->
+          Hashtbl.remove t.index e.file;
+          t.total <- t.total - e.size;
+          Atomic.incr t.h_evictions;
+          victims := e.file :: !victims
+      | None -> ()
+    done;
+  !victims
+
+let unlink_all t files =
+  List.iter
+    (fun file -> try Sys.remove (path_of t file) with Sys_error _ -> ())
+    files
+
+(* ---- operations ---------------------------------------------------- *)
+
+let put t key payload =
+  let framed = frame payload in
+  let size = String.length framed in
+  if t.limit_bytes > 0 && size > t.limit_bytes then
+    (* can never fit: storing it would just evict everything else *)
+    ()
+  else begin
+    let file = file_of_key key in
+    Fileio.write (path_of t file) framed;
+    Mutex.lock t.mutex;
+    (match Hashtbl.find_opt t.index file with
+    | Some old -> t.total <- t.total - old.size
+    | None -> ());
+    t.tick <- t.tick + 1;
+    t.total <- t.total + size;
+    Hashtbl.replace t.index file { file; size; last_use = t.tick };
+    Atomic.incr t.h_puts;
+    let victims = evict_locked t in
+    Mutex.unlock t.mutex;
+    unlink_all t victims
+  end
+
+(* Drop a file that turned out unreadable or corrupt. *)
+let invalidate t file =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.index file with
+  | Some e ->
+      Hashtbl.remove t.index file;
+      t.total <- t.total - e.size
+  | None -> ());
+  Mutex.unlock t.mutex;
+  try Sys.remove (path_of t file) with Sys_error _ -> ()
+
+let get t key =
+  let file = file_of_key key in
+  Mutex.lock t.mutex;
+  let known =
+    match Hashtbl.find_opt t.index file with
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.last_use <- t.tick;
+        true
+    | None -> false
+  in
+  Mutex.unlock t.mutex;
+  (* On an index miss, probe the filesystem: another process sharing the
+     directory may have stored the artifact after we opened. *)
+  let present = known || Sys.file_exists (path_of t file) in
+  if not present then begin
+    Atomic.incr t.h_misses;
+    None
+  end
+  else
+    match Fileio.read (path_of t file) with
+    | exception Sys_error _ ->
+        (* raced with an eviction or an external cleanup *)
+        Atomic.incr t.h_misses;
+        None
+    | raw -> (
+        match unframe raw with
+        | Some payload ->
+            if not known then begin
+              Mutex.lock t.mutex;
+              if not (Hashtbl.mem t.index file) then begin
+                t.tick <- t.tick + 1;
+                t.total <- t.total + String.length raw;
+                Hashtbl.replace t.index file
+                  { file; size = String.length raw; last_use = t.tick }
+              end;
+              let victims = evict_locked t in
+              Mutex.unlock t.mutex;
+              unlink_all t victims
+            end;
+            Atomic.incr t.h_hits;
+            Some payload
+        | None ->
+            (* torn or corrupt: a clean miss, and the debris goes away *)
+            invalidate t file;
+            Atomic.incr t.h_misses;
+            None)
+
+let mem t key =
+  Mutex.lock t.mutex;
+  let known = Hashtbl.mem t.index (file_of_key key) in
+  Mutex.unlock t.mutex;
+  known || Sys.file_exists (path_of t (file_of_key key))
+
+let entries t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.index in
+  Mutex.unlock t.mutex;
+  n
+
+let total_bytes t =
+  Mutex.lock t.mutex;
+  let n = t.total in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  let files = Hashtbl.fold (fun f _ acc -> f :: acc) t.index [] in
+  Hashtbl.reset t.index;
+  t.total <- 0;
+  Mutex.unlock t.mutex;
+  unlink_all t files
+
+let reset_stats t =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ t.h_hits; t.h_misses; t.h_puts; t.h_evictions ]
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d hits, %d misses, %d puts, %d evicted, %d entries, %d B"
+    s.hits s.misses s.puts s.evictions s.entries s.bytes
+
+(* Stats provider: one entry per open store, newest last. *)
+let () =
+  Obs.register_stats ~name:"store" (fun () ->
+      Mutex.lock registry_mutex;
+      let ts = !registry in
+      Mutex.unlock registry_mutex;
+      Obs.List
+        (List.rev_map
+           (fun t ->
+             let s = stats t in
+             Obs.Assoc
+               [
+                 ("root", Obs.String t.sroot);
+                 ("limit_bytes", Obs.Int t.limit_bytes);
+                 ("hits", Obs.Int s.hits);
+                 ("misses", Obs.Int s.misses);
+                 ("puts", Obs.Int s.puts);
+                 ("evictions", Obs.Int s.evictions);
+                 ("entries", Obs.Int s.entries);
+                 ("bytes", Obs.Int s.bytes);
+               ])
+           ts))

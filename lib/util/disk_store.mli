@@ -1,0 +1,66 @@
+(** Content-addressed, size-bounded, crash-safe on-disk artifact store.
+
+    The persistent tier under the in-memory {!Cache}: artifacts are
+    byte strings filed under the same content-derived keys the pipeline
+    already uses ({!Pipeline.Key}, ["stage:digest"]), so a warm entry
+    is exactly "these bytes were computed from equal inputs" — across
+    process restarts and across worker processes sharing the directory.
+
+    Crash safety: every artifact is written with {!Fileio.with_out}
+    (write-temp-then-rename), so a file under its final name is always
+    complete.  Each artifact additionally carries a digest of its
+    payload; anything that fails the digest (truncation by a full disk,
+    manual corruption) reads as a clean miss and is deleted.  Temp
+    debris left by a killed writer is swept on [open_].
+
+    Bounding: when [limit_bytes > 0], inserting beyond the limit evicts
+    least-recently-used artifacts (use = [get] hit or [put]).  The LRU
+    order is seeded from file mtimes on [open_], so eviction stays
+    sensible across restarts.  Oversized single artifacts (larger than
+    the whole limit) are not stored at all.
+
+    Concurrency: all operations are safe from any domain or thread.
+    Multiple processes may share a directory: writes are atomic, and a
+    [get] that misses the in-memory index probes the filesystem, so one
+    process sees artifacts another stored after it opened. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  puts : int;
+  evictions : int;
+  entries : int;  (** resident artifacts (per this process's index) *)
+  bytes : int;  (** resident framed bytes *)
+}
+
+val open_ : ?limit_bytes:int -> root:string -> unit -> t
+(** Open (creating if needed) the store rooted at [root].  Sweeps crash
+    debris and indexes existing artifacts.  [limit_bytes <= 0] (the
+    default) means unbounded. *)
+
+val root : t -> string
+
+val put : t -> string -> string -> unit
+(** [put t key payload] stores [payload] under [key], atomically,
+    evicting LRU entries if the size bound is now exceeded. *)
+
+val get : t -> string -> string option
+(** [get t key] returns the stored payload, verifying its integrity
+    digest; a torn or corrupt artifact is removed and reads as [None]. *)
+
+val mem : t -> string -> bool
+
+val entries : t -> int
+
+val total_bytes : t -> int
+
+val clear : t -> unit
+(** Remove every resident artifact (counters are kept). *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,47 @@
+(** Atomic file writes: write-temp-then-rename.  See fileio.mli. *)
+
+(* Distinct temp names even when several threads write the same target
+   concurrently: pid + a process-wide counter. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_marker = ".tmp-powerlim-"
+
+let temp_name path =
+  Printf.sprintf "%s%s%d.%d" path tmp_marker (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
+
+let is_temp name =
+  (* substring search, so both "x.art.tmp-powerlim-12.0" and any future
+     suffix variants are recognized as debris *)
+  let n = String.length name and m = String.length tmp_marker in
+  let rec scan i =
+    i + m <= n && (String.sub name i m = tmp_marker || scan (i + 1))
+  in
+  scan 0
+
+let with_out path f =
+  let tmp = temp_name path in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
+  in
+  match f oc with
+  | v ->
+      close_out oc;
+      (* rename within one directory is atomic on POSIX: readers see
+         either the old file or the complete new one, never a torn
+         prefix *)
+      Sys.rename tmp path;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Printexc.raise_with_backtrace e bt
+
+let write path s = with_out path (fun oc -> output_string oc s)
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,27 @@
+(** Atomic file writes.
+
+    Every exported artifact (traces, CSVs, benchmark JSON, disk-store
+    entries) is written through [with_out]/[write]: the bytes land in a
+    uniquely-named temporary file in the {e same directory} and are
+    renamed into place only after the channel is closed.  POSIX rename
+    within a directory is atomic, so a crash mid-write can leave stray
+    temp debris but never a torn file under the final name — which is
+    what makes the on-disk artifact store ({!Disk_store}) restart-safe,
+    and what keeps half-written [BENCH_*.json] files from masquerading
+    as results. *)
+
+val with_out : string -> (out_channel -> 'a) -> 'a
+(** [with_out path f] opens a temp file next to [path], runs [f] on its
+    channel, closes it and renames it to [path].  If [f] raises, the
+    temp file is removed, [path] is untouched and the exception is
+    re-raised. *)
+
+val write : string -> string -> unit
+(** [write path s] atomically replaces [path]'s contents with [s]. *)
+
+val read : string -> string
+(** Whole-file read (binary).  Raises [Sys_error] if unreadable. *)
+
+val is_temp : string -> bool
+(** Recognizes the temp-file naming scheme, so directory scans (e.g. the
+    disk store opening after a crash) can identify and sweep debris. *)

@@ -69,10 +69,7 @@ let json_to_string j =
 
 (* ---- enabling ----------------------------------------------------- *)
 
-let env_default () =
-  match Sys.getenv_opt "POWERLIM_TRACE" with
-  | Some ("1" | "true" | "on" | "yes") -> true
-  | _ -> false
+let env_default () = Env.flag "POWERLIM_TRACE" ~default:false
 
 let enabled_flag = Atomic.make (env_default ())
 let enabled () = Atomic.get enabled_flag
@@ -207,11 +204,8 @@ let to_chrome_json () =
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents b
 
-let write_file path s =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc s)
+(* Atomic: a crash mid-export must not leave a torn trace/stats file. *)
+let write_file path s = Fileio.write path s
 
 let write_chrome_json path = write_file path (to_chrome_json ())
 

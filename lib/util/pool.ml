@@ -121,12 +121,8 @@ let ctx_key : (t * int) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
 let default_size () =
-  match Sys.getenv_opt "POWERLIM_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n -> max 0 n
-      | None -> max 0 (Domain.recommended_domain_count () - 1))
-  | None -> max 0 (Domain.recommended_domain_count () - 1)
+  Env.int ~lo:0 "POWERLIM_JOBS"
+    ~default:(max 0 (Domain.recommended_domain_count () - 1))
 
 let size pool = pool.workers
 let parallelism pool = max 1 pool.workers

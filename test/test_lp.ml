@@ -1521,6 +1521,59 @@ let test_eta_limit_sanity () =
         Alcotest.failf "eta limit %s moved the objective by %g" limit d)
     [ "4"; "16"; "256" ]
 
+(* Satellite regression: the documented refactorization growth limit is
+   2.0 (DESIGN.md section 7) — the code shipped 3.0 for a while.  Pin
+   the default, the env override, and the malformed-value fallback. *)
+let test_refactor_limit_default () =
+  with_env
+    [ ("POWERLIM_REFACTOR", "", "") ]
+    (fun () ->
+      Alcotest.(check (float 0.0)) "documented default" 2.0
+        (Lp.Revised.refactor_limit ()));
+  with_env
+    [ ("POWERLIM_REFACTOR", "4.5", "") ]
+    (fun () ->
+      Alcotest.(check (float 0.0)) "env override" 4.5
+        (Lp.Revised.refactor_limit ()));
+  List.iter
+    (fun bad ->
+      with_env
+        [ ("POWERLIM_REFACTOR", bad, "") ]
+        (fun () ->
+          Putil.Env.reset_warnings ();
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%S falls back to the default" bad)
+            2.0
+            (Lp.Revised.refactor_limit ());
+          Alcotest.(check bool) "and is recorded as rejected" true
+            (List.mem_assoc "POWERLIM_REFACTOR" (Putil.Env.rejected ()));
+          Putil.Env.reset_warnings ()))
+    [ "banana"; "nan"; "inf"; "1.0"; "0.5" ]
+
+(* The limit steers when refactorization happens, never what the solver
+   answers: solutions agree across settings. *)
+let test_refactor_limit_answer_invariant () =
+  let p = chain_model 120 in
+  let r0 = Lp.Revised.solve p in
+  List.iter
+    (fun limit ->
+      let r =
+        with_env
+          [ ("POWERLIM_REFACTOR", limit, "") ]
+          (fun () -> Lp.Revised.solve p)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimal at refactor limit %s" limit)
+        true
+        (r.Lp.Revised.status = Lp.Revised.Optimal);
+      let d =
+        Float.abs (r.Lp.Revised.objective -. r0.Lp.Revised.objective)
+        /. (1.0 +. Float.abs r0.Lp.Revised.objective)
+      in
+      if d > 1e-7 then
+        Alcotest.failf "refactor limit %s moved the objective by %g" limit d)
+    [ "1.1"; "2.0"; "8.0" ]
+
 (* ------------------------------------------------------------------ *)
 (* Structural edits (Lp.Edit)                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1858,6 +1911,10 @@ let suite =
         QCheck_alcotest.to_alcotest prop_env_differential;
         QCheck_alcotest.to_alcotest prop_ft_differential;
         Alcotest.test_case "eta limit sanity" `Quick test_eta_limit_sanity;
+        Alcotest.test_case "refactor limit default pinned" `Quick
+          test_refactor_limit_default;
+        Alcotest.test_case "refactor limit answer-invariant" `Quick
+          test_refactor_limit_answer_invariant;
       ] );
     ( "lp.mps",
       [

@@ -4,4 +4,4 @@ let () =
    @ Test_simulate.suite @ Test_workloads.suite @ Test_core.suite
    @ Test_objective.suite @ Test_runtime.suite @ Test_trace_io.suite @ Test_experiments.suite
    @ Test_pqueue.suite @ Test_parallel.suite @ Test_cache.suite
-   @ Test_obs.suite)
+   @ Test_obs.suite @ Test_store.suite @ Test_serve.suite)

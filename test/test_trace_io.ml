@@ -140,6 +140,55 @@ let test_bad_literal_is_parse_error () =
   check_parse_error_on ~expected_line:3
     "powerlim-trace 1\nranks 1\nvertex 0 init 0 maybe 0\n"
 
+(* Numeric-field failures must name the record kind, the field and the
+   offending token — "bad integer for task tid: \"x\"" — not the bare
+   "int_of_string" the stdlib converters produce. *)
+let check_field_error ~expected_line ~field s =
+  match Dag.Trace_io.of_string s with
+  | exception Dag.Trace_io.Parse_error (line, msg) ->
+      Alcotest.(check int) "error reports the offending line" expected_line
+        line;
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec scan i =
+          i + m <= n && (String.sub hay i m = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      if not (contains msg field) then
+        Alcotest.failf "error %S does not name %S" msg field;
+      if contains msg "int_of_string" || contains msg "float_of_string" then
+        Alcotest.failf "error %S leaks a stdlib converter name" msg
+  | exception e ->
+      Alcotest.failf "expected Parse_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Parse_error, parse succeeded"
+
+let test_numeric_errors_name_the_field () =
+  check_field_error ~expected_line:2 ~field:"ranks count"
+    "powerlim-trace 1\nranks zz\n";
+  check_field_error ~expected_line:3 ~field:"vertex vid"
+    "powerlim-trace 1\nranks 1\nvertex x init 0 false 0\n";
+  check_field_error ~expected_line:3 ~field:"vertex delay"
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0.1.2 false 0\n";
+  check_field_error ~expected_line:3 ~field:"vertex pcontrol"
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 maybe 0\n";
+  check_field_error ~expected_line:3 ~field:"vertex ranks"
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 false 0,q\n";
+  let header =
+    "powerlim-trace 1\nranks 1\nvertex 0 init 0 false 0\n\
+     vertex 1 finalize 0 false 0\n"
+  in
+  check_field_error ~expected_line:5 ~field:"task tid"
+    (header ^ "task x 0 0 1 1 0.05 0 0.2 0 t\n");
+  check_field_error ~expected_line:5 ~field:"task work"
+    (header ^ "task 0 0 0 1 1e 0.05 0 0.2 0 t\n");
+  check_field_error ~expected_line:5 ~field:"task serial"
+    (header ^ "task 0 0 0 1 1 5% 0 0.2 0 t\n");
+  check_field_error ~expected_line:5 ~field:"task iteration"
+    (header ^ "task 0 0 0 1 1 0.05 0 0.2 iter t\n");
+  check_field_error ~expected_line:5 ~field:"message bytes"
+    (header ^ "message 0 0 1 0 0 many\n")
+
 let test_empty_collective_name () =
   (* "collective:" (nothing after the colon) is a collective with an
      empty name and must parse, both built... *)
@@ -230,6 +279,8 @@ let suite =
           test_truncated_escape_is_parse_error;
         Alcotest.test_case "bad literal -> Parse_error" `Quick
           test_bad_literal_is_parse_error;
+        Alcotest.test_case "numeric errors name the field" `Quick
+          test_numeric_errors_name_the_field;
         Alcotest.test_case "empty collective name" `Quick
           test_empty_collective_name;
         Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
