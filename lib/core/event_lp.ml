@@ -77,6 +77,15 @@ type built = {
   objective : Objective.mode;
   col_bands : int array;
   row_bands : int array;
+  col_blocks : int array;
+      (* per column: owning rank for the Dantzig–Wolfe decomposition
+         (-1 for collective-vertex times shared across ranks); empty
+         after structural edits, like the bands *)
+  n_blocks : int;  (* rank count of the block tagging *)
+  horizon : float;
+      (* safe upper bound on every vertex time at the optimum (the
+         fully serialized slowest schedule, plus the deadline in energy
+         mode) — the pricing box for {!Lp.Decomp} *)
 }
 
 (* The bands pair in the shape {!Lp.Revised.solve} expects, or [None]
@@ -84,6 +93,25 @@ type built = {
 let bands_of (b : built) =
   if Array.length b.col_bands = 0 then None
   else Some (b.col_bands, b.row_bands)
+
+(* The block structure in the shape {!Lp.Decomp.solve} expects, or
+   [None] when the build carries no block metadata.  The guard rows are
+   the cap-carrying rows (power rows, plus the deadline row in energy
+   mode): when the solved duals are zero on all of them the cap is
+   unconstraining, the optimum massively degenerate, and {!Lp.Decomp}
+   defers to the monolithic solver for canonical vertex selection —
+   mirroring {!Experiments.Common.run_sweep}'s cold re-solve rule. *)
+let structure_of (b : built) =
+  if Array.length b.col_blocks = 0 then None
+  else
+    let guard_rows =
+      List.map fst b.meta
+      @ (match b.deadline_row with Some r -> [ r ] | None -> [])
+      |> Array.of_list
+    in
+    Some
+      (Lp.Decomp.structure ~box:b.horizon ~guard_rows ~nblocks:b.n_blocks
+         b.col_blocks)
 
 let build ?(reduce_slack = true) ?init
     ?(objective = Objective.Makespan_under_cap) (sc : Scenario.t) ~power_cap :
@@ -234,6 +262,46 @@ let build ?(reduce_slack = true) ?init
       let band = vpos.(g.Dag.Graph.tasks.(tid).Dag.Graph.t_src) in
       Array.iter (fun var -> col_bands.(var) <- band) vars)
     c;
+  (* Block tags: a configuration weight belongs to its task's rank, a
+     vertex time to its vertex's rank when unique (collectives — Init,
+     Finalize, allreduces — are shared across ranks).  Rows are not
+     tagged: {!Lp.Decomp} classifies them from the matrix. *)
+  let col_blocks = Array.make problem.Lp.Model.nv (-1) in
+  Array.iteri
+    (fun j var ->
+      match g.Dag.Graph.vertices.(j).Dag.Graph.ranks with
+      | [ r ] -> col_blocks.(var) <- r
+      | _ -> ())
+    v;
+  Array.iteri
+    (fun tid vars ->
+      let r = g.Dag.Graph.tasks.(tid).Dag.Graph.rank in
+      Array.iter (fun var -> col_blocks.(var) <- r) vars)
+    c;
+  (* Serialized slowest schedule: a sound bound on every vertex time of
+     an optimal solution (the ord chain keeps all of them at or below
+     the Finalize time, itself bounded by the deadline or makespan). *)
+  let horizon =
+    let h = ref 1.0 in
+    Array.iter
+      (fun (t : Dag.Graph.task) ->
+        let f = sc.Scenario.frontiers.(t.Dag.Graph.tid) in
+        if Array.length f > 0 then
+          h := !h +. (Pareto.Frontier.slowest f).Pareto.Point.duration)
+      g.Dag.Graph.tasks;
+    Array.iter
+      (fun (vx : Dag.Graph.vertex) -> h := !h +. vx.Dag.Graph.delay)
+      g.Dag.Graph.vertices;
+    Array.iter
+      (fun (msg : Dag.Graph.message) ->
+        h := !h +. Machine.Network.transfer_time msg.Dag.Graph.bytes)
+      g.Dag.Graph.messages;
+    (match objective with
+    | Objective.Energy_under_deadline { deadline } ->
+        if Float.is_finite deadline then h := !h +. deadline
+    | Objective.Makespan_under_cap -> ());
+    !h
+  in
   {
     problem;
     v_vars = v;
@@ -244,6 +312,9 @@ let build ?(reduce_slack = true) ?init
     objective;
     col_bands;
     row_bands = Array.of_list (List.rev !rbands);
+    col_blocks;
+    n_blocks = g.Dag.Graph.nranks;
+    horizon;
   }
 
 (** The compiled LP in MPS format, for cross-checking against external
@@ -400,11 +471,12 @@ let run_prepared ~mode ~max_iter ~objective ?warm (pz : prepared) rhs :
   let b = pz.pbuilt in
   let p = b.problem in
   let bands = bands_of b in
+  let structure = structure_of b in
   let r =
     match pz.resolution with
     | `Reduced red ->
         Lp.Presolve.solve_reduction ~max_iter ?rhs ?warm
-          ?analysis:pz.panalysis ?bands p red
+          ?analysis:pz.panalysis ?bands ?structure p red
     | `Each ->
         let pp =
           match rhs with
@@ -413,7 +485,8 @@ let run_prepared ~mode ~max_iter ~objective ?warm (pz : prepared) rhs :
         in
         { (Lp.Presolve.solve ~max_iter pp) with Lp.Revised.basis = None }
     | `Full ->
-        Lp.Revised.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis ?bands p
+        Lp.Decomp.solve ~max_iter ?rhs ?warm ?analysis:pz.panalysis ?bands
+          ?structure p
   in
   (outcome_of ~mode ~objective pz.psc b r, r.Lp.Revised.basis)
 
@@ -673,9 +746,13 @@ let edit_prepared ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
         | Some row when rmap.(row) >= 0 -> Some rmap.(row)
         | Some _ | None -> None);
       objective = b.objective;
-      (* structural edits invalidate the event-stage assignment *)
+      (* structural edits invalidate the event-stage assignment and the
+         block tagging *)
       col_bands = [||];
       row_bands = [||];
+      col_blocks = [||];
+      n_blocks = 0;
+      horizon = b.horizon;
     }
   in
   let sc' = edit_scenario pz.psc des in
@@ -784,6 +861,10 @@ let switch_objective ?(mode = Continuous) ?(max_iter = 0) ?warm (pz : prepared)
           deadline_row = deadline_row';
           objective;
           row_bands = row_bands';
+          (* a switched handle re-solves warm from the previous mode's
+             basis; the decomposition targets cold solves only *)
+          col_blocks = [||];
+          n_blocks = 0;
         }
       in
       let pz' =

@@ -20,11 +20,15 @@ let connect (addr : Daemon.address) =
   { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
 (* Retry briefly: the daemon may still be binding when a launcher
-   connects right after forking it. *)
+   connects right after forking it, and a burst of simultaneous
+   connects can transiently overflow the listen backlog (EAGAIN on
+   Unix-domain sockets under Linux). *)
 let rec connect_retry ?(attempts = 50) addr =
   match connect addr with
   | c -> c
-  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+  | exception
+      Unix.Unix_error
+        ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.EINTR), _, _)
     when attempts > 1 ->
       Unix.sleepf 0.1;
       connect_retry ~attempts:(attempts - 1) addr

@@ -97,6 +97,10 @@ let stats_payload t =
              (fun (name, value) ->
                Assoc [ ("name", String name); ("value", String value) ])
              (Putil.Env.rejected ())) );
+      (* the unified provider registry (lp / cache / pool / ...), so a
+         live daemon exposes the same counters as [--stats-json] —
+         including the solver's [dw_*] decomposition counters *)
+      ("providers", Putil.Obs.stats_json ());
     ]
 
 (* ---- request execution --------------------------------------------- *)

@@ -1,7 +1,8 @@
 (** Serve-path benchmark: cold vs warm request latency through a live
     daemon, byte-identity of served responses against the offline
-    renderers, and disk-tier warmth across a daemon restart.  Writes
-    BENCH_serve.json and hard-gates the invariants. *)
+    renderers, a concurrency storm of simultaneous mixed clients, and
+    disk-tier warmth across a daemon restart.  Writes BENCH_serve.json
+    and hard-gates the invariants. *)
 
 let median xs =
   match List.sort Float.compare xs with
@@ -69,6 +70,70 @@ let probes (config : Experiments.Common.config) =
     };
   ]
 
+(* Number of simultaneous client connections fired at one daemon in the
+   storm phase.  Every client must get its own correct response back:
+   the gate is zero dropped and zero mismatched. *)
+let storm_clients = 256
+
+(* Mixed request population for the storm: the base probes plus
+   parameter variants, so the in-flight set holds both duplicates
+   (exercising single-flight collapse) and distinct solves (exercising
+   the pool under contention). *)
+
+let storm_probes (config : Experiments.Common.config) =
+  let ranks = config.Experiments.Common.nranks in
+  let iters = config.Experiments.Common.iterations in
+  let seed = config.Experiments.Common.seed in
+  let app = Workloads.Apps.CoMD in
+  let base seed =
+    [
+      ("ranks", Putil.Obs.Int ranks);
+      ("iters", Putil.Obs.Int iters);
+      ("seed", Putil.Obs.Int seed);
+    ]
+  in
+  let sweep_v s =
+    {
+      p_name = Printf.sprintf "sweep/seed=%d" s;
+      p_request = Putil.Obs.Assoc (("op", Putil.Obs.String "sweep") :: base s);
+      p_offline = (fun () -> Handlers.sweep ~ranks ~iters ~seed:s ());
+    }
+  and energy_v cap =
+    {
+      p_name = Printf.sprintf "energy/cap=%g" cap;
+      p_request =
+        Putil.Obs.Assoc
+          (("op", Putil.Obs.String "energy")
+          :: ("app", Putil.Obs.String "comd")
+          :: ("cap", Putil.Obs.Float cap)
+          :: ("deadline", Putil.Obs.Float 10.0)
+          :: base seed);
+      p_offline =
+        (fun () ->
+          Handlers.energy ~app ~ranks ~iters ~seed ~cap ~deadline:(Some 10.0)
+            ());
+    }
+  and what_if_v dr =
+    {
+      p_name = Printf.sprintf "what-if/drop=%d" dr;
+      p_request =
+        Putil.Obs.Assoc
+          (("op", Putil.Obs.String "what-if")
+          :: ("app", Putil.Obs.String "comd")
+          :: ("cap", Putil.Obs.Float 40.0)
+          :: ("drop_ranks", Putil.Obs.List [ Putil.Obs.Int dr ])
+          :: base seed);
+      p_offline =
+        (fun () ->
+          Handlers.what_if ~app ~ranks ~iters ~seed ~cap:40.0
+            ~edits:[ Core.Event_lp.Drop_rank dr ]
+            ());
+    }
+  in
+  List.map sweep_v [ seed; seed + 1; seed + 2 ]
+  @ List.map energy_v [ 40.0; 45.0; 50.0 ]
+  @ List.map what_if_v [ ranks - 1; ranks - 2; 1 ]
+
 type sample = { output : string; status : int; cached : string; wall_ms : float }
 
 let ask client (p : probe) =
@@ -105,11 +170,12 @@ let rec rm_rf path =
 
 let write_json ~path ~(config : Experiments.Common.config) ~results
     ~(ratios : (string * float) list) ~daemon1_stats ~daemon2_stats
-    ~identical ~restart_disk_hits =
+    ~identical ~restart_disk_hits
+    ~(storm : int * int * float * int * int) =
   Putil.Fileio.with_out path @@ fun oc ->
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"powerlim-servebench-v1\",\n";
+  pf "  \"schema\": \"powerlim-servebench-v2\",\n";
   pf "  \"ranks\": %d,\n" config.Experiments.Common.nranks;
   pf "  \"iterations\": %d,\n" config.Experiments.Common.iterations;
   pf "  \"warm_rounds\": %d,\n" warm_rounds;
@@ -136,6 +202,11 @@ let write_json ~path ~(config : Experiments.Common.config) ~results
   emit_stats "restart_hit_rates" daemon2_stats;
   pf "  \"median_speedup\": %.1f,\n" (median (List.map snd ratios));
   pf "  \"restart_disk_hits\": %d,\n" restart_disk_hits;
+  (let clients, distinct, wall_s, dropped, mismatched = storm in
+   pf
+     "  \"storm\": { \"clients\": %d, \"distinct_requests\": %d, \
+      \"wall_s\": %.3f, \"dropped\": %d, \"mismatched\": %d },\n"
+     clients distinct wall_s dropped mismatched);
   pf "  \"byte_identical\": %b\n" identical;
   pf "}\n"
 
@@ -160,10 +231,14 @@ let run ?(config = Experiments.Common.default_config) ppf =
     { (Daemon.default_config addr) with Daemon.store_root = Some store_root }
   in
   let ps = probes config in
+  let storm = storm_probes config in
   (* offline references first: rendered by the very functions the CLI
-     prints, on cold pipeline caches *)
+     prints, on cold pipeline caches.  The storm references are computed
+     here too — the daemon runs in-process, so calling a handler while
+     it is live would perturb its cache counters. *)
   Putil.Cache.clear_all ();
   let offline = List.map (fun p -> (p.p_name, p.p_offline ())) ps in
+  let storm_offline = List.map (fun p -> (p.p_name, p.p_offline ())) storm in
   (* --- daemon 1: cold then warm ------------------------------------- *)
   Putil.Cache.clear_all ();
   let d1 = Daemon.start cfg in
@@ -176,6 +251,43 @@ let run ?(config = Experiments.Common.default_config) ppf =
         (p, samples))
       ps
   in
+  (* --- storm: >= 256 concurrent mixed clients ----------------------- *)
+  let storm_arr = Array.of_list storm in
+  let nstorm = Array.length storm_arr in
+  let storm_results : sample option array = Array.make storm_clients None in
+  let storm_t0 = Unix.gettimeofday () in
+  let storm_threads =
+    List.init storm_clients (fun i ->
+        Thread.create
+          (fun () ->
+            let p = storm_arr.(i mod nstorm) in
+            match
+              let c = Client.connect_retry (Daemon.address d1) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () -> ask c p)
+            with
+            | s -> storm_results.(i) <- Some s
+            | exception _ -> ())
+          ())
+  in
+  List.iter Thread.join storm_threads;
+  let storm_wall = Unix.gettimeofday () -. storm_t0 in
+  let storm_dropped = ref 0 and storm_mismatched = ref 0 in
+  Array.iteri
+    (fun i s ->
+      let p = storm_arr.(i mod nstorm) in
+      match s with
+      | None -> incr storm_dropped
+      | Some (s : sample) ->
+          let o = List.assoc p.p_name storm_offline in
+          if s.output <> o.Handlers.out || s.status <> o.Handlers.status
+          then begin
+            incr storm_mismatched;
+            Fmt.epr "servebench: storm client %d (%s) differs from offline@." i
+              p.p_name
+          end)
+    storm_results;
   let stats1 =
     hit_rates_of_stats
       (Client.request c1 (Putil.Obs.Assoc [ ("op", Putil.Obs.String "stats") ]))
@@ -269,9 +381,14 @@ let run ?(config = Experiments.Common.default_config) ppf =
   let med = median (List.map snd ratios) in
   Fmt.pf ppf "  median repeated-request speedup: %.1fx; byte-identical: %b@."
     med !identical;
+  Fmt.pf ppf
+    "  storm: %d concurrent clients over %d distinct requests in %.2f s; \
+     dropped %d, mismatched %d@."
+    storm_clients nstorm storm_wall !storm_dropped !storm_mismatched;
   let path = "BENCH_serve.json" in
   write_json ~path ~config ~results ~ratios ~daemon1_stats:stats1
-    ~daemon2_stats:stats2 ~identical:!identical ~restart_disk_hits;
+    ~daemon2_stats:stats2 ~identical:!identical ~restart_disk_hits
+    ~storm:(storm_clients, nstorm, storm_wall, !storm_dropped, !storm_mismatched);
   Fmt.pf ppf "wrote %s@." path;
   rm_rf workdir;
   (* hard gates *)
@@ -285,5 +402,12 @@ let run ?(config = Experiments.Common.default_config) ppf =
   end;
   if restart_disk_hits = 0 then begin
     Fmt.epr "servebench: no request hit the disk tier after restart@.";
+    exit 1
+  end;
+  if !storm_dropped > 0 || !storm_mismatched > 0 then begin
+    Fmt.epr
+      "servebench: storm dropped %d and mismatched %d of %d concurrent \
+       clients@."
+      !storm_dropped !storm_mismatched storm_clients;
     exit 1
   end

@@ -1,12 +1,20 @@
 (** Serve-path benchmark: cold vs warm request latency through a live
     in-process daemon, byte-identity of served responses against the
-    offline renderers, and disk-tier warmth across a daemon restart.
+    offline renderers, a concurrency storm, and disk-tier warmth
+    across a daemon restart.
+
+    The storm phase fires 256 simultaneous client connections at one
+    daemon, cycling a mixed population of sweep / energy / what-if
+    requests (duplicates collapse through the single-flight cache;
+    distinct keys contend for the solver pool), and checks every
+    client's response against the offline renderer for its request.
 
     Writes [BENCH_serve.json] with per-request latencies, per-daemon
-    hit rates and the gated invariants, then hard-gates (exit 1):
-    served output must equal offline output byte for byte, repeated
-    requests must be at least 2x faster than cold ones (median), and a
-    restarted daemon must answer at least one request from the disk
-    tier. *)
+    hit rates, the storm tallies and the gated invariants, then
+    hard-gates (exit 1): served output must equal offline output byte
+    for byte, repeated requests must be at least 2x faster than cold
+    ones (median), a restarted daemon must answer at least one request
+    from the disk tier, and the storm must complete with zero dropped
+    and zero mismatched responses. *)
 
 val run : ?config:Experiments.Common.config -> Format.formatter -> unit

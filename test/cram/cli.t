@@ -35,6 +35,16 @@ dual-repairs (byte-identical to the cold path, POWERLIM_WARM=0):
   what-if  : 1.6345 s (LP: 23 rows, 136 cols)
   delta    : -0.3378 s (-17.13%)
 
+The Dantzig-Wolfe decomposition crosses over to a certified monolithic
+basis, so sweep output is byte-identical whether the decomposition is
+off, on with one worker, or on with four:
+
+  $ POWERLIM_DW=0 ../../bin/powerlim.exe sweep --ranks 4 --iters 2 --no-cache >sweep.mono 2>/dev/null
+  $ POWERLIM_DW=1 POWERLIM_DW_MIN_RANKS=2 POWERLIM_JOBS=1 ../../bin/powerlim.exe sweep --ranks 4 --iters 2 --no-cache >sweep.dw1 2>/dev/null
+  $ POWERLIM_DW=1 POWERLIM_DW_MIN_RANKS=2 POWERLIM_JOBS=4 ../../bin/powerlim.exe sweep --ranks 4 --iters 2 --no-cache >sweep.dw4 2>/dev/null
+  $ cmp sweep.mono sweep.dw1 && cmp sweep.mono sweep.dw4 && echo identical
+  identical
+
 Exporting the LP as MPS produces a parseable file:
 
   $ ../../bin/powerlim.exe export --app comd --ranks 4 --iters 2 --cap 35 --mps comd.mps
